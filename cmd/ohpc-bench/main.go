@@ -1,0 +1,187 @@
+// Command ohpc-bench regenerates every figure of the paper's evaluation
+// section as text tables (and an ASCII rendering of the Figure 5 plot).
+//
+// Usage:
+//
+//	ohpc-bench -fig=all            # everything (Figure 5 takes ~2 min)
+//	ohpc-bench -fig=5 -quick       # time-scaled links, fast
+//	ohpc-bench -fig=5 -profile=atm -plot
+//	ohpc-bench -fig=4
+//
+// Absolute numbers depend on the host and the simulated link rates; the
+// shapes — which protocol wins, by roughly what factor, and where the
+// selection changes — are the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"openhpcxx/internal/bench"
+	"openhpcxx/internal/netsim"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, e1 (extension), or all")
+	profile := flag.String("profile", "both", "network for figure 5: atm, ethernet, or both")
+	quick := flag.Bool("quick", false, "time-scale the links 16x and shorten averaging")
+	plot := flag.Bool("plot", true, "also render figure 5 as an ASCII log-log plot")
+	reps := flag.Int("reps", 0, "minimum exchanges per measurement cell (0 = default)")
+	csvPath := flag.String("csv", "", "also write figure 5 data as CSV to this file")
+	flag.Parse()
+
+	var csvOut *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ohpc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+		fmt.Fprintln(csvOut, "profile,series,ints,bytes,reps,avg_rtt_us,bandwidth_mbps")
+	}
+
+	run := func(name string, fn func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ohpc-bench: figure %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("1", func() error {
+		r, err := bench.RunFigure1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatPathReport(r))
+		return nil
+	})
+	run("2", func() error {
+		r, err := bench.RunFigure2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatPathReport(r))
+		return nil
+	})
+	run("3", func() error {
+		phases, err := bench.RunFigure3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigure3(phases))
+		return nil
+	})
+	run("4", func() error {
+		cfg := bench.Fig4Config{}
+		if *quick {
+			cfg.Profile = netsim.ProfileATM155.Scaled(16)
+			cfg.MinDuration = 30 * time.Millisecond
+		}
+		if *reps > 0 {
+			cfg.MinReps = *reps
+		}
+		steps, err := bench.RunFigure4(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigure4(steps))
+		expect := bench.Fig4Expected()
+		ok := true
+		for i, s := range steps {
+			if s.Selected != expect[i] {
+				ok = false
+			}
+		}
+		fmt.Printf("selection sequence matches the paper: %v\n\n", ok)
+		return nil
+	})
+	run("e1", func() error {
+		cfg := bench.LossSweepConfig{}
+		if *quick {
+			cfg.MinDuration = 30 * time.Millisecond
+		}
+		points, err := bench.RunLossSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatLossSweep(points))
+		return nil
+	})
+	run("5", func() error {
+		profiles := map[string]netsim.LinkProfile{
+			"atm":      netsim.ProfileATM155,
+			"ethernet": netsim.ProfileEthernet,
+		}
+		names := []string{"atm", "ethernet"}
+		if *profile != "both" {
+			if _, ok := profiles[*profile]; !ok {
+				return fmt.Errorf("unknown profile %q", *profile)
+			}
+			names = []string{*profile}
+		}
+		for _, pn := range names {
+			p := profiles[pn]
+			cfg := bench.Fig5Config{Profile: p}
+			if *quick {
+				cfg.Profile = p.Scaled(16)
+				cfg.MinDuration = 50 * time.Millisecond
+				cfg.MinReps = 2
+			}
+			if *reps > 0 {
+				cfg.MinReps = *reps
+			}
+			series, err := bench.RunFigure5(cfg)
+			if err != nil {
+				return err
+			}
+			title := fmt.Sprintf("Figure 5: bandwidth vs. array size over %s", cfg.Profile)
+			fmt.Println(bench.FormatFigure5(title, series))
+			if *plot {
+				fmt.Println(bench.FormatFigure5ASCII(title, series))
+			}
+			if csvOut != nil {
+				for _, s := range series {
+					for _, p := range s.Points {
+						fmt.Fprintf(csvOut, "%s,%s,%d,%d,%d,%d,%.3f\n",
+							pn, s.Name, p.Ints, p.Bytes, p.Reps, p.AvgRTT.Microseconds(), p.BandwidthBps/1e6)
+					}
+				}
+			}
+			summarizeFig5(series)
+		}
+		return nil
+	})
+
+	if !strings.Contains("1 2 3 4 5 e1 all", *fig) {
+		fmt.Fprintf(os.Stderr, "ohpc-bench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// summarizeFig5 prints the two claims the paper draws from the plot.
+func summarizeFig5(series []bench.Series) {
+	var shm, bestNet, worstNet float64
+	for _, s := range series {
+		last := s.Points[len(s.Points)-1].BandwidthBps
+		if s.Name == bench.SeriesSharedMemory {
+			shm = last
+			continue
+		}
+		if bestNet == 0 || last > bestNet {
+			bestNet = last
+		}
+		if worstNet == 0 || last < worstNet {
+			worstNet = last
+		}
+	}
+	fmt.Printf("at the largest size: network protocols within %.2fx of each other; shared memory %.1fx faster than the best network protocol\n\n",
+		bestNet/worstNet, shm/bestNet)
+}

@@ -1,0 +1,53 @@
+// Command ohpc-registry runs a standalone Open HPC++ name service over
+// real TCP. Applications bootstrap with registry.RefAt("tcp://host:port")
+// and exchange object references — including their capability sets —
+// by name.
+//
+// Usage:
+//
+//	ohpc-registry -listen 127.0.0.1:7777
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/registry"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7777", "TCP host:port to serve on")
+	flag.Parse()
+
+	// A standalone registry still needs a locality; model the host as a
+	// one-machine network.
+	n := netsim.New()
+	n.AddLAN("local", "local", netsim.ProfileLoopback)
+	n.MustAddMachine("host", "local")
+
+	rt := core.NewRuntime(n, "ohpc-registry")
+	defer rt.Close()
+	ctx, err := rt.NewContext("registry", "host")
+	if err != nil {
+		log.Fatalf("ohpc-registry: %v", err)
+	}
+	if err := ctx.BindTCP(*listen); err != nil {
+		log.Fatalf("ohpc-registry: listen %s: %v", *listen, err)
+	}
+	if _, _, err := registry.Serve(ctx); err != nil {
+		log.Fatalf("ohpc-registry: %v", err)
+	}
+	addr, _ := ctx.Binding(core.ProtoStream)
+	fmt.Printf("ohpc-registry serving on %s\n", addr)
+	fmt.Printf("bootstrap clients with registry.RefAt(%q)\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("ohpc-registry: shutting down")
+}

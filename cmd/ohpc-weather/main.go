@@ -1,0 +1,186 @@
+// Command ohpc-weather is a two-process deployment of the paper's
+// motivating application over real TCP sockets: run a server in one
+// terminal and any number of clients in others.
+//
+//	ohpc-registry -listen 127.0.0.1:7777          # terminal 1
+//	ohpc-weather -mode serve -registry tcp://127.0.0.1:7777
+//	ohpc-weather -mode client -registry tcp://127.0.0.1:7777 -grant collab
+//	ohpc-weather -mode client -registry tcp://127.0.0.1:7777 -grant paid
+//
+// The server publishes two references for the same simulation: an
+// authenticated+encrypted "collab" grant and a 5-request "paid" grant —
+// and clients in other OS processes resolve them by name, capabilities
+// included.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/registry"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+// sharedSecret would be provisioned out of band in a real deployment.
+var sharedSecret = []byte("ohpc-weather-demo-secret-32bytes")
+
+type regionReq struct{ Lo, Hi int32 }
+
+func (r *regionReq) MarshalXDR(e *xdr.Encoder) error {
+	e.PutInt32(r.Lo)
+	e.PutInt32(r.Hi)
+	return nil
+}
+
+func (r *regionReq) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if r.Lo, err = d.Int32(); err != nil {
+		return err
+	}
+	r.Hi, err = d.Int32()
+	return err
+}
+
+type sim struct {
+	mu   sync.Mutex
+	grid []float64
+}
+
+func newSim(n int) *sim {
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = 15 + 10*math.Sin(float64(i)/float64(n)*2*math.Pi)
+	}
+	return &sim{grid: g}
+}
+
+func (w *sim) forecast(r *regionReq) (*core.Float64Slice, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if r.Lo < 0 || int(r.Hi) > len(w.grid) || r.Lo >= r.Hi {
+		return nil, wire.Faultf(wire.FaultBadRequest, "bad region [%d,%d)", r.Lo, r.Hi)
+	}
+	out := make([]float64, r.Hi-r.Lo)
+	copy(out, w.grid[r.Lo:r.Hi])
+	return &core.Float64Slice{V: out}, nil
+}
+
+// localRuntime models this OS process as one machine.
+func localRuntime(process string) *core.Runtime {
+	n := netsim.New()
+	n.AddLAN("local", "local", netsim.ProfileLoopback)
+	n.MustAddMachine("host", "local")
+	rt := core.NewRuntime(n, process)
+	capability.Install(rt.DefaultPool())
+	return rt
+}
+
+func serve(regAddr string) error {
+	rt := localRuntime("ohpc-weather-server")
+	defer rt.Close()
+	ctx, err := rt.NewContext("weather", "host")
+	if err != nil {
+		return err
+	}
+	if err := ctx.BindTCP("127.0.0.1:0"); err != nil {
+		return err
+	}
+	w := newSim(256)
+	servant, err := ctx.Export("weather.Forecasts", w, map[string]core.Method{
+		"forecast": core.Handler(w.forecast),
+	})
+	if err != nil {
+		return err
+	}
+	base, err := ctx.EntryStream()
+	if err != nil {
+		return err
+	}
+	collab, err := capability.GlueEntry(ctx, "weather-collab", base,
+		capability.MustNewAuth("collab", sharedSecret, capability.ScopeAlways),
+		capability.MustNewEncrypt(sharedSecret, capability.ScopeAlways))
+	if err != nil {
+		return err
+	}
+	paid, err := capability.GlueEntry(ctx, "weather-paid", base,
+		capability.NewQuota(5, time.Time{}))
+	if err != nil {
+		return err
+	}
+
+	reg := registry.NewClient(ctx, registry.RefAt(regAddr))
+	if err := reg.Rebind("weather/collab", ctx.NewRef(servant, collab)); err != nil {
+		return err
+	}
+	if err := reg.Rebind("weather/paid", ctx.NewRef(servant, paid)); err != nil {
+		return err
+	}
+	addr, _ := ctx.Binding(core.ProtoStream)
+	fmt.Printf("ohpc-weather: serving on %s; published weather/collab and weather/paid\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return nil
+}
+
+func client(regAddr, grant string, calls int) error {
+	rt := localRuntime(fmt.Sprintf("ohpc-weather-client-%d", os.Getpid()))
+	defer rt.Close()
+	ctx, err := rt.NewContext("client", "host")
+	if err != nil {
+		return err
+	}
+	reg := registry.NewClient(ctx, registry.RefAt(regAddr))
+	ref, err := reg.Lookup("weather/" + grant)
+	if err != nil {
+		return err
+	}
+	gp := ctx.NewGlobalPtr(ref)
+	for i := 1; i <= calls; i++ {
+		f, err := core.Call[*regionReq, core.Float64Slice](gp, "forecast", &regionReq{Lo: 0, Hi: 8})
+		if err != nil {
+			var fault *wire.Fault
+			if errors.As(err, &fault) {
+				fmt.Printf("request %d rejected: %s\n", i, fault.Message)
+				return nil
+			}
+			return err
+		}
+		proto, _ := gp.SelectedProtocol()
+		fmt.Printf("request %d over %s: forecast[0]=%.2f°C\n", i, proto, f.V[0])
+	}
+	return nil
+}
+
+func main() {
+	mode := flag.String("mode", "client", "serve or client")
+	regAddr := flag.String("registry", "tcp://127.0.0.1:7777", "registry address")
+	grant := flag.String("grant", "collab", "grant to use in client mode: collab or paid")
+	calls := flag.Int("calls", 7, "requests to make in client mode")
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "serve":
+		err = serve(*regAddr)
+	case "client":
+		err = client(*regAddr, *grant, *calls)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		log.Fatalf("ohpc-weather: %v", err)
+	}
+}

@@ -1,0 +1,262 @@
+// Weathersim reproduces the paper's opening scenario (§1): a large
+// environmental simulation running at a national lab, accessed by
+// clients with very different requirements:
+//
+//   - a local analyst on the lab's LAN gets the full interface with no
+//     authentication and no encryption;
+//   - an internet collaborator gets a restricted interface (forecasts
+//     only), authenticated and encrypted per request;
+//   - a commercial client pays per access and is cut off by a quota
+//     capability when the budget runs out.
+//
+// All three hold ordinary global pointers; the differences live entirely
+// in the object references' protocol tables and capability sets.
+//
+//	go run ./examples/weathersim
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/registry"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+// --- the simulation service -------------------------------------------
+
+// weatherSim is a toy environmental model: a grid of temperatures that
+// relaxes toward its neighbors each step; observations can be fed in.
+type weatherSim struct {
+	mu   sync.Mutex
+	grid []float64
+	step int
+}
+
+func newWeatherSim(n int) *weatherSim {
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = 15 + 10*math.Sin(float64(i)/float64(n)*2*math.Pi)
+	}
+	return &weatherSim{grid: g}
+}
+
+func (w *weatherSim) advance() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	next := make([]float64, len(w.grid))
+	for i := range w.grid {
+		l := w.grid[(i+len(w.grid)-1)%len(w.grid)]
+		r := w.grid[(i+1)%len(w.grid)]
+		next[i] = 0.5*w.grid[i] + 0.25*(l+r)
+	}
+	w.grid = next
+	w.step++
+}
+
+type regionReq struct{ Lo, Hi int32 }
+
+func (r *regionReq) MarshalXDR(e *xdr.Encoder) error {
+	e.PutInt32(r.Lo)
+	e.PutInt32(r.Hi)
+	return nil
+}
+
+func (r *regionReq) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if r.Lo, err = d.Int32(); err != nil {
+		return err
+	}
+	r.Hi, err = d.Int32()
+	return err
+}
+
+type feedReq struct {
+	At    int32
+	Value float64
+}
+
+func (r *feedReq) MarshalXDR(e *xdr.Encoder) error {
+	e.PutInt32(r.At)
+	e.PutFloat64(r.Value)
+	return nil
+}
+
+func (r *feedReq) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if r.At, err = d.Int32(); err != nil {
+		return err
+	}
+	r.Value, err = d.Float64()
+	return err
+}
+
+// forecast returns the temperature map for a region.
+func (w *weatherSim) forecast(r *regionReq) (*core.Float64Slice, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if r.Lo < 0 || int(r.Hi) > len(w.grid) || r.Lo >= r.Hi {
+		return nil, wire.Faultf(wire.FaultBadRequest, "bad region [%d,%d)", r.Lo, r.Hi)
+	}
+	out := make([]float64, r.Hi-r.Lo)
+	copy(out, w.grid[r.Lo:r.Hi])
+	return &core.Float64Slice{V: out}, nil
+}
+
+// feed injects an observation — a privileged operation.
+func (w *weatherSim) feed(r *feedReq) (*core.Empty, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if r.At < 0 || int(r.At) >= len(w.grid) {
+		return nil, wire.Faultf(wire.FaultBadRequest, "bad cell %d", r.At)
+	}
+	w.grid[r.At] = r.Value
+	return &core.Empty{}, nil
+}
+
+func main() {
+	// Topology: the lab's LAN, and the wider world.
+	net := netsim.New()
+	net.AddLAN("lab-lan", "lab-campus", netsim.ProfileATM155.Scaled(16))
+	net.AddLAN("isp-lan", "internet", netsim.ProfileEthernet.Scaled(16))
+	net.WANLink = netsim.ProfileWAN.Scaled(16)
+	net.MustAddMachine("supercomputer", "lab-lan")
+	net.MustAddMachine("analyst-ws", "lab-lan")
+	net.MustAddMachine("collab-pc", "isp-lan")
+	net.MustAddMachine("corp-box", "isp-lan")
+
+	rt := core.NewRuntime(net, "weathersim")
+	capability.Install(rt.DefaultPool())
+	defer rt.Close()
+
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	lab, err := rt.NewContext("lab", "supercomputer")
+	must(err)
+	must(lab.BindSim(9000))
+
+	sim := newWeatherSim(256)
+	for i := 0; i < 10; i++ {
+		sim.advance()
+	}
+
+	// Full interface for trusted users; restricted interface (forecasts
+	// only) for everyone else — two servants over one simulation.
+	full, err := lab.Export("weather.Full", sim, map[string]core.Method{
+		"forecast": core.Handler(sim.forecast),
+		"feed":     core.Handler(sim.feed),
+	})
+	must(err)
+	restricted, err := lab.Export("weather.Forecasts", sim, map[string]core.Method{
+		"forecast": core.Handler(sim.forecast),
+	})
+	must(err)
+
+	streamE, err := lab.EntryStream()
+	must(err)
+
+	// Local analysts: plain protocol, full interface.
+	analystRef := lab.NewRef(full, streamE)
+
+	// Internet collaborators: restricted interface behind
+	// authentication + encryption, both applicable only off-campus.
+	secureGlue, err := capability.GlueEntry(lab, "weather-secure", streamE,
+		capability.MustNewAuth("collaborator", []byte("lab-issued-secret"), capability.ScopeCrossCampus),
+		capability.NewRandomEncrypt(capability.ScopeCrossCampus))
+	must(err)
+	collabRef := lab.NewRef(restricted, secureGlue, streamE)
+
+	// Commercial clients: restricted interface behind a 3-request
+	// pay-per-use quota (plus encryption).
+	meteredGlue, err := capability.GlueEntry(lab, "weather-metered", streamE,
+		capability.NewQuota(3, time.Time{}),
+		capability.NewRandomEncrypt(capability.ScopeAlways))
+	must(err)
+	corpRef := lab.NewRef(restricted, meteredGlue)
+
+	// Publish through the name service.
+	regCtx, err := rt.NewContext("registry", "supercomputer")
+	must(err)
+	must(regCtx.BindSim(9001))
+	_, _, err = registry.Serve(regCtx)
+	must(err)
+	reg := registry.NewClient(lab, registry.RefAt("sim://supercomputer:9001"))
+	must(reg.Bind("weather/full", analystRef))
+	must(reg.Bind("weather/collab", collabRef))
+	must(reg.Bind("weather/paid", corpRef))
+
+	// --- the analyst: full access, no capabilities ---------------------
+	analyst, err := rt.NewContext("analyst", "analyst-ws")
+	must(err)
+	aReg := registry.NewClient(analyst, registry.RefAt("sim://supercomputer:9001"))
+	aRef, err := aReg.Lookup("weather/full")
+	must(err)
+	aGP := analyst.NewGlobalPtr(aRef)
+
+	_, err = core.Call[*feedReq, core.Empty](aGP, "feed", &feedReq{At: 42, Value: 31.5})
+	must(err)
+	f, err := core.Call[*regionReq, core.Float64Slice](aGP, "forecast", &regionReq{Lo: 40, Hi: 45})
+	must(err)
+	proto, _ := aGP.SelectedProtocol()
+	fmt.Printf("analyst   (lab LAN)  over %-8s fed cell 42, forecast[42]=%.1f°C\n", proto, f.V[2])
+
+	// --- the collaborator: authenticated + encrypted, no feed ----------
+	collab, err := rt.NewContext("collab", "collab-pc")
+	must(err)
+	cReg := registry.NewClient(collab, registry.RefAt("sim://supercomputer:9001"))
+	cRef, err := cReg.Lookup("weather/collab")
+	must(err)
+	cGP := collab.NewGlobalPtr(cRef)
+	f, err = core.Call[*regionReq, core.Float64Slice](cGP, "forecast", &regionReq{Lo: 0, Hi: 8})
+	must(err)
+	proto, _ = cGP.SelectedProtocol()
+	fmt.Printf("collab    (internet) over %-8s forecast[0..8) mean=%.1f°C (auth+encrypted)\n", proto, mean(f.V))
+
+	// The restricted interface has no "feed".
+	_, err = core.Call[*feedReq, core.Empty](cGP, "feed", &feedReq{At: 1, Value: 99})
+	var fault *wire.Fault
+	if errors.As(err, &fault) && fault.Code == wire.FaultNoMethod {
+		fmt.Printf("collab    (internet) feed denied: %s\n", fault.Message)
+	} else {
+		log.Fatalf("expected no-method fault, got %v", err)
+	}
+
+	// --- the commercial client: pay-per-use ----------------------------
+	corp, err := rt.NewContext("corp", "corp-box")
+	must(err)
+	kReg := registry.NewClient(corp, registry.RefAt("sim://supercomputer:9001"))
+	kRef, err := kReg.Lookup("weather/paid")
+	must(err)
+	kGP := corp.NewGlobalPtr(kRef)
+	for i := 1; ; i++ {
+		_, err := core.Call[*regionReq, core.Float64Slice](kGP, "forecast", &regionReq{Lo: 0, Hi: 4})
+		if err != nil {
+			if errors.As(err, &fault) && fault.Code == wire.FaultQuota {
+				fmt.Printf("corp      (paid)     request %d rejected: %s\n", i, fault.Message)
+				break
+			}
+			log.Fatal(err)
+		}
+		fmt.Printf("corp      (paid)     request %d served (quota)\n", i)
+	}
+}
+
+func mean(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

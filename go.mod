@@ -1,0 +1,3 @@
+module openhpcxx
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package bench builds the deployments and measurements behind every
+// figure in the paper's evaluation, shared by the repository's
+// testing.B benchmarks and the ohpc-bench command.
+//
+// The workload is the paper's: a client makes a series of remote service
+// requests that exchange an array of integers with the server, and the
+// average bandwidth over a number of readings is computed for array
+// sizes from 1 to 1 million (paper §5).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+)
+
+// ExchangeIface is the bandwidth servant's interface name.
+const ExchangeIface = "openhpcxx.bench.Exchange"
+
+// ExchangeActivator builds the bandwidth servant: one method,
+// "exchange", that decodes an integer array and echoes it back. The
+// servant is stateless, hence trivially migratable.
+func ExchangeActivator() (any, map[string]core.Method) {
+	impl := &exchangeImpl{}
+	return impl, map[string]core.Method{
+		"exchange": core.Handler(func(in *core.Int32Slice) (*core.Int32Slice, error) {
+			return in, nil
+		}),
+	}
+}
+
+type exchangeImpl struct{}
+
+func (*exchangeImpl) Snapshot() ([]byte, error) { return nil, nil }
+func (*exchangeImpl) Restore([]byte) error      { return nil }
+
+// Sizes1ToM is the paper's sweep: array sizes from 1 to 1M integers in
+// powers of four.
+func Sizes1ToM() []int {
+	var sizes []int
+	for n := 1; n <= 1<<20; n *= 4 {
+		sizes = append(sizes, n)
+	}
+	return sizes
+}
+
+// Measurement is one (protocol, size) cell of Figure 5.
+type Measurement struct {
+	Ints int // array length
+	// Bytes is the XDR payload carried per request in each direction.
+	Bytes int
+	// Reps is how many exchanges were averaged.
+	Reps int
+	// AvgRTT is the mean round-trip time of one exchange.
+	AvgRTT time.Duration
+	// BandwidthBps is the payload throughput in bits per second,
+	// counting both directions of the exchange.
+	BandwidthBps float64
+}
+
+// MeasureExchange performs repeated exchanges of an n-int array through
+// gp and reports the averaged bandwidth. It runs at least minReps
+// exchanges and keeps going until minDuration has elapsed.
+func MeasureExchange(gp *core.GlobalPtr, n int, minReps int, minDuration time.Duration) (Measurement, error) {
+	if minReps < 1 {
+		minReps = 1
+	}
+	arr := &core.Int32Slice{V: make([]int32, n)}
+	for i := range arr.V {
+		arr.V[i] = int32(i)
+	}
+	// Warm-up: protocol selection, connection setup, and one transfer.
+	if _, err := core.Call[*core.Int32Slice, core.Int32Slice](gp, "exchange", arr); err != nil {
+		return Measurement{}, err
+	}
+
+	payload := 4 + 4*n // XDR: length prefix + ints
+	reps := 0
+	start := time.Now()
+	for {
+		out, err := core.Call[*core.Int32Slice, core.Int32Slice](gp, "exchange", arr)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if len(out.V) != n {
+			return Measurement{}, fmt.Errorf("bench: exchange returned %d ints, want %d", len(out.V), n)
+		}
+		reps++
+		if reps >= minReps && time.Since(start) >= minDuration {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+	totalBits := float64(2*payload*reps) * 8
+	return Measurement{
+		Ints:         n,
+		Bytes:        payload,
+		Reps:         reps,
+		AvgRTT:       elapsed / time.Duration(reps),
+		BandwidthBps: totalBits / elapsed.Seconds(),
+	}, nil
+}
+
+// Deployment is a simulated testbed: a runtime plus named contexts, set
+// up per figure.
+type Deployment struct {
+	Net     *netsim.Network
+	Runtime *core.Runtime
+	Client  *core.Context
+}
+
+// Close shuts the deployment down.
+func (d *Deployment) Close() { d.Runtime.Close() }
+
+// serverContext creates a fully bound server context (shm + stream +
+// nexus) hosting nothing yet.
+func serverContext(rt *core.Runtime, name string, machine netsim.MachineID) (*core.Context, error) {
+	ctx, err := rt.NewContext(name, machine)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.BindSHM(); err != nil {
+		return nil, err
+	}
+	if err := ctx.BindSim(0); err != nil {
+		return nil, err
+	}
+	if err := ctx.BindNexusSim(0); err != nil {
+		return nil, err
+	}
+	return ctx, nil
+}
+
+// exportExchange exports the bandwidth servant on ctx.
+func exportExchange(ctx *core.Context) (*core.Servant, error) {
+	impl, methods := ExchangeActivator()
+	return ctx.Export(ExchangeIface, impl, methods)
+}
+
+// newRuntime builds a runtime with glue support and the exchange
+// activator registered.
+func newRuntime(n *netsim.Network, process string) *core.Runtime {
+	rt := core.NewRuntime(n, process)
+	capability.Install(rt.DefaultPool())
+	rt.RegisterIface(ExchangeIface, ExchangeActivator)
+	return rt
+}

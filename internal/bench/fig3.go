@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/migrate"
+	"openhpcxx/internal/netsim"
+)
+
+// Fig3Client is one client's observation at one phase of the Figure 3
+// scenario: which protocol it selected and whether its requests were
+// authenticated.
+type Fig3Client struct {
+	Name          string
+	Machine       netsim.MachineID
+	Selected      core.ProtoID
+	Authenticated bool
+}
+
+// Fig3Phase captures both clients' observations while the server lives
+// on a given machine.
+type Fig3Phase struct {
+	ServerMachine netsim.MachineID
+	Clients       []Fig3Client
+}
+
+// RunFigure3 reproduces the paper's Figure 3 scenario: server object S0
+// is accessed by clients P1 and P2 on different LANs. The server's OR
+// offers a glue protocol with an authentication capability (preferred)
+// and a plain Nexus protocol. The authentication capability applies only
+// across LANs, so the local client skips authentication while the remote
+// one authenticates every request. When load forces S0 to migrate onto
+// P2's LAN the roles swap automatically.
+func RunFigure3() ([]Fig3Phase, error) {
+	n := netsim.New()
+	n.AddLAN("lan1", "campus", netsim.ProfileUnshaped)
+	n.AddLAN("lan2", "campus", netsim.ProfileUnshaped)
+	n.CampusLink = netsim.ProfileUnshaped
+	n.MustAddMachine("srv1", "lan1") // server's first home, P1's LAN
+	n.MustAddMachine("p1", "lan1")
+	n.MustAddMachine("srv2", "lan2") // server's second home, P2's LAN
+	n.MustAddMachine("p2", "lan2")
+
+	rt := newRuntime(n, "fig3")
+	defer rt.Close()
+
+	home1, err := serverContext(rt, "home1", "srv1")
+	if err != nil {
+		return nil, err
+	}
+	home2, err := serverContext(rt, "home2", "srv2")
+	if err != nil {
+		return nil, err
+	}
+	p1, err := rt.NewContext("P1", "p1")
+	if err != nil {
+		return nil, err
+	}
+	p2, err := rt.NewContext("P2", "p2")
+	if err != nil {
+		return nil, err
+	}
+
+	servant, err := exportExchange(home1)
+	if err != nil {
+		return nil, err
+	}
+	streamE, err := home1.EntryStream()
+	if err != nil {
+		return nil, err
+	}
+	nexusE, err := home1.EntryNexus()
+	if err != nil {
+		return nil, err
+	}
+	glueAuth, err := capability.GlueEntry(home1, "fig3-auth", streamE,
+		capability.MustNewAuth("client", []byte("fig3-shared-secret"), capability.ScopeCrossLAN))
+	if err != nil {
+		return nil, err
+	}
+	// Preference: authenticated glue first, plain Nexus second — both
+	// clients receive copies of the same GP (paper: "the server provides
+	// both the clients with copies of a GP whose OR has two protocols").
+	ref := home1.NewRef(servant, glueAuth, nexusE)
+
+	gp1 := p1.NewGlobalPtr(ref)
+	gp2 := p2.NewGlobalPtr(ref)
+
+	observe := func(serverMachine netsim.MachineID) (Fig3Phase, error) {
+		phase := Fig3Phase{ServerMachine: serverMachine}
+		for _, c := range []struct {
+			name string
+			ctx  *core.Context
+			gp   *core.GlobalPtr
+		}{{"P1", p1, gp1}, {"P2", p2, gp2}} {
+			// Exercise the path (and chase any tombstone).
+			if _, err := MeasureExchange(c.gp, 64, 1, 0); err != nil {
+				return phase, fmt.Errorf("bench: %s exchange: %w", c.name, err)
+			}
+			id, err := c.gp.SelectedProtocol()
+			if err != nil {
+				return phase, err
+			}
+			phase.Clients = append(phase.Clients, Fig3Client{
+				Name:          c.name,
+				Machine:       c.ctx.Locality().Machine,
+				Selected:      id,
+				Authenticated: id == core.ProtoGlue,
+			})
+		}
+		return phase, nil
+	}
+
+	before, err := observe("srv1")
+	if err != nil {
+		return nil, err
+	}
+
+	// "The load on the server's machine increases beyond a high-water
+	// mark and the application decides to migrate S0 to a machine
+	// residing on the LAN of client P2."
+	if _, err := migrate.MoveLocal(home1, ref, home2); err != nil {
+		return nil, err
+	}
+
+	after, err := observe("srv2")
+	if err != nil {
+		return nil, err
+	}
+	return []Fig3Phase{before, after}, nil
+}
+
+// Fig3Expected returns, per phase, the clients expected to authenticate.
+func Fig3Expected() [][2]bool {
+	// Phase 1 (server on lan1): P1 local (no auth), P2 remote (auth).
+	// Phase 2 (server on lan2): roles swap.
+	return [][2]bool{{false, true}, {true, false}}
+}

@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/migrate"
+	"openhpcxx/internal/netsim"
+)
+
+// Fig4Step is one stage of the Figure 4 experiment: where the server
+// object currently lives, which protocol the client's GP selects there,
+// and a bandwidth sample through that protocol.
+type Fig4Step struct {
+	Step     int
+	Context  string
+	Machine  netsim.MachineID
+	Selected core.ProtoID
+	// Detail distinguishes the two glue entries ("quota+encrypt",
+	// "quota") when Selected is the glue protocol.
+	Detail string
+	Sample Measurement
+}
+
+// Fig4Config parameterizes the migration scenario.
+type Fig4Config struct {
+	// SampleInts is the array size measured at each step.
+	SampleInts  int
+	MinReps     int
+	MinDuration time.Duration
+	// Profile shapes every LAN (the experiment's qualitative result —
+	// which protocol is selected at each step — does not depend on it).
+	Profile netsim.LinkProfile
+}
+
+// RunFigure4 reproduces the paper's experimental scenario (§5,
+// Figure 4): the client runs on machine M0; the server object starts on
+// M1 and migrates to M2, M3, and finally M0. The GP's protocol table is
+// Figure 4-B's: glue(timeout+security) > glue(timeout) > shared memory >
+// Nexus TCP. At each station the client re-runs selection and exchanges
+// arrays through whatever protocol is applicable.
+//
+// Topology (localities chosen so the paper's applicability story holds):
+//   - M0 (client), M3: lan0, campus1 — so at M3 the cross-LAN timeout
+//     capability no longer applies and selection falls to Nexus TCP.
+//   - M1: lan1, campus2 — both capabilities apply.
+//   - M2: lan2, campus1 — same campus: security (cross-campus) does not
+//     apply, timeout still does.
+func RunFigure4(cfg Fig4Config) ([]Fig4Step, error) {
+	if cfg.SampleInts == 0 {
+		cfg.SampleInts = 16 * 1024
+	}
+	if cfg.MinReps == 0 {
+		cfg.MinReps = 3
+	}
+	if cfg.MinDuration == 0 {
+		cfg.MinDuration = 100 * time.Millisecond
+	}
+	profile := cfg.Profile
+	if profile.Name == "" {
+		profile = netsim.ProfileATM155
+	}
+
+	n := netsim.New()
+	n.AddLAN("lan0", "campus1", profile)
+	n.AddLAN("lan1", "campus2", profile)
+	n.AddLAN("lan2", "campus1", profile)
+	n.CampusLink = profile
+	n.WANLink = profile
+	n.MustAddMachine("M0", "lan0")
+	n.MustAddMachine("M1", "lan1")
+	n.MustAddMachine("M2", "lan2")
+	n.MustAddMachine("M3", "lan0")
+
+	rt := newRuntime(n, "fig4")
+	defer rt.Close()
+
+	client, err := rt.NewContext("client", "M0")
+	if err != nil {
+		return nil, err
+	}
+	ctx1, err := serverContext(rt, "S1", "M1")
+	if err != nil {
+		return nil, err
+	}
+	ctx2, err := serverContext(rt, "S2", "M2")
+	if err != nil {
+		return nil, err
+	}
+	ctx3, err := serverContext(rt, "S3", "M3")
+	if err != nil {
+		return nil, err
+	}
+	ctx0, err := serverContext(rt, "S4", "M0")
+	if err != nil {
+		return nil, err
+	}
+
+	// The server object starts on M1 with Figure 4-B's protocol table.
+	servant, err := exportExchange(ctx1)
+	if err != nil {
+		return nil, err
+	}
+	streamE, err := ctx1.EntryStream()
+	if err != nil {
+		return nil, err
+	}
+	shmE, err := ctx1.EntrySHM()
+	if err != nil {
+		return nil, err
+	}
+	nexusE, err := ctx1.EntryNexus()
+	if err != nil {
+		return nil, err
+	}
+	glueTS, err := capability.GlueEntry(ctx1, "fig4-ts", streamE,
+		capability.NewScopedQuota(0, time.Time{}, capability.ScopeCrossLAN),
+		capability.NewRandomEncrypt(capability.ScopeCrossCampus))
+	if err != nil {
+		return nil, err
+	}
+	glueT, err := capability.GlueEntry(ctx1, "fig4-t", streamE,
+		capability.NewScopedQuota(0, time.Time{}, capability.ScopeCrossLAN))
+	if err != nil {
+		return nil, err
+	}
+	ref := ctx1.NewRef(servant, glueTS, glueT, shmE, nexusE)
+
+	gp := client.NewGlobalPtr(ref)
+	hops := []*core.Context{ctx1, ctx2, ctx3, ctx0}
+	// Figure 4-B table indexes; preserved across migrations because
+	// ReanchorTable keeps order and every hop supports every protocol.
+	entryDetail := []string{"quota+encrypt", "quota", "", ""}
+
+	var steps []Fig4Step
+	cur := ref
+	curCtx := ctx1
+	for i, hop := range hops {
+		if hop != curCtx {
+			cur, err = migrate.MoveLocal(curCtx, cur, hop)
+			if err != nil {
+				return nil, fmt.Errorf("bench: migrating to %s: %w", hop.Name(), err)
+			}
+			curCtx = hop
+		}
+		// One exchange first: if the GP still holds the pre-migration
+		// reference, this chases the tombstone so selection reflects
+		// the object's new locality.
+		if _, err := MeasureExchange(gp, 1, 1, 0); err != nil {
+			return nil, fmt.Errorf("bench: step %d warm-up: %w", i, err)
+		}
+		m, err := MeasureExchange(gp, cfg.SampleInts, cfg.MinReps, cfg.MinDuration)
+		if err != nil {
+			return nil, fmt.Errorf("bench: step %d measurement: %w", i, err)
+		}
+		idx, selected, err := gp.SelectedEntry()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, Fig4Step{
+			Step:     1 + 2*i, // the paper numbers request phases 1,3,5,7
+			Context:  hop.Name(),
+			Machine:  hop.Locality().Machine,
+			Selected: selected,
+			Detail:   entryDetail[idx],
+			Sample:   m,
+		})
+	}
+	return steps, nil
+}
+
+// Fig4Expected lists the protocol the paper's scenario selects at each
+// station, in order.
+func Fig4Expected() []core.ProtoID {
+	return []core.ProtoID{core.ProtoGlue, core.ProtoGlue, core.ProtoNexus, core.ProtoSHM}
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+)
+
+// Figure 5 series names, matching the paper's legend.
+const (
+	SeriesGlueTimeout  = "glue with timeout"
+	SeriesGlueSecurity = "glue with timeout & security"
+	SeriesSharedMemory = "shared memory"
+	SeriesNexus        = "Nexus"
+)
+
+// Fig5Config parameterizes the bandwidth sweep.
+type Fig5Config struct {
+	// Profile shapes the network between client and server machines
+	// (the paper ran the sweep over both Ethernet and 155 Mbps ATM).
+	Profile netsim.LinkProfile
+	// Sizes are the array lengths to sweep; nil means the paper's
+	// 1..1M sweep.
+	Sizes []int
+	// MinReps and MinDuration control averaging per cell.
+	MinReps     int
+	MinDuration time.Duration
+}
+
+// Series is one curve of Figure 5.
+type Series struct {
+	Name   string
+	Points []Measurement
+}
+
+// Fig5Deployment is the Figure 5 testbed: a client machine and a server
+// machine joined by the configured link, a network server context on the
+// server machine, and a local server context on the client's machine for
+// the shared-memory curve.
+type Fig5Deployment struct {
+	Deployment
+	// refs maps series name to the object reference exercising it.
+	refs map[string]*core.ObjectRef
+}
+
+// NewFig5Deployment builds the testbed.
+func NewFig5Deployment(profile netsim.LinkProfile) (*Fig5Deployment, error) {
+	n := netsim.New()
+	n.AddLAN("lan", "campus", profile)
+	n.MustAddMachine("client-m", "lan")
+	n.MustAddMachine("server-m", "lan")
+	rt := newRuntime(n, "bench")
+
+	clientCtx, err := rt.NewContext("client", "client-m")
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	remote, err := serverContext(rt, "server", "server-m")
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	local, err := serverContext(rt, "server-local", "client-m")
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+
+	d := &Fig5Deployment{
+		Deployment: Deployment{Net: n, Runtime: rt, Client: clientCtx},
+		refs:       make(map[string]*core.ObjectRef),
+	}
+
+	// Shared-memory curve: servant co-located with the client.
+	sLocal, err := exportExchange(local)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	shmE, err := local.EntrySHM()
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	d.refs[SeriesSharedMemory] = local.NewRef(sLocal, shmE)
+
+	// Network curves: servant across the link.
+	sRemote, err := exportExchange(remote)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	streamE, err := remote.EntryStream()
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	nexusE, err := remote.EntryNexus()
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	d.refs[SeriesNexus] = remote.NewRef(sRemote, nexusE)
+
+	glueT, err := capability.GlueEntry(remote, "fig5-timeout", streamE,
+		capability.NewQuota(0, time.Time{}))
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	d.refs[SeriesGlueTimeout] = remote.NewRef(sRemote, glueT)
+
+	glueTS, err := capability.GlueEntry(remote, "fig5-timeout-security", streamE,
+		capability.NewQuota(0, time.Time{}),
+		capability.NewRandomEncrypt(capability.ScopeAlways))
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	d.refs[SeriesGlueSecurity] = remote.NewRef(sRemote, glueTS)
+
+	return d, nil
+}
+
+// SeriesNames lists the Figure 5 curves in the paper's legend order.
+func SeriesNames() []string {
+	return []string{SeriesGlueTimeout, SeriesGlueSecurity, SeriesSharedMemory, SeriesNexus}
+}
+
+// GlobalPtr returns a fresh global pointer for a series.
+func (d *Fig5Deployment) GlobalPtr(series string) (*core.GlobalPtr, error) {
+	ref, ok := d.refs[series]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown series %q", series)
+	}
+	return d.Client.NewGlobalPtr(ref), nil
+}
+
+// RunFigure5 produces the bandwidth-versus-size curves for every series.
+func RunFigure5(cfg Fig5Config) ([]Series, error) {
+	if cfg.Sizes == nil {
+		cfg.Sizes = Sizes1ToM()
+	}
+	if cfg.MinReps == 0 {
+		cfg.MinReps = 3
+	}
+	if cfg.MinDuration == 0 {
+		cfg.MinDuration = 200 * time.Millisecond
+	}
+	d, err := NewFig5Deployment(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	var out []Series
+	for _, name := range SeriesNames() {
+		gp, err := d.GlobalPtr(name)
+		if err != nil {
+			return nil, err
+		}
+		// Confirm the series exercises the protocol it claims to.
+		if id, err := gp.SelectedProtocol(); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		} else if wantProto(name) != id {
+			return nil, fmt.Errorf("bench: %s selected %s, want %s", name, id, wantProto(name))
+		}
+		s := Series{Name: name}
+		for _, n := range cfg.Sizes {
+			m, err := MeasureExchange(gp, n, cfg.MinReps, cfg.MinDuration)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s size %d: %w", name, n, err)
+			}
+			s.Points = append(s.Points, m)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func wantProto(series string) core.ProtoID {
+	switch series {
+	case SeriesSharedMemory:
+		return core.ProtoSHM
+	case SeriesNexus:
+		return core.ProtoNexus
+	default:
+		return core.ProtoGlue
+	}
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FormatFigure5 renders the bandwidth curves as the table the paper's
+// Figure 5 plots: one row per array size, one column per protocol, cells
+// in Mbps.
+func FormatFigure5(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s", "ints")
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %28s", s.Name)
+	}
+	b.WriteString("\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%-12d", series[0].Points[i].Ints)
+		for _, s := range series {
+			fmt.Fprintf(&b, "  %22.3f Mbps", s.Points[i].BandwidthBps/1e6)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatFigure5ASCII renders a log-log ASCII plot akin to the paper's
+// Figure 5: bandwidth (Mbps) against array size.
+func FormatFigure5ASCII(title string, series []Series) string {
+	const width, height = 64, 18
+	if len(series) == 0 || len(series[0].Points) == 0 {
+		return title + "\n(no data)\n"
+	}
+	minBW, maxBW := math.Inf(1), math.Inf(-1)
+	minN, maxN := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Points {
+			bw := p.BandwidthBps / 1e6
+			minBW = math.Min(minBW, bw)
+			maxBW = math.Max(maxBW, bw)
+			minN = math.Min(minN, float64(p.Ints))
+			maxN = math.Max(maxN, float64(p.Ints))
+		}
+	}
+	lx := func(v float64) int {
+		if maxN == minN {
+			return 0
+		}
+		return int((math.Log10(v) - math.Log10(minN)) / (math.Log10(maxN) - math.Log10(minN)) * (width - 1))
+	}
+	ly := func(v float64) int {
+		if maxBW == minBW {
+			return 0
+		}
+		return int((math.Log10(v) - math.Log10(minBW)) / (math.Log10(maxBW) - math.Log10(minBW)) * (height - 1))
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'t', 's', 'M', 'N'} // timeout, +security, shm (Memory), Nexus
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, s.Name))
+		for _, p := range s.Points {
+			x := lx(float64(p.Ints))
+			y := height - 1 - ly(p.BandwidthBps/1e6)
+			if grid[y][x] == ' ' {
+				grid[y][x] = mark
+			} else if grid[y][x] != mark {
+				grid[y][x] = '*' // overlapping curves
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (log-log; y: %.2f..%.0f Mbps, x: %.0f..%.0f ints; *=overlap)\n",
+		title, minBW, maxBW, minN, maxN)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	b.WriteString("   " + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}
+
+// FormatFigure4 renders the migration scenario's step table.
+func FormatFigure4(steps []Fig4Step) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: adaptive protocol selection under migration\n")
+	fmt.Fprintf(&b, "%-6s %-8s %-9s %-26s %-14s %s\n",
+		"step", "context", "machine", "selected protocol", "bandwidth", "avg rtt")
+	for _, s := range steps {
+		name := string(s.Selected)
+		if s.Detail != "" {
+			name += " (" + s.Detail + ")"
+		}
+		fmt.Fprintf(&b, "%-6d %-8s %-9s %-26s %9.3f Mbps %v\n",
+			s.Step, s.Context, s.Machine, name, s.Sample.BandwidthBps/1e6, s.Sample.AvgRTT)
+	}
+	return b.String()
+}
+
+// FormatFigure3 renders the adaptive-authentication phases.
+func FormatFigure3(phases []Fig3Phase) string {
+	var b strings.Builder
+	b.WriteString("Figure 3: adaptive use of the authentication capability\n")
+	for i, p := range phases {
+		fmt.Fprintf(&b, "phase %d: server object on machine %s\n", i+1, p.ServerMachine)
+		for _, c := range p.Clients {
+			auth := "no authentication (local client)"
+			if c.Authenticated {
+				auth = "authenticated per request"
+			}
+			fmt.Fprintf(&b, "  %-4s (machine %-5s) -> %-10s %s\n", c.Name, c.Machine, c.Selected, auth)
+		}
+	}
+	return b.String()
+}
+
+// FormatPathReport renders a Figure 1/2 path trace.
+func FormatPathReport(r *PathReport) string {
+	var b strings.Builder
+	b.WriteString(r.Title + "\n")
+	for _, l := range r.Lines {
+		b.WriteString("  " + l + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/proto/udprel"
+)
+
+// LossPoint is one cell of the extension experiment E1: goodput of the
+// udprel custom protocol as a function of datagram loss.
+type LossPoint struct {
+	LossRate float64
+	Sample   Measurement
+}
+
+// LossSweepConfig parameterizes E1.
+type LossSweepConfig struct {
+	// Rates are the loss probabilities to sweep (default 0..0.4).
+	Rates []float64
+	// Ints is the exchanged array size (default 4096).
+	Ints        int
+	MinReps     int
+	MinDuration time.Duration
+	// RTO tunes the ARQ (default 10ms — small, so retransmissions show
+	// up as latency rather than stalls).
+	RTO time.Duration
+}
+
+// RunLossSweep measures udprel end-to-end goodput across loss rates —
+// an extension beyond the paper demonstrating a user-written protocol
+// under conditions the built-ins cannot survive.
+func RunLossSweep(cfg LossSweepConfig) ([]LossPoint, error) {
+	if cfg.Rates == nil {
+		cfg.Rates = []float64{0, 0.05, 0.1, 0.2, 0.4}
+	}
+	if cfg.Ints == 0 {
+		cfg.Ints = 4096
+	}
+	if cfg.MinReps == 0 {
+		cfg.MinReps = 3
+	}
+	if cfg.MinDuration == 0 {
+		cfg.MinDuration = 100 * time.Millisecond
+	}
+	if cfg.RTO == 0 {
+		cfg.RTO = 10 * time.Millisecond
+	}
+	arq := udprel.Config{RTO: cfg.RTO, MaxTries: 50, FragSize: 2048}
+
+	var out []LossPoint
+	for _, rate := range cfg.Rates {
+		n := netsim.New()
+		n.Seed(int64(1000 + 1000*rate))
+		n.AddLAN("lan", "c", netsim.ProfileUnshaped)
+		n.MustAddMachine("a", "lan")
+		n.MustAddMachine("b", "lan")
+		n.SetDatagramShaping("a", "b", netsim.DatagramProfile{
+			Link:     netsim.ProfileUnshaped,
+			LossRate: rate,
+		})
+		rt := core.NewRuntime(n, "losssweep")
+		rt.DefaultPool().Register(udprel.NewFactory(arq))
+		rt.RegisterIface(ExchangeIface, ExchangeActivator)
+
+		server, err := rt.NewContext("server", "b")
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		if err := udprel.Bind(server, 0, arq); err != nil {
+			rt.Close()
+			return nil, err
+		}
+		servant, err := exportExchange(server)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		entry, err := udprel.Entry(server)
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		client, err := rt.NewContext("client", "a")
+		if err != nil {
+			rt.Close()
+			return nil, err
+		}
+		gp := client.NewGlobalPtr(server.NewRef(servant, entry))
+		m, err := MeasureExchange(gp, cfg.Ints, cfg.MinReps, cfg.MinDuration)
+		rt.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: loss %.0f%%: %w", rate*100, err)
+		}
+		out = append(out, LossPoint{LossRate: rate, Sample: m})
+	}
+	return out, nil
+}
+
+// FormatLossSweep renders E1 as a table.
+func FormatLossSweep(points []LossPoint) string {
+	s := "E1 (extension): udprel custom protocol goodput vs. datagram loss\n"
+	s += fmt.Sprintf("%-10s %-14s %-12s %s\n", "loss", "goodput", "avg rtt", "reps")
+	for _, p := range points {
+		s += fmt.Sprintf("%8.0f%%  %9.3f Mbps %-12v %d\n",
+			p.LossRate*100, p.Sample.BandwidthBps/1e6, p.Sample.AvgRTT, p.Sample.Reps)
+	}
+	return s
+}

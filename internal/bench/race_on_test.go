@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is active; CPU-bound paths
+// run ~10x slower, which compresses the shared-memory advantage.
+const raceEnabled = true

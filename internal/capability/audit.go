@@ -1,0 +1,90 @@
+package capability
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"openhpcxx/internal/netsim"
+)
+
+// KindAudit names the audit capability: it writes one structured record
+// per request (and reply) to a log sink on the side that hosts it. The
+// paper's pay-per-use clients ("given access on a total number of
+// accesses basis") need exactly this accounting trail next to the quota
+// that enforces it.
+const KindAudit = "audit"
+
+// Audit records traffic through its glue object. The sink is process-
+// local state (an io.Writer), so the capability is asymmetric by
+// nature: each side logs what passes through its own instance, and the
+// serialized config carries only the stream tag.
+type Audit struct {
+	tag string
+
+	mu   sync.Mutex
+	sink io.Writer
+	seq  uint64
+}
+
+// NewAudit builds an audit capability writing one line per frame to
+// sink (nil discards, which is what reconstructed remote twins get
+// until AttachSink is called).
+func NewAudit(tag string, sink io.Writer) *Audit {
+	return &Audit{tag: tag, sink: sink}
+}
+
+// AttachSink (re)directs the audit stream — used on the server side
+// after a glue entry arrives from elsewhere, and after migration.
+func (a *Audit) AttachSink(sink io.Writer) {
+	a.mu.Lock()
+	a.sink = sink
+	a.mu.Unlock()
+}
+
+// Kind implements Capability.
+func (*Audit) Kind() string { return KindAudit }
+
+// Applicable implements Capability: auditing applies everywhere.
+func (*Audit) Applicable(client, server netsim.Locality) bool { return true }
+
+// Config implements Capability.
+func (a *Audit) Config() ([]byte, error) { return []byte(a.tag), nil }
+
+func (a *Audit) record(f *Frame, phase string, n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sink == nil {
+		return
+	}
+	a.seq++
+	fmt.Fprintf(a.sink, "audit tag=%s seq=%d %s %s object=%s method=%s bytes=%d\n",
+		a.tag, a.seq, phase, f.Dir, f.Object, f.Method, n)
+}
+
+// Process logs the outgoing frame; the body is untouched.
+func (a *Audit) Process(f *Frame, body []byte) ([]byte, []byte, error) {
+	a.record(f, "out", len(body))
+	return body, nil, nil
+}
+
+// Unprocess logs the incoming frame; the body is untouched.
+func (a *Audit) Unprocess(f *Frame, envelope, body []byte) ([]byte, error) {
+	a.record(f, "in", len(body))
+	return body, nil
+}
+
+// Seq reports how many records this instance has written.
+func (a *Audit) Seq() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
+func init() {
+	RegisterKind(KindAudit, func(config []byte) (Capability, error) {
+		// Reconstructed twins start without a sink; the hosting side
+		// attaches one (see GlueServerCapability lookup helpers).
+		return NewAudit(string(config), nil), nil
+	})
+}

@@ -1,0 +1,212 @@
+// Package capability implements Open HPC++ remote access capabilities
+// and the glue protocol that carries them (paper §4).
+//
+// A capability object encapsulates one remote-access attribute —
+// encryption, authentication, a request quota, compression — as a pair
+// of body transformations: Process on the sending side and Unprocess on
+// the receiving side. Capabilities are held, in order, by a glue
+// protocol object; a request is processed by each capability before it
+// goes out on the wire and un-processed in reverse order on the server
+// (Figure 2), and replies retrace the same path.
+//
+// Capability configurations ride inside the glue entry of an object
+// reference's protocol table, so passing a reference to another process
+// transfers the capability set with it — the paper's "capabilities can
+// be exchanged between processes".
+package capability
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/xdr"
+)
+
+// Direction tells a capability whether it is handling a request
+// (client→server) or a reply (server→client).
+type Direction int
+
+// Directions.
+const (
+	Request Direction = iota
+	Reply
+)
+
+func (d Direction) String() string {
+	if d == Request {
+		return "request"
+	}
+	return "reply"
+}
+
+// Frame carries per-invocation context into capability transforms.
+type Frame struct {
+	Object string
+	Method string
+	Dir    Direction
+	Clock  clock.Clock
+}
+
+// Capability is one remote access capability (the paper's capab-object).
+// Implementations must be safe for concurrent use: one instance serves
+// every request flowing through its glue object.
+//
+// Process must not mutate body in place (it may alias caller-owned
+// memory); it returns the transformed body and an envelope blob that the
+// peer needs to reverse the transformation. Unprocess reverses Process
+// given that envelope.
+type Capability interface {
+	// Kind names the capability type; it keys the constructor registry
+	// and appears in wire envelopes.
+	Kind() string
+	// Applicable participates in glue applicability: the glue protocol
+	// is applicable iff every constituent capability is (§4.3, "the
+	// applicability of a glue protocol is the logical AND of all its
+	// constituent capabilities").
+	Applicable(client, server netsim.Locality) bool
+	// Config serializes the capability for embedding in proto-data.
+	Config() ([]byte, error)
+	Process(f *Frame, body []byte) (newBody, envelope []byte, err error)
+	Unprocess(f *Frame, envelope, body []byte) ([]byte, error)
+}
+
+// Scope is a locality predicate shared by several capabilities: it says
+// between which localities the capability applies. The paper's
+// authentication capability uses cross-LAN ("applicable only when the
+// client and the server are on different LANs"); its security capability
+// in the Figure 4 experiment is cross-campus.
+type Scope uint32
+
+// Scopes.
+const (
+	// ScopeAlways applies everywhere.
+	ScopeAlways Scope = iota
+	// ScopeCrossMachine applies unless client and server share a machine.
+	ScopeCrossMachine
+	// ScopeCrossLAN applies unless client and server share a LAN.
+	ScopeCrossLAN
+	// ScopeCrossCampus applies unless client and server share a campus.
+	ScopeCrossCampus
+)
+
+// Applies evaluates the scope for a locality pair.
+func (s Scope) Applies(client, server netsim.Locality) bool {
+	switch s {
+	case ScopeCrossMachine:
+		return !client.SameMachine(server)
+	case ScopeCrossLAN:
+		return !client.SameLAN(server)
+	case ScopeCrossCampus:
+		return !client.SameCampus(server)
+	default:
+		return true
+	}
+}
+
+func (s Scope) String() string {
+	switch s {
+	case ScopeAlways:
+		return "always"
+	case ScopeCrossMachine:
+		return "cross-machine"
+	case ScopeCrossLAN:
+		return "cross-lan"
+	case ScopeCrossCampus:
+		return "cross-campus"
+	}
+	return fmt.Sprintf("scope(%d)", uint32(s))
+}
+
+// Constructor builds a capability instance from its serialized config.
+type Constructor func(config []byte) (Capability, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Constructor)
+)
+
+// RegisterKind installs a constructor for a capability kind. Built-in
+// kinds self-register; applications add custom kinds the same way.
+func RegisterKind(kind string, ctor Constructor) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("capability: kind %q registered twice", kind))
+	}
+	registry[kind] = ctor
+}
+
+// New constructs a capability of the given kind from config.
+func New(kind string, config []byte) (Capability, error) {
+	regMu.RLock()
+	ctor, ok := registry[kind]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("capability: unknown kind %q", kind)
+	}
+	return ctor(config)
+}
+
+// Kinds lists the registered capability kinds, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rebuild reconstructs a capability chain from (kind, config) specs.
+func Rebuild(specs []Spec) ([]Capability, error) {
+	caps := make([]Capability, len(specs))
+	for i, s := range specs {
+		c, err := New(s.Kind, s.Config)
+		if err != nil {
+			return nil, err
+		}
+		caps[i] = c
+	}
+	return caps, nil
+}
+
+// Spec is the serialized form of one capability in a glue entry.
+type Spec struct {
+	Kind   string
+	Config []byte
+}
+
+// MarshalXDR encodes the spec.
+func (s *Spec) MarshalXDR(e *xdr.Encoder) error {
+	e.PutString(s.Kind)
+	e.PutOpaque(s.Config)
+	return nil
+}
+
+// UnmarshalXDR decodes the spec.
+func (s *Spec) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if s.Kind, err = d.String(); err != nil {
+		return err
+	}
+	s.Config, err = d.Opaque()
+	return err
+}
+
+// Specs serializes live capabilities into specs.
+func Specs(caps []Capability) ([]Spec, error) {
+	out := make([]Spec, len(caps))
+	for i, c := range caps {
+		cfg, err := c.Config()
+		if err != nil {
+			return nil, fmt.Errorf("capability: serializing %s: %w", c.Kind(), err)
+		}
+		out[i] = Spec{Kind: c.Kind(), Config: cfg}
+	}
+	return out, nil
+}

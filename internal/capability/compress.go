@@ -1,0 +1,161 @@
+package capability
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+// KindCompress names the data-compression capability — one of the
+// paper's motivating remote-access attributes ("the requirements or
+// attributes of remote access, such as data compression ...").
+const KindCompress = "compress"
+
+// Compress deflates bodies larger than a threshold. If compression does
+// not shrink the body (already-compressed or tiny payloads) it passes
+// the original through and says so in the envelope, so the cost is
+// bounded by one compression attempt.
+type Compress struct {
+	level   int
+	minSize uint32
+	scope   Scope
+}
+
+// NewCompress builds a compression capability. level is a flate level
+// (1..9; 0 picks flate.DefaultCompression); bodies below minSize bytes
+// pass through.
+func NewCompress(level int, minSize uint32, scope Scope) (*Compress, error) {
+	if level == 0 {
+		level = flate.DefaultCompression
+	}
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		return nil, fmt.Errorf("capability: bad compression level %d", level)
+	}
+	return &Compress{level: level, minSize: minSize, scope: scope}, nil
+}
+
+// MustNewCompress is NewCompress, panicking on error (fixture use).
+func MustNewCompress(level int, minSize uint32, scope Scope) *Compress {
+	c, err := NewCompress(level, minSize, scope)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Kind implements Capability.
+func (*Compress) Kind() string { return KindCompress }
+
+// Applicable implements Capability.
+func (c *Compress) Applicable(client, server netsim.Locality) bool {
+	return c.scope.Applies(client, server)
+}
+
+type compressConfig struct {
+	Level   int32
+	MinSize uint32
+	Scope   Scope
+}
+
+func (c *compressConfig) MarshalXDR(e *xdr.Encoder) error {
+	e.PutInt32(c.Level)
+	e.PutUint32(c.MinSize)
+	e.PutUint32(uint32(c.Scope))
+	return nil
+}
+
+func (c *compressConfig) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if c.Level, err = d.Int32(); err != nil {
+		return err
+	}
+	if c.MinSize, err = d.Uint32(); err != nil {
+		return err
+	}
+	s, err := d.Uint32()
+	c.Scope = Scope(s)
+	return err
+}
+
+// Config implements Capability.
+func (c *Compress) Config() ([]byte, error) {
+	return xdr.Marshal(&compressConfig{Level: int32(c.level), MinSize: c.minSize, Scope: c.scope})
+}
+
+// Envelope flags.
+const (
+	compressIdentity byte = 0
+	compressDeflate  byte = 1
+)
+
+// Process deflates the body when worthwhile.
+func (c *Compress) Process(f *Frame, body []byte) ([]byte, []byte, error) {
+	if uint32(len(body)) < c.minSize {
+		return body, []byte{compressIdentity}, nil
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(body) / 2)
+	w, err := flate.NewWriter(&buf, c.level)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := w.Write(body); err != nil {
+		return nil, nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, nil, err
+	}
+	if buf.Len() >= len(body) {
+		return body, []byte{compressIdentity}, nil
+	}
+	env := make([]byte, 5)
+	env[0] = compressDeflate
+	n := uint32(len(body))
+	env[1], env[2], env[3], env[4] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	return buf.Bytes(), env, nil
+}
+
+// Unprocess inflates when the envelope says the body was deflated.
+func (c *Compress) Unprocess(f *Frame, envelope, body []byte) ([]byte, error) {
+	if len(envelope) == 0 {
+		return nil, wire.Faultf(wire.FaultCapability, "compress envelope empty")
+	}
+	switch envelope[0] {
+	case compressIdentity:
+		return body, nil
+	case compressDeflate:
+		if len(envelope) != 5 {
+			return nil, wire.Faultf(wire.FaultCapability, "compress envelope has %d bytes", len(envelope))
+		}
+		origLen := uint32(envelope[1])<<24 | uint32(envelope[2])<<16 | uint32(envelope[3])<<8 | uint32(envelope[4])
+		r := flate.NewReader(bytes.NewReader(body))
+		defer r.Close()
+		out := make([]byte, 0, origLen)
+		buf := bytes.NewBuffer(out)
+		if _, err := io.CopyN(buf, r, int64(origLen)); err != nil {
+			return nil, wire.Faultf(wire.FaultCapability, "inflate: %v", err)
+		}
+		// The stream must end exactly at origLen.
+		var extra [1]byte
+		if n, _ := r.Read(extra[:]); n != 0 {
+			return nil, wire.Faultf(wire.FaultCapability, "inflate: trailing data")
+		}
+		return buf.Bytes(), nil
+	}
+	return nil, wire.Faultf(wire.FaultCapability, "compress envelope flag %d", envelope[0])
+}
+
+func init() {
+	RegisterKind(KindCompress, func(config []byte) (Capability, error) {
+		c := new(compressConfig)
+		if err := xdr.Unmarshal(config, c); err != nil {
+			return nil, fmt.Errorf("capability: compress config: %w", err)
+		}
+		return NewCompress(int(c.Level), c.MinSize, c.Scope)
+	})
+}

@@ -1,0 +1,153 @@
+package capability
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+// KindEncrypt names the encryption capability (the paper's C1 in
+// Figure 2: "a capability that encrypts the data transferred between
+// the client and the server").
+const KindEncrypt = "encrypt"
+
+// Encrypt is an authenticated-encryption capability: AES-256-CTR over
+// the body with an HMAC-SHA256 tag (encrypt-then-MAC). The key is a
+// pre-shared secret carried in the capability config; whoever holds the
+// object reference holds the key — capabilities are bearer tokens in
+// this model (see DESIGN.md for the trust-model substitution).
+type Encrypt struct {
+	key   []byte // 32 bytes
+	scope Scope
+}
+
+// NewEncrypt builds an encryption capability with a 32-byte key.
+func NewEncrypt(key []byte, scope Scope) (*Encrypt, error) {
+	if len(key) != 32 {
+		return nil, fmt.Errorf("capability: encrypt key must be 32 bytes, got %d", len(key))
+	}
+	return &Encrypt{key: append([]byte(nil), key...), scope: scope}, nil
+}
+
+// MustNewEncrypt is NewEncrypt, panicking on a bad key (fixture use).
+func MustNewEncrypt(key []byte, scope Scope) *Encrypt {
+	e, err := NewEncrypt(key, scope)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// NewRandomEncrypt builds an encryption capability with a fresh key.
+func NewRandomEncrypt(scope Scope) *Encrypt {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		panic("capability: no entropy: " + err.Error())
+	}
+	return &Encrypt{key: key, scope: scope}
+}
+
+// Kind implements Capability.
+func (*Encrypt) Kind() string { return KindEncrypt }
+
+// Applicable implements Capability.
+func (e *Encrypt) Applicable(client, server netsim.Locality) bool {
+	return e.scope.Applies(client, server)
+}
+
+type encryptConfig struct {
+	Key   []byte
+	Scope Scope
+}
+
+func (c *encryptConfig) MarshalXDR(e *xdr.Encoder) error {
+	e.PutOpaque(c.Key)
+	e.PutUint32(uint32(c.Scope))
+	return nil
+}
+
+func (c *encryptConfig) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if c.Key, err = d.Opaque(); err != nil {
+		return err
+	}
+	s, err := d.Uint32()
+	c.Scope = Scope(s)
+	return err
+}
+
+// Config implements Capability.
+func (e *Encrypt) Config() ([]byte, error) {
+	return xdr.Marshal(&encryptConfig{Key: e.key, Scope: e.scope})
+}
+
+const encIVLen = aes.BlockSize
+
+// Process encrypts body and emits {iv, mac} as the envelope.
+func (e *Encrypt) Process(f *Frame, body []byte) ([]byte, []byte, error) {
+	block, err := aes.NewCipher(e.key)
+	if err != nil {
+		return nil, nil, err
+	}
+	iv := make([]byte, encIVLen)
+	if _, err := rand.Read(iv); err != nil {
+		return nil, nil, err
+	}
+	ct := make([]byte, len(body))
+	cipher.NewCTR(block, iv).XORKeyStream(ct, body)
+
+	mac := e.mac(f, iv, ct)
+	env := make([]byte, 0, encIVLen+len(mac))
+	env = append(env, iv...)
+	env = append(env, mac...)
+	return ct, env, nil
+}
+
+// Unprocess verifies the MAC and decrypts.
+func (e *Encrypt) Unprocess(f *Frame, envelope, body []byte) ([]byte, error) {
+	if len(envelope) != encIVLen+sha256.Size {
+		return nil, wire.Faultf(wire.FaultCapability, "encrypt envelope has %d bytes", len(envelope))
+	}
+	iv, tag := envelope[:encIVLen], envelope[encIVLen:]
+	if !hmac.Equal(tag, e.mac(f, iv, body)) {
+		return nil, wire.Faultf(wire.FaultCapability, "encrypt: MAC verification failed")
+	}
+	block, err := aes.NewCipher(e.key)
+	if err != nil {
+		return nil, err
+	}
+	pt := make([]byte, len(body))
+	cipher.NewCTR(block, iv).XORKeyStream(pt, body)
+	return pt, nil
+}
+
+// mac binds the tag to the ciphertext, the IV, the target, and the
+// direction, so frames cannot be replayed across methods or flipped
+// between request and reply.
+func (e *Encrypt) mac(f *Frame, iv, ct []byte) []byte {
+	h := hmac.New(sha256.New, e.key)
+	h.Write(iv)
+	h.Write([]byte(f.Object))
+	h.Write([]byte{0})
+	h.Write([]byte(f.Method))
+	h.Write([]byte{byte(f.Dir)})
+	h.Write(ct)
+	return h.Sum(nil)
+}
+
+func init() {
+	RegisterKind(KindEncrypt, func(config []byte) (Capability, error) {
+		c := new(encryptConfig)
+		if err := xdr.Unmarshal(config, c); err != nil {
+			return nil, fmt.Errorf("capability: encrypt config: %w", err)
+		}
+		return NewEncrypt(c.Key, c.Scope)
+	})
+}

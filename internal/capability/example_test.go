@@ -1,0 +1,57 @@
+package capability_test
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/wire"
+)
+
+// ExampleGlueEntry builds the paper's Figure 2 configuration: a glue
+// protocol holding an encryption capability and a two-request quota, and
+// shows the quota denying the third call.
+func ExampleGlueEntry() {
+	net := netsim.New()
+	net.AddLAN("lan", "campus", netsim.ProfileUnshaped)
+	net.MustAddMachine("srv", "lan")
+	net.MustAddMachine("cli", "lan")
+
+	rt := core.NewRuntime(net, "example")
+	capability.Install(rt.DefaultPool())
+	defer rt.Close()
+
+	server, _ := rt.NewContext("server", "srv")
+	_ = server.BindSim(0)
+	servant, _ := server.Export("Echo", nil, map[string]core.Method{
+		"echo": func(args []byte) ([]byte, error) { return args, nil },
+	})
+	base, _ := server.EntryStream()
+	glue, _ := capability.GlueEntry(server, "figure-2", base,
+		capability.NewRandomEncrypt(capability.ScopeAlways), // C1
+		capability.NewQuota(2, time.Time{}),                 // C2
+	)
+	ref := server.NewRef(servant, glue)
+
+	client, _ := rt.NewContext("client", "cli")
+	gp := client.NewGlobalPtr(ref)
+	for i := 1; i <= 3; i++ {
+		_, err := gp.Invoke("echo", []byte("data"))
+		var f *wire.Fault
+		switch {
+		case err == nil:
+			fmt.Printf("request %d served\n", i)
+		case errors.As(err, &f) && f.Code == wire.FaultQuota:
+			fmt.Printf("request %d denied: quota\n", i)
+		default:
+			fmt.Println("unexpected:", err)
+		}
+	}
+	// Output:
+	// request 1 served
+	// request 2 served
+	// request 3 denied: quota
+}

@@ -1,0 +1,83 @@
+package capability
+
+import (
+	"sync/atomic"
+
+	"openhpcxx/internal/netsim"
+)
+
+// KindTrace names the metering capability: it observes every frame that
+// flows through its glue object and accumulates counters, without
+// touching the body. The experiments use it to verify request paths
+// (Figures 1 and 2) and to account for capability overhead.
+const KindTrace = "trace"
+
+// Trace counts frames and bytes in each direction.
+type Trace struct {
+	requests  atomic.Uint64
+	replies   atomic.Uint64
+	reqBytes  atomic.Uint64
+	repBytes  atomic.Uint64
+	processed atomic.Uint64 // Process calls (sending side)
+	reversed  atomic.Uint64 // Unprocess calls (receiving side)
+}
+
+// NewTrace builds a metering capability.
+func NewTrace() *Trace { return &Trace{} }
+
+// Kind implements Capability.
+func (*Trace) Kind() string { return KindTrace }
+
+// Applicable implements Capability.
+func (*Trace) Applicable(client, server netsim.Locality) bool { return true }
+
+// Config implements Capability. Counters are per-instance state, not
+// configuration, so the config is empty.
+func (*Trace) Config() ([]byte, error) { return nil, nil }
+
+// Process counts an outgoing frame.
+func (t *Trace) Process(f *Frame, body []byte) ([]byte, []byte, error) {
+	t.processed.Add(1)
+	t.count(f, body)
+	return body, nil, nil
+}
+
+// Unprocess counts an incoming frame.
+func (t *Trace) Unprocess(f *Frame, envelope, body []byte) ([]byte, error) {
+	t.reversed.Add(1)
+	t.count(f, body)
+	return body, nil
+}
+
+func (t *Trace) count(f *Frame, body []byte) {
+	if f.Dir == Request {
+		t.requests.Add(1)
+		t.reqBytes.Add(uint64(len(body)))
+	} else {
+		t.replies.Add(1)
+		t.repBytes.Add(uint64(len(body)))
+	}
+}
+
+// TraceStats is a snapshot of a Trace's counters.
+type TraceStats struct {
+	Requests, Replies   uint64
+	ReqBytes, RepBytes  uint64
+	Processed, Reversed uint64
+}
+
+// Stats snapshots the counters.
+func (t *Trace) Stats() TraceStats {
+	return TraceStats{
+		Requests:  t.requests.Load(),
+		Replies:   t.replies.Load(),
+		ReqBytes:  t.reqBytes.Load(),
+		RepBytes:  t.repBytes.Load(),
+		Processed: t.processed.Load(),
+		Reversed:  t.reversed.Load(),
+	}
+}
+
+func init() {
+	RegisterKind(KindTrace, func([]byte) (Capability, error) { return NewTrace(), nil })
+}

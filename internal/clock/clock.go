@@ -1,0 +1,49 @@
+// Package clock abstracts time so quota capabilities and load statistics
+// are deterministic under test.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time.
+type Clock interface {
+	Now() time.Time
+}
+
+// Real reads the system clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Fake is a manually advanced clock for tests.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a Fake set to start.
+func NewFake(start time.Time) *Fake { return &Fake{now: start} }
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// Set jumps the clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	f.now = t
+	f.mu.Unlock()
+}

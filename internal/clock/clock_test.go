@@ -1,0 +1,50 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	var c Clock = Real{}
+	a := c.Now()
+	b := time.Now()
+	if b.Sub(a) < 0 || b.Sub(a) > time.Minute {
+		t.Fatalf("Real.Now() far from time.Now(): %v vs %v", a, b)
+	}
+}
+
+func TestFakeClock(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatal("initial time")
+	}
+	f.Advance(90 * time.Second)
+	if !f.Now().Equal(start.Add(90 * time.Second)) {
+		t.Fatal("advance")
+	}
+	jump := time.Unix(5000, 42)
+	f.Set(jump)
+	if !f.Now().Equal(jump) {
+		t.Fatal("set")
+	}
+}
+
+func TestFakeClockConcurrent(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			f.Advance(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = f.Now()
+	}
+	<-done
+	if f.Now().UnixNano() != int64(1000*time.Millisecond) {
+		t.Fatalf("final %v", f.Now())
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"openhpcxx/internal/xdr"
+)
+
+// Call invokes a remote method with typed, XDR-marshaled arguments and
+// results. Req and Resp are pointer types implementing the xdr
+// interfaces; Resp is allocated by the stub.
+func Call[Req xdr.Marshaler, Resp any, PResp interface {
+	*Resp
+	xdr.Unmarshaler
+}](g *GlobalPtr, method string, req Req) (*Resp, error) {
+	args, err := xdr.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	out, err := g.Invoke(method, args)
+	if err != nil {
+		return nil, err
+	}
+	resp := PResp(new(Resp))
+	if err := xdr.Unmarshal(out, resp); err != nil {
+		return nil, err
+	}
+	return (*Resp)(resp), nil
+}
+
+// Handler adapts a typed implementation function into a Method. It is
+// the server-side counterpart of Call.
+func Handler[Req any, PReq interface {
+	*Req
+	xdr.Unmarshaler
+}, Resp xdr.Marshaler](fn func(*Req) (Resp, error)) Method {
+	return func(args []byte) ([]byte, error) {
+		req := PReq(new(Req))
+		if err := xdr.Unmarshal(args, req); err != nil {
+			return nil, err
+		}
+		resp, err := fn((*Req)(req))
+		if err != nil {
+			return nil, err
+		}
+		return xdr.Marshal(resp)
+	}
+}
+
+// Int32Slice is a ready-made XDR wrapper for []int32 — the payload type
+// of the paper's bandwidth experiment ("the requests exchange an array
+// of integers between the client and the server").
+type Int32Slice struct{ V []int32 }
+
+// MarshalXDR implements xdr.Marshaler.
+func (s *Int32Slice) MarshalXDR(e *xdr.Encoder) error {
+	e.PutInt32s(s.V)
+	return nil
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (s *Int32Slice) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	s.V, err = d.Int32s()
+	return err
+}
+
+// StringValue is a ready-made XDR wrapper for a single string.
+type StringValue struct{ V string }
+
+// MarshalXDR implements xdr.Marshaler.
+func (s *StringValue) MarshalXDR(e *xdr.Encoder) error {
+	e.PutString(s.V)
+	return nil
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (s *StringValue) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	s.V, err = d.String()
+	return err
+}
+
+// Empty is a zero-field XDR value for methods without inputs or outputs.
+type Empty struct{}
+
+// MarshalXDR implements xdr.Marshaler.
+func (*Empty) MarshalXDR(*xdr.Encoder) error { return nil }
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (*Empty) UnmarshalXDR(*xdr.Decoder) error { return nil }
+
+// Float64Slice is a ready-made XDR wrapper for []float64.
+type Float64Slice struct{ V []float64 }
+
+// MarshalXDR implements xdr.Marshaler.
+func (s *Float64Slice) MarshalXDR(e *xdr.Encoder) error {
+	e.PutFloat64s(s.V)
+	return nil
+}
+
+// UnmarshalXDR implements xdr.Unmarshaler.
+func (s *Float64Slice) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	s.V, err = d.Float64s()
+	return err
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/stats"
+	"openhpcxx/internal/transport"
+	"openhpcxx/internal/transport/nexus"
+	"openhpcxx/internal/wire"
+)
+
+// Method is one remotely invocable operation of a servant. Arguments and
+// results are XDR-encoded bodies; typed stubs live in call.go.
+type Method func(args []byte) ([]byte, error)
+
+// Migratable is implemented by servant implementations whose state can
+// move between contexts (paper §4.3: "Open HPC++ provides a facility for
+// objects to migrate from one context to another").
+type Migratable interface {
+	Snapshot() ([]byte, error)
+	Restore(state []byte) error
+}
+
+// Activator manufactures a fresh implementation of a named interface —
+// the receiving side of a migration uses it to rebuild the servant
+// before restoring the snapshot.
+type Activator func() (impl any, methods map[string]Method)
+
+// GlueServer is the server side of a glue protocol object: it unprocesses
+// enveloped request bodies and processes reply bodies. The capability
+// package provides the implementation; core only routes to it, keeping
+// the ORB free of capability-specific knowledge (Open Implementation).
+type GlueServer interface {
+	UnwrapRequest(m *wire.Message) ([]byte, error)
+	WrapReply(req *wire.Message, body []byte) (*wire.Message, error)
+}
+
+// GlueEnvelopeID is the envelope chain's leading entry, whose data names
+// the server-side glue instance.
+const GlueEnvelopeID = "glue"
+
+// Runtime owns process-wide state: the network, the shared-memory
+// fabric, the default protocol pool, and the interface registry used to
+// reactivate migrated objects.
+type Runtime struct {
+	network *netsim.Network
+	shm     *transport.SHM
+	process string
+	clock   clock.Clock
+	metrics *stats.Registry
+	events  *eventLog
+
+	defaultPool *ProtoPool
+
+	mu       sync.RWMutex
+	ifaces   map[string]Activator
+	contexts map[string]*Context
+}
+
+// NewRuntime creates a runtime for one OS process attached to a
+// simulated network. The default pool is pre-loaded with the built-in
+// protocols in the order shm, hpcx-tcp, nexus-tcp.
+func NewRuntime(network *netsim.Network, process string) *Runtime {
+	rt := &Runtime{
+		network:     network,
+		shm:         transport.NewSHM(),
+		process:     process,
+		clock:       clock.Real{},
+		metrics:     stats.New(),
+		events:      newEventLog(),
+		defaultPool: NewProtoPool(),
+		ifaces:      make(map[string]Activator),
+		contexts:    make(map[string]*Context),
+	}
+	rt.defaultPool.Register(shmFactory{})
+	rt.defaultPool.Register(streamFactory{})
+	rt.defaultPool.Register(nexusFactory{})
+	return rt
+}
+
+// SetClock installs a clock (tests use clock.Fake for determinism).
+func (rt *Runtime) SetClock(c clock.Clock) { rt.clock = c }
+
+// Clock returns the runtime clock.
+func (rt *Runtime) Clock() clock.Clock { return rt.clock }
+
+// Metrics returns the runtime's metrics registry. The ORB accounts for
+// per-protocol calls, faults, payload bytes, and round-trip latencies
+// under "rpc.<protocol>.*"; server-side dispatch under "srv.*".
+func (rt *Runtime) Metrics() *stats.Registry { return rt.metrics }
+
+// Process returns the runtime's process tag.
+func (rt *Runtime) Process() string { return rt.process }
+
+// Network returns the simulated network, or nil.
+func (rt *Runtime) Network() *netsim.Network { return rt.network }
+
+// SHM returns the process-local shared-memory fabric.
+func (rt *Runtime) SHM() *transport.SHM { return rt.shm }
+
+// DefaultPool is the pool template cloned into new contexts. Register
+// extra factories (e.g. the glue protocol) here before creating
+// contexts.
+func (rt *Runtime) DefaultPool() *ProtoPool { return rt.defaultPool }
+
+// RegisterIface installs an activator for a named interface.
+func (rt *Runtime) RegisterIface(name string, a Activator) {
+	rt.mu.Lock()
+	rt.ifaces[name] = a
+	rt.mu.Unlock()
+}
+
+// Activate builds a fresh implementation of a registered interface.
+func (rt *Runtime) Activate(name string) (any, map[string]Method, error) {
+	rt.mu.RLock()
+	a, ok := rt.ifaces[name]
+	rt.mu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("core: no activator for interface %q", name)
+	}
+	impl, methods := a()
+	return impl, methods, nil
+}
+
+// NewContext creates a context (virtual address space) on a machine.
+func (rt *Runtime) NewContext(name string, machine netsim.MachineID) (*Context, error) {
+	loc, err := rt.network.LocalityOf(machine, rt.process)
+	if err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, dup := rt.contexts[name]; dup {
+		return nil, fmt.Errorf("core: context %q exists", name)
+	}
+	c := &Context{
+		rt:         rt,
+		name:       name,
+		loc:        loc,
+		pool:       rt.defaultPool.Clone(),
+		servants:   make(map[ObjectID]*Servant),
+		tombstones: make(map[ObjectID]*ObjectRef),
+		glues:      make(map[string]GlueServer),
+		bindings:   make(map[ProtoID]string),
+	}
+	c.muxes = transport.NewPool(c.dialAddr)
+	rt.contexts[name] = c
+	return c, nil
+}
+
+// Context returns a context by name.
+func (rt *Runtime) Context(name string) (*Context, bool) {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	c, ok := rt.contexts[name]
+	return c, ok
+}
+
+// Close shuts down every context.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	ctxs := make([]*Context, 0, len(rt.contexts))
+	for _, c := range rt.contexts {
+		ctxs = append(ctxs, c)
+	}
+	rt.contexts = make(map[string]*Context)
+	rt.mu.Unlock()
+	for _, c := range ctxs {
+		c.Close()
+	}
+}
+
+// Context is a virtual address space hosting server objects. It owns a
+// protocol pool (client side), serving bindings (server side), and the
+// dispatcher shared by every protocol class.
+type Context struct {
+	rt   *Runtime
+	name string
+	loc  netsim.Locality
+
+	pool  *ProtoPool
+	muxes *transport.Pool
+
+	nexusMu   sync.Mutex
+	nexusNode *nexus.Node
+
+	mu         sync.RWMutex
+	servants   map[ObjectID]*Servant
+	tombstones map[ObjectID]*ObjectRef
+	glues      map[string]GlueServer
+	bindings   map[ProtoID]string
+	servers    []io.Closer
+	nextObj    uint64
+	closed     bool
+}
+
+// Name returns the context's name.
+func (c *Context) Name() string { return c.name }
+
+// Locality returns where this context runs.
+func (c *Context) Locality() netsim.Locality { return c.loc }
+
+// Runtime returns the owning runtime.
+func (c *Context) Runtime() *Runtime { return c.rt }
+
+// Pool returns the context's protocol pool; callers may reorder or
+// extend it (user control over protocol selection).
+func (c *Context) Pool() *ProtoPool { return c.pool }
+
+// dialAddr connects to a fabric address: "shm:name", "sim://machine:port"
+// or "tcp://host:port".
+func (c *Context) dialAddr(addr string) (net.Conn, error) {
+	switch {
+	case strings.HasPrefix(addr, "shm:"):
+		return c.rt.shm.Dial(strings.TrimPrefix(addr, "shm:"))
+	case strings.HasPrefix(addr, "sim://"):
+		target, err := parseSimAddr(addr)
+		if err != nil {
+			return nil, err
+		}
+		return c.rt.network.Dial(c.loc.Machine, target)
+	case strings.HasPrefix(addr, "tcp://"):
+		return net.Dial("tcp", strings.TrimPrefix(addr, "tcp://"))
+	}
+	return nil, fmt.Errorf("core: unsupported address %q", addr)
+}
+
+func parseSimAddr(addr string) (netsim.Addr, error) {
+	rest := strings.TrimPrefix(addr, "sim://")
+	host, portStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return netsim.Addr{}, fmt.Errorf("core: malformed sim address %q", addr)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return netsim.Addr{}, fmt.Errorf("core: malformed sim port %q", portStr)
+	}
+	return netsim.Addr{Machine: netsim.MachineID(host), Port: port}, nil
+}
+
+// addServer records a serving binding.
+func (c *Context) addServer(id ProtoID, addr string, closer io.Closer) {
+	c.mu.Lock()
+	c.bindings[id] = addr
+	c.servers = append(c.servers, closer)
+	c.mu.Unlock()
+}
+
+// RegisterBinding records a serving binding installed by a user-written
+// protocol class (the paper's custom protocols, §3.2): the address is
+// advertised through Binding and the closer is shut down with the
+// context. Built-in Bind* methods use the same path internally.
+func (c *Context) RegisterBinding(id ProtoID, addr string, closer io.Closer) {
+	c.addServer(id, addr, closer)
+}
+
+// Dispatch runs the context's server-side request path on one frame and
+// returns the reply frame (nil for non-request frames). It is the hook
+// custom protocol classes deliver inbound requests through — the same
+// dispatcher behind every built-in protocol class.
+func (c *Context) Dispatch(m *wire.Message) *wire.Message {
+	return c.dispatch(m)
+}
+
+// Binding returns the serving address for a protocol, if bound.
+func (c *Context) Binding(id ProtoID) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.bindings[id]
+	return a, ok
+}
+
+// BindSHM makes the context reachable over the in-process shared-memory
+// fabric (protocol "shm").
+func (c *Context) BindSHM() error {
+	name := "ctx-" + c.name
+	l, err := c.rt.shm.Listen(name)
+	if err != nil {
+		return err
+	}
+	srv := transport.Serve(l, c.dispatch)
+	c.addServer(ProtoSHM, "shm:"+name, srv)
+	return nil
+}
+
+// BindSim makes the context reachable over the simulated network on the
+// given port (protocol "hpcx-tcp"). Port 0 allocates one.
+func (c *Context) BindSim(port int) error {
+	l, err := c.rt.network.Listen(c.loc.Machine, port)
+	if err != nil {
+		return err
+	}
+	a := l.Addr().(netsim.Addr)
+	srv := transport.Serve(l, c.dispatch)
+	c.addServer(ProtoStream, fmt.Sprintf("sim://%s:%d", a.Machine, a.Port), srv)
+	return nil
+}
+
+// BindTCP makes the context reachable over real TCP (protocol
+// "hpcx-tcp"); hostport is e.g. "127.0.0.1:0".
+func (c *Context) BindTCP(hostport string) error {
+	l, err := net.Listen("tcp", hostport)
+	if err != nil {
+		return err
+	}
+	srv := transport.Serve(l, c.dispatch)
+	c.addServer(ProtoStream, "tcp://"+l.Addr().String(), srv)
+	return nil
+}
+
+// BindNexusSim makes the context reachable through the Nexus messaging
+// layer over the simulated network (protocol "nexus-tcp").
+func (c *Context) BindNexusSim(port int) error {
+	l, err := c.rt.network.Listen(c.loc.Machine, port)
+	if err != nil {
+		return err
+	}
+	a := l.Addr().(netsim.Addr)
+	// The node's shared "orb" endpoint (bound in c.nexus) serves every
+	// attached listener; the node owns the listener's lifetime.
+	c.nexus().Attach(l)
+	c.addServer(ProtoNexus, fmt.Sprintf("sim://%s:%d", a.Machine, a.Port), closerFunc(func() error { return nil }))
+	return nil
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// nexus returns the context's Nexus node, creating it on first use and
+// binding the ORB dispatch handler.
+func (c *Context) nexus() *nexus.Node {
+	c.nexusMu.Lock()
+	defer c.nexusMu.Unlock()
+	if c.nexusNode == nil {
+		c.nexusNode = nexus.NewNode(c.dialAddr)
+		ep, err := c.nexusNode.CreateEndpoint(orbEndpoint)
+		if err == nil {
+			ep.Bind(orbInvokeHandler, c.nexusInvoke)
+		}
+	}
+	return c.nexusNode
+}
+
+// Close tears down servers, connections and the Nexus node.
+func (c *Context) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	servers := c.servers
+	c.servers = nil
+	c.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	c.muxes.Close()
+	c.nexusMu.Lock()
+	if c.nexusNode != nil {
+		c.nexusNode.Close()
+	}
+	c.nexusMu.Unlock()
+}
+
+// RegisterGlue installs the server side of a glue protocol under a tag.
+func (c *Context) RegisterGlue(tag string, g GlueServer) {
+	c.mu.Lock()
+	c.glues[tag] = g
+	c.mu.Unlock()
+}
+
+// UnregisterGlue removes a glue registration.
+func (c *Context) UnregisterGlue(tag string) {
+	c.mu.Lock()
+	delete(c.glues, tag)
+	c.mu.Unlock()
+}
+
+// glue looks up a registered glue server.
+func (c *Context) glue(tag string) (GlueServer, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, ok := c.glues[tag]
+	return g, ok
+}
+
+// Objects lists the context's exported object ids, sorted — an
+// operations/debugging view used by balancers and tooling.
+func (c *Context) Objects() []ObjectID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]ObjectID, 0, len(c.servants))
+	for id := range c.servants {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Bindings lists the context's serving bindings as "proto addr" pairs,
+// sorted by protocol id.
+func (c *Context) Bindings() map[ProtoID]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[ProtoID]string, len(c.bindings))
+	for id, addr := range c.bindings {
+		out[id] = addr
+	}
+	return out
+}

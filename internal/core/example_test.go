@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"fmt"
+
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+)
+
+// Example shows the minimal ORB round trip: a context exports a servant,
+// hands out an object reference, and a client's global pointer selects a
+// protocol automatically.
+func Example() {
+	net := netsim.New()
+	net.AddLAN("lan", "campus", netsim.ProfileUnshaped)
+	net.MustAddMachine("server-box", "lan")
+	net.MustAddMachine("client-box", "lan")
+
+	rt := core.NewRuntime(net, "example")
+	defer rt.Close()
+
+	server, _ := rt.NewContext("server", "server-box")
+	_ = server.BindSim(0)
+	servant, _ := server.Export("Echo", nil, map[string]core.Method{
+		"shout": func(args []byte) ([]byte, error) {
+			return append(args, '!'), nil
+		},
+	})
+	entry, _ := server.EntryStream()
+	ref := server.NewRef(servant, entry)
+
+	client, _ := rt.NewContext("client", "client-box")
+	gp := client.NewGlobalPtr(ref)
+	out, err := gp.Invoke("shout", []byte("hpc"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	proto, _ := gp.SelectedProtocol()
+	fmt.Printf("%s over %s\n", out, proto)
+	// Output: hpc! over hpcx-tcp
+}
+
+// ExampleProtoPool_Prefer shows client-side user control over protocol
+// selection: reordering the pool flips which protocol a PoolOrder
+// selection picks.
+func ExampleProtoPool_Prefer() {
+	net := netsim.New()
+	net.AddLAN("lan", "campus", netsim.ProfileUnshaped)
+	net.MustAddMachine("box", "lan")
+
+	rt := core.NewRuntime(net, "example")
+	defer rt.Close()
+
+	server, _ := rt.NewContext("server", "box")
+	_ = server.BindSHM()
+	_ = server.BindSim(0)
+	servant, _ := server.Export("Echo", nil, map[string]core.Method{
+		"echo": func(args []byte) ([]byte, error) { return args, nil },
+	})
+	shm, _ := server.EntrySHM()
+	stream, _ := server.EntryStream()
+	ref := server.NewRef(servant, shm, stream)
+
+	client, _ := rt.NewContext("client", "box")
+	client.Pool().SetSelectionOrder(core.PoolOrder)
+	client.Pool().Prefer(core.ProtoStream) // override: avoid shared memory
+
+	gp := client.NewGlobalPtr(ref)
+	id, _ := gp.SelectedProtocol()
+	fmt.Println(id)
+	// Output: hpcx-tcp
+}

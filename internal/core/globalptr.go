@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/wire"
+)
+
+// GlobalPtr (the paper's GP) is a client-side handle on a remote server
+// object. It holds an object reference and lazily binds a protocol
+// object chosen by automatic run-time protocol selection; the binding is
+// re-evaluated whenever the reference changes (migration) or the
+// selected protocol fails.
+type GlobalPtr struct {
+	host *Context
+
+	mu    sync.Mutex
+	ref   *ObjectRef
+	proto Protocol
+	entry int // index into ref.Protocols of the selected entry
+}
+
+// NewGlobalPtr binds a reference to a client context. The reference is
+// cloned, so callers may keep mutating their copy.
+func (c *Context) NewGlobalPtr(ref *ObjectRef) *GlobalPtr {
+	return &GlobalPtr{host: c, ref: ref.Clone(), entry: -1}
+}
+
+// Ref returns a copy of the current object reference.
+func (g *GlobalPtr) Ref() *ObjectRef {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ref.Clone()
+}
+
+// SetRef replaces the reference (e.g. with a re-ordered protocol table)
+// and invalidates the protocol binding.
+func (g *GlobalPtr) SetRef(ref *ObjectRef) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ref = ref.Clone()
+	g.invalidateLocked()
+}
+
+// Invalidate drops the protocol binding; the next call re-selects.
+func (g *GlobalPtr) Invalidate() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.invalidateLocked()
+}
+
+func (g *GlobalPtr) invalidateLocked() {
+	if g.proto != nil {
+		g.proto.Close()
+		g.proto = nil
+	}
+	g.entry = -1
+}
+
+// SelectedProtocol reports which protocol the GP is currently bound to,
+// selecting one if necessary. The experiments use this to observe
+// adaptation (Figure 4's step table).
+func (g *GlobalPtr) SelectedProtocol() (ProtoID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.bindLocked(); err != nil {
+		return "", err
+	}
+	return g.ref.Protocols[g.entry].ID, nil
+}
+
+// SelectedEntry reports the index into the reference's protocol table of
+// the bound entry, plus its protocol id, selecting first if necessary.
+// Experiments use it to tell apart multiple glue entries (Figure 4-B has
+// two).
+func (g *GlobalPtr) SelectedEntry() (int, ProtoID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.bindLocked(); err != nil {
+		return -1, "", err
+	}
+	return g.entry, g.ref.Protocols[g.entry].ID, nil
+}
+
+// bindLocked runs protocol selection if no protocol is bound.
+func (g *GlobalPtr) bindLocked() error {
+	if g.proto != nil {
+		return nil
+	}
+	f, idx, err := g.host.pool.Select(g.ref, g.host.loc)
+	if err != nil {
+		return err
+	}
+	p, err := f.New(g.ref.Protocols[idx], g.ref, g.host)
+	if err != nil {
+		return fmt.Errorf("core: instantiating %s: %w", f.ID(), err)
+	}
+	g.proto = p
+	g.entry = idx
+	g.host.rt.recordEvent("select", g.ref.Object,
+		"context %s picked table[%d] %s (server at %s)", g.host.name, idx, p.ID(), g.ref.Server)
+	return nil
+}
+
+// maxInvokeAttempts bounds migration chases: an object hopping contexts
+// mid-call yields FaultMoved chains; each hop refreshes the reference.
+const maxInvokeAttempts = 4
+
+// Invoke calls a method on the remote object: it selects a protocol,
+// sends the request, and transparently adapts to migration (FaultMoved
+// refreshes the reference and re-selects) and to stale protocol choices
+// (FaultNotApplicable re-selects).
+func (g *GlobalPtr) Invoke(method string, args []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxInvokeAttempts; attempt++ {
+		g.mu.Lock()
+		if err := g.bindLocked(); err != nil {
+			g.mu.Unlock()
+			return nil, err
+		}
+		proto := g.proto
+		req := &wire.Message{
+			Type:   wire.TRequest,
+			Object: string(g.ref.Object),
+			Method: method,
+			Epoch:  g.ref.Epoch,
+			Body:   args,
+		}
+		g.mu.Unlock()
+
+		metrics := g.host.rt.Metrics()
+		pid := string(proto.ID())
+		metrics.Counter("rpc." + pid + ".calls").Inc()
+		metrics.Counter("rpc." + pid + ".req_bytes").Add(uint64(len(args)))
+		start := time.Now()
+		reply, err := proto.Call(req)
+		metrics.Histogram("rpc." + pid + ".latency_us").ObserveDuration(time.Since(start))
+		if err != nil {
+			metrics.Counter("rpc." + pid + ".transport_errors").Inc()
+			// Transport-level failure: drop the binding and retry once
+			// through a fresh selection.
+			lastErr = err
+			g.Invalidate()
+			continue
+		}
+		switch reply.Type {
+		case wire.TReply:
+			metrics.Counter("rpc." + pid + ".resp_bytes").Add(uint64(len(reply.Body)))
+			return reply.Body, nil
+		case wire.TFault:
+			metrics.Counter("rpc." + pid + ".faults").Inc()
+			ferr := wire.DecodeFault(reply.Body)
+			var f *wire.Fault
+			if !errors.As(ferr, &f) {
+				return nil, ferr
+			}
+			switch f.Code {
+			case wire.FaultMoved:
+				newRef, derr := DecodeRef(f.Data)
+				if derr != nil {
+					return nil, fmt.Errorf("core: moved but reference undecodable: %w", derr)
+				}
+				g.host.rt.recordEvent("refresh", newRef.Object,
+					"context %s chased tombstone to %s (epoch %d)", g.host.name, newRef.Server, newRef.Epoch)
+				g.SetRef(newRef)
+				lastErr = f
+				continue
+			case wire.FaultNotApplicable:
+				g.Invalidate()
+				lastErr = f
+				continue
+			default:
+				return nil, f
+			}
+		default:
+			return nil, fmt.Errorf("core: unexpected reply type %v", reply.Type)
+		}
+	}
+	return nil, fmt.Errorf("core: invoke %s.%s gave up after %d attempts: %w",
+		g.ref.Object, method, maxInvokeAttempts, lastErr)
+}
+
+// Object returns the target object id.
+func (g *GlobalPtr) Object() ObjectID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ref.Object
+}

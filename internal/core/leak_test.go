@@ -1,0 +1,72 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck asserts the goroutine count returns to (near) its starting
+// value after fn, giving async teardown a grace period.
+func leakCheck(t *testing.T, fn func()) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	fn()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		// A small tolerance covers runtime-internal goroutines (timer
+		// scavenger etc.) that start lazily.
+		if after <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, after, buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRuntimeCloseLeaksNothing runs a busy deployment — every protocol,
+// glue dispatch, migration, one-way traffic — and verifies that closing
+// the runtime releases every goroutine (servers, mux read loops, nexus
+// nodes, shaped-pipe sleepers).
+func TestRuntimeCloseLeaksNothing(t *testing.T) {
+	leakCheck(t, func() {
+		n, rt := testWorld(t)
+		_ = n
+		server, _ := rt.NewContext("leak-server", "mA")
+		client, _ := rt.NewContext("leak-client", "mB")
+		if err := server.BindSHM(); err != nil {
+			t.Fatal(err)
+		}
+		if err := server.BindSim(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := server.BindNexusSim(0); err != nil {
+			t.Fatal(err)
+		}
+		s, _ := server.Export("Echo", nil, echoMethods())
+		strE, _ := server.EntryStream()
+		nexE, _ := server.EntryNexus()
+		ref := server.NewRef(s, strE, nexE)
+		gp := client.NewGlobalPtr(ref)
+		for i := 0; i < 5; i++ {
+			if _, err := gp.Invoke("echo", []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := gp.Post("echo", nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Nexus path too.
+		gp2 := client.NewGlobalPtr(server.NewRef(s, nexE))
+		if _, err := gp2.Invoke("echo", nil); err != nil {
+			t.Fatal(err)
+		}
+		rt.Close()
+	})
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+
+	"openhpcxx/internal/wire"
+)
+
+// OneWayProtocol is implemented by protocol objects that can deliver a
+// request without waiting for a reply — the ORB surface of Nexus's
+// one-way remote service requests. The built-in stream, shm, and nexus
+// protocols implement it; protocols that cannot (or glue chains over
+// such a base) report ErrOneWayUnsupported.
+type OneWayProtocol interface {
+	Protocol
+	Post(m *wire.Message) error
+}
+
+// ErrOneWayUnsupported is returned by Post when the selected protocol
+// cannot deliver one-way requests.
+var ErrOneWayUnsupported = errors.New("core: selected protocol does not support one-way requests")
+
+// Post invokes a method without waiting for any result. Delivery is
+// at-most-once with no failure notification beyond transport errors;
+// method errors on the server are discarded. The request still flows
+// through the selected protocol — including a glue protocol's
+// capability chain, so one-way calls are metered and protected exactly
+// like two-way ones.
+func (g *GlobalPtr) Post(method string, args []byte) error {
+	g.mu.Lock()
+	if err := g.bindLocked(); err != nil {
+		g.mu.Unlock()
+		return err
+	}
+	proto := g.proto
+	req := &wire.Message{
+		Type:   wire.TControl,
+		Object: string(g.ref.Object),
+		Method: method,
+		Epoch:  g.ref.Epoch,
+		Body:   args,
+	}
+	g.mu.Unlock()
+
+	ow, ok := proto.(OneWayProtocol)
+	if !ok {
+		return ErrOneWayUnsupported
+	}
+	metrics := g.host.rt.Metrics()
+	pid := string(proto.ID())
+	metrics.Counter("rpc." + pid + ".oneway").Inc()
+	metrics.Counter("rpc." + pid + ".req_bytes").Add(uint64(len(args)))
+	if err := ow.Post(req); err != nil {
+		metrics.Counter("rpc." + pid + ".transport_errors").Inc()
+		g.Invalidate()
+		return err
+	}
+	return nil
+}
+
+// handleOneWay executes a one-way request: same path as handleRequest
+// but all results and errors are discarded and no frame travels back.
+func (c *Context) handleOneWay(m *wire.Message) {
+	c.rt.Metrics().Counter("srv.oneway").Inc()
+	req := *m
+	req.Type = wire.TRequest
+	if _, err := c.handleRequest(&req); err != nil {
+		c.rt.Metrics().Counter("srv.oneway_faults").Inc()
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/wire"
+)
+
+// Protocol is the client side of a protocol object: it carries one
+// framed request to the server object and returns the framed reply
+// (possibly a TFault frame). Implementations encapsulate a specific
+// communication mechanism — the paper's proto-object.
+type Protocol interface {
+	ID() ProtoID
+	Call(m *wire.Message) (*wire.Message, error)
+	Close() error
+}
+
+// ProtoFactory manufactures client protocol instances from protocol
+// table entries — the paper's proto-class, as seen from the client. A
+// factory also owns the protocol's applicability attribute.
+type ProtoFactory interface {
+	ID() ProtoID
+	// Applicable reports whether this protocol can serve requests
+	// between the two localities given the entry's proto-data. The
+	// system consults it during run-time protocol selection.
+	Applicable(entry ProtoEntry, client, server netsim.Locality) bool
+	// New instantiates a protocol object for the entry on behalf of the
+	// given client context.
+	New(entry ProtoEntry, ref *ObjectRef, host *Context) (Protocol, error)
+}
+
+// SelectionOrder controls whose preference wins during protocol
+// selection when both the OR table and the pool are ordered.
+type SelectionOrder int
+
+const (
+	// RefOrder walks the object reference's protocol table in order and
+	// picks the first entry with an applicable factory in the pool. This
+	// is the paper's default: the server ranks the access paths it is
+	// willing to support (Figure 4-B).
+	RefOrder SelectionOrder = iota
+	// PoolOrder walks the local pool in order and picks the first
+	// factory with an applicable entry in the OR — a client-side
+	// override, one of the "user control" knobs of §3.2.
+	PoolOrder
+)
+
+// ProtoPool is a repository of protocol factories ordered by preference
+// (the paper's proto-pool). An application component uses a pool to
+// determine — and constrain — the protocols available to it.
+type ProtoPool struct {
+	mu        sync.RWMutex
+	order     []ProtoID
+	factories map[ProtoID]ProtoFactory
+	selOrder  SelectionOrder
+}
+
+// NewProtoPool returns an empty pool using RefOrder selection.
+func NewProtoPool() *ProtoPool {
+	return &ProtoPool{factories: make(map[ProtoID]ProtoFactory)}
+}
+
+// Register appends a factory to the pool (lowest preference). Registering
+// an already-present ID replaces the factory in place.
+func (p *ProtoPool) Register(f ProtoFactory) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.factories[f.ID()]; !ok {
+		p.order = append(p.order, f.ID())
+	}
+	p.factories[f.ID()] = f
+}
+
+// Remove deletes a factory; a GP whose selected protocol is removed will
+// re-select on its next invalidation.
+func (p *ProtoPool) Remove(id ProtoID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.factories[id]; !ok {
+		return
+	}
+	delete(p.factories, id)
+	for i, o := range p.order {
+		if o == id {
+			p.order = append(p.order[:i], p.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Prefer moves the given ids (in the given order) to the front of the
+// pool, leaving the rest in their relative order.
+func (p *ProtoPool) Prefer(ids ...ProtoID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	head := make([]ProtoID, 0, len(p.order))
+	seen := make(map[ProtoID]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := p.factories[id]; ok && !seen[id] {
+			head = append(head, id)
+			seen[id] = true
+		}
+	}
+	for _, id := range p.order {
+		if !seen[id] {
+			head = append(head, id)
+		}
+	}
+	p.order = head
+}
+
+// SetSelectionOrder switches between RefOrder and PoolOrder.
+func (p *ProtoPool) SetSelectionOrder(o SelectionOrder) {
+	p.mu.Lock()
+	p.selOrder = o
+	p.mu.Unlock()
+}
+
+// Lookup finds a factory by id.
+func (p *ProtoPool) Lookup(id ProtoID) (ProtoFactory, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	f, ok := p.factories[id]
+	return f, ok
+}
+
+// IDs lists the pool's protocol kinds in preference order.
+func (p *ProtoPool) IDs() []ProtoID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return append([]ProtoID(nil), p.order...)
+}
+
+// Clone returns an independent pool with the same factories, order, and
+// selection mode. Contexts clone the runtime's default pool so local
+// adjustments stay local.
+func (p *ProtoPool) Clone() *ProtoPool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	c := NewProtoPool()
+	c.order = append([]ProtoID(nil), p.order...)
+	for id, f := range p.factories {
+		c.factories[id] = f
+	}
+	c.selOrder = p.selOrder
+	return c
+}
+
+// ErrNoProtocol is returned when no (entry, factory) pair is applicable
+// for a client/server locality pair.
+var ErrNoProtocol = errors.New("core: no applicable protocol")
+
+// Select runs the paper's automatic protocol selection: compare the
+// protocols in the reference's table with those in the pool and return
+// the first applicable match. The returned index identifies the chosen
+// table entry.
+func (p *ProtoPool) Select(ref *ObjectRef, client netsim.Locality) (ProtoFactory, int, error) {
+	p.mu.RLock()
+	selOrder := p.selOrder
+	p.mu.RUnlock()
+
+	if selOrder == PoolOrder {
+		for _, id := range p.IDs() {
+			f, _ := p.Lookup(id)
+			for i, entry := range ref.Protocols {
+				if entry.ID != id {
+					continue
+				}
+				if f.Applicable(entry, client, ref.Server) {
+					return f, i, nil
+				}
+			}
+		}
+		return nil, -1, selectionError(ref, p, client)
+	}
+
+	for i, entry := range ref.Protocols {
+		f, ok := p.Lookup(entry.ID)
+		if !ok {
+			continue
+		}
+		if f.Applicable(entry, client, ref.Server) {
+			return f, i, nil
+		}
+	}
+	return nil, -1, selectionError(ref, p, client)
+}
+
+func selectionError(ref *ObjectRef, p *ProtoPool, client netsim.Locality) error {
+	return fmt.Errorf("%w for %s: table=%v pool=%v client=%s server=%s",
+		ErrNoProtocol, ref.Object, ref.ProtoIDs(), p.IDs(), client, ref.Server)
+}

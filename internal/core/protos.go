@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/transport/nexus"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+// Built-in protocol identifiers.
+const (
+	// ProtoSHM is the in-process shared-memory protocol; applicable only
+	// when client and server share a machine and process.
+	ProtoSHM ProtoID = "shm"
+	// ProtoStream is the plain framed stream protocol (the "TCP based
+	// proto-object that uses XDR for data encoding" of §3.1); applicable
+	// everywhere.
+	ProtoStream ProtoID = "hpcx-tcp"
+	// ProtoNexus is the Nexus-based TCP protocol of the experiments.
+	ProtoNexus ProtoID = "nexus-tcp"
+	// ProtoGlue is the glue protocol holding capability objects; its
+	// factory lives in the capability package.
+	ProtoGlue ProtoID = "glue"
+)
+
+const (
+	orbEndpoint      = "orb"
+	orbInvokeHandler = 1
+)
+
+// addrData is the proto-data payload for address-based protocols.
+type addrData struct {
+	Addr string
+	// Endpoint is used by the Nexus protocol only.
+	Endpoint string
+}
+
+func (a *addrData) MarshalXDR(e *xdr.Encoder) error {
+	e.PutString(a.Addr)
+	e.PutString(a.Endpoint)
+	return nil
+}
+
+func (a *addrData) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if a.Addr, err = d.String(); err != nil {
+		return err
+	}
+	a.Endpoint, err = d.String()
+	return err
+}
+
+func encodeAddrData(addr, endpoint string) []byte {
+	b, _ := xdr.Marshal(&addrData{Addr: addr, Endpoint: endpoint})
+	return b
+}
+
+func decodeAddrData(p []byte) (*addrData, error) {
+	a := new(addrData)
+	if err := xdr.Unmarshal(p, a); err != nil {
+		return nil, fmt.Errorf("core: bad address proto-data: %w", err)
+	}
+	return a, nil
+}
+
+// EntrySHM builds a protocol table entry for this context's shared
+// memory binding.
+func (c *Context) EntrySHM() (ProtoEntry, error) {
+	addr, ok := c.Binding(ProtoSHM)
+	if !ok {
+		return ProtoEntry{}, fmt.Errorf("core: context %s has no shm binding", c.name)
+	}
+	return ProtoEntry{ID: ProtoSHM, Data: encodeAddrData(addr, "")}, nil
+}
+
+// EntryStream builds a protocol table entry for this context's stream
+// binding (simulated or real TCP).
+func (c *Context) EntryStream() (ProtoEntry, error) {
+	addr, ok := c.Binding(ProtoStream)
+	if !ok {
+		return ProtoEntry{}, fmt.Errorf("core: context %s has no stream binding", c.name)
+	}
+	return ProtoEntry{ID: ProtoStream, Data: encodeAddrData(addr, "")}, nil
+}
+
+// EntryNexus builds a protocol table entry for this context's Nexus
+// binding.
+func (c *Context) EntryNexus() (ProtoEntry, error) {
+	addr, ok := c.Binding(ProtoNexus)
+	if !ok {
+		return ProtoEntry{}, fmt.Errorf("core: context %s has no nexus binding", c.name)
+	}
+	return ProtoEntry{ID: ProtoNexus, Data: encodeAddrData(addr, orbEndpoint)}, nil
+}
+
+// StreamEntryAt builds a stream protocol entry for a known address
+// without requiring a context — bootstrap use, e.g. reaching a name
+// service whose address is configuration.
+func StreamEntryAt(addr string) ProtoEntry {
+	return ProtoEntry{ID: ProtoStream, Data: encodeAddrData(addr, "")}
+}
+
+// NewRef builds an object reference for a servant with the given
+// protocol table (ordered by preference — the server's ranking of how it
+// is willing to be accessed).
+func (c *Context) NewRef(s *Servant, entries ...ProtoEntry) *ObjectRef {
+	return &ObjectRef{
+		Object:    s.ID(),
+		Iface:     s.Iface(),
+		Epoch:     s.Epoch(),
+		Server:    c.loc,
+		Protocols: entries,
+	}
+}
+
+// streamProto carries frames over a pooled framed stream connection.
+type streamProto struct {
+	id   ProtoID
+	addr string
+	host *Context
+}
+
+func (p *streamProto) ID() ProtoID { return p.id }
+
+func (p *streamProto) Call(m *wire.Message) (*wire.Message, error) {
+	mux, err := p.host.muxes.Get(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := mux.Call(m)
+	if err != nil {
+		// The pooled connection may have died; drop it so the next call
+		// redials instead of failing forever.
+		p.host.muxes.Drop(p.addr)
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Post implements OneWayProtocol: the frame is written with no reply
+// expected.
+func (p *streamProto) Post(m *wire.Message) error {
+	mux, err := p.host.muxes.Get(p.addr)
+	if err != nil {
+		return err
+	}
+	if err := mux.Post(m); err != nil {
+		p.host.muxes.Drop(p.addr)
+		return err
+	}
+	return nil
+}
+
+func (p *streamProto) Close() error { return nil } // pooled conns are shared
+
+// streamFactory builds ProtoStream instances.
+type streamFactory struct{}
+
+func (streamFactory) ID() ProtoID { return ProtoStream }
+
+func (streamFactory) Applicable(entry ProtoEntry, client, server netsim.Locality) bool {
+	a, err := decodeAddrData(entry.Data)
+	return err == nil && a.Addr != ""
+}
+
+func (streamFactory) New(entry ProtoEntry, ref *ObjectRef, host *Context) (Protocol, error) {
+	a, err := decodeAddrData(entry.Data)
+	if err != nil {
+		return nil, err
+	}
+	return &streamProto{id: ProtoStream, addr: a.Addr, host: host}, nil
+}
+
+// shmFactory builds ProtoSHM instances. Same mechanism as the stream
+// protocol — the difference is the unshaped in-process fabric behind the
+// address and the applicability restriction.
+type shmFactory struct{}
+
+func (shmFactory) ID() ProtoID { return ProtoSHM }
+
+func (shmFactory) Applicable(entry ProtoEntry, client, server netsim.Locality) bool {
+	a, err := decodeAddrData(entry.Data)
+	return err == nil && a.Addr != "" && client.SameProcess(server)
+}
+
+func (shmFactory) New(entry ProtoEntry, ref *ObjectRef, host *Context) (Protocol, error) {
+	a, err := decodeAddrData(entry.Data)
+	if err != nil {
+		return nil, err
+	}
+	return &streamProto{id: ProtoSHM, addr: a.Addr, host: host}, nil
+}
+
+// nexusProto carries frames embedded in Nexus remote service requests.
+type nexusProto struct {
+	sp   nexus.Startpoint
+	host *Context
+}
+
+func (p *nexusProto) ID() ProtoID { return ProtoNexus }
+
+func (p *nexusProto) Call(m *wire.Message) (*wire.Message, error) {
+	e := xdr.NewEncoder(64 + len(m.Body))
+	if err := m.MarshalXDR(e); err != nil {
+		return nil, err
+	}
+	out, err := p.host.nexus().RSR(p.sp, orbInvokeHandler, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	reply := new(wire.Message)
+	if err := xdr.Unmarshal(out, reply); err != nil {
+		return nil, fmt.Errorf("core: embedded reply: %w", err)
+	}
+	return reply, nil
+}
+
+// Post implements OneWayProtocol via a one-way Nexus RSR.
+func (p *nexusProto) Post(m *wire.Message) error {
+	e := xdr.NewEncoder(64 + len(m.Body))
+	if err := m.MarshalXDR(e); err != nil {
+		return err
+	}
+	return p.host.nexus().Post(p.sp, orbInvokeHandler, e.Bytes())
+}
+
+func (p *nexusProto) Close() error { return nil } // the node is shared
+
+// nexusFactory builds ProtoNexus instances.
+type nexusFactory struct{}
+
+func (nexusFactory) ID() ProtoID { return ProtoNexus }
+
+func (nexusFactory) Applicable(entry ProtoEntry, client, server netsim.Locality) bool {
+	a, err := decodeAddrData(entry.Data)
+	return err == nil && a.Addr != "" && a.Endpoint != ""
+}
+
+func (nexusFactory) New(entry ProtoEntry, ref *ObjectRef, host *Context) (Protocol, error) {
+	a, err := decodeAddrData(entry.Data)
+	if err != nil {
+		return nil, err
+	}
+	return &nexusProto{sp: nexus.Startpoint{Addr: a.Addr, Endpoint: a.Endpoint}, host: host}, nil
+}

@@ -1,0 +1,186 @@
+// Package hpcxx provides the HPC++Lib-style parallel constructs the
+// paper builds on (§2: Open HPC++ implements "the HPC++ global pointer
+// and context abstractions" of the HPC++ consortium's library): SPMD
+// groups of server objects addressed through global pointers, parallel
+// member invocation with gather and reduction, one-way broadcast, and a
+// reusable distributed barrier.
+//
+// Everything here is plain client-side composition over the ORB — the
+// collectives inherit whatever protocols and capabilities each member's
+// reference carries, so a reduction over an authenticated glue protocol
+// simply works.
+package hpcxx
+
+import (
+	"fmt"
+	"sync"
+
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/xdr"
+)
+
+// Group is an ordered collection of member objects, each addressed by a
+// global pointer. Members usually export the same interface from
+// different contexts (SPMD), but nothing enforces that.
+type Group struct {
+	members []*core.GlobalPtr
+}
+
+// NewGroup builds a group over the given global pointers.
+func NewGroup(members ...*core.GlobalPtr) *Group {
+	return &Group{members: append([]*core.GlobalPtr(nil), members...)}
+}
+
+// Size returns the number of members.
+func (g *Group) Size() int { return len(g.members) }
+
+// Member returns the i-th member's global pointer.
+func (g *Group) Member(i int) *core.GlobalPtr { return g.members[i] }
+
+// MemberError wraps a failure of one member during a collective.
+type MemberError struct {
+	Rank int
+	Err  error
+}
+
+func (e *MemberError) Error() string {
+	return fmt.Sprintf("hpcxx: member %d: %v", e.Rank, e.Err)
+}
+
+func (e *MemberError) Unwrap() error { return e.Err }
+
+// Invoke calls method on every member concurrently with per-member
+// arguments (args[i] goes to rank i; a nil slice sends empty bodies to
+// everyone) and gathers the raw replies in rank order. The first
+// member failure (lowest rank) is returned; other results are dropped.
+func (g *Group) Invoke(method string, args [][]byte) ([][]byte, error) {
+	if args != nil && len(args) != len(g.members) {
+		return nil, fmt.Errorf("hpcxx: %d argument bodies for %d members", len(args), len(g.members))
+	}
+	out := make([][]byte, len(g.members))
+	errs := make([]error, len(g.members))
+	var wg sync.WaitGroup
+	for i, gp := range g.members {
+		wg.Add(1)
+		go func(i int, gp *core.GlobalPtr) {
+			defer wg.Done()
+			var body []byte
+			if args != nil {
+				body = args[i]
+			}
+			out[i], errs[i] = gp.Invoke(method, body)
+		}(i, gp)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, &MemberError{Rank: i, Err: err}
+		}
+	}
+	return out, nil
+}
+
+// Broadcast calls method on every member concurrently with the same
+// argument body and waits for all replies, discarding them.
+func (g *Group) Broadcast(method string, body []byte) error {
+	args := make([][]byte, len(g.members))
+	for i := range args {
+		args[i] = body
+	}
+	_, err := g.Invoke(method, args)
+	return err
+}
+
+// Post sends a one-way request to every member (no replies, no
+// delivery guarantee beyond the transport's).
+func (g *Group) Post(method string, body []byte) error {
+	for i, gp := range g.members {
+		if err := gp.Post(method, body); err != nil {
+			return &MemberError{Rank: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// Gather performs a typed parallel invocation: the same request goes to
+// every member; replies come back in rank order.
+func Gather[Req xdr.Marshaler, Resp any, PResp interface {
+	*Resp
+	xdr.Unmarshaler
+}](g *Group, method string, req Req) ([]*Resp, error) {
+	body, err := xdr.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := g.Invoke(method, replicate(body, g.Size()))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Resp, len(raw))
+	for i, b := range raw {
+		r := PResp(new(Resp))
+		if err := xdr.Unmarshal(b, r); err != nil {
+			return nil, &MemberError{Rank: i, Err: err}
+		}
+		out[i] = (*Resp)(r)
+	}
+	return out, nil
+}
+
+// Reduce gathers typed replies and folds them in rank order with fold,
+// starting from init.
+func Reduce[Req xdr.Marshaler, Resp any, PResp interface {
+	*Resp
+	xdr.Unmarshaler
+}, Acc any](g *Group, method string, req Req, init Acc, fold func(Acc, *Resp) Acc) (Acc, error) {
+	replies, err := Gather[Req, Resp, PResp](g, method, req)
+	if err != nil {
+		var zero Acc
+		return zero, err
+	}
+	acc := init
+	for _, r := range replies {
+		acc = fold(acc, r)
+	}
+	return acc, nil
+}
+
+func replicate(body []byte, n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = body
+	}
+	return out
+}
+
+// ScatterGather performs a typed parallel invocation with per-rank
+// requests: reqs[i] goes to member i; replies come back in rank order.
+func ScatterGather[Req xdr.Marshaler, Resp any, PResp interface {
+	*Resp
+	xdr.Unmarshaler
+}](g *Group, method string, reqs []Req) ([]*Resp, error) {
+	if len(reqs) != g.Size() {
+		return nil, fmt.Errorf("hpcxx: %d requests for %d members", len(reqs), g.Size())
+	}
+	args := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		b, err := xdr.Marshal(r)
+		if err != nil {
+			return nil, &MemberError{Rank: i, Err: err}
+		}
+		args[i] = b
+	}
+	raw, err := g.Invoke(method, args)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Resp, len(raw))
+	for i, b := range raw {
+		r := PResp(new(Resp))
+		if err := xdr.Unmarshal(b, r); err != nil {
+			return nil, &MemberError{Rank: i, Err: err}
+		}
+		out[i] = (*Resp)(r)
+	}
+	return out, nil
+}

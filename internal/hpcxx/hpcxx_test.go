@@ -1,0 +1,384 @@
+package hpcxx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/migrate"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+type rankReq struct{ Scale int64 }
+
+func (r *rankReq) MarshalXDR(e *xdr.Encoder) error { e.PutInt64(r.Scale); return nil }
+func (r *rankReq) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	r.Scale, err = d.Int64()
+	return err
+}
+
+type rankReply struct{ Value int64 }
+
+func (r *rankReply) MarshalXDR(e *xdr.Encoder) error { e.PutInt64(r.Value); return nil }
+func (r *rankReply) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	r.Value, err = d.Int64()
+	return err
+}
+
+// world builds n member servants across n contexts, each knowing its
+// rank, plus one client context; returns the group and the client.
+func world(t *testing.T, n int) (*Group, *core.Context, *core.Runtime) {
+	t.Helper()
+	net := netsim.New()
+	net.AddLAN("lan", "c", netsim.ProfileUnshaped)
+	for i := 0; i <= n; i++ {
+		net.MustAddMachine(netsim.MachineID(fmt.Sprintf("m%d", i)), "lan")
+	}
+	rt := core.NewRuntime(net, "p")
+	t.Cleanup(rt.Close)
+
+	client, err := rt.NewContext("client", "m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gps []*core.GlobalPtr
+	for i := 0; i < n; i++ {
+		rank := int64(i)
+		ctx, err := rt.NewContext(fmt.Sprintf("member%d", i), netsim.MachineID(fmt.Sprintf("m%d", i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.BindSim(0); err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		posts := 0
+		s, err := ctx.Export("Member", nil, map[string]core.Method{
+			"rank": core.Handler(func(r *rankReq) (*rankReply, error) {
+				return &rankReply{Value: rank * r.Scale}, nil
+			}),
+			"fail": func(args []byte) ([]byte, error) {
+				if rank == 1 {
+					return nil, wire.Faultf(wire.FaultInternal, "member 1 exploded")
+				}
+				return nil, nil
+			},
+			"note": func(args []byte) ([]byte, error) {
+				mu.Lock()
+				posts++
+				mu.Unlock()
+				return nil, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entry, err := ctx.EntryStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gps = append(gps, client.NewGlobalPtr(ctx.NewRef(s, entry)))
+	}
+	return NewGroup(gps...), client, rt
+}
+
+func TestGatherRankOrder(t *testing.T) {
+	g, _, _ := world(t, 4)
+	if g.Size() != 4 {
+		t.Fatalf("size %d", g.Size())
+	}
+	replies, err := Gather[*rankReq, rankReply](g, "rank", &rankReq{Scale: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range replies {
+		if r.Value != int64(i*10) {
+			t.Fatalf("rank %d replied %d", i, r.Value)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	g, _, _ := world(t, 5)
+	sum, err := Reduce[*rankReq, rankReply](g, "rank", &rankReq{Scale: 1}, int64(0),
+		func(acc int64, r *rankReply) int64 { return acc + r.Value })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 0+1+2+3+4 {
+		t.Fatalf("sum %d", sum)
+	}
+}
+
+func TestInvokePerMemberArgs(t *testing.T) {
+	g, _, _ := world(t, 3)
+	args := make([][]byte, 3)
+	for i := range args {
+		req := &rankReq{Scale: int64(100 * (i + 1))}
+		b, _ := xdr.Marshal(req)
+		args[i] = b
+	}
+	raw, err := g.Invoke("rank", args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range raw {
+		var r rankReply
+		if err := xdr.Unmarshal(b, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Value != int64(i*100*(i+1)) {
+			t.Fatalf("member %d: %d", i, r.Value)
+		}
+	}
+	// Argument count mismatch is rejected.
+	if _, err := g.Invoke("rank", make([][]byte, 2)); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestMemberErrorRank(t *testing.T) {
+	g, _, _ := world(t, 3)
+	err := g.Broadcast("fail", nil)
+	var me *MemberError
+	if !errors.As(err, &me) || me.Rank != 1 {
+		t.Fatalf("err %v", err)
+	}
+	var f *wire.Fault
+	if !errors.As(err, &f) || f.Code != wire.FaultInternal {
+		t.Fatalf("unwrap %v", err)
+	}
+}
+
+func TestGroupPost(t *testing.T) {
+	g, _, rt := world(t, 3)
+	if err := g.Post("note", nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.Metrics().Counter("srv.oneway").Value() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("posts handled: %d", rt.Metrics().Counter("srv.oneway").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	net := netsim.New()
+	net.AddLAN("lan", "c", netsim.ProfileUnshaped)
+	net.MustAddMachine("srv", "lan")
+	net.MustAddMachine("cli", "lan")
+	rt := core.NewRuntime(net, "p")
+	defer rt.Close()
+
+	host, err := rt.NewContext("host", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := host.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	const parties = 4
+	ref, err := ServeBarrier(host, parties)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	gens := make([]uint64, parties)
+	for p := 0; p < parties; p++ {
+		ctx, err := rt.NewContext(fmt.Sprintf("party%d", p), "cli")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewBarrier(ctx, ref)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				gen, err := b.Await()
+				if err != nil {
+					t.Errorf("party %d round %d: %v", p, round, err)
+					return
+				}
+				if gen != uint64(round) {
+					t.Errorf("party %d saw generation %d in round %d", p, gen, round)
+					return
+				}
+			}
+			gens[p] = 3
+		}(p)
+	}
+	wg.Wait()
+	for p, g := range gens {
+		if g != 3 {
+			t.Fatalf("party %d finished %d rounds", p, g)
+		}
+	}
+}
+
+func TestBarrierBlocksUntilFull(t *testing.T) {
+	net := netsim.New()
+	net.AddLAN("lan", "c", netsim.ProfileUnshaped)
+	net.MustAddMachine("srv", "lan")
+	net.MustAddMachine("cli", "lan")
+	rt := core.NewRuntime(net, "p")
+	defer rt.Close()
+	host, _ := rt.NewContext("host", "srv")
+	if err := host.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ServeBarrier(host, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := rt.NewContext("c1", "cli")
+	c2, _ := rt.NewContext("c2", "cli")
+
+	released := make(chan struct{})
+	go func() {
+		NewBarrier(c1, ref).Await()
+		close(released)
+	}()
+	select {
+	case <-released:
+		t.Fatal("barrier released with one party")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := NewBarrier(c2, ref).Await(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-released:
+	case <-time.After(2 * time.Second):
+		t.Fatal("first party never released")
+	}
+}
+
+func TestServeBarrierValidation(t *testing.T) {
+	net := netsim.New()
+	net.AddLAN("lan", "c", netsim.ProfileUnshaped)
+	net.MustAddMachine("srv", "lan")
+	rt := core.NewRuntime(net, "p")
+	defer rt.Close()
+	host, _ := rt.NewContext("host", "srv")
+	if _, err := ServeBarrier(host, 0); err == nil {
+		t.Fatal("0 parties accepted")
+	}
+	// No bindings -> error.
+	if err := host.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	bare, _ := rt.NewContext("bare", "srv")
+	if _, err := ServeBarrier(bare, 2); err == nil {
+		t.Fatal("barrier on unbound context accepted")
+	}
+}
+
+func TestBarrierStateSnapshotRestore(t *testing.T) {
+	st := newBarrierState(3)
+	st.generation = 7
+	blob, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := newBarrierState(1)
+	if err := st2.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if st2.generation != 7 || st2.parties != 3 {
+		t.Fatalf("restored %+v", st2)
+	}
+	if err := st2.Restore([]byte{1}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestScatterGatherPerRank(t *testing.T) {
+	g, _, _ := world(t, 3)
+	reqs := []*rankReq{{Scale: 10}, {Scale: 100}, {Scale: 1000}}
+	replies, err := ScatterGather[*rankReq, rankReply](g, "rank", reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 100, 2000}
+	for i, r := range replies {
+		if r.Value != want[i] {
+			t.Fatalf("rank %d: %d want %d", i, r.Value, want[i])
+		}
+	}
+	if _, err := ScatterGather[*rankReq, rankReply](g, "rank", reqs[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestBarrierMigratesBetweenGenerations(t *testing.T) {
+	net := netsim.New()
+	net.AddLAN("lan", "c", netsim.ProfileUnshaped)
+	net.MustAddMachine("srv1", "lan")
+	net.MustAddMachine("srv2", "lan")
+	net.MustAddMachine("cli", "lan")
+	rt := core.NewRuntime(net, "p")
+	rt.RegisterIface(BarrierIface, func() (any, map[string]core.Method) {
+		st := newBarrierState(2)
+		return st, map[string]core.Method{
+			"arrive": core.Handler(func(*core.Empty) (*barrierReply, error) {
+				return &barrierReply{Generation: st.await()}, nil
+			}),
+		}
+	})
+	defer rt.Close()
+
+	h1, _ := rt.NewContext("h1", "srv1")
+	if err := h1.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := rt.NewContext("h2", "srv2")
+	if err := h2.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ServeBarrier(h1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := rt.NewContext("c1", "cli")
+	c2, _ := rt.NewContext("c2", "cli")
+	b1 := NewBarrier(c1, ref)
+	b2 := NewBarrier(c2, ref)
+
+	// Complete generation 0 at h1.
+	done := make(chan error, 1)
+	go func() { _, err := b1.Await(); done <- err }()
+	if _, err := b2.Await(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate between generations; the generation counter survives.
+	newRef, err := migrate.MoveLocal(h1, ref, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = newRef
+	go func() { _, err := b1.Await(); done <- err }()
+	gen, err := b2.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("generation %d after migration, want 1", gen)
+	}
+}

@@ -1,0 +1,93 @@
+package loadbal
+
+import (
+	"sync"
+	"time"
+)
+
+// Daemon runs Rebalance on a fixed period until stopped, recording every
+// move — the always-on form of the balancer that a deployed Open HPC++
+// application would run next to its contexts.
+type Daemon struct {
+	b        *Balancer
+	interval time.Duration
+
+	mu      sync.Mutex
+	history []Move
+	errs    []error
+	passes  int
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewDaemon wraps a balancer with a sampling period.
+func NewDaemon(b *Balancer, interval time.Duration) *Daemon {
+	return &Daemon{b: b, interval: interval}
+}
+
+// Start launches the balancing loop. It is a no-op if already running.
+func (d *Daemon) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stop != nil {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go d.loop(d.stop, d.done)
+}
+
+func (d *Daemon) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			moves, err := d.b.Rebalance()
+			d.mu.Lock()
+			d.passes++
+			d.history = append(d.history, moves...)
+			if err != nil {
+				d.errs = append(d.errs, err)
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// Stop halts the loop and waits for the in-flight pass to finish.
+func (d *Daemon) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// History returns all moves performed so far.
+func (d *Daemon) History() []Move {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Move(nil), d.history...)
+}
+
+// Passes returns how many balancing passes have run.
+func (d *Daemon) Passes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.passes
+}
+
+// Errs returns errors encountered by past passes.
+func (d *Daemon) Errs() []error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]error(nil), d.errs...)
+}

@@ -1,0 +1,253 @@
+// Package loadbal implements Open HPC++'s dynamic load balancing: it
+// watches the load on a set of contexts and, when a host crosses its
+// high-water mark (paper §4.3: "the load on the server's machine
+// increases beyond a high-water mark"), migrates managed objects to the
+// least-loaded host. Because every global pointer re-runs protocol
+// selection after a move, balancing composes with capabilities — the
+// paper's central claim that "capabilities also work with the
+// load-balancing features of Open HPC++".
+package loadbal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/migrate"
+	"openhpcxx/internal/registry"
+)
+
+// LoadSource reports a host's current load in abstract units (a real
+// deployment would sample CPU or queue depth; experiments inject
+// synthetic load).
+type LoadSource func() float64
+
+// SyntheticLoad is an injectable load signal for tests and experiments.
+type SyntheticLoad struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set assigns the load value.
+func (s *SyntheticLoad) Set(v float64) {
+	s.mu.Lock()
+	s.v = v
+	s.mu.Unlock()
+}
+
+// Add increments the load value.
+func (s *SyntheticLoad) Add(d float64) {
+	s.mu.Lock()
+	s.v += d
+	s.mu.Unlock()
+}
+
+// Source returns a LoadSource reading this signal.
+func (s *SyntheticLoad) Source() LoadSource {
+	return func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.v
+	}
+}
+
+// CallLoad derives load from a set of servants' cumulative call counts:
+// load is the number of calls since the previous sample. It gives the
+// balancer a real signal in the examples without OS hooks.
+type CallLoad struct {
+	mu   sync.Mutex
+	last uint64
+	get  func() uint64
+}
+
+// NewCallLoad builds a CallLoad over a cumulative counter function.
+func NewCallLoad(get func() uint64) *CallLoad { return &CallLoad{get: get} }
+
+// Source returns a LoadSource reading call deltas.
+func (c *CallLoad) Source() LoadSource {
+	return func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		now := c.get()
+		d := now - c.last
+		c.last = now
+		return float64(d)
+	}
+}
+
+// Policy sets the balancing thresholds.
+type Policy struct {
+	// HighWater is the load above which a host sheds objects.
+	HighWater float64
+	// Margin is the minimum load gap between source and destination for
+	// a move to be worthwhile; it damps oscillation.
+	Margin float64
+	// MaxMovesPerPass bounds churn in one Rebalance (0 = 1).
+	MaxMovesPerPass int
+}
+
+// Host is one balanced context plus its load signal.
+type Host struct {
+	Ctx  *core.Context
+	Load LoadSource
+}
+
+// managed tracks one migratable object under balancer control.
+type managed struct {
+	name string // registry name ("" = unpublished)
+	ref  *core.ObjectRef
+	host *core.Context
+}
+
+// Move records one completed migration.
+type Move struct {
+	Object core.ObjectID
+	From   string
+	To     string
+	NewRef *core.ObjectRef
+}
+
+// Balancer drives migrations according to a Policy.
+type Balancer struct {
+	policy Policy
+	reg    *registry.Client // may be nil
+
+	mu      sync.Mutex
+	hosts   []*Host
+	objects map[core.ObjectID]*managed
+}
+
+// New builds a balancer. reg, if non-nil, is kept current on every move.
+func New(policy Policy, reg *registry.Client) *Balancer {
+	if policy.MaxMovesPerPass <= 0 {
+		policy.MaxMovesPerPass = 1
+	}
+	return &Balancer{policy: policy, reg: reg, objects: make(map[core.ObjectID]*managed)}
+}
+
+// AddHost registers a context as a migration source/target.
+func (b *Balancer) AddHost(ctx *core.Context, load LoadSource) {
+	b.mu.Lock()
+	b.hosts = append(b.hosts, &Host{Ctx: ctx, Load: load})
+	b.mu.Unlock()
+}
+
+// Manage places an object under balancer control. name may be "" for
+// objects not published in a registry.
+func (b *Balancer) Manage(name string, ref *core.ObjectRef, host *core.Context) {
+	b.mu.Lock()
+	b.objects[ref.Object] = &managed{name: name, ref: ref.Clone(), host: host}
+	b.mu.Unlock()
+}
+
+// Ref returns the current reference of a managed object.
+func (b *Balancer) Ref(id core.ObjectID) (*core.ObjectRef, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.objects[id]
+	if !ok {
+		return nil, false
+	}
+	return m.ref.Clone(), true
+}
+
+// Loads samples every host, returned in registration order.
+func (b *Balancer) Loads() []float64 {
+	b.mu.Lock()
+	hosts := append([]*Host(nil), b.hosts...)
+	b.mu.Unlock()
+	out := make([]float64, len(hosts))
+	for i, h := range hosts {
+		out[i] = h.Load()
+	}
+	return out
+}
+
+// Rebalance runs one balancing pass: any host above the high-water mark
+// sheds managed objects to the least-loaded host, provided the load gap
+// exceeds the margin. It returns the moves performed.
+func (b *Balancer) Rebalance() ([]Move, error) {
+	b.mu.Lock()
+	hosts := append([]*Host(nil), b.hosts...)
+	b.mu.Unlock()
+	if len(hosts) < 2 {
+		return nil, nil
+	}
+
+	type sample struct {
+		host *Host
+		load float64
+	}
+	samples := make([]sample, len(hosts))
+	for i, h := range hosts {
+		samples[i] = sample{host: h, load: h.Load()}
+	}
+	// Busiest first; ties broken by context name for determinism.
+	sort.SliceStable(samples, func(i, j int) bool {
+		if samples[i].load != samples[j].load {
+			return samples[i].load > samples[j].load
+		}
+		return samples[i].host.Ctx.Name() < samples[j].host.Ctx.Name()
+	})
+
+	var moves []Move
+	for _, s := range samples {
+		if len(moves) >= b.policy.MaxMovesPerPass {
+			break
+		}
+		if s.load <= b.policy.HighWater {
+			break // sorted: nobody else is over either
+		}
+		target := samples[len(samples)-1]
+		if target.host == s.host || s.load-target.load < b.policy.Margin {
+			continue
+		}
+		obj := b.pickVictim(s.host)
+		if obj == nil {
+			continue
+		}
+		mv, err := b.moveObject(obj, target.host.Ctx)
+		if err != nil {
+			return moves, err
+		}
+		moves = append(moves, *mv)
+	}
+	return moves, nil
+}
+
+// pickVictim chooses the managed object on host with the most calls (a
+// proxy for the load it generates). Deterministic tie-break by id.
+func (b *Balancer) pickVictim(host *Host) *managed {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var best *managed
+	var bestCalls uint64
+	for _, m := range b.objects {
+		if m.host != host.Ctx {
+			continue
+		}
+		s, ok := host.Ctx.Servant(m.ref.Object)
+		if !ok {
+			continue
+		}
+		calls := s.Calls()
+		if best == nil || calls > bestCalls || (calls == bestCalls && m.ref.Object < best.ref.Object) {
+			best, bestCalls = m, calls
+		}
+	}
+	return best
+}
+
+func (b *Balancer) moveObject(m *managed, dst *core.Context) (*Move, error) {
+	newRef, err := migrate.MoveAndPublish(m.host, m.ref, dst, b.reg, m.name)
+	if err != nil {
+		return nil, fmt.Errorf("loadbal: moving %s: %w", m.ref.Object, err)
+	}
+	mv := &Move{Object: m.ref.Object, From: m.host.Name(), To: dst.Name(), NewRef: newRef}
+	b.mu.Lock()
+	m.ref = newRef.Clone()
+	m.host = dst
+	b.mu.Unlock()
+	return mv, nil
+}

@@ -1,0 +1,294 @@
+// Package migrate implements Open HPC++ object migration: moving a
+// server object's state from one context to another while every global
+// pointer in the system keeps working and transparently re-runs protocol
+// selection against the object's new locality (paper §4.3 and the
+// Figure 4 experiment).
+//
+// A move freezes the servant, snapshots its state (core.Migratable),
+// reactivates the implementation at the destination (the runtime's
+// interface registry), re-anchors the reference's protocol table to the
+// destination's bindings — including re-registering glue capability
+// chains — and leaves a forwarding tombstone behind. Stale callers
+// receive FaultMoved carrying the new reference and retry transparently.
+package migrate
+
+import (
+	"fmt"
+	"sync"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/registry"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+// Reanchorer rebuilds a custom protocol's table entry at a destination
+// context after migration (returning ok=false when the destination does
+// not serve that protocol). Custom protocol packages register one so
+// their entries survive object moves; built-ins are handled natively.
+type Reanchorer func(dst *core.Context, old core.ProtoEntry) (core.ProtoEntry, bool, error)
+
+var (
+	reanchorMu  sync.RWMutex
+	reanchorers = make(map[core.ProtoID]Reanchorer)
+)
+
+// RegisterReanchor installs a Reanchorer for a custom protocol id.
+func RegisterReanchor(id core.ProtoID, fn Reanchorer) {
+	reanchorMu.Lock()
+	reanchorers[id] = fn
+	reanchorMu.Unlock()
+}
+
+// ReanchorEntry maps one protocol table entry from the source context's
+// bindings to the destination's. The bool result reports whether the
+// destination supports the protocol at all (e.g. a context without a
+// Nexus binding drops nexus entries from migrated references).
+func ReanchorEntry(dst *core.Context, e core.ProtoEntry) (core.ProtoEntry, bool, error) {
+	switch e.ID {
+	case core.ProtoSHM:
+		ne, err := dst.EntrySHM()
+		return ne, err == nil, nil
+	case core.ProtoStream:
+		ne, err := dst.EntryStream()
+		return ne, err == nil, nil
+	case core.ProtoNexus:
+		ne, err := dst.EntryNexus()
+		return ne, err == nil, nil
+	case core.ProtoGlue:
+		return capability.ReanchorGlueEntry(dst, e, func(base core.ProtoEntry) (core.ProtoEntry, bool) {
+			ne, ok, err := ReanchorEntry(dst, base)
+			return ne, ok && err == nil
+		})
+	default:
+		reanchorMu.RLock()
+		fn, ok := reanchorers[e.ID]
+		reanchorMu.RUnlock()
+		if ok {
+			return fn(dst, e)
+		}
+		// Unknown protocols cannot be re-anchored; drop them.
+		return core.ProtoEntry{}, false, nil
+	}
+}
+
+// ReanchorTable rebuilds a whole protocol table at the destination,
+// preserving the preference order and dropping entries the destination
+// cannot serve.
+func ReanchorTable(dst *core.Context, old []core.ProtoEntry) ([]core.ProtoEntry, error) {
+	out := make([]core.ProtoEntry, 0, len(old))
+	for _, e := range old {
+		ne, ok, err := ReanchorEntry(dst, e)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, ne)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("migrate: destination %s supports none of the reference's protocols", dst.Name())
+	}
+	return out, nil
+}
+
+// adopt reactivates an object at dst from its snapshot and exports it
+// with a re-anchored protocol table, returning the new reference.
+func adopt(dst *core.Context, id core.ObjectID, iface string, epoch uint64, state []byte, oldTable []core.ProtoEntry) (*core.ObjectRef, error) {
+	impl, methods, err := dst.Runtime().Activate(iface)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := impl.(core.Migratable)
+	if !ok {
+		return nil, fmt.Errorf("migrate: activator for %q built a non-Migratable %T", iface, impl)
+	}
+	if err := m.Restore(state); err != nil {
+		return nil, fmt.Errorf("migrate: restoring %s: %w", id, err)
+	}
+	table, err := ReanchorTable(dst, oldTable)
+	if err != nil {
+		return nil, err
+	}
+	s, err := dst.ExportAs(id, iface, impl, methods, epoch)
+	if err != nil {
+		return nil, err
+	}
+	return dst.NewRef(s, table...), nil
+}
+
+// MoveLocal migrates an object between two contexts of the same runtime
+// (one OS process — the common case in the simulated deployments). ref
+// is the object's currently published reference, whose protocol table
+// shape is preserved at the destination. It returns the new reference.
+func MoveLocal(src *core.Context, ref *core.ObjectRef, dst *core.Context) (*core.ObjectRef, error) {
+	if src.Runtime() != dst.Runtime() {
+		return nil, fmt.Errorf("migrate: MoveLocal across runtimes; use Move with a control reference")
+	}
+	s, state, err := src.BeginMove(ref.Object)
+	if err != nil {
+		return nil, err
+	}
+	newRef, err := adopt(dst, ref.Object, ref.Iface, ref.Epoch+1, state, ref.Protocols)
+	if err != nil {
+		src.AbortMove(s)
+		return nil, err
+	}
+	src.CommitMove(s, newRef)
+	return newRef, nil
+}
+
+// --- Remote migration (cross-process) ---------------------------------
+
+// CtlIface is the migration control servant's interface name.
+const CtlIface = "openhpcxx.MigrationTarget"
+
+type adoptArgs struct {
+	Object core.ObjectID
+	Iface  string
+	Epoch  uint64
+	State  []byte
+	Table  []core.ProtoEntry
+}
+
+func (a *adoptArgs) MarshalXDR(e *xdr.Encoder) error {
+	e.PutString(string(a.Object))
+	e.PutString(a.Iface)
+	e.PutUint64(a.Epoch)
+	e.PutOpaque(a.State)
+	e.PutUint32(uint32(len(a.Table)))
+	for i := range a.Table {
+		if err := a.Table[i].MarshalXDR(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *adoptArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	obj, err := d.String()
+	if err != nil {
+		return err
+	}
+	a.Object = core.ObjectID(obj)
+	if a.Iface, err = d.String(); err != nil {
+		return err
+	}
+	if a.Epoch, err = d.Uint64(); err != nil {
+		return err
+	}
+	if a.State, err = d.Opaque(); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > 64 {
+		return fmt.Errorf("migrate: table of %d entries exceeds limit", n)
+	}
+	a.Table = make([]core.ProtoEntry, n)
+	for i := range a.Table {
+		if err := a.Table[i].UnmarshalXDR(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type adoptReply struct{ Ref []byte }
+
+func (r *adoptReply) MarshalXDR(e *xdr.Encoder) error {
+	e.PutOpaque(r.Ref)
+	return nil
+}
+
+func (r *adoptReply) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	r.Ref, err = d.Opaque()
+	return err
+}
+
+// ctlObjectID returns the well-known control object id for a context.
+func ctlObjectID(ctxName string) core.ObjectID {
+	return core.ObjectID(ctxName + "/_migrctl")
+}
+
+// EnableTarget exports the migration control servant on ctx so remote
+// runtimes can migrate objects into it, and returns a reference to hand
+// to sources (typically published through the registry).
+func EnableTarget(ctx *core.Context) (*core.ObjectRef, error) {
+	methods := map[string]core.Method{
+		"adopt": core.Handler(func(a *adoptArgs) (*adoptReply, error) {
+			ref, err := adopt(ctx, a.Object, a.Iface, a.Epoch, a.State, a.Table)
+			if err != nil {
+				return nil, wire.Faultf(wire.FaultInternal, "adopt %s: %v", a.Object, err)
+			}
+			blob, err := core.EncodeRef(ref)
+			if err != nil {
+				return nil, err
+			}
+			return &adoptReply{Ref: blob}, nil
+		}),
+	}
+	s, err := ctx.ExportAs(ctlObjectID(ctx.Name()), CtlIface, nil, methods, 0)
+	if err != nil {
+		return nil, err
+	}
+	var entries []core.ProtoEntry
+	if e, err := ctx.EntryStream(); err == nil {
+		entries = append(entries, e)
+	}
+	if e, err := ctx.EntrySHM(); err == nil {
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("migrate: context %s has no bindings for a control servant", ctx.Name())
+	}
+	return ctx.NewRef(s, entries...), nil
+}
+
+// Move migrates an object from src to the remote context behind ctlRef
+// (obtained from EnableTarget, possibly via the registry). It returns
+// the object's new reference.
+func Move(src *core.Context, ref *core.ObjectRef, ctlRef *core.ObjectRef) (*core.ObjectRef, error) {
+	s, state, err := src.BeginMove(ref.Object)
+	if err != nil {
+		return nil, err
+	}
+	gp := src.NewGlobalPtr(ctlRef)
+	reply, err := core.Call[*adoptArgs, adoptReply](gp, "adopt", &adoptArgs{
+		Object: ref.Object,
+		Iface:  ref.Iface,
+		Epoch:  ref.Epoch + 1,
+		State:  state,
+		Table:  ref.Protocols,
+	})
+	if err != nil {
+		src.AbortMove(s)
+		return nil, err
+	}
+	newRef, err := core.DecodeRef(reply.Ref)
+	if err != nil {
+		src.AbortMove(s)
+		return nil, err
+	}
+	src.CommitMove(s, newRef)
+	return newRef, nil
+}
+
+// MoveAndPublish migrates (locally) and updates the registry binding in
+// one step, the sequence the load balancer runs.
+func MoveAndPublish(src *core.Context, ref *core.ObjectRef, dst *core.Context, reg *registry.Client, name string) (*core.ObjectRef, error) {
+	newRef, err := MoveLocal(src, ref, dst)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil && name != "" {
+		if err := reg.Rebind(name, newRef); err != nil {
+			return newRef, fmt.Errorf("migrate: moved but registry update failed: %w", err)
+		}
+	}
+	return newRef, nil
+}

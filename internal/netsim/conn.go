@@ -1,0 +1,267 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed simulated connection.
+var ErrClosed = errors.New("netsim: connection closed")
+
+// ErrDeadline is returned when a read deadline expires.
+var ErrDeadline = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "netsim: i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
+// Addr is the net.Addr implementation for simulated endpoints, with the
+// scheme sim://machine:port.
+type Addr struct {
+	Machine MachineID
+	Port    int
+}
+
+// Network implements net.Addr.
+func (a Addr) Network() string { return "sim" }
+
+func (a Addr) String() string {
+	return "sim://" + string(a.Machine) + ":" + itoa(a.Port)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// packet is one shaped write: its bytes become readable at deliverAt.
+type packet struct {
+	data      []byte
+	deliverAt time.Time
+}
+
+// halfPipe carries data in one direction with latency/bandwidth shaping.
+type halfPipe struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []packet
+	queued   int // bytes in queue, for the flow-control window
+	window   int // max queued bytes before writers block
+	nextFree time.Time
+	profile  LinkProfile
+	closed   bool
+	rdDead   time.Time
+	pending  []byte // remainder of a delivered packet
+}
+
+func newHalfPipe(p LinkProfile) *halfPipe {
+	h := &halfPipe{profile: p, window: 1 << 20}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+// write shapes and enqueues p, blocking while the flow-control window is
+// full.
+func (h *halfPipe) write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.queued >= h.window && !h.closed {
+		h.cond.Wait()
+	}
+	if h.closed {
+		return 0, ErrClosed
+	}
+	now := time.Now()
+	start := h.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	tx := h.profile.TxTime(len(p))
+	h.nextFree = start.Add(tx)
+	data := make([]byte, len(p))
+	copy(data, p)
+	h.queue = append(h.queue, packet{data: data, deliverAt: h.nextFree.Add(h.profile.Latency)})
+	h.queued += len(p)
+	h.cond.Broadcast()
+	return len(p), nil
+}
+
+// read blocks until data is deliverable (per shaping) or the pipe closes.
+func (h *halfPipe) read(p []byte) (int, error) {
+	h.mu.Lock()
+	for {
+		if len(h.pending) > 0 {
+			n := copy(p, h.pending)
+			h.pending = h.pending[n:]
+			h.mu.Unlock()
+			return n, nil
+		}
+		if !h.rdDead.IsZero() && !time.Now().Before(h.rdDead) {
+			h.mu.Unlock()
+			return 0, ErrDeadline
+		}
+		if len(h.queue) > 0 {
+			pkt := h.queue[0]
+			now := time.Now()
+			if wait := pkt.deliverAt.Sub(now); wait > 0 {
+				// Release the lock while the packet is "on the wire" so
+				// writers can continue to enqueue behind it.
+				h.mu.Unlock()
+				if !h.sleepOrDeadline(wait) {
+					return 0, ErrDeadline
+				}
+				h.mu.Lock()
+				continue
+			}
+			h.queue = h.queue[1:]
+			h.queued -= len(pkt.data)
+			h.pending = pkt.data
+			h.cond.Broadcast()
+			continue
+		}
+		if h.closed {
+			h.mu.Unlock()
+			return 0, io.EOF
+		}
+		h.waitWithDeadline()
+	}
+}
+
+// sleepOrDeadline sleeps for d unless the read deadline fires first; it
+// reports false when the deadline fired.
+func (h *halfPipe) sleepOrDeadline(d time.Duration) bool {
+	h.mu.Lock()
+	dead := h.rdDead
+	h.mu.Unlock()
+	if !dead.IsZero() {
+		if until := time.Until(dead); until < d {
+			time.Sleep(maxDuration(until, 0))
+			return false
+		}
+	}
+	time.Sleep(d)
+	return true
+}
+
+// waitWithDeadline waits on the condition, waking at the read deadline if
+// one is set. Called with h.mu held; returns with h.mu held.
+func (h *halfPipe) waitWithDeadline() {
+	if h.rdDead.IsZero() {
+		h.cond.Wait()
+		return
+	}
+	// Arm a timer to break the wait at the deadline.
+	dead := h.rdDead
+	t := time.AfterFunc(time.Until(dead), func() {
+		h.mu.Lock()
+		h.cond.Broadcast()
+		h.mu.Unlock()
+	})
+	h.cond.Wait()
+	t.Stop()
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (h *halfPipe) close() {
+	h.mu.Lock()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+func (h *halfPipe) setReadDeadline(t time.Time) {
+	h.mu.Lock()
+	h.rdDead = t
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// Conn is a simulated net.Conn between two machines. Writes are shaped by
+// the link profile; reads observe data only after its modeled arrival
+// time.
+type Conn struct {
+	recv   *halfPipe
+	send   *halfPipe
+	local  Addr
+	remote Addr
+	once   sync.Once
+}
+
+var _ net.Conn = (*Conn)(nil)
+
+// Pipe returns a shaped duplex connection pair with the given profile and
+// addresses. It is the building block Network uses, exposed for tests and
+// for transports that want a point-to-point shaped link without topology.
+func Pipe(profile LinkProfile, a, b Addr) (*Conn, *Conn) {
+	ab := newHalfPipe(profile)
+	ba := newHalfPipe(profile)
+	ca := &Conn{recv: ba, send: ab, local: a, remote: b}
+	cb := &Conn{recv: ab, send: ba, local: b, remote: a}
+	return ca, cb
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) { return c.recv.read(p) }
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) { return c.send.write(p) }
+
+// Close implements net.Conn. Both directions observe the close: pending
+// data drains, then readers see io.EOF.
+func (c *Conn) Close() error {
+	c.once.Do(func() {
+		c.send.close()
+		c.recv.close()
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn (read side only; writes in this
+// simulation block only on flow control, which closes promptly).
+func (c *Conn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.recv.setReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn as a no-op; see SetDeadline.
+func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// Profile returns the link profile shaping this connection.
+func (c *Conn) Profile() LinkProfile { return c.send.profile }

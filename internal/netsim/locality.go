@@ -1,0 +1,62 @@
+// Package netsim provides the simulated network substrate that stands in
+// for the paper's hardware testbed (Sun Ultra-10 workstations on Ethernet
+// and 155 Mbps ATM LANs).
+//
+// It models machines grouped into LANs grouped into campuses, and
+// manufactures in-memory duplex connections between machines whose
+// latency and bandwidth are shaped in real time according to the link
+// profile joining the two endpoints. The Open HPC++ ORB uses the
+// resulting Locality values to evaluate protocol and capability
+// applicability (e.g. "shared memory only on the same machine",
+// "authentication only across LANs") exactly as described in the paper's
+// Figure 3 scenario.
+package netsim
+
+// MachineID names a hardware compute resource (the paper's "node").
+type MachineID string
+
+// LANID names a local-area network segment.
+type LANID string
+
+// CampusID names a collection of LANs that trust each other (the paper's
+// "same campus" relation, which turns off the security capability).
+type CampusID string
+
+// Locality describes where a context runs. Protocols and capabilities
+// receive the client and server localities when their applicability is
+// evaluated.
+type Locality struct {
+	Machine MachineID
+	LAN     LANID
+	Campus  CampusID
+	// Process distinguishes OS processes sharing a machine. Shared
+	// memory in this system is an in-process channel transport, so its
+	// applicability additionally requires an identical Process.
+	Process string
+}
+
+// SameMachine reports whether both localities name the same machine.
+func (l Locality) SameMachine(o Locality) bool {
+	return l.Machine != "" && l.Machine == o.Machine
+}
+
+// SameProcess reports whether both localities are in the same OS process
+// on the same machine.
+func (l Locality) SameProcess(o Locality) bool {
+	return l.SameMachine(o) && l.Process != "" && l.Process == o.Process
+}
+
+// SameLAN reports whether both localities are on the same LAN segment.
+func (l Locality) SameLAN(o Locality) bool {
+	return l.LAN != "" && l.LAN == o.LAN
+}
+
+// SameCampus reports whether both localities are on the same campus.
+func (l Locality) SameCampus(o Locality) bool {
+	return l.Campus != "" && l.Campus == o.Campus
+}
+
+// String renders the locality as campus/lan/machine:process.
+func (l Locality) String() string {
+	return string(l.Campus) + "/" + string(l.LAN) + "/" + string(l.Machine) + ":" + l.Process
+}

@@ -1,0 +1,497 @@
+package netsim
+
+import (
+	"bytes"
+	"crypto/rand"
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestLocalityRelations(t *testing.T) {
+	a := Locality{Machine: "m1", LAN: "lan1", Campus: "c1", Process: "p1"}
+	b := Locality{Machine: "m1", LAN: "lan1", Campus: "c1", Process: "p2"}
+	c := Locality{Machine: "m2", LAN: "lan1", Campus: "c1", Process: "p1"}
+	d := Locality{Machine: "m3", LAN: "lan2", Campus: "c1", Process: "p1"}
+	e := Locality{Machine: "m4", LAN: "lan3", Campus: "c2", Process: "p1"}
+
+	if !a.SameMachine(b) || !a.SameLAN(c) || !a.SameCampus(d) {
+		t.Fatal("positive relations failed")
+	}
+	if a.SameProcess(b) {
+		t.Fatal("different processes reported same")
+	}
+	if !a.SameProcess(a) {
+		t.Fatal("identical locality not same process")
+	}
+	if a.SameMachine(c) || c.SameLAN(d) || d.SameCampus(e) {
+		t.Fatal("negative relations failed")
+	}
+	var zero Locality
+	if zero.SameMachine(zero) || zero.SameLAN(zero) || zero.SameCampus(zero) {
+		t.Fatal("zero locality must not match itself")
+	}
+}
+
+func TestProfileTxTime(t *testing.T) {
+	p := LinkProfile{Name: "t", BitsPerSec: 8e6} // 1 byte per microsecond
+	if got := p.TxTime(1000); got != time.Millisecond {
+		t.Fatalf("TxTime = %v, want 1ms", got)
+	}
+	if got := ProfileUnshaped.TxTime(1 << 20); got != 0 {
+		t.Fatalf("unshaped TxTime = %v, want 0", got)
+	}
+	over := LinkProfile{BitsPerSec: 8e6, FrameOverhead: 1000}
+	if got := over.TxTime(0); got != time.Millisecond {
+		t.Fatalf("overhead TxTime = %v, want 1ms", got)
+	}
+}
+
+func TestProfileScaled(t *testing.T) {
+	s := ProfileEthernet.Scaled(10)
+	if s.BitsPerSec != ProfileEthernet.BitsPerSec*10 {
+		t.Fatal("bandwidth not scaled")
+	}
+	if s.Latency != ProfileEthernet.Latency/10 {
+		t.Fatal("latency not scaled")
+	}
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(ProfileUnshaped, Addr{"m1", 1}, Addr{"m2", 2})
+	defer a.Close()
+	defer b.Close()
+	msg := []byte("hello simulated world")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Fatalf("got %q want %q", buf, msg)
+	}
+}
+
+func TestPipeAddrs(t *testing.T) {
+	a, b := Pipe(ProfileUnshaped, Addr{"m1", 1}, Addr{"m2", 2})
+	defer a.Close()
+	defer b.Close()
+	if a.LocalAddr().String() != "sim://m1:1" || a.RemoteAddr().String() != "sim://m2:2" {
+		t.Fatalf("a addrs: %v %v", a.LocalAddr(), a.RemoteAddr())
+	}
+	if b.LocalAddr().String() != "sim://m2:2" || b.RemoteAddr().String() != "sim://m1:1" {
+		t.Fatalf("b addrs: %v %v", b.LocalAddr(), b.RemoteAddr())
+	}
+	if a.LocalAddr().Network() != "sim" {
+		t.Fatal("network name")
+	}
+}
+
+func TestPipeLatency(t *testing.T) {
+	lat := 20 * time.Millisecond
+	a, b := Pipe(LinkProfile{Name: "lat", Latency: lat}, Addr{"m1", 1}, Addr{"m2", 2})
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	go a.Write([]byte("x"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Fatalf("read completed in %v, want >= %v", elapsed, lat)
+	}
+}
+
+func TestPipeBandwidth(t *testing.T) {
+	// 8 Mbit/s = 1 MB/s; 64 KiB should take >= ~65 ms.
+	p := LinkProfile{Name: "bw", BitsPerSec: 8e6}
+	a, b := Pipe(p, Addr{"m1", 1}, Addr{"m2", 2})
+	defer a.Close()
+	defer b.Close()
+	const n = 64 << 10
+	go func() {
+		buf := make([]byte, 8<<10)
+		for i := 0; i < n/len(buf); i++ {
+			a.Write(buf)
+		}
+	}()
+	start := time.Now()
+	if _, err := io.ReadFull(b, make([]byte, n)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	want := p.TxTime(n)
+	if elapsed < want*9/10 {
+		t.Fatalf("transferred %d bytes in %v, shaping demands >= %v", n, elapsed, want)
+	}
+}
+
+func TestPipeCloseEOF(t *testing.T) {
+	a, b := Pipe(ProfileUnshaped, Addr{"m1", 1}, Addr{"m2", 2})
+	a.Write([]byte("tail"))
+	a.Close()
+	// Data written before close must still drain.
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if _, err := b.Write([]byte("x")); err != ErrClosed {
+		t.Fatalf("write to closed: want ErrClosed, got %v", err)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	a, b := Pipe(ProfileUnshaped, Addr{"m1", 1}, Addr{"m2", 2})
+	defer a.Close()
+	defer b.Close()
+	b.SetReadDeadline(time.Now().Add(30 * time.Millisecond))
+	start := time.Now()
+	_, err := b.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("expected deadline error")
+	}
+	ne, ok := err.(interface{ Timeout() bool })
+	if !ok || !ne.Timeout() {
+		t.Fatalf("error %v is not a timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline wait too long")
+	}
+	// Clearing the deadline allows reads again.
+	b.SetReadDeadline(time.Time{})
+	go a.Write([]byte("y"))
+	if _, err := io.ReadFull(b, make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildTopology(t *testing.T) *Network {
+	t.Helper()
+	n := New()
+	n.AddLAN("lanA", "campus1", ProfileATM155)
+	n.AddLAN("lanB", "campus1", ProfileEthernet)
+	n.AddLAN("lanC", "campus2", ProfileEthernet)
+	n.MustAddMachine("m0", "lanA")
+	n.MustAddMachine("m1", "lanA")
+	n.MustAddMachine("m2", "lanB")
+	n.MustAddMachine("m3", "lanC")
+	return n
+}
+
+func TestLinkSelection(t *testing.T) {
+	n := buildTopology(t)
+	cases := []struct {
+		a, b MachineID
+		want string
+	}{
+		{"m0", "m0", "loopback"},
+		{"m0", "m1", "atm155"},
+		{"m0", "m2", "campus"},
+		{"m0", "m3", "wan"},
+	}
+	for _, c := range cases {
+		p, err := n.LinkBetween(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != c.want {
+			t.Errorf("link %s-%s = %s, want %s", c.a, c.b, p.Name, c.want)
+		}
+	}
+	if _, err := n.LinkBetween("m0", "nope"); err == nil {
+		t.Fatal("want error for unknown machine")
+	}
+}
+
+func TestLocalityOf(t *testing.T) {
+	n := buildTopology(t)
+	loc, err := n.LocalityOf("m2", "procX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Locality{Machine: "m2", LAN: "lanB", Campus: "campus1", Process: "procX"}
+	if loc != want {
+		t.Fatalf("got %v want %v", loc, want)
+	}
+	if _, err := n.LocalityOf("missing", "p"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestListenDial(t *testing.T) {
+	n := buildTopology(t)
+	l, err := n.Listen("m1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	addr := l.Addr().(Addr)
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			done <- err
+			return
+		}
+		_, err = c.Write(bytes.ToUpper(buf))
+		done <- err
+	}()
+
+	c, err := n.Dial("m0", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Profile().Name != "atm155" {
+		t.Fatalf("dialed profile %s, want atm155", c.Profile().Name)
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "PING" {
+		t.Fatalf("echo %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	n := buildTopology(t)
+	if _, err := n.Dial("m0", Addr{"m1", 9999}); err == nil {
+		t.Fatal("want connection refused")
+	}
+	if _, err := n.Dial("ghost", Addr{"m1", 1}); err == nil {
+		t.Fatal("want unknown machine")
+	}
+	if _, err := n.Listen("ghost", 0); err == nil {
+		t.Fatal("want unknown machine")
+	}
+}
+
+func TestListenPortConflict(t *testing.T) {
+	n := buildTopology(t)
+	l, err := n.Listen("m1", 7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("m1", 7777); err == nil {
+		t.Fatal("want address-in-use")
+	}
+	l.Close()
+	// After close the port is reusable.
+	l2, err := n.Listen("m1", 7777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	n := buildTopology(t)
+	l, err := n.Listen("m1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("Accept after close: %v", err)
+	}
+}
+
+// Property: arbitrary write patterns arrive intact and in order.
+func TestQuickPipeIntegrity(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		a, b := Pipe(ProfileUnshaped, Addr{"x", 1}, Addr{"y", 2})
+		defer a.Close()
+		defer b.Close()
+		var want []byte
+		for _, c := range chunks {
+			want = append(want, c...)
+		}
+		go func() {
+			for _, c := range chunks {
+				if len(c) == 0 {
+					continue
+				}
+				a.Write(c)
+			}
+			a.Close()
+		}()
+		got, err := io.ReadAll(b)
+		return err == nil && bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDials(t *testing.T) {
+	n := buildTopology(t)
+	l, err := n.Listen("m1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	addr := l.Addr().(Addr)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := n.Dial("m2", addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			msg := make([]byte, 512)
+			rand.Read(msg)
+			go c.Write(msg)
+			buf := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(buf, msg) {
+				t.Error("echo mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 40000: "40000", -3: "-3"}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func BenchmarkPipeThroughputUnshaped(b *testing.B) {
+	a, c := Pipe(ProfileUnshaped, Addr{"m1", 1}, Addr{"m2", 2})
+	defer a.Close()
+	defer c.Close()
+	const chunk = 64 << 10
+	buf := make([]byte, chunk)
+	go func() {
+		sink := make([]byte, chunk)
+		for {
+			if _, err := io.ReadFull(c, sink); err != nil {
+				return
+			}
+		}
+	}()
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := buildTopology(t)
+	l, err := n.Listen("m1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	addr := l.Addr().(Addr)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	n.SetPartition("m0", "m1", true)
+	if !n.Partitioned("m0", "m1") || !n.Partitioned("m1", "m0") {
+		t.Fatal("partition not symmetric")
+	}
+	if _, err := n.Dial("m0", addr); err == nil {
+		t.Fatal("dial across partition succeeded")
+	}
+	// Other machines unaffected.
+	c, err := n.Dial("m2", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// Heal.
+	n.SetPartition("m0", "m1", false)
+	c, err = n.Dial("m0", addr)
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c.Close()
+}
+
+func TestPartitionDropsDatagrams(t *testing.T) {
+	n := buildTopology(t)
+	pa, _ := n.ListenPacket("m0", 0)
+	defer pa.Close()
+	pb, _ := n.ListenPacket("m1", 0)
+	defer pb.Close()
+	n.SetPartition("m0", "m1", true)
+	if _, err := pa.WriteTo([]byte("x"), pb.LocalAddr()); err != nil {
+		t.Fatalf("datagram write should silently vanish, got %v", err)
+	}
+	pb.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := pb.ReadFrom(make([]byte, 8)); err != ErrDeadline {
+		t.Fatalf("datagram crossed the partition: %v", err)
+	}
+	n.SetPartition("m0", "m1", false)
+	if _, err := pa.WriteTo([]byte("y"), pb.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	pb.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := pb.ReadFrom(make([]byte, 8)); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}

@@ -1,0 +1,264 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+)
+
+// Machine is a simulated compute node (the paper's "node" abstraction).
+type Machine struct {
+	ID  MachineID
+	LAN LANID
+	// Loopback shapes intra-machine connections.
+	Loopback LinkProfile
+}
+
+// LAN is a simulated network segment with an intra-LAN link profile.
+type LAN struct {
+	ID      LANID
+	Campus  CampusID
+	Profile LinkProfile
+}
+
+// Network is a topology of machines and LANs that manufactures shaped
+// connections. It is safe for concurrent use.
+type Network struct {
+	mu          sync.Mutex
+	machines    map[MachineID]*Machine
+	lans        map[LANID]*LAN
+	listeners   map[Addr]*Listener
+	packetSocks map[Addr]*PacketConn
+	dgramShape  map[dgramKey]DatagramProfile
+	partitions  map[dgramKey]bool
+	rng         *rand.Rand
+	nextPort    int
+	// CampusLink joins LANs on the same campus; WANLink joins campuses.
+	CampusLink LinkProfile
+	WANLink    LinkProfile
+}
+
+// New returns an empty Network with campus and WAN profiles defaulted.
+// Datagram loss/jitter randomness is deterministically seeded; use Seed
+// to vary it.
+func New() *Network {
+	return &Network{
+		machines:    make(map[MachineID]*Machine),
+		lans:        make(map[LANID]*LAN),
+		listeners:   make(map[Addr]*Listener),
+		packetSocks: make(map[Addr]*PacketConn),
+		dgramShape:  make(map[dgramKey]DatagramProfile),
+		partitions:  make(map[dgramKey]bool),
+		rng:         rand.New(rand.NewSource(1)),
+		nextPort:    40000,
+		CampusLink:  ProfileCampus,
+		WANLink:     ProfileWAN,
+	}
+}
+
+// AddLAN registers a LAN segment.
+func (n *Network) AddLAN(id LANID, campus CampusID, profile LinkProfile) *LAN {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := &LAN{ID: id, Campus: campus, Profile: profile}
+	n.lans[id] = l
+	return l
+}
+
+// AddMachine registers a machine on an existing LAN.
+func (n *Network) AddMachine(id MachineID, lan LANID) (*Machine, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.lans[lan]; !ok {
+		return nil, fmt.Errorf("netsim: unknown LAN %q", lan)
+	}
+	m := &Machine{ID: id, LAN: lan, Loopback: ProfileLoopback}
+	n.machines[id] = m
+	return m, nil
+}
+
+// MustAddMachine is AddMachine, panicking on error; topology building in
+// examples and tests is declarative and a bad LAN id is programmer error.
+func (n *Network) MustAddMachine(id MachineID, lan LANID) *Machine {
+	m, err := n.AddMachine(id, lan)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// LocalityOf returns the Locality of a process on the given machine.
+func (n *Network) LocalityOf(m MachineID, process string) (Locality, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	mach, ok := n.machines[m]
+	if !ok {
+		return Locality{}, fmt.Errorf("netsim: unknown machine %q", m)
+	}
+	lan := n.lans[mach.LAN]
+	return Locality{Machine: m, LAN: mach.LAN, Campus: lan.Campus, Process: process}, nil
+}
+
+// LinkBetween returns the profile that shapes traffic between two
+// machines: loopback on the same machine, the LAN profile within a LAN,
+// the campus backbone across LANs of one campus, and the WAN otherwise.
+func (n *Network) LinkBetween(a, b MachineID) (LinkProfile, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.linkBetweenLocked(a, b)
+}
+
+func (n *Network) linkBetweenLocked(a, b MachineID) (LinkProfile, error) {
+	ma, ok := n.machines[a]
+	if !ok {
+		return LinkProfile{}, fmt.Errorf("netsim: unknown machine %q", a)
+	}
+	mb, ok := n.machines[b]
+	if !ok {
+		return LinkProfile{}, fmt.Errorf("netsim: unknown machine %q", b)
+	}
+	if a == b {
+		return ma.Loopback, nil
+	}
+	la, lb := n.lans[ma.LAN], n.lans[mb.LAN]
+	if la.ID == lb.ID {
+		return la.Profile, nil
+	}
+	if la.Campus == lb.Campus {
+		return n.CampusLink, nil
+	}
+	return n.WANLink, nil
+}
+
+// Listener accepts simulated connections on one address.
+type Listener struct {
+	addr    Addr
+	net     *Network
+	mu      sync.Mutex
+	backlog chan *Conn
+	closed  bool
+}
+
+var _ net.Listener = (*Listener)(nil)
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, ok := <-l.backlog
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	close(l.backlog)
+	l.net.removeListener(l.addr)
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return l.addr }
+
+func (l *Listener) deliver(c *Conn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	select {
+	case l.backlog <- c:
+		return nil
+	default:
+		return errors.New("netsim: listener backlog full")
+	}
+}
+
+// Listen opens a listener on machine:port. Port 0 allocates a fresh port.
+func (n *Network) Listen(m MachineID, port int) (*Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.machines[m]; !ok {
+		return nil, fmt.Errorf("netsim: unknown machine %q", m)
+	}
+	if port == 0 {
+		port = n.nextPort
+		n.nextPort++
+	}
+	addr := Addr{Machine: m, Port: port}
+	if _, busy := n.listeners[addr]; busy {
+		return nil, fmt.Errorf("netsim: address %v in use", addr)
+	}
+	l := &Listener{addr: addr, net: n, backlog: make(chan *Conn, 64)}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+func (n *Network) removeListener(a Addr) {
+	n.mu.Lock()
+	delete(n.listeners, a)
+	n.mu.Unlock()
+}
+
+// SetPartition severs (or heals) connectivity between two machines:
+// while partitioned, new stream dials and datagrams between them fail
+// or vanish. Established stream connections are not torn down — like a
+// real route withdrawal, traffic already in flight on an open TCP
+// connection is modeled as surviving; close connections explicitly to
+// simulate a harder failure.
+func (n *Network) SetPartition(a, b MachineID, severed bool) {
+	n.mu.Lock()
+	if severed {
+		n.partitions[dgramKey{a, b}] = true
+		n.partitions[dgramKey{b, a}] = true
+	} else {
+		delete(n.partitions, dgramKey{a, b})
+		delete(n.partitions, dgramKey{b, a})
+	}
+	n.mu.Unlock()
+}
+
+// Partitioned reports whether traffic between two machines is severed.
+func (n *Network) Partitioned(a, b MachineID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitions[dgramKey{a, b}]
+}
+
+// Dial connects from machine `from` to the listener at `to`, returning
+// the client end of a shaped connection.
+func (n *Network) Dial(from MachineID, to Addr) (*Conn, error) {
+	n.mu.Lock()
+	if n.partitions[dgramKey{from, to.Machine}] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: no route from %s to %s (partitioned)", from, to.Machine)
+	}
+	profile, err := n.linkBetweenLocked(from, to.Machine)
+	if err != nil {
+		n.mu.Unlock()
+		return nil, err
+	}
+	l, ok := n.listeners[to]
+	port := n.nextPort
+	n.nextPort++
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: connection refused: %v", to)
+	}
+	clientAddr := Addr{Machine: from, Port: port}
+	client, server := Pipe(profile, clientAddr, to)
+	if err := l.deliver(server); err != nil {
+		client.Close()
+		server.Close()
+		return nil, err
+	}
+	return client, nil
+}

@@ -1,0 +1,233 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Datagram support: unreliable, unordered message sockets with loss and
+// jitter, the substrate for user-written custom protocols (the paper's
+// §3.2 lets applications supply their own proto-classes; the udprel
+// package builds a reliable request/reply protocol on these sockets).
+
+// Packet-loss and jitter knobs live on the link profile; they affect
+// only datagram traffic (stream connections model TCP, which hides
+// loss).
+//
+// Fields are on LinkProfile via composition here to avoid touching the
+// stream path: a DatagramProfile wraps a LinkProfile.
+type DatagramProfile struct {
+	Link LinkProfile
+	// LossRate is the probability in [0,1) that a datagram is dropped.
+	LossRate float64
+	// Jitter adds a uniform random delay in [0, Jitter) per datagram,
+	// which also reorders traffic.
+	Jitter time.Duration
+	// MTU bounds datagram size; larger writes fail (callers fragment).
+	MTU int
+}
+
+// DefaultMTU is used when a profile does not set one.
+const DefaultMTU = 9000
+
+// Datagram is one received message.
+type Datagram struct {
+	From Addr
+	Data []byte
+}
+
+// PacketConn is a simulated unreliable datagram socket.
+type PacketConn struct {
+	net   *Network
+	local Addr
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inbox  []Datagram
+	closed bool
+	rdDead time.Time
+}
+
+// maxInbox bounds receive buffering; overflow drops datagrams, like a
+// full UDP socket buffer.
+const maxInbox = 512
+
+// ListenPacket opens a datagram socket on machine:port. Port 0
+// allocates one.
+func (n *Network) ListenPacket(m MachineID, port int) (*PacketConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.machines[m]; !ok {
+		return nil, fmt.Errorf("netsim: unknown machine %q", m)
+	}
+	if port == 0 {
+		port = n.nextPort
+		n.nextPort++
+	}
+	addr := Addr{Machine: m, Port: port}
+	if _, busy := n.packetSocks[addr]; busy {
+		return nil, fmt.Errorf("netsim: packet address %v in use", addr)
+	}
+	pc := &PacketConn{net: n, local: addr}
+	pc.cond = sync.NewCond(&pc.mu)
+	n.packetSocks[addr] = pc
+	return pc, nil
+}
+
+// DatagramShaping overrides the per-link datagram behaviour between two
+// machines; without an override, datagrams use the stream profile with
+// no loss and no jitter.
+func (n *Network) SetDatagramShaping(a, b MachineID, p DatagramProfile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dgramShape[dgramKey{a, b}] = p
+	n.dgramShape[dgramKey{b, a}] = p
+}
+
+func (n *Network) datagramProfile(a, b MachineID) (DatagramProfile, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.dgramShape[dgramKey{a, b}]; ok {
+		return p, nil
+	}
+	link, err := n.linkBetweenLocked(a, b)
+	if err != nil {
+		return DatagramProfile{}, err
+	}
+	return DatagramProfile{Link: link}, nil
+}
+
+// LocalAddr returns the socket's address.
+func (pc *PacketConn) LocalAddr() Addr { return pc.local }
+
+// WriteTo sends one datagram. Loss and jitter are applied per the link's
+// datagram profile; delivery is asynchronous.
+func (pc *PacketConn) WriteTo(p []byte, to Addr) (int, error) {
+	pc.mu.Lock()
+	closed := pc.closed
+	pc.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
+	prof, err := pc.net.datagramProfile(pc.local.Machine, to.Machine)
+	if err != nil {
+		return 0, err
+	}
+	mtu := prof.MTU
+	if mtu == 0 {
+		mtu = DefaultMTU
+	}
+	if len(p) > mtu {
+		return 0, fmt.Errorf("netsim: datagram of %d bytes exceeds MTU %d", len(p), mtu)
+	}
+
+	pc.net.mu.Lock()
+	dst, ok := pc.net.packetSocks[to]
+	if pc.net.partitions[dgramKey{pc.local.Machine, to.Machine}] {
+		ok = false // partitioned: datagrams vanish silently
+	}
+	drop := prof.LossRate > 0 && pc.net.rng.Float64() < prof.LossRate
+	var jitter time.Duration
+	if prof.Jitter > 0 {
+		jitter = time.Duration(pc.net.rng.Int63n(int64(prof.Jitter)))
+	}
+	pc.net.mu.Unlock()
+
+	if !ok || drop {
+		// Unreliable: writes to nowhere and lost packets both succeed.
+		return len(p), nil
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	delay := prof.Link.Latency + prof.Link.TxTime(len(p)) + jitter
+	from := pc.local
+	deliver := func() { dst.deliver(Datagram{From: from, Data: data}) }
+	if delay <= 0 {
+		go deliver()
+	} else {
+		time.AfterFunc(delay, deliver)
+	}
+	return len(p), nil
+}
+
+func (pc *PacketConn) deliver(d Datagram) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.closed || len(pc.inbox) >= maxInbox {
+		return // dropped, like a full socket buffer
+	}
+	pc.inbox = append(pc.inbox, d)
+	pc.cond.Broadcast()
+}
+
+// ReadFrom blocks for the next datagram, honouring the read deadline.
+func (pc *PacketConn) ReadFrom(p []byte) (int, Addr, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for {
+		if len(pc.inbox) > 0 {
+			d := pc.inbox[0]
+			pc.inbox = pc.inbox[1:]
+			n := copy(p, d.Data)
+			return n, d.From, nil
+		}
+		if pc.closed {
+			return 0, Addr{}, ErrClosed
+		}
+		if !pc.rdDead.IsZero() && !time.Now().Before(pc.rdDead) {
+			return 0, Addr{}, ErrDeadline
+		}
+		pc.waitWithDeadline()
+	}
+}
+
+func (pc *PacketConn) waitWithDeadline() {
+	if pc.rdDead.IsZero() {
+		pc.cond.Wait()
+		return
+	}
+	t := time.AfterFunc(time.Until(pc.rdDead), func() {
+		pc.mu.Lock()
+		pc.cond.Broadcast()
+		pc.mu.Unlock()
+	})
+	pc.cond.Wait()
+	t.Stop()
+}
+
+// SetReadDeadline bounds ReadFrom.
+func (pc *PacketConn) SetReadDeadline(t time.Time) {
+	pc.mu.Lock()
+	pc.rdDead = t
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+}
+
+// Close releases the socket; blocked readers fail with ErrClosed.
+func (pc *PacketConn) Close() error {
+	pc.mu.Lock()
+	if pc.closed {
+		pc.mu.Unlock()
+		return nil
+	}
+	pc.closed = true
+	pc.cond.Broadcast()
+	pc.mu.Unlock()
+	pc.net.mu.Lock()
+	delete(pc.net.packetSocks, pc.local)
+	pc.net.mu.Unlock()
+	return nil
+}
+
+// dgramKey indexes per-pair datagram shaping overrides.
+type dgramKey struct{ a, b MachineID }
+
+// Seed reseeds the network's randomness (loss, jitter) for reproducible
+// experiments.
+func (n *Network) Seed(seed int64) {
+	n.mu.Lock()
+	n.rng = rand.New(rand.NewSource(seed))
+	n.mu.Unlock()
+}

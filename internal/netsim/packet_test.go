@@ -1,0 +1,226 @@
+package netsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func packetWorld(t *testing.T) *Network {
+	t.Helper()
+	n := New()
+	n.AddLAN("lan", "c", ProfileUnshaped)
+	n.MustAddMachine("a", "lan")
+	n.MustAddMachine("b", "lan")
+	return n
+}
+
+func TestPacketRoundTrip(t *testing.T) {
+	n := packetWorld(t)
+	pa, err := n.ListenPacket("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pa.Close()
+	pb, err := n.ListenPacket("b", 5555)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Close()
+
+	msg := []byte("datagram")
+	if _, err := pa.WriteTo(msg, pb.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	pb.SetReadDeadline(time.Now().Add(2 * time.Second))
+	nr, from, err := pb.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:nr], msg) {
+		t.Fatalf("got %q", buf[:nr])
+	}
+	if from != pa.LocalAddr() {
+		t.Fatalf("from %v", from)
+	}
+	// Reply path.
+	if _, err := pb.WriteTo([]byte("pong"), from); err != nil {
+		t.Fatal(err)
+	}
+	pa.SetReadDeadline(time.Now().Add(2 * time.Second))
+	nr, _, err = pa.ReadFrom(buf)
+	if err != nil || string(buf[:nr]) != "pong" {
+		t.Fatalf("reply: %q %v", buf[:nr], err)
+	}
+}
+
+func TestPacketToNowhereSucceeds(t *testing.T) {
+	n := packetWorld(t)
+	pa, _ := n.ListenPacket("a", 0)
+	defer pa.Close()
+	// UDP semantics: writes to unbound ports do not error.
+	if _, err := pa.WriteTo([]byte("x"), Addr{Machine: "b", Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pa.WriteTo([]byte("x"), Addr{Machine: "ghost", Port: 1}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestPacketMTU(t *testing.T) {
+	n := packetWorld(t)
+	pa, _ := n.ListenPacket("a", 0)
+	defer pa.Close()
+	pb, _ := n.ListenPacket("b", 0)
+	defer pb.Close()
+	if _, err := pa.WriteTo(make([]byte, DefaultMTU+1), pb.LocalAddr()); err == nil {
+		t.Fatal("over-MTU datagram accepted")
+	}
+	n.SetDatagramShaping("a", "b", DatagramProfile{Link: ProfileUnshaped, MTU: 64})
+	if _, err := pa.WriteTo(make([]byte, 65), pb.LocalAddr()); err == nil {
+		t.Fatal("over custom MTU accepted")
+	}
+	if _, err := pa.WriteTo(make([]byte, 64), pb.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketLoss(t *testing.T) {
+	n := packetWorld(t)
+	n.Seed(42)
+	n.SetDatagramShaping("a", "b", DatagramProfile{Link: ProfileUnshaped, LossRate: 0.5})
+	pa, _ := n.ListenPacket("a", 0)
+	defer pa.Close()
+	pb, _ := n.ListenPacket("b", 0)
+	defer pb.Close()
+
+	const sent = 200
+	for i := 0; i < sent; i++ {
+		if _, err := pa.WriteTo([]byte{byte(i)}, pb.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	buf := make([]byte, 8)
+	for {
+		pb.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		if _, _, err := pb.ReadFrom(buf); err != nil {
+			break
+		}
+		received++
+	}
+	if received == 0 || received == sent {
+		t.Fatalf("received %d of %d: loss not applied", received, sent)
+	}
+	// With rate 0.5 over 200 packets, expect roughly half (very loose
+	// bounds to stay deterministic across rng versions).
+	if received < sent/5 || received > sent*4/5 {
+		t.Fatalf("received %d of %d with 50%% loss", received, sent)
+	}
+}
+
+func TestPacketJitterReorders(t *testing.T) {
+	n := packetWorld(t)
+	n.Seed(7)
+	n.SetDatagramShaping("a", "b", DatagramProfile{Link: ProfileUnshaped, Jitter: 20 * time.Millisecond})
+	pa, _ := n.ListenPacket("a", 0)
+	defer pa.Close()
+	pb, _ := n.ListenPacket("b", 0)
+	defer pb.Close()
+
+	const sent = 32
+	for i := 0; i < sent; i++ {
+		pa.WriteTo([]byte{byte(i)}, pb.LocalAddr())
+	}
+	var order []byte
+	buf := make([]byte, 8)
+	for len(order) < sent {
+		pb.SetReadDeadline(time.Now().Add(2 * time.Second))
+		nr, _, err := pb.ReadFrom(buf)
+		if err != nil {
+			t.Fatalf("after %d: %v", len(order), err)
+		}
+		order = append(order, buf[:nr]...)
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("jitter did not reorder 32 packets (astronomically unlikely)")
+	}
+}
+
+func TestPacketAddrConflictAndRelease(t *testing.T) {
+	n := packetWorld(t)
+	pa, err := n.ListenPacket("a", 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ListenPacket("a", 777); err == nil {
+		t.Fatal("conflict accepted")
+	}
+	pa.Close()
+	pa2, err := n.ListenPacket("a", 777)
+	if err != nil {
+		t.Fatalf("port not released: %v", err)
+	}
+	pa2.Close()
+	if _, err := n.ListenPacket("ghost", 0); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}
+
+func TestPacketCloseUnblocksRead(t *testing.T) {
+	n := packetWorld(t)
+	pa, _ := n.ListenPacket("a", 0)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := pa.ReadFrom(make([]byte, 8))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	pa.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("read after close: %v", err)
+	}
+	if _, err := pa.WriteTo([]byte("x"), Addr{}); err != ErrClosed {
+		t.Fatalf("write after close: %v", err)
+	}
+}
+
+func TestPacketReadDeadline(t *testing.T) {
+	n := packetWorld(t)
+	pa, _ := n.ListenPacket("a", 0)
+	defer pa.Close()
+	pa.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, _, err := pa.ReadFrom(make([]byte, 8))
+	if err != ErrDeadline {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline too slow")
+	}
+}
+
+func TestPacketLatencyApplied(t *testing.T) {
+	n := packetWorld(t)
+	n.SetDatagramShaping("a", "b", DatagramProfile{Link: LinkProfile{Latency: 30 * time.Millisecond}})
+	pa, _ := n.ListenPacket("a", 0)
+	defer pa.Close()
+	pb, _ := n.ListenPacket("b", 0)
+	defer pb.Close()
+	start := time.Now()
+	pa.WriteTo([]byte("x"), pb.LocalAddr())
+	pb.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := pb.ReadFrom(make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("latency not applied")
+	}
+}

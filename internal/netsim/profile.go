@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// LinkProfile describes the performance characteristics of a link class.
+// Shaping applies the one-way latency to every message and serializes
+// bytes at the stated bandwidth, which is sufficient to reproduce the
+// bandwidth-versus-message-size curves of the paper's Figure 5: small
+// messages are latency-bound, large messages saturate toward BitsPerSec.
+type LinkProfile struct {
+	Name string
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BitsPerSec is the serialization rate. Zero means unlimited.
+	BitsPerSec float64
+	// FrameOverhead is added to every Write's byte count before
+	// serialization, modeling per-frame header cost.
+	FrameOverhead int
+}
+
+// TxTime returns the serialization time for a payload of n bytes.
+func (p LinkProfile) TxTime(n int) time.Duration {
+	if p.BitsPerSec <= 0 {
+		return 0
+	}
+	bits := float64(n+p.FrameOverhead) * 8
+	return time.Duration(bits / p.BitsPerSec * float64(time.Second))
+}
+
+func (p LinkProfile) String() string {
+	return fmt.Sprintf("%s(%.0f Mbps, %v)", p.Name, p.BitsPerSec/1e6, p.Latency)
+}
+
+// Link profiles used throughout the experiments. The paper's testbed was
+// Sun Ultra-10 workstations connected by Ethernet and 155 Mbps ATM; the
+// absolute rates here follow that era but only the *ratios* matter for
+// reproducing the shape of the results.
+var (
+	// ProfileLoopback models intra-machine streams (different processes
+	// on one machine): high bandwidth, tiny latency.
+	ProfileLoopback = LinkProfile{Name: "loopback", Latency: 20 * time.Microsecond, BitsPerSec: 4e9}
+	// ProfileEthernet models the testbed's 100 Mbps switched Ethernet.
+	ProfileEthernet = LinkProfile{Name: "ethernet", Latency: 300 * time.Microsecond, BitsPerSec: 100e6, FrameOverhead: 34}
+	// ProfileATM155 models the testbed's 155 Mbps ATM network.
+	ProfileATM155 = LinkProfile{Name: "atm155", Latency: 200 * time.Microsecond, BitsPerSec: 155e6, FrameOverhead: 28}
+	// ProfileCampus models an inter-LAN campus backbone.
+	ProfileCampus = LinkProfile{Name: "campus", Latency: 600 * time.Microsecond, BitsPerSec: 100e6, FrameOverhead: 34}
+	// ProfileWAN models an Internet path between campuses.
+	ProfileWAN = LinkProfile{Name: "wan", Latency: 15 * time.Millisecond, BitsPerSec: 10e6, FrameOverhead: 40}
+	// ProfileUnshaped applies no delay at all; useful in unit tests.
+	ProfileUnshaped = LinkProfile{Name: "unshaped"}
+)
+
+// Scaled returns a copy of the profile with latency divided and
+// bandwidth multiplied by factor, preserving the latency/bandwidth shape
+// while letting tests run quickly.
+func (p LinkProfile) Scaled(factor float64) LinkProfile {
+	q := p
+	q.Name = fmt.Sprintf("%s/x%.0f", p.Name, factor)
+	q.Latency = time.Duration(float64(p.Latency) / factor)
+	if p.BitsPerSec > 0 {
+		q.BitsPerSec = p.BitsPerSec * factor
+	}
+	return q
+}

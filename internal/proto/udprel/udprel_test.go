@@ -1,0 +1,365 @@
+package udprel
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/xdr"
+)
+
+func lanWorld(t *testing.T) *netsim.Network {
+	t.Helper()
+	n := netsim.New()
+	n.AddLAN("lan", "c", netsim.ProfileUnshaped)
+	n.MustAddMachine("a", "lan")
+	n.MustAddMachine("b", "lan")
+	return n
+}
+
+func nodePair(t *testing.T, n *netsim.Network, cfg Config, h Handler) (client, server *Node) {
+	t.Helper()
+	pcA, err := n.ListenPacket("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcB, err := n.ListenPacket("b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client = NewNode(pcA, cfg, nil)
+	server = NewNode(pcB, cfg, h)
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestRequestReply(t *testing.T) {
+	n := lanWorld(t)
+	client, server := nodePair(t, n, Config{}, func(from netsim.Addr, req []byte) []byte {
+		return bytes.ToUpper(req)
+	})
+	out, err := client.Request(server.LocalAddr(), []byte("hello udprel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "HELLO UDPREL" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestEmptyAndLargeMessages(t *testing.T) {
+	n := lanWorld(t)
+	client, server := nodePair(t, n, Config{FragSize: 1024}, func(from netsim.Addr, req []byte) []byte {
+		return req
+	})
+	// Empty request round-trips.
+	out, err := client.Request(server.LocalAddr(), nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty: %d bytes, %v", len(out), err)
+	}
+	// 100 KiB forces ~100 fragments each way.
+	big := make([]byte, 100<<10)
+	rand.Read(big)
+	out, err = client.Request(server.LocalAddr(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, big) {
+		t.Fatal("large message corrupted")
+	}
+}
+
+func TestLossRecovery(t *testing.T) {
+	n := lanWorld(t)
+	n.Seed(123)
+	n.SetDatagramShaping("a", "b", netsim.DatagramProfile{
+		Link:     netsim.ProfileUnshaped,
+		LossRate: 0.3,
+		Jitter:   2 * time.Millisecond,
+	})
+	cfg := Config{RTO: 15 * time.Millisecond, MaxTries: 20, FragSize: 512}
+	client, server := nodePair(t, n, cfg, func(from netsim.Addr, req []byte) []byte {
+		return req
+	})
+	msg := make([]byte, 8<<10) // 16 fragments
+	rand.Read(msg)
+	for i := 0; i < 5; i++ {
+		out, err := client.Request(server.LocalAddr(), msg)
+		if err != nil {
+			t.Fatalf("request %d under 30%% loss: %v", i, err)
+		}
+		if !bytes.Equal(out, msg) {
+			t.Fatalf("request %d corrupted", i)
+		}
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	// Heavy loss forces retransmissions; the handler must still run
+	// exactly once per request.
+	n := lanWorld(t)
+	n.Seed(99)
+	n.SetDatagramShaping("a", "b", netsim.DatagramProfile{
+		Link:     netsim.ProfileUnshaped,
+		LossRate: 0.35,
+	})
+	var calls atomic.Int32
+	cfg := Config{RTO: 10 * time.Millisecond, MaxTries: 30, FragSize: 256}
+	client, server := nodePair(t, n, cfg, func(from netsim.Addr, req []byte) []byte {
+		calls.Add(1)
+		return req
+	})
+	const requests = 8
+	msg := make([]byte, 2048)
+	for i := 0; i < requests; i++ {
+		if _, err := client.Request(server.LocalAddr(), msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls.Load() != requests {
+		t.Fatalf("handler ran %d times for %d requests", calls.Load(), requests)
+	}
+}
+
+func TestRetransmissionExhaustion(t *testing.T) {
+	n := lanWorld(t)
+	n.SetDatagramShaping("a", "b", netsim.DatagramProfile{
+		Link:     netsim.ProfileUnshaped,
+		LossRate: 0.9999999, // effectively a black hole
+	})
+	cfg := Config{RTO: 5 * time.Millisecond, MaxTries: 3, FragSize: 256}
+	client, server := nodePair(t, n, cfg, func(from netsim.Addr, req []byte) []byte { return req })
+	_, err := client.Request(server.LocalAddr(), []byte("doomed"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	n := lanWorld(t)
+	client, server := nodePair(t, n, Config{}, func(from netsim.Addr, req []byte) []byte {
+		return append([]byte("re:"), req...)
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte{byte(i), byte(i >> 8)}
+			out, err := client.Request(server.LocalAddr(), body)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(out, append([]byte("re:"), body...)) {
+				t.Errorf("cross-talk: %v", out)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestClosedNode(t *testing.T) {
+	n := lanWorld(t)
+	client, server := nodePair(t, n, Config{}, func(from netsim.Addr, req []byte) []byte { return req })
+	client.Close()
+	if _, err := client.Request(server.LocalAddr(), []byte("x")); err != ErrClosed {
+		t.Fatalf("after close: %v", err)
+	}
+}
+
+func TestGarbageDatagramsIgnored(t *testing.T) {
+	n := lanWorld(t)
+	_, server := nodePair(t, n, Config{}, func(from netsim.Addr, req []byte) []byte { return req })
+	raw, err := n.ListenPacket("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	for _, pkt := range [][]byte{
+		nil,
+		{1, 2, 3},
+		{0x55, 0x52, 0x45, 0x4c}, // magic only
+		encodeAck(99, 1),         // ack for nothing
+		encodeData(1, 5, 2, []byte("frag beyond count")),
+	} {
+		raw.WriteTo(pkt, server.LocalAddr())
+	}
+	// The node must survive and still serve.
+	pcC, _ := n.ListenPacket("a", 0)
+	client := NewNode(pcC, Config{}, nil)
+	defer client.Close()
+	if _, err := client.Request(server.LocalAddr(), []byte("still alive")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentHelper(t *testing.T) {
+	if got := fragment(nil, 4); len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty: %v", got)
+	}
+	got := fragment([]byte("abcdefghij"), 4)
+	if len(got) != 3 || string(got[0]) != "abcd" || string(got[2]) != "ij" {
+		t.Fatalf("frags: %q", got)
+	}
+}
+
+// --- ORB integration: udprel as a custom proto-class --------------------
+
+func orbWorld(t *testing.T) *core.Runtime {
+	t.Helper()
+	n := lanWorld(t)
+	rt := core.NewRuntime(n, "p")
+	capability.Install(rt.DefaultPool())
+	rt.DefaultPool().Register(NewFactory(Config{}))
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestCustomProtocolEndToEnd(t *testing.T) {
+	rt := orbWorld(t)
+	server, err := rt.NewContext("server", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Bind(server, 0, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.Export("Echo", nil, map[string]core.Method{
+		"upper": func(args []byte) ([]byte, error) { return bytes.ToUpper(args), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, err := Entry(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := server.NewRef(s, entry)
+
+	client, err := rt.NewContext("client", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := client.NewGlobalPtr(ref)
+	if id, err := gp.SelectedProtocol(); err != nil || id != ID {
+		t.Fatalf("selected %s, %v", id, err)
+	}
+	out, err := gp.Invoke("upper", []byte("custom protocol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "CUSTOM PROTOCOL" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCustomProtocolUnderGlue(t *testing.T) {
+	// The glue protocol composes with ANY base protocol, including a
+	// user-written one: quota + encryption over udprel.
+	rt := orbWorld(t)
+	server, _ := rt.NewContext("server", "b")
+	if err := Bind(server, 0, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := server.Export("Echo", nil, map[string]core.Method{
+		"echo": func(args []byte) ([]byte, error) { return args, nil },
+	})
+	base, err := Entry(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glueE, err := capability.GlueEntry(server, "udprel-glue", base,
+		capability.NewQuota(3, time.Time{}),
+		capability.NewRandomEncrypt(capability.ScopeAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := server.NewRef(s, glueE)
+
+	client, _ := rt.NewContext("client", "a")
+	gp := client.NewGlobalPtr(ref)
+	for i := 0; i < 3; i++ {
+		out, err := gp.Invoke("echo", []byte("sealed"))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(out) != "sealed" {
+			t.Fatalf("got %q", out)
+		}
+	}
+	if _, err := gp.Invoke("echo", []byte("x")); err == nil {
+		t.Fatal("quota not enforced over custom protocol")
+	}
+}
+
+func TestCustomProtocolWithLoss(t *testing.T) {
+	// The ORB never notices datagram loss: udprel recovers underneath.
+	n := lanWorld(t)
+	n.Seed(7)
+	n.SetDatagramShaping("a", "b", netsim.DatagramProfile{
+		Link:     netsim.ProfileUnshaped,
+		LossRate: 0.25,
+	})
+	rt := core.NewRuntime(n, "p")
+	rt.DefaultPool().Register(NewFactory(Config{RTO: 10 * time.Millisecond, MaxTries: 30}))
+	defer rt.Close()
+
+	server, _ := rt.NewContext("server", "b")
+	if err := Bind(server, 0, Config{RTO: 10 * time.Millisecond, MaxTries: 30}); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := server.Export("Echo", nil, map[string]core.Method{
+		"echo": func(args []byte) ([]byte, error) { return args, nil },
+	})
+	entry, _ := Entry(server)
+	ref := server.NewRef(s, entry)
+	client, _ := rt.NewContext("client", "a")
+	gp := client.NewGlobalPtr(ref)
+	body := make([]byte, 4<<10)
+	rand.Read(body)
+	for i := 0; i < 4; i++ {
+		out, err := gp.Invoke("echo", body)
+		if err != nil {
+			t.Fatalf("call %d over lossy link: %v", i, err)
+		}
+		if !bytes.Equal(out, body) {
+			t.Fatalf("call %d corrupted", i)
+		}
+	}
+}
+
+func TestEntryWithoutBinding(t *testing.T) {
+	rt := orbWorld(t)
+	ctx, _ := rt.NewContext("nobind", "a")
+	if _, err := Entry(ctx); err == nil {
+		t.Fatal("Entry without binding accepted")
+	}
+}
+
+func TestParseEntryErrors(t *testing.T) {
+	for _, data := range [][]byte{nil, {1}, mustString("tcp://a:1"), mustString("udp://a"), mustString("udp://a:xx")} {
+		if _, err := parseEntry(core.ProtoEntry{ID: ID, Data: data}); err == nil {
+			t.Errorf("parseEntry accepted %v", data)
+		}
+	}
+	good := mustString("udp://m:99")
+	addr, err := parseEntry(core.ProtoEntry{ID: ID, Data: good})
+	if err != nil || addr.Machine != "m" || addr.Port != 99 {
+		t.Fatalf("%v %v", addr, err)
+	}
+}
+
+// mustString encodes an XDR string for hand-built proto-data.
+func mustString(s string) []byte {
+	e := xdr.NewEncoder(4 + len(s))
+	e.PutString(s)
+	return e.Bytes()
+}

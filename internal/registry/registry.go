@@ -1,0 +1,388 @@
+// Package registry provides the Open HPC++ name service: a server object
+// that maps names to serialized object references. Processes exchange
+// ORs — and therefore capabilities, which ride inside OR protocol
+// tables — through the registry, and migration keeps registry bindings
+// current.
+//
+// The registry is itself an ordinary ORB servant, so it is reachable
+// through any protocol the hosting context binds, and a registry
+// reference can be bootstrapped from a bare address with RefAt.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+// Iface is the registry's interface name.
+const Iface = "openhpcxx.Registry"
+
+// WellKnownObject is the object id every registry servant exports under,
+// so clients can address a registry knowing only the hosting context's
+// address.
+const WellKnownObject core.ObjectID = "registry/_registry"
+
+// Service is the name server state. Bindings may carry a lease: an
+// expired binding behaves as absent and is lazily pruned, so crashed
+// services disappear from the namespace once they stop renewing —
+// useful in the paper's dynamic deployments where objects migrate and
+// hosts come and go.
+type Service struct {
+	clk     clock.Clock
+	mu      sync.RWMutex
+	entries map[string]binding
+}
+
+// binding is one name-table row.
+type binding struct {
+	ref     []byte // encoded ObjectRef
+	expires int64  // unix nanos; 0 = no lease
+}
+
+// NewService returns an empty name table on the system clock.
+func NewService() *Service { return NewServiceWithClock(clock.Real{}) }
+
+// NewServiceWithClock returns an empty name table on the given clock.
+func NewServiceWithClock(c clock.Clock) *Service {
+	return &Service{clk: c, entries: make(map[string]binding)}
+}
+
+// expired reports whether b's lease has lapsed.
+func (s *Service) expired(b binding) bool {
+	return b.expires != 0 && s.clk.Now().UnixNano() > b.expires
+}
+
+// Prune removes every expired binding and reports how many went.
+func (s *Service) Prune() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for name, b := range s.entries {
+		if s.expired(b) {
+			delete(s.entries, name)
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot implements core.Migratable so even the registry can move.
+func (s *Service) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.entries))
+	for n := range s.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e := xdr.NewEncoder(256)
+	e.PutUint32(uint32(len(names)))
+	for _, n := range names {
+		e.PutString(n)
+		e.PutOpaque(s.entries[n].ref)
+		e.PutInt64(s.entries[n].expires)
+	}
+	return e.Bytes(), nil
+}
+
+// Restore implements core.Migratable.
+func (s *Service) Restore(state []byte) error {
+	d := xdr.NewDecoder(state)
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	entries := make(map[string]binding, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := d.String()
+		if err != nil {
+			return err
+		}
+		blob, err := d.Opaque()
+		if err != nil {
+			return err
+		}
+		expires, err := d.Int64()
+		if err != nil {
+			return err
+		}
+		entries[name] = binding{ref: blob, expires: expires}
+	}
+	s.mu.Lock()
+	s.entries = entries
+	s.mu.Unlock()
+	return nil
+}
+
+// bindArgs is the wire form of Bind/Rebind. TTLNanos of zero means the
+// binding never expires.
+type bindArgs struct {
+	Name      string
+	Ref       []byte
+	Overwrite bool
+	TTLNanos  int64
+}
+
+func (a *bindArgs) MarshalXDR(e *xdr.Encoder) error {
+	e.PutString(a.Name)
+	e.PutOpaque(a.Ref)
+	e.PutBool(a.Overwrite)
+	e.PutInt64(a.TTLNanos)
+	return nil
+}
+
+func (a *bindArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if a.Name, err = d.String(); err != nil {
+		return err
+	}
+	if a.Ref, err = d.Opaque(); err != nil {
+		return err
+	}
+	if a.Overwrite, err = d.Bool(); err != nil {
+		return err
+	}
+	a.TTLNanos, err = d.Int64()
+	return err
+}
+
+// renewArgs is the wire form of Renew.
+type renewArgs struct {
+	Name     string
+	TTLNanos int64
+}
+
+func (a *renewArgs) MarshalXDR(e *xdr.Encoder) error {
+	e.PutString(a.Name)
+	e.PutInt64(a.TTLNanos)
+	return nil
+}
+
+func (a *renewArgs) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	if a.Name, err = d.String(); err != nil {
+		return err
+	}
+	a.TTLNanos, err = d.Int64()
+	return err
+}
+
+type refReply struct{ Ref []byte }
+
+func (r *refReply) MarshalXDR(e *xdr.Encoder) error {
+	e.PutOpaque(r.Ref)
+	return nil
+}
+
+func (r *refReply) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	r.Ref, err = d.Opaque()
+	return err
+}
+
+type listReply struct{ Names []string }
+
+func (r *listReply) MarshalXDR(e *xdr.Encoder) error {
+	e.PutStrings(r.Names)
+	return nil
+}
+
+func (r *listReply) UnmarshalXDR(d *xdr.Decoder) error {
+	var err error
+	r.Names, err = d.Strings()
+	return err
+}
+
+// Methods returns the servant method table for a Service.
+func Methods(s *Service) map[string]core.Method {
+	return map[string]core.Method{
+		"bind": core.Handler(func(a *bindArgs) (*core.Empty, error) {
+			if a.Name == "" {
+				return nil, wire.Faultf(wire.FaultBadRequest, "registry: empty name")
+			}
+			if _, err := core.DecodeRef(a.Ref); err != nil {
+				return nil, wire.Faultf(wire.FaultBadRequest, "registry: bad reference for %q: %v", a.Name, err)
+			}
+			if a.TTLNanos < 0 {
+				return nil, wire.Faultf(wire.FaultBadRequest, "registry: negative TTL")
+			}
+			var expires int64
+			if a.TTLNanos > 0 {
+				expires = s.clk.Now().UnixNano() + a.TTLNanos
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if b, exists := s.entries[a.Name]; exists && !a.Overwrite && !s.expired(b) {
+				return nil, wire.Faultf(wire.FaultBadRequest, "registry: %q already bound", a.Name)
+			}
+			s.entries[a.Name] = binding{ref: a.Ref, expires: expires}
+			return &core.Empty{}, nil
+		}),
+		"lookup": core.Handler(func(a *core.StringValue) (*refReply, error) {
+			s.mu.Lock()
+			b, ok := s.entries[a.V]
+			if ok && s.expired(b) {
+				delete(s.entries, a.V)
+				ok = false
+			}
+			s.mu.Unlock()
+			if !ok {
+				return nil, wire.Faultf(wire.FaultNoObject, "registry: no binding %q", a.V)
+			}
+			return &refReply{Ref: b.ref}, nil
+		}),
+		"renew": core.Handler(func(a *renewArgs) (*core.Empty, error) {
+			if a.TTLNanos <= 0 {
+				return nil, wire.Faultf(wire.FaultBadRequest, "registry: renew needs a positive TTL")
+			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			b, ok := s.entries[a.Name]
+			if !ok || s.expired(b) {
+				delete(s.entries, a.Name)
+				return nil, wire.Faultf(wire.FaultNoObject, "registry: no binding %q", a.Name)
+			}
+			b.expires = s.clk.Now().UnixNano() + a.TTLNanos
+			s.entries[a.Name] = b
+			return &core.Empty{}, nil
+		}),
+		"unbind": core.Handler(func(a *core.StringValue) (*core.Empty, error) {
+			s.mu.Lock()
+			b, ok := s.entries[a.V]
+			if ok && s.expired(b) {
+				ok = false
+			}
+			delete(s.entries, a.V)
+			s.mu.Unlock()
+			if !ok {
+				return nil, wire.Faultf(wire.FaultNoObject, "registry: no binding %q", a.V)
+			}
+			return &core.Empty{}, nil
+		}),
+		"list": core.Handler(func(a *core.StringValue) (*listReply, error) {
+			s.mu.Lock()
+			names := make([]string, 0, len(s.entries))
+			for n, b := range s.entries {
+				if s.expired(b) {
+					continue
+				}
+				if strings.HasPrefix(n, a.V) {
+					names = append(names, n)
+				}
+			}
+			s.mu.Unlock()
+			sort.Strings(names)
+			return &listReply{Names: names}, nil
+		}),
+	}
+}
+
+// Serve exports a registry servant on ctx under the well-known id and
+// returns the servant plus a reference assembled from every binding the
+// context currently has. Leases use the runtime's clock.
+func Serve(ctx *core.Context) (*core.Servant, *core.ObjectRef, error) {
+	svc := NewServiceWithClock(ctx.Runtime().Clock())
+	s, err := ctx.ExportAs(WellKnownObject, Iface, svc, Methods(svc), 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	var entries []core.ProtoEntry
+	if e, err := ctx.EntrySHM(); err == nil {
+		entries = append(entries, e)
+	}
+	if e, err := ctx.EntryStream(); err == nil {
+		entries = append(entries, e)
+	}
+	if e, err := ctx.EntryNexus(); err == nil {
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil, nil, fmt.Errorf("registry: context %s has no bindings", ctx.Name())
+	}
+	return s, ctx.NewRef(s, entries...), nil
+}
+
+// RefAt bootstraps a registry reference from a bare stream address
+// ("sim://machine:port" or "tcp://host:port") without any prior
+// exchange.
+func RefAt(addr string) *core.ObjectRef {
+	return &core.ObjectRef{
+		Object:    WellKnownObject,
+		Iface:     Iface,
+		Protocols: []core.ProtoEntry{core.StreamEntryAt(addr)},
+	}
+}
+
+// Client is a typed handle on a registry.
+type Client struct {
+	gp *core.GlobalPtr
+}
+
+// NewClient binds a registry reference to a client context.
+func NewClient(ctx *core.Context, ref *core.ObjectRef) *Client {
+	return &Client{gp: ctx.NewGlobalPtr(ref)}
+}
+
+// Bind publishes ref under name; it fails if the name is taken.
+func (c *Client) Bind(name string, ref *core.ObjectRef) error {
+	return c.bind(name, ref, false, 0)
+}
+
+// BindWithTTL publishes ref under name with a lease: unless renewed, the
+// binding vanishes after ttl.
+func (c *Client) BindWithTTL(name string, ref *core.ObjectRef, ttl time.Duration) error {
+	return c.bind(name, ref, false, ttl)
+}
+
+// Rebind publishes ref under name, replacing any existing binding
+// (migration uses this to keep names current).
+func (c *Client) Rebind(name string, ref *core.ObjectRef) error {
+	return c.bind(name, ref, true, 0)
+}
+
+// Renew extends a leased binding by ttl from now.
+func (c *Client) Renew(name string, ttl time.Duration) error {
+	_, err := core.Call[*renewArgs, core.Empty](c.gp, "renew", &renewArgs{Name: name, TTLNanos: int64(ttl)})
+	return err
+}
+
+func (c *Client) bind(name string, ref *core.ObjectRef, overwrite bool, ttl time.Duration) error {
+	blob, err := core.EncodeRef(ref)
+	if err != nil {
+		return err
+	}
+	_, err = core.Call[*bindArgs, core.Empty](c.gp, "bind", &bindArgs{Name: name, Ref: blob, Overwrite: overwrite, TTLNanos: int64(ttl)})
+	return err
+}
+
+// Lookup resolves a name to an object reference.
+func (c *Client) Lookup(name string) (*core.ObjectRef, error) {
+	r, err := core.Call[*core.StringValue, refReply](c.gp, "lookup", &core.StringValue{V: name})
+	if err != nil {
+		return nil, err
+	}
+	return core.DecodeRef(r.Ref)
+}
+
+// Unbind removes a binding.
+func (c *Client) Unbind(name string) error {
+	_, err := core.Call[*core.StringValue, core.Empty](c.gp, "unbind", &core.StringValue{V: name})
+	return err
+}
+
+// List returns the bound names with the given prefix, sorted.
+func (c *Client) List(prefix string) ([]string, error) {
+	r, err := core.Call[*core.StringValue, listReply](c.gp, "list", &core.StringValue{V: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return r.Names, nil
+}

@@ -1,0 +1,294 @@
+package registry
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/wire"
+)
+
+func setup(t *testing.T) (*core.Runtime, *Client, *core.Context) {
+	t.Helper()
+	n := netsim.New()
+	n.AddLAN("lan", "campus", netsim.ProfileUnshaped)
+	n.MustAddMachine("mReg", "lan")
+	n.MustAddMachine("mCli", "lan")
+	rt := core.NewRuntime(n, "proc")
+	t.Cleanup(rt.Close)
+
+	regCtx, err := rt.NewContext("registry", "mReg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regCtx.BindSim(7000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Serve(regCtx); err != nil {
+		t.Fatal(err)
+	}
+
+	cliCtx, err := rt.NewContext("client", "mCli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(cliCtx, RefAt("sim://mReg:7000"))
+	return rt, client, cliCtx
+}
+
+func sampleRef(obj string) *core.ObjectRef {
+	return &core.ObjectRef{
+		Object:    core.ObjectID(obj),
+		Iface:     "X",
+		Protocols: []core.ProtoEntry{core.StreamEntryAt("sim://mX:1")},
+	}
+}
+
+func TestBindLookup(t *testing.T) {
+	_, c, _ := setup(t)
+	ref := sampleRef("a/obj-1")
+	if err := c.Bind("service/a", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("service/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("got %+v want %+v", got, ref)
+	}
+}
+
+func TestBindConflictAndRebind(t *testing.T) {
+	_, c, _ := setup(t)
+	if err := c.Bind("dup", sampleRef("a/1")); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Bind("dup", sampleRef("a/2"))
+	var f *wire.Fault
+	if !errors.As(err, &f) || f.Code != wire.FaultBadRequest {
+		t.Fatalf("duplicate bind: %v", err)
+	}
+	if err := c.Rebind("dup", sampleRef("a/2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("dup")
+	if err != nil || got.Object != "a/2" {
+		t.Fatalf("after rebind: %v %v", got, err)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	_, c, _ := setup(t)
+	_, err := c.Lookup("ghost")
+	var f *wire.Fault
+	if !errors.As(err, &f) || f.Code != wire.FaultNoObject {
+		t.Fatalf("missing lookup: %v", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	_, c, _ := setup(t)
+	if err := c.Bind("gone", sampleRef("a/1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unbind("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("gone"); err == nil {
+		t.Fatal("lookup after unbind succeeded")
+	}
+	var f *wire.Fault
+	if err := c.Unbind("gone"); !errors.As(err, &f) || f.Code != wire.FaultNoObject {
+		t.Fatalf("double unbind: %v", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	_, c, _ := setup(t)
+	for _, n := range []string{"svc/b", "svc/a", "other/x"} {
+		if err := c.Bind(n, sampleRef("o/"+n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := c.List("svc/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"svc/a", "svc/b"}) {
+		t.Fatalf("list %v", names)
+	}
+	all, err := c.List("")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("list all: %v %v", all, err)
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	_, c, _ := setup(t)
+	var f *wire.Fault
+	if err := c.Bind("", sampleRef("a/1")); !errors.As(err, &f) || f.Code != wire.FaultBadRequest {
+		t.Fatalf("empty name: %v", err)
+	}
+}
+
+func TestServiceSnapshotRestore(t *testing.T) {
+	s := NewService()
+	blob, _ := core.EncodeRef(sampleRef("a/1"))
+	s.entries["one"] = binding{ref: blob}
+	s.entries["two"] = binding{ref: blob, expires: 42}
+	state, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewService()
+	if err := s2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.entries) != 2 || string(s2.entries["one"].ref) != string(blob) {
+		t.Fatalf("restored %d entries", len(s2.entries))
+	}
+	if s2.entries["two"].expires != 42 {
+		t.Fatal("lease expiry lost across snapshot")
+	}
+	if err := s2.Restore([]byte{1}); err == nil {
+		t.Fatal("garbage state accepted")
+	}
+}
+
+func TestCapabilityExchangeThroughRegistry(t *testing.T) {
+	// The full "capabilities can be exchanged between processes" loop:
+	// a server binds a glue-protected ref; an unrelated client process
+	// resolves it by name.
+	_, c, cliCtx := setup(t)
+	ref := sampleRef("srv/obj-9")
+	ref.Protocols = append([]core.ProtoEntry{{ID: core.ProtoGlue, Data: []byte("opaque-glue-config")}}, ref.Protocols...)
+	if err := c.Bind("weather", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Lookup("weather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Protocols[0].ID != core.ProtoGlue || string(got.Protocols[0].Data) != "opaque-glue-config" {
+		t.Fatal("capability entry did not survive the trip")
+	}
+	_ = cliCtx
+}
+
+func leaseWorld(t *testing.T) (*clock.Fake, *Client) {
+	t.Helper()
+	n := netsim.New()
+	n.AddLAN("lan", "campus", netsim.ProfileUnshaped)
+	n.MustAddMachine("mReg", "lan")
+	n.MustAddMachine("mCli", "lan")
+	rt := core.NewRuntime(n, "proc")
+	fc := clock.NewFake(time.Unix(10_000, 0))
+	rt.SetClock(fc)
+	t.Cleanup(rt.Close)
+	regCtx, err := rt.NewContext("registry", "mReg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regCtx.BindSim(7001); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Serve(regCtx); err != nil {
+		t.Fatal(err)
+	}
+	cliCtx, err := rt.NewContext("client", "mCli")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fc, NewClient(cliCtx, RefAt("sim://mReg:7001"))
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	fc, c := leaseWorld(t)
+	if err := c.BindWithTTL("leased", sampleRef("a/1"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("leased"); err != nil {
+		t.Fatalf("fresh lease: %v", err)
+	}
+	fc.Advance(2 * time.Minute)
+	_, err := c.Lookup("leased")
+	var f *wire.Fault
+	if !errors.As(err, &f) || f.Code != wire.FaultNoObject {
+		t.Fatalf("expired lease lookup: %v", err)
+	}
+	// Expired names are re-bindable without Overwrite.
+	if err := c.BindWithTTL("leased", sampleRef("a/2"), time.Minute); err != nil {
+		t.Fatalf("rebind after expiry: %v", err)
+	}
+	got, err := c.Lookup("leased")
+	if err != nil || got.Object != "a/2" {
+		t.Fatalf("after rebind: %v %v", got, err)
+	}
+}
+
+func TestLeaseRenew(t *testing.T) {
+	fc, c := leaseWorld(t)
+	if err := c.BindWithTTL("hb", sampleRef("a/1"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		fc.Advance(30 * time.Second)
+		if err := c.Renew("hb", time.Minute); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if _, err := c.Lookup("hb"); err != nil {
+		t.Fatalf("after renewals: %v", err)
+	}
+	fc.Advance(2 * time.Minute)
+	var f *wire.Fault
+	if err := c.Renew("hb", time.Minute); !errors.As(err, &f) || f.Code != wire.FaultNoObject {
+		t.Fatalf("renew after lapse: %v", err)
+	}
+	if err := c.Renew("never-bound", time.Minute); !errors.As(err, &f) || f.Code != wire.FaultNoObject {
+		t.Fatalf("renew unknown: %v", err)
+	}
+}
+
+func TestLeaseListAndPrune(t *testing.T) {
+	fc, c := leaseWorld(t)
+	if err := c.Bind("forever", sampleRef("a/0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BindWithTTL("temp", sampleRef("a/1"), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(2 * time.Minute)
+	names, err := c.List("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "forever" {
+		t.Fatalf("list %v", names)
+	}
+	// Unbind of an expired name reports no-object.
+	var f *wire.Fault
+	if err := c.Unbind("temp"); !errors.As(err, &f) || f.Code != wire.FaultNoObject {
+		t.Fatalf("unbind expired: %v", err)
+	}
+}
+
+func TestServicePrune(t *testing.T) {
+	fc := clock.NewFake(time.Unix(0, 0))
+	s := NewServiceWithClock(fc)
+	blob, _ := core.EncodeRef(sampleRef("a/1"))
+	s.entries["keep"] = binding{ref: blob}
+	s.entries["drop"] = binding{ref: blob, expires: fc.Now().Add(time.Second).UnixNano()}
+	fc.Advance(time.Minute)
+	if n := s.Prune(); n != 1 {
+		t.Fatalf("pruned %d", n)
+	}
+	if _, ok := s.entries["keep"]; !ok {
+		t.Fatal("unleased binding pruned")
+	}
+}

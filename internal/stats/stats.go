@@ -1,0 +1,207 @@
+// Package stats provides the lightweight metrics the runtime uses to
+// account for protocol usage: counters and log-scale latency/size
+// histograms, lock-free on the hot path. The ORB records per-protocol
+// call counts, errors, payload bytes, and round-trip latencies, which
+// the experiments and the ohpc-demo use to report what actually flowed
+// where.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram accumulates int64 observations into power-of-two buckets:
+// bucket i counts observations with bit length i (0 counts zero and
+// negative values). Percentiles are therefore approximate within 2x,
+// which is plenty for latency accounting.
+type Histogram struct {
+	buckets [65]atomic.Uint64
+	sum     atomic.Int64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d / time.Microsecond))
+}
+
+// Snapshot is a consistent-enough view of a histogram.
+type Snapshot struct {
+	Count uint64
+	Sum   int64
+	Mean  float64
+	P50   int64
+	P90   int64
+	P99   int64
+	Max   int64 // upper bound of the highest non-empty bucket
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() Snapshot {
+	var s Snapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	var counts [65]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	quantile := func(q float64) int64 {
+		target := uint64(math.Ceil(q * float64(total)))
+		if target == 0 {
+			target = 1
+		}
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen >= target {
+				return bucketUpper(i)
+			}
+		}
+		return bucketUpper(64)
+	}
+	s.P50 = quantile(0.50)
+	s.P90 = quantile(0.90)
+	s.P99 = quantile(0.99)
+	for i := 64; i >= 0; i-- {
+		if counts[i] > 0 {
+			s.Max = bucketUpper(i)
+			break
+		}
+	}
+	return s
+}
+
+// bucketUpper is the largest value mapping to bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Registry holds named metrics. The zero value is not usable; call New.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// CounterNames lists registered counters, sorted.
+func (r *Registry) CounterNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump renders every metric as one line each, sorted by name.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	type namedC struct {
+		name string
+		c    *Counter
+	}
+	type namedH struct {
+		name string
+		h    *Histogram
+	}
+	cs := make([]namedC, 0, len(r.counters))
+	for n, c := range r.counters {
+		cs = append(cs, namedC{n, c})
+	}
+	hs := make([]namedH, 0, len(r.histograms))
+	for n, h := range r.histograms {
+		hs = append(hs, namedH{n, h})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	var b strings.Builder
+	for _, nc := range cs {
+		fmt.Fprintf(&b, "%s %d\n", nc.name, nc.c.Value())
+	}
+	for _, nh := range hs {
+		s := nh.h.Snapshot()
+		fmt.Fprintf(&b, "%s count=%d mean=%.1f p50<=%d p90<=%d p99<=%d\n",
+			nh.name, s.Count, s.Mean, s.P50, s.P90, s.P99)
+	}
+	return b.String()
+}

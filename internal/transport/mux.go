@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/wire"
+)
+
+// ErrMuxClosed is returned by calls on a closed multiplexer.
+var ErrMuxClosed = errors.New("transport: mux closed")
+
+// DefaultCallTimeout bounds a single remote call when the Mux has no
+// explicit timeout configured.
+const DefaultCallTimeout = 30 * time.Second
+
+// Mux multiplexes concurrent request/reply exchanges over a single
+// connection. It assigns request ids, serializes frame writes, and
+// demultiplexes replies to the waiting callers. A Mux is safe for
+// concurrent use.
+type Mux struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Message
+	err     error
+	closed  bool
+}
+
+// NewMux wraps conn and starts its reply-reading loop.
+func NewMux(conn net.Conn) *Mux {
+	m := &Mux{
+		conn:    conn,
+		timeout: DefaultCallTimeout,
+		nextID:  1,
+		pending: make(map[uint64]chan *wire.Message),
+	}
+	go m.readLoop()
+	return m
+}
+
+// SetTimeout changes the per-call timeout. Zero disables it.
+func (m *Mux) SetTimeout(d time.Duration) {
+	m.mu.Lock()
+	m.timeout = d
+	m.mu.Unlock()
+}
+
+func (m *Mux) readLoop() {
+	for {
+		msg, err := wire.Read(m.conn)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		ch, ok := m.pending[msg.RequestID]
+		if ok {
+			delete(m.pending, msg.RequestID)
+		}
+		m.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+		// Replies for abandoned requests are dropped.
+	}
+}
+
+func (m *Mux) fail(err error) {
+	if err == io.EOF {
+		err = ErrMuxClosed
+	}
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	for id, ch := range m.pending {
+		delete(m.pending, id)
+		close(ch)
+	}
+	m.mu.Unlock()
+}
+
+// Call sends msg (assigning its RequestID) and waits for the matching
+// reply. The returned message may be a TFault frame; decoding the fault
+// is the caller's concern so that capability layers can inspect replies.
+func (m *Mux) Call(msg *wire.Message) (*wire.Message, error) {
+	ch := make(chan *wire.Message, 1)
+	m.mu.Lock()
+	if m.closed || m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		if err == nil {
+			err = ErrMuxClosed
+		}
+		return nil, err
+	}
+	id := m.nextID
+	m.nextID++
+	msg.RequestID = id
+	m.pending[id] = ch
+	timeout := m.timeout
+	m.mu.Unlock()
+
+	m.wmu.Lock()
+	err := wire.Write(m.conn, msg)
+	m.wmu.Unlock()
+	if err != nil {
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("transport: write: %w", err)
+	}
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			m.mu.Lock()
+			err := m.err
+			m.mu.Unlock()
+			if err == nil {
+				err = ErrMuxClosed
+			}
+			return nil, err
+		}
+		return reply, nil
+	case <-timer:
+		m.mu.Lock()
+		delete(m.pending, id)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("transport: call %q timed out after %v", msg.Method, timeout)
+	}
+}
+
+// Post sends msg without awaiting any reply (one-way traffic). The
+// message keeps whatever RequestID it carries; replies to that id, if a
+// peer sends one anyway, are dropped by the read loop.
+func (m *Mux) Post(msg *wire.Message) error {
+	m.mu.Lock()
+	if m.closed || m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		if err == nil {
+			err = ErrMuxClosed
+		}
+		return err
+	}
+	m.mu.Unlock()
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	return wire.Write(m.conn, msg)
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	err := m.conn.Close()
+	m.fail(ErrMuxClosed)
+	return err
+}
+
+// Healthy reports whether the mux can still issue calls.
+func (m *Mux) Healthy() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed && m.err == nil
+}

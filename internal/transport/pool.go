@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"net"
+	"sync"
+)
+
+// Pool caches one Mux per destination key, re-dialing transparently when
+// a cached connection has failed. Protocol objects use a Pool so repeated
+// invocations on a global pointer reuse one connection, matching the
+// paper's requirement that no per-request connection setup pollutes the
+// bandwidth measurements.
+type Pool struct {
+	dial  func(key string) (net.Conn, error)
+	mu    sync.Mutex
+	muxes map[string]*Mux
+}
+
+// NewPool returns a Pool dialing through the given function.
+func NewPool(dial func(key string) (net.Conn, error)) *Pool {
+	return &Pool{dial: dial, muxes: make(map[string]*Mux)}
+}
+
+// Get returns a healthy Mux for key, dialing if necessary.
+func (p *Pool) Get(key string) (*Mux, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.muxes[key]; ok && m.Healthy() {
+		return m, nil
+	}
+	c, err := p.dial(key)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMux(c)
+	p.muxes[key] = m
+	return m, nil
+}
+
+// Drop closes and forgets the Mux for key, if any.
+func (p *Pool) Drop(key string) {
+	p.mu.Lock()
+	m, ok := p.muxes[key]
+	delete(p.muxes, key)
+	p.mu.Unlock()
+	if ok {
+		m.Close()
+	}
+}
+
+// Close closes every cached Mux.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	muxes := p.muxes
+	p.muxes = make(map[string]*Mux)
+	p.mu.Unlock()
+	for _, m := range muxes {
+		m.Close()
+	}
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"net"
+	"sync"
+
+	"openhpcxx/internal/wire"
+)
+
+// Handler processes one inbound frame and returns the reply frame. A nil
+// reply means "no reply" (one-way control traffic). Handlers must be safe
+// for concurrent use; the server invokes them from per-request
+// goroutines so a slow method cannot head-of-line block a connection.
+type Handler func(*wire.Message) *wire.Message
+
+// Server accepts connections from a listener and runs the frame loop on
+// each. One Server typically backs one protocol class (the server-side
+// half of a protocol object in the paper's terminology).
+type Server struct {
+	l       net.Listener
+	h       Handler
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+	maxPerC int
+}
+
+// Serve starts accepting on l, dispatching frames to h.
+func Serve(l net.Listener, h Handler) *Server {
+	s := &Server{l: l, h: h, conns: make(map[net.Conn]struct{}), maxPerC: 256}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.connLoop(c)
+	}
+}
+
+func (s *Server) connLoop(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	var wmu sync.Mutex
+	sem := make(chan struct{}, s.maxPerC)
+	for {
+		msg, err := wire.Read(c)
+		if err != nil {
+			return
+		}
+		sem <- struct{}{}
+		s.wg.Add(1)
+		go func(msg *wire.Message) {
+			defer s.wg.Done()
+			defer func() { <-sem }()
+			reply := s.h(msg)
+			if reply == nil {
+				return
+			}
+			reply.RequestID = msg.RequestID
+			wmu.Lock()
+			werr := wire.Write(c, reply)
+			wmu.Unlock()
+			if werr != nil {
+				c.Close()
+			}
+		}(msg)
+	}
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+// Close stops accepting, closes live connections, and waits for
+// in-flight handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,370 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/wire"
+)
+
+func echoHandler(m *wire.Message) *wire.Message {
+	return &wire.Message{
+		Type:      wire.TReply,
+		RequestID: m.RequestID,
+		Object:    m.Object,
+		Method:    m.Method,
+		Body:      m.Body,
+	}
+}
+
+func TestSHMListenDial(t *testing.T) {
+	shm := NewSHM()
+	l, err := shm.Listen("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+
+	c, err := shm.Dial("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMux(c)
+	defer m.Close()
+	reply, err := m.Call(&wire.Message{Type: wire.TRequest, Method: "ping", Body: []byte("abc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reply.Body, []byte("abc")) {
+		t.Fatalf("body %q", reply.Body)
+	}
+}
+
+func TestSHMDialUnknown(t *testing.T) {
+	shm := NewSHM()
+	if _, err := shm.Dial("missing"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestSHMNameConflictAndRelease(t *testing.T) {
+	shm := NewSHM()
+	l, err := shm.Listen("dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shm.Listen("dup"); err == nil {
+		t.Fatal("want name conflict")
+	}
+	l.Close()
+	l2, err := shm.Listen("dup")
+	if err != nil {
+		t.Fatalf("name not released: %v", err)
+	}
+	l2.Close()
+}
+
+func TestMuxConcurrentCalls(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("conc")
+	srv := Serve(l, func(m *wire.Message) *wire.Message {
+		// Scramble completion order.
+		if len(m.Body) > 0 && m.Body[0]%2 == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		return echoHandler(m)
+	})
+	defer srv.Close()
+	c, _ := shm.Dial("conc")
+	m := NewMux(c)
+	defer m.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := []byte{byte(i)}
+			reply, err := m.Call(&wire.Message{Type: wire.TRequest, Method: "m", Body: body})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if !bytes.Equal(reply.Body, body) {
+				t.Errorf("reply %v for %v: cross-talk", reply.Body, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestMuxCallAfterClose(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("closed")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	c, _ := shm.Dial("closed")
+	m := NewMux(c)
+	m.Close()
+	if _, err := m.Call(&wire.Message{Type: wire.TRequest}); !errors.Is(err, ErrMuxClosed) {
+		t.Fatalf("want ErrMuxClosed, got %v", err)
+	}
+	if m.Healthy() {
+		t.Fatal("closed mux reports healthy")
+	}
+}
+
+func TestMuxServerDisappears(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("gone")
+	block := make(chan struct{})
+	srv := Serve(l, func(m *wire.Message) *wire.Message {
+		<-block
+		return echoHandler(m)
+	})
+	c, _ := shm.Dial("gone")
+	m := NewMux(c)
+	defer m.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.Call(&wire.Message{Type: wire.TRequest, Method: "hang"})
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// Close drains in-flight handlers, so release the stuck one
+	// concurrently; the connection is already torn down by then and the
+	// client call must fail.
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(block)
+	}()
+	srv.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("call should fail when server goes away")
+	}
+}
+
+func TestMuxTimeout(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("slow")
+	release := make(chan struct{})
+	srv := Serve(l, func(m *wire.Message) *wire.Message {
+		<-release
+		return echoHandler(m)
+	})
+	defer srv.Close()
+	defer close(release)
+	c, _ := shm.Dial("slow")
+	m := NewMux(c)
+	defer m.Close()
+	m.SetTimeout(30 * time.Millisecond)
+	start := time.Now()
+	_, err := m.Call(&wire.Message{Type: wire.TRequest, Method: "slow"})
+	if err == nil {
+		t.Fatal("want timeout error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestServerOneWayControl(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("oneway")
+	var got atomic.Int32
+	srv := Serve(l, func(m *wire.Message) *wire.Message {
+		if m.Type == wire.TControl {
+			got.Add(1)
+			return nil // no reply for one-way control frames
+		}
+		return echoHandler(m)
+	})
+	defer srv.Close()
+	c, _ := shm.Dial("oneway")
+	defer c.Close()
+	if err := wire.Write(c, &wire.Message{Type: wire.TControl, RequestID: 9, Method: "notify"}); err != nil {
+		t.Fatal(err)
+	}
+	// A normal request after the control frame verifies the connection
+	// survived the nil reply.
+	m := NewMux(c)
+	defer m.Close()
+	if _, err := m.Call(&wire.Message{Type: wire.TRequest, Method: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("control frames seen: %d", got.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerMalformedFrameClosesConn(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("garbage")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	c, _ := shm.Dial("garbage")
+	defer c.Close()
+	c.Write([]byte{0, 0, 0, 4, 1, 2, 3, 4}) // valid length, bad magic
+	buf := make([]byte, 1)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("server should close connection on malformed frame")
+	}
+}
+
+func TestPoolReuseAndRedial(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("pool")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+
+	var dials atomic.Int32
+	p := NewPool(func(key string) (net.Conn, error) {
+		if key != "pool" {
+			return nil, fmt.Errorf("unexpected key %q", key)
+		}
+		dials.Add(1)
+		return shm.Dial("pool")
+	})
+	defer p.Close()
+
+	m1, err := p.Get("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p.Get("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("pool did not reuse mux")
+	}
+	if dials.Load() != 1 {
+		t.Fatalf("dials = %d", dials.Load())
+	}
+	m1.Close()
+	m3, err := p.Get("pool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Fatal("pool returned dead mux")
+	}
+	if dials.Load() != 2 {
+		t.Fatalf("dials = %d", dials.Load())
+	}
+	if _, err := m3.Call(&wire.Message{Type: wire.TRequest, Method: "x"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolDrop(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("drop")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	p := NewPool(func(key string) (net.Conn, error) { return shm.Dial("drop") })
+	defer p.Close()
+	m, _ := p.Get("drop")
+	p.Drop("drop")
+	if m.Healthy() {
+		t.Fatal("dropped mux still healthy")
+	}
+}
+
+func TestPoolDialError(t *testing.T) {
+	p := NewPool(func(key string) (net.Conn, error) { return nil, errors.New("refused") })
+	if _, err := p.Get("x"); err == nil {
+		t.Fatal("want dial error")
+	}
+}
+
+func TestServeOverRealTCP(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMux(c)
+	defer m.Close()
+	reply, err := m.Call(&wire.Message{Type: wire.TRequest, Method: "tcp", Body: []byte("over tcp")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Body) != "over tcp" {
+		t.Fatalf("body %q", reply.Body)
+	}
+}
+
+func BenchmarkSHMCall(b *testing.B) {
+	shm := NewSHM()
+	l, _ := shm.Listen("bench")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	c, _ := shm.Dial("bench")
+	m := NewMux(c)
+	defer m.Close()
+	msg := &wire.Message{Type: wire.TRequest, Method: "echo", Body: make([]byte, 1024)}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Call(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestServerCloseDrainsInFlight(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("drain")
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	var served atomic.Int32
+	srv := Serve(l, func(m *wire.Message) *wire.Message {
+		started <- struct{}{}
+		<-release
+		served.Add(1)
+		return echoHandler(m)
+	})
+	c, _ := shm.Dial("drain")
+	m := NewMux(c)
+	defer m.Close()
+	go m.Call(&wire.Message{Type: wire.TRequest, Method: "slow"})
+	<-started
+
+	done := make(chan struct{})
+	go func() {
+		srv.Close() // must wait for the in-flight handler
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Close returned while a handler was running")
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close never returned")
+	}
+	if served.Load() != 1 {
+		t.Fatalf("handler finished %d times", served.Load())
+	}
+}

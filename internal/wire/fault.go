@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"openhpcxx/internal/xdr"
+)
+
+// FaultCode classifies remote errors so clients can react mechanically
+// (retry after a move, re-select a protocol, surface a quota violation).
+type FaultCode uint32
+
+// Fault codes.
+const (
+	FaultInternal      FaultCode = 1 // unclassified server-side failure
+	FaultNoObject      FaultCode = 2 // unknown object id
+	FaultNoMethod      FaultCode = 3 // object has no such method
+	FaultMoved         FaultCode = 4 // object migrated; Data holds the new OR
+	FaultAuth          FaultCode = 5 // authentication failed
+	FaultQuota         FaultCode = 6 // quota capability exhausted
+	FaultCapability    FaultCode = 7 // capability processing failed
+	FaultNotApplicable FaultCode = 8 // protocol not applicable for this pair
+	FaultBadRequest    FaultCode = 9 // malformed arguments
+)
+
+func (c FaultCode) String() string {
+	switch c {
+	case FaultInternal:
+		return "internal"
+	case FaultNoObject:
+		return "no-object"
+	case FaultNoMethod:
+		return "no-method"
+	case FaultMoved:
+		return "moved"
+	case FaultAuth:
+		return "auth"
+	case FaultQuota:
+		return "quota"
+	case FaultCapability:
+		return "capability"
+	case FaultNotApplicable:
+		return "not-applicable"
+	case FaultBadRequest:
+		return "bad-request"
+	}
+	return fmt.Sprintf("fault(%d)", uint32(c))
+}
+
+// Fault is a remote error. It travels as the body of a TFault message and
+// implements error on the client side.
+type Fault struct {
+	Code    FaultCode
+	Message string
+	// Data carries code-specific payload; for FaultMoved it is the
+	// XDR-encoded new ObjectRef.
+	Data []byte
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("remote fault [%s]: %s", f.Code, f.Message)
+}
+
+// MarshalXDR encodes the fault body.
+func (f *Fault) MarshalXDR(e *xdr.Encoder) error {
+	e.PutUint32(uint32(f.Code))
+	e.PutString(f.Message)
+	e.PutOpaque(f.Data)
+	return nil
+}
+
+// UnmarshalXDR decodes the fault body.
+func (f *Fault) UnmarshalXDR(d *xdr.Decoder) error {
+	c, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	f.Code = FaultCode(c)
+	if f.Message, err = d.String(); err != nil {
+		return err
+	}
+	f.Data, err = d.Opaque()
+	return err
+}
+
+// Faultf builds a Fault with a formatted message.
+func Faultf(code FaultCode, format string, args ...any) *Fault {
+	return &Fault{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// AsFault extracts a *Fault from an error chain, or wraps err as an
+// internal fault so servers always have something well-formed to send.
+func AsFault(err error) *Fault {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f
+	}
+	return &Fault{Code: FaultInternal, Message: err.Error()}
+}
+
+// FaultMessage builds the TFault reply for a request.
+func FaultMessage(req *Message, err error) (*Message, error) {
+	f := AsFault(err)
+	body, merr := xdr.Marshal(f)
+	if merr != nil {
+		return nil, merr
+	}
+	return &Message{
+		Type:      TFault,
+		RequestID: req.RequestID,
+		Object:    req.Object,
+		Method:    req.Method,
+		Epoch:     req.Epoch,
+		Body:      body,
+	}, nil
+}
+
+// DecodeFault parses a TFault body into an error.
+func DecodeFault(body []byte) error {
+	f := new(Fault)
+	if err := xdr.Unmarshal(body, f); err != nil {
+		return fmt.Errorf("wire: undecodable fault: %w", err)
+	}
+	return f
+}

@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead drives the frame decoder with arbitrary bytes; it must never
+// panic, and any frame it accepts must re-encode and re-decode stably.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	Write(&seed, &Message{
+		Type:      TRequest,
+		Object:    "ctx/obj-1",
+		Method:    "exchange",
+		Epoch:     2,
+		Envelopes: []Envelope{{ID: "glue", Data: []byte("tag")}, {ID: "encrypt", Data: []byte{1, 2}}},
+		Body:      []byte("body"),
+	})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, m); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		m2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if m.Type != m2.Type || m.Object != m2.Object || m.Method != m2.Method ||
+			m.Epoch != m2.Epoch || !bytes.Equal(m.Body, m2.Body) || len(m.Envelopes) != len(m2.Envelopes) {
+			t.Fatalf("unstable round trip: %+v vs %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,193 @@
+// Package wire defines the Open HPC++ on-the-wire message format shared
+// by every protocol object.
+//
+// A message is a length-delimited frame containing an XDR-encoded header
+// (message type, request id, target object, method, migration epoch, and
+// a chain of capability envelopes) followed by an opaque body. Capability
+// objects transform only the body and record what they did in the
+// envelope chain, so a glue protocol can un-process a request on the
+// server side in exactly the reverse order it was processed on the client
+// side (paper §4.2, Figure 2).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"openhpcxx/internal/xdr"
+)
+
+// Magic identifies Open HPC++ frames ("HPCX").
+const Magic uint32 = 0x48504358
+
+// Version is the wire protocol version.
+const Version uint32 = 1
+
+// MaxFrame bounds a frame's total size (64 MiB), protecting servers from
+// hostile length prefixes.
+const MaxFrame = 64 << 20
+
+// MsgType discriminates frame kinds.
+type MsgType uint32
+
+// Message kinds.
+const (
+	TRequest MsgType = 1 // method invocation
+	TReply   MsgType = 2 // successful result
+	TFault   MsgType = 3 // remote error
+	TControl MsgType = 4 // runtime-internal traffic (migration, ping)
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TRequest:
+		return "request"
+	case TReply:
+		return "reply"
+	case TFault:
+		return "fault"
+	case TControl:
+		return "control"
+	}
+	return fmt.Sprintf("msgtype(%d)", uint32(t))
+}
+
+// Envelope records one capability's transformation of the body. ID names
+// the capability kind; Data carries whatever the capability needs to undo
+// the transformation (nonces, original lengths, MACs, ...).
+type Envelope struct {
+	ID   string
+	Data []byte
+}
+
+// Message is one frame.
+type Message struct {
+	Type      MsgType
+	RequestID uint64
+	Object    string // target object id ("context-id/obj-N")
+	Method    string
+	Epoch     uint64 // migration epoch of the OR the caller used
+	Envelopes []Envelope
+	Body      []byte
+}
+
+// MarshalXDR encodes everything after the frame length prefix.
+func (m *Message) MarshalXDR(e *xdr.Encoder) error {
+	e.PutUint32(Magic)
+	e.PutUint32(Version)
+	e.PutUint32(uint32(m.Type))
+	e.PutUint64(m.RequestID)
+	e.PutString(m.Object)
+	e.PutString(m.Method)
+	e.PutUint64(m.Epoch)
+	e.PutUint32(uint32(len(m.Envelopes)))
+	for _, env := range m.Envelopes {
+		e.PutString(env.ID)
+		e.PutOpaque(env.Data)
+	}
+	e.PutOpaque(m.Body)
+	return nil
+}
+
+// Frame errors.
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrTooLarge   = errors.New("wire: frame exceeds MaxFrame")
+)
+
+// UnmarshalXDR decodes everything after the frame length prefix.
+func (m *Message) UnmarshalXDR(d *xdr.Decoder) error {
+	magic, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if magic != Magic {
+		return ErrBadMagic
+	}
+	ver, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if ver != Version {
+		return ErrBadVersion
+	}
+	typ, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	m.Type = MsgType(typ)
+	if m.RequestID, err = d.Uint64(); err != nil {
+		return err
+	}
+	if m.Object, err = d.String(); err != nil {
+		return err
+	}
+	if m.Method, err = d.String(); err != nil {
+		return err
+	}
+	if m.Epoch, err = d.Uint64(); err != nil {
+		return err
+	}
+	n, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if n > 64 {
+		return fmt.Errorf("wire: %d envelopes exceeds limit", n)
+	}
+	m.Envelopes = make([]Envelope, n)
+	for i := range m.Envelopes {
+		if m.Envelopes[i].ID, err = d.String(); err != nil {
+			return err
+		}
+		if m.Envelopes[i].Data, err = d.Opaque(); err != nil {
+			return err
+		}
+	}
+	m.Body, err = d.Opaque()
+	return err
+}
+
+// Write frames and writes m to w. It is not safe for concurrent use on
+// one writer; callers serialize per connection.
+func Write(w io.Writer, m *Message) error {
+	e := xdr.NewEncoder(64 + len(m.Body))
+	e.PutUint32(0) // frame length placeholder
+	if err := m.MarshalXDR(e); err != nil {
+		return err
+	}
+	buf := e.Bytes()
+	n := len(buf) - 4
+	if n > MaxFrame {
+		return ErrTooLarge
+	}
+	buf[0] = byte(n >> 24)
+	buf[1] = byte(n >> 16)
+	buf[2] = byte(n >> 8)
+	buf[3] = byte(n)
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read reads one frame from r.
+func Read(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int(uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3]))
+	if n > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	m := new(Message)
+	if err := xdr.Unmarshal(buf, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

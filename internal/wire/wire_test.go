@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"openhpcxx/internal/xdr"
+)
+
+func sample() *Message {
+	return &Message{
+		Type:      TRequest,
+		RequestID: 42,
+		Object:    "ctx-a/obj-7",
+		Method:    "Exchange",
+		Epoch:     3,
+		Envelopes: []Envelope{
+			{ID: "encrypt", Data: []byte{1, 2, 3}},
+			{ID: "quota", Data: nil},
+		},
+		Body: []byte("payload"),
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sample()
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.RequestID != in.RequestID || out.Object != in.Object ||
+		out.Method != in.Method || out.Epoch != in.Epoch {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Envelopes) != 2 || out.Envelopes[0].ID != "encrypt" ||
+		!bytes.Equal(out.Envelopes[0].Data, []byte{1, 2, 3}) || out.Envelopes[1].ID != "quota" {
+		t.Fatalf("envelopes: %+v", out.Envelopes)
+	}
+	if !bytes.Equal(out.Body, in.Body) {
+		t.Fatalf("body %q", out.Body)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left in stream", buf.Len())
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		m := sample()
+		m.RequestID = uint64(i)
+		if err := Write(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.RequestID != uint64(i) {
+			t.Fatalf("frame %d has id %d", i, m.RequestID)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	e := xdr.NewEncoder(16)
+	e.PutUint32(8)
+	e.PutUint32(0xdeadbeef)
+	e.PutUint32(Version)
+	_, err := Read(bytes.NewReader(e.Bytes()))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[11] = 99 // version lives after the length (4) and magic (4)
+	_, err := Read(bytes.NewReader(b))
+	if !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("want ErrBadVersion, got %v", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var hdr [4]byte
+	n := uint32(MaxFrame + 1)
+	hdr[0], hdr[1], hdr[2], hdr[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	_, err := Read(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()-3]
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("want error on truncated frame")
+	}
+}
+
+func TestEnvelopeLimit(t *testing.T) {
+	m := sample()
+	m.Envelopes = make([]Envelope, 65)
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("want envelope-limit error")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	cases := map[MsgType]string{TRequest: "request", TReply: "reply", TFault: "fault", TControl: "control", MsgType(9): "msgtype(9)"}
+	for in, want := range cases {
+		if in.String() != want {
+			t.Errorf("%d.String() = %q want %q", uint32(in), in.String(), want)
+		}
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	req := sample()
+	in := &Fault{Code: FaultQuota, Message: "out of requests", Data: []byte{9}}
+	reply, err := FaultMessage(req, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TFault || reply.RequestID != req.RequestID {
+		t.Fatalf("reply header %+v", reply)
+	}
+	got := DecodeFault(reply.Body)
+	var f *Fault
+	if !errors.As(got, &f) {
+		t.Fatalf("DecodeFault returned %T", got)
+	}
+	if f.Code != FaultQuota || f.Message != "out of requests" || !bytes.Equal(f.Data, []byte{9}) {
+		t.Fatalf("fault %+v", f)
+	}
+}
+
+func TestAsFaultWrapsPlainErrors(t *testing.T) {
+	f := AsFault(errors.New("boom"))
+	if f.Code != FaultInternal || f.Message != "boom" {
+		t.Fatalf("%+v", f)
+	}
+	orig := Faultf(FaultAuth, "denied %s", "alice")
+	if got := AsFault(fmt.Errorf("call failed: %w", orig)); got != orig {
+		t.Fatal("AsFault must unwrap")
+	}
+	if orig.Message != "denied alice" {
+		t.Fatalf("Faultf message %q", orig.Message)
+	}
+}
+
+func TestFaultCodeStrings(t *testing.T) {
+	for c := FaultInternal; c <= FaultBadRequest; c++ {
+		if s := c.String(); s == "" || s[0] == 'f' && s != "fault(0)" && len(s) > 6 && s[:6] == "fault(" {
+			t.Errorf("code %d has no name: %q", c, s)
+		}
+	}
+	if FaultCode(99).String() != "fault(99)" {
+		t.Fatal("unknown code formatting")
+	}
+}
+
+func TestFaultError(t *testing.T) {
+	f := &Fault{Code: FaultMoved, Message: "gone"}
+	want := "remote fault [moved]: gone"
+	if f.Error() != want {
+		t.Fatalf("Error() = %q want %q", f.Error(), want)
+	}
+}
+
+// Property: arbitrary messages survive the frame round trip.
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(reqID uint64, object, method string, epoch uint64, envIDs []string, body []byte) bool {
+		in := &Message{Type: TReply, RequestID: reqID, Object: object, Method: method, Epoch: epoch, Body: body}
+		for i, id := range envIDs {
+			if i == 8 {
+				break
+			}
+			in.Envelopes = append(in.Envelopes, Envelope{ID: id, Data: []byte(id)})
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(out.Envelopes) == 0 {
+			out.Envelopes = nil
+		}
+		if len(in.Envelopes) == 0 {
+			in.Envelopes = nil
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Read never panics on arbitrary bytes.
+func TestQuickReadRobust(t *testing.T) {
+	f := func(p []byte) bool {
+		Read(bytes.NewReader(p))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteOverPipe(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		Write(c1, sample())
+	}()
+	m, err := Read(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Method != "Exchange" {
+		t.Fatalf("method %q", m.Method)
+	}
+}
+
+func TestReadEOF(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	m := sample()
+	m.Body = make([]byte, 4096)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Write(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

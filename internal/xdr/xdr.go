@@ -1,0 +1,445 @@
+// Package xdr implements the subset of the XDR external data
+// representation (RFC 4506) used by the Open HPC++ wire protocol.
+//
+// The original Open HPC++ system used Sun RPC's XDR for data encoding in
+// its TCP protocol objects. This package reimplements that discipline
+// from scratch: all items occupy a multiple of four bytes, multi-byte
+// quantities are big-endian, and variable-length data is length-prefixed
+// and zero-padded to a four-byte boundary.
+//
+// Encoder and Decoder operate over an internal byte buffer to avoid
+// per-item interface calls; Bytes/Reset allow buffer reuse so steady-state
+// encoding performs no allocation beyond buffer growth.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Maximum variable-length element count accepted by the decoder. Guards
+// against corrupt or hostile length prefixes allocating unbounded memory.
+const maxDecodeLen = 1 << 28
+
+var (
+	// ErrShortBuffer is returned when the decoder runs out of input.
+	ErrShortBuffer = errors.New("xdr: short buffer")
+	// ErrLength is returned when a length prefix is negative or exceeds
+	// the decoder's sanity limit.
+	ErrLength = errors.New("xdr: invalid length")
+	// ErrPadding is returned when pad bytes are not zero.
+	ErrPadding = errors.New("xdr: nonzero padding")
+	// ErrBool is returned when a boolean is neither 0 nor 1.
+	ErrBool = errors.New("xdr: invalid bool")
+	// ErrTrailing is returned by DecodeFull when input remains after the
+	// value has been decoded.
+	ErrTrailing = errors.New("xdr: trailing bytes")
+)
+
+// Marshaler is implemented by types that can append themselves to an
+// Encoder.
+type Marshaler interface {
+	MarshalXDR(e *Encoder) error
+}
+
+// Unmarshaler is implemented by types that can read themselves from a
+// Decoder.
+type Unmarshaler interface {
+	UnmarshalXDR(d *Decoder) error
+}
+
+func pad(n int) int { return (4 - n&3) & 3 }
+
+// Encoder appends XDR-encoded values to a growable buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with the given initial capacity.
+func NewEncoder(capacity int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded buffer. The slice is valid until the next
+// call to Reset or an encoding method.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the buffer contents, retaining capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+func (e *Encoder) grow(n int) []byte {
+	l := len(e.buf)
+	if l+n <= cap(e.buf) {
+		e.buf = e.buf[:l+n]
+	} else {
+		nb := make([]byte, l+n, (l+n)*2)
+		copy(nb, e.buf)
+		e.buf = nb
+	}
+	return e.buf[l : l+n]
+}
+
+// PutUint32 encodes a 32-bit unsigned integer.
+func (e *Encoder) PutUint32(v uint32) {
+	b := e.grow(4)
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// PutInt32 encodes a 32-bit signed integer.
+func (e *Encoder) PutInt32(v int32) { e.PutUint32(uint32(v)) }
+
+// PutUint64 encodes an XDR unsigned hyper.
+func (e *Encoder) PutUint64(v uint64) {
+	b := e.grow(8)
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+// PutInt64 encodes an XDR hyper.
+func (e *Encoder) PutInt64(v int64) { e.PutUint64(uint64(v)) }
+
+// PutInt encodes a Go int as an XDR hyper.
+func (e *Encoder) PutInt(v int) { e.PutInt64(int64(v)) }
+
+// PutBool encodes a boolean as an XDR enum (0 or 1).
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.PutUint32(1)
+	} else {
+		e.PutUint32(0)
+	}
+}
+
+// PutFloat32 encodes an IEEE-754 single-precision float.
+func (e *Encoder) PutFloat32(v float32) { e.PutUint32(math.Float32bits(v)) }
+
+// PutFloat64 encodes an IEEE-754 double-precision float.
+func (e *Encoder) PutFloat64(v float64) { e.PutUint64(math.Float64bits(v)) }
+
+// PutFixedOpaque encodes opaque data of known length (no length prefix).
+func (e *Encoder) PutFixedOpaque(p []byte) {
+	b := e.grow(len(p) + pad(len(p)))
+	n := copy(b, p)
+	for i := n; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// PutOpaque encodes variable-length opaque data (length prefixed).
+func (e *Encoder) PutOpaque(p []byte) {
+	e.PutUint32(uint32(len(p)))
+	e.PutFixedOpaque(p)
+}
+
+// PutString encodes a string.
+func (e *Encoder) PutString(s string) {
+	e.PutUint32(uint32(len(s)))
+	b := e.grow(len(s) + pad(len(s)))
+	n := copy(b, s)
+	for i := n; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// PutInt32s encodes a variable-length array of 32-bit integers. This is
+// the fast path used by the paper's bandwidth experiment, which exchanges
+// arrays of integers between client and server.
+func (e *Encoder) PutInt32s(v []int32) {
+	e.PutUint32(uint32(len(v)))
+	b := e.grow(4 * len(v))
+	for i, x := range v {
+		u := uint32(x)
+		b[4*i] = byte(u >> 24)
+		b[4*i+1] = byte(u >> 16)
+		b[4*i+2] = byte(u >> 8)
+		b[4*i+3] = byte(u)
+	}
+}
+
+// PutFloat64s encodes a variable-length array of doubles.
+func (e *Encoder) PutFloat64s(v []float64) {
+	e.PutUint32(uint32(len(v)))
+	b := e.grow(8 * len(v))
+	for i, x := range v {
+		u := math.Float64bits(x)
+		b[8*i] = byte(u >> 56)
+		b[8*i+1] = byte(u >> 48)
+		b[8*i+2] = byte(u >> 40)
+		b[8*i+3] = byte(u >> 32)
+		b[8*i+4] = byte(u >> 24)
+		b[8*i+5] = byte(u >> 16)
+		b[8*i+6] = byte(u >> 8)
+		b[8*i+7] = byte(u)
+	}
+}
+
+// PutStrings encodes a variable-length array of strings.
+func (e *Encoder) PutStrings(v []string) {
+	e.PutUint32(uint32(len(v)))
+	for _, s := range v {
+		e.PutString(s)
+	}
+}
+
+// PutOptional encodes an XDR optional-data marker followed, if present is
+// true, by the value via fn.
+func (e *Encoder) PutOptional(present bool, fn func(*Encoder)) {
+	e.PutBool(present)
+	if present {
+		fn(e)
+	}
+}
+
+// Marshal encodes a Marshaler into a fresh byte slice.
+func Marshal(m Marshaler) ([]byte, error) {
+	e := NewEncoder(64)
+	if err := m.MarshalXDR(e); err != nil {
+		return nil, err
+	}
+	return e.Bytes(), nil
+}
+
+// Decoder reads XDR-encoded values from a byte slice.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder returns a Decoder reading from p.
+func NewDecoder(p []byte) *Decoder { return &Decoder{buf: p} }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// take consumes n bytes from the input.
+func (d *Decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.buf) {
+		return nil, ErrShortBuffer
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// Uint32 decodes a 32-bit unsigned integer.
+func (d *Decoder) Uint32() (uint32, error) {
+	b, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3]), nil
+}
+
+// Int32 decodes a 32-bit signed integer.
+func (d *Decoder) Int32() (int32, error) {
+	v, err := d.Uint32()
+	return int32(v), err
+}
+
+// Uint64 decodes an XDR unsigned hyper.
+func (d *Decoder) Uint64() (uint64, error) {
+	b, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7]), nil
+}
+
+// Int64 decodes an XDR hyper.
+func (d *Decoder) Int64() (int64, error) {
+	v, err := d.Uint64()
+	return int64(v), err
+}
+
+// Int decodes an XDR hyper into a Go int.
+func (d *Decoder) Int() (int, error) {
+	v, err := d.Int64()
+	return int(v), err
+}
+
+// Bool decodes a boolean, rejecting values other than 0 and 1.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return false, err
+	}
+	switch v {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, ErrBool
+}
+
+// Float32 decodes a single-precision float.
+func (d *Decoder) Float32() (float32, error) {
+	v, err := d.Uint32()
+	return math.Float32frombits(v), err
+}
+
+// Float64 decodes a double-precision float.
+func (d *Decoder) Float64() (float64, error) {
+	v, err := d.Uint64()
+	return math.Float64frombits(v), err
+}
+
+func (d *Decoder) checkPad(n int) error {
+	p, err := d.take(pad(n))
+	if err != nil {
+		return err
+	}
+	for _, b := range p {
+		if b != 0 {
+			return ErrPadding
+		}
+	}
+	return nil
+}
+
+// FixedOpaque decodes opaque data of known length into a fresh slice.
+func (d *Decoder) FixedOpaque(n int) ([]byte, error) {
+	b, err := d.take(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, d.checkPad(n)
+}
+
+func (d *Decoder) length() (int, error) {
+	v, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	if v > maxDecodeLen {
+		return 0, ErrLength
+	}
+	return int(v), nil
+}
+
+// Opaque decodes variable-length opaque data.
+func (d *Decoder) Opaque() ([]byte, error) {
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	return d.FixedOpaque(n)
+}
+
+// OpaqueView decodes variable-length opaque data without copying; the
+// returned slice aliases the decoder's input.
+func (d *Decoder) OpaqueView() ([]byte, error) {
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return nil, err
+	}
+	return b, d.checkPad(n)
+}
+
+// String decodes a string.
+func (d *Decoder) String() (string, error) {
+	n, err := d.length()
+	if err != nil {
+		return "", err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return "", err
+	}
+	s := string(b)
+	return s, d.checkPad(n)
+}
+
+// Int32s decodes a variable-length array of 32-bit integers.
+func (d *Decoder) Int32s() ([]int32, error) {
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.take(4 * n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(uint32(b[4*i])<<24 | uint32(b[4*i+1])<<16 | uint32(b[4*i+2])<<8 | uint32(b[4*i+3]))
+	}
+	return out, nil
+}
+
+// Float64s decodes a variable-length array of doubles.
+func (d *Decoder) Float64s() ([]float64, error) {
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	b, err := d.take(8 * n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		u := uint64(b[8*i])<<56 | uint64(b[8*i+1])<<48 | uint64(b[8*i+2])<<40 | uint64(b[8*i+3])<<32 |
+			uint64(b[8*i+4])<<24 | uint64(b[8*i+5])<<16 | uint64(b[8*i+6])<<8 | uint64(b[8*i+7])
+		out[i] = math.Float64frombits(u)
+	}
+	return out, nil
+}
+
+// Strings decodes a variable-length array of strings.
+func (d *Decoder) Strings() ([]string, error) {
+	n, err := d.length()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, min(n, 1024))
+	for i := 0; i < n; i++ {
+		s, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Optional decodes an optional-data marker; if present it invokes fn.
+func (d *Decoder) Optional(fn func(*Decoder) error) (present bool, err error) {
+	present, err = d.Bool()
+	if err != nil || !present {
+		return present, err
+	}
+	return true, fn(d)
+}
+
+// Unmarshal decodes p into u, requiring that all input is consumed.
+func Unmarshal(p []byte, u Unmarshaler) error {
+	d := NewDecoder(p)
+	if err := u.UnmarshalXDR(d); err != nil {
+		return err
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%w: %d bytes", ErrTrailing, d.Remaining())
+	}
+	return nil
+}
