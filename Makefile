@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-async
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+# Regenerate the async throughput figure quickly and emit JSON.
+bench-async:
+	$(GO) run ./cmd/ohpc-bench -fig=a1 -quick -json=-

@@ -7,6 +7,7 @@
 //	ohpc-bench -fig=5 -quick       # time-scaled links, fast
 //	ohpc-bench -fig=5 -profile=atm -plot
 //	ohpc-bench -fig=4
+//	ohpc-bench -fig=a1 -json=async.json   # async throughput figure
 //
 // Absolute numbers depend on the host and the simulated link rates; the
 // shapes — which protocol wins, by roughly what factor, and where the
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,12 +27,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, e1 (extension), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), e1 (extension), or all")
 	profile := flag.String("profile", "both", "network for figure 5: atm, ethernet, or both")
 	quick := flag.Bool("quick", false, "time-scale the links 16x and shorten averaging")
 	plot := flag.Bool("plot", true, "also render figure 5 as an ASCII log-log plot")
 	reps := flag.Int("reps", 0, "minimum exchanges per measurement cell (0 = default)")
 	csvPath := flag.String("csv", "", "also write figure 5 data as CSV to this file")
+	jsonPath := flag.String("json", "", "write the async figure (a1) data as JSON to this file ('-' for stdout)")
+	calls := flag.Int("calls", 0, "calls per mode for the async figure (0 = default)")
 	flag.Parse()
 
 	var csvOut *os.File
@@ -160,7 +164,44 @@ func main() {
 		return nil
 	})
 
-	if !strings.Contains("1 2 3 4 5 e1 all", *fig) {
+	run("a1", func() error {
+		profiles := []netsim.LinkProfile{netsim.ProfileWAN, netsim.ProfileEthernet}
+		var results []*bench.AsyncResult
+		for _, p := range profiles {
+			cfg := bench.AsyncConfig{Profile: p, Calls: *calls}
+			if *quick {
+				cfg.Profile = p.Scaled(16)
+				if cfg.Calls == 0 {
+					cfg.Calls = 128
+				}
+			}
+			res, err := bench.RunFigureAsync(cfg)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+			fmt.Println(bench.FormatFigureAsync(res))
+		}
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(results); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	if !strings.Contains("1 2 3 4 5 a1 e1 all", *fig) {
 		fmt.Fprintf(os.Stderr, "ohpc-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}

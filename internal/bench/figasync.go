@@ -1,0 +1,236 @@
+// The async figure: small-message throughput of one client/server pair
+// under three invocation disciplines — synchronous request/reply,
+// pipelined futures, and adaptive micro-batching — plus batching through
+// a full capability chain. The paper's §5 measures bandwidth for large
+// arrays, where the link dominates; this extension measures the other
+// end of the spectrum, many small calls, where per-round-trip latency
+// dominates and the async subsystem pays off.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/future"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/transport"
+	"openhpcxx/internal/xdr"
+)
+
+// Async figure mode names.
+const (
+	ModeSync         = "sync"
+	ModePipelined    = "pipelined"
+	ModeBatched      = "batched"
+	ModeBatchedGlue  = "batched+glue"
+	AsyncFigureTitle = "Figure A1: small-message invocation throughput"
+)
+
+// AsyncModes lists the figure's rows in presentation order.
+func AsyncModes() []string {
+	return []string{ModeSync, ModePipelined, ModeBatched, ModeBatchedGlue}
+}
+
+// AsyncConfig parameterizes the async throughput figure.
+type AsyncConfig struct {
+	// Profile shapes the client-server link (the figure targets
+	// ProfileWAN and ProfileEthernet, where round trips are expensive).
+	Profile netsim.LinkProfile
+	// Ints is the array length exchanged per call (default 64 — a 260
+	// byte payload, squarely in small-message territory).
+	Ints int
+	// Calls per mode (default 256).
+	Calls int
+	// MaxInFlight bounds the pipeline depth for the async modes
+	// (default core.DefaultMaxInFlight).
+	MaxInFlight int
+}
+
+func (c *AsyncConfig) fill() {
+	if c.Ints <= 0 {
+		c.Ints = 64
+	}
+	if c.Calls <= 0 {
+		c.Calls = 256
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = core.DefaultMaxInFlight
+	}
+}
+
+// AsyncPoint is one row of the figure: one invocation discipline.
+type AsyncPoint struct {
+	Mode string `json:"mode"`
+	// Calls completed and payload bytes carried per call per direction.
+	Calls int `json:"calls"`
+	Bytes int `json:"bytes_per_call"`
+	// Elapsed covers issuing every call and collecting every reply.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// CallsPerSec is the headline throughput number.
+	CallsPerSec float64 `json:"calls_per_sec"`
+	// AvgLatency is elapsed/calls — the effective per-call cost, which
+	// pipelining amortizes below one round trip.
+	AvgLatency time.Duration `json:"avg_latency_ns"`
+	// Speedup is CallsPerSec relative to the sync row.
+	Speedup float64 `json:"speedup_vs_sync"`
+}
+
+// AsyncResult is the whole figure for one link profile.
+type AsyncResult struct {
+	Profile string       `json:"profile"`
+	Ints    int          `json:"ints"`
+	Points  []AsyncPoint `json:"points"`
+}
+
+// asyncDeployment is the figure's testbed: client and server machines
+// joined by the configured link, with a plain stream reference and a
+// glue (encrypt+auth) reference to the same servant.
+type asyncDeployment struct {
+	Deployment
+	plainRef *core.ObjectRef
+	glueRef  *core.ObjectRef
+}
+
+func newAsyncDeployment(profile netsim.LinkProfile) (*asyncDeployment, error) {
+	n := netsim.New()
+	n.AddLAN("lan", "campus", profile)
+	n.MustAddMachine("client-m", "lan")
+	n.MustAddMachine("server-m", "lan")
+	rt := newRuntime(n, "bench-async")
+
+	clientCtx, err := rt.NewContext("client", "client-m")
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	remote, err := serverContext(rt, "server", "server-m")
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	s, err := exportExchange(remote)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	streamE, err := remote.EntryStream()
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	glueE, err := capability.GlueEntry(remote, "async-sec", streamE,
+		capability.NewRandomEncrypt(capability.ScopeAlways),
+		capability.MustNewAuth("bench", []byte("bench-key"), capability.ScopeAlways),
+	)
+	if err != nil {
+		rt.Close()
+		return nil, err
+	}
+	return &asyncDeployment{
+		Deployment: Deployment{Net: n, Runtime: rt, Client: clientCtx},
+		plainRef:   remote.NewRef(s, streamE),
+		glueRef:    remote.NewRef(s, glueE),
+	}, nil
+}
+
+// runAsyncMode executes cfg.Calls exchanges under one discipline and
+// reports the wall-clock throughput.
+func runAsyncMode(d *asyncDeployment, cfg AsyncConfig, mode string) (AsyncPoint, error) {
+	ref := d.plainRef
+	if mode == ModeBatchedGlue {
+		ref = d.glueRef
+	}
+	gp := d.Client.NewGlobalPtr(ref)
+	gp.SetMaxInFlight(cfg.MaxInFlight)
+	switch mode {
+	case ModeBatched, ModeBatchedGlue:
+		gp.SetBatchPolicy(&transport.BatchPolicy{
+			MaxMessages: cfg.MaxInFlight,
+			MaxDelay:    transport.DefaultBatchDelay,
+		})
+	}
+
+	arr := &core.Int32Slice{V: make([]int32, cfg.Ints)}
+	for i := range arr.V {
+		arr.V[i] = int32(i)
+	}
+	payload := 4 + 4*cfg.Ints
+
+	// Warm-up: selection, connection setup, one full exchange.
+	if _, err := core.Call[*core.Int32Slice, core.Int32Slice](gp, "exchange", arr); err != nil {
+		return AsyncPoint{}, fmt.Errorf("bench: %s warm-up: %w", mode, err)
+	}
+
+	args, err := xdr.Marshal(arr)
+	if err != nil {
+		return AsyncPoint{}, err
+	}
+	start := time.Now()
+	switch mode {
+	case ModeSync:
+		for i := 0; i < cfg.Calls; i++ {
+			out, err := gp.Invoke("exchange", args)
+			if err != nil {
+				return AsyncPoint{}, fmt.Errorf("bench: %s call %d: %w", mode, i, err)
+			}
+			if len(out) != len(args) {
+				return AsyncPoint{}, fmt.Errorf("bench: %s call %d: %d bytes back, want %d", mode, i, len(out), len(args))
+			}
+		}
+	default:
+		fs := make([]*future.Future, cfg.Calls)
+		for i := range fs {
+			fs[i] = gp.InvokeAsync("exchange", args)
+		}
+		for i, f := range fs {
+			out, err := f.Wait()
+			if err != nil {
+				return AsyncPoint{}, fmt.Errorf("bench: %s call %d: %w", mode, i, err)
+			}
+			if len(out) != len(args) {
+				return AsyncPoint{}, fmt.Errorf("bench: %s call %d: %d bytes back, want %d", mode, i, len(out), len(args))
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return AsyncPoint{
+		Mode:        mode,
+		Calls:       cfg.Calls,
+		Bytes:       payload,
+		Elapsed:     elapsed,
+		CallsPerSec: float64(cfg.Calls) / elapsed.Seconds(),
+		AvgLatency:  elapsed / time.Duration(cfg.Calls),
+	}, nil
+}
+
+// RunFigureAsync produces the async throughput figure for one profile.
+func RunFigureAsync(cfg AsyncConfig) (*AsyncResult, error) {
+	cfg.fill()
+	d, err := newAsyncDeployment(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Close()
+
+	res := &AsyncResult{Profile: cfg.Profile.Name, Ints: cfg.Ints}
+	var syncRate float64
+	for _, mode := range AsyncModes() {
+		p, err := runAsyncMode(d, cfg, mode)
+		if err != nil {
+			return nil, err
+		}
+		if mode == ModeSync {
+			syncRate = p.CallsPerSec
+		}
+		if syncRate > 0 {
+			p.Speedup = p.CallsPerSec / syncRate
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}

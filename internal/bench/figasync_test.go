@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"openhpcxx/internal/netsim"
+)
+
+// TestFigureAsyncSpeedup pins the figure's headline claim on a
+// time-scaled WAN: pipelined and batched small-message invocation beat
+// synchronous request/reply by at least 2x, and every mode returns
+// correct payloads (runAsyncMode verifies reply sizes call by call).
+func TestFigureAsyncSpeedup(t *testing.T) {
+	scale := 32.0
+	if raceEnabled {
+		scale = 64
+	}
+	res, err := RunFigureAsync(AsyncConfig{
+		Profile:     netsim.ProfileWAN.Scaled(scale),
+		Calls:       96,
+		MaxInFlight: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := map[string]float64{}
+	for _, p := range res.Points {
+		if p.CallsPerSec <= 0 || p.Elapsed <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		rates[p.Mode] = p.CallsPerSec
+	}
+	for _, mode := range []string{ModePipelined, ModeBatched} {
+		if got := rates[mode] / rates[ModeSync]; got < 2 {
+			t.Errorf("%s speedup %.2fx over sync, want >= 2x (sync %.0f/s, %s %.0f/s)",
+				mode, got, rates[ModeSync], mode, rates[mode])
+		}
+	}
+	// The glue-chained batched mode must at least work and not collapse
+	// below the synchronous baseline; its crypto work is real CPU.
+	if rates[ModeBatchedGlue] <= 0 {
+		t.Fatal("batched+glue mode produced no throughput")
+	}
+}
+
+// TestFigureAsyncEthernet runs the second target profile briefly — the
+// figure must hold its shape on a LAN, not just a WAN.
+func TestFigureAsyncEthernet(t *testing.T) {
+	res, err := RunFigureAsync(AsyncConfig{
+		Profile: netsim.ProfileEthernet.Scaled(8),
+		Calls:   48,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(AsyncModes()) {
+		t.Fatalf("got %d points, want %d", len(res.Points), len(AsyncModes()))
+	}
+	if res.Points[1].CallsPerSec <= res.Points[0].CallsPerSec {
+		t.Errorf("pipelined (%.0f/s) not faster than sync (%.0f/s) on ethernet",
+			res.Points[1].CallsPerSec, res.Points[0].CallsPerSec)
+	}
+}
+
+// TestFigureAsyncJSONRoundTrip keeps the ohpc-bench JSON emission
+// stable: the result must marshal and carry every mode.
+func TestFigureAsyncJSONRoundTrip(t *testing.T) {
+	res, err := RunFigureAsync(AsyncConfig{
+		Profile: netsim.ProfileUnshaped,
+		Calls:   16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back AsyncResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Profile != res.Profile || len(back.Points) != len(res.Points) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, res)
+	}
+	out := FormatFigureAsync(res)
+	for _, mode := range AsyncModes() {
+		if !strings.Contains(out, mode) {
+			t.Errorf("formatted table missing mode %q:\n%s", mode, out)
+		}
+	}
+}

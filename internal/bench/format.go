@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 )
 
 // FormatFigure5 renders the bandwidth curves as the table the paper's
@@ -89,6 +90,22 @@ func FormatFigure5ASCII(title string, series []Series) string {
 	}
 	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
 	b.WriteString("   " + strings.Join(legend, "   ") + "\n")
+	return b.String()
+}
+
+// FormatFigureAsync renders the async throughput figure as a table: one
+// row per invocation discipline.
+func FormatFigureAsync(r *AsyncResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s over %s (%d ints = %d bytes per call)\n",
+		AsyncFigureTitle, r.Profile, r.Ints, 4+4*r.Ints)
+	fmt.Fprintf(&b, "%-14s %8s %12s %14s %14s %9s\n",
+		"mode", "calls", "elapsed", "calls/sec", "avg latency", "speedup")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-14s %8d %12v %14.1f %14v %8.2fx\n",
+			p.Mode, p.Calls, p.Elapsed.Round(time.Millisecond), p.CallsPerSec,
+			p.AvgLatency.Round(time.Microsecond), p.Speedup)
+	}
 	return b.String()
 }
 

@@ -3,10 +3,12 @@ package capability
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
 )
@@ -196,9 +198,11 @@ func (g *Glue) ID() core.ProtoID { return core.ProtoGlue }
 // Capabilities returns the capability chain (shared, do not mutate).
 func (g *Glue) Capabilities() []Capability { return g.caps }
 
-// Call implements core.Protocol: process with each capability in order,
-// delegate to the base protocol, then un-process the reply in reverse.
-func (g *Glue) Call(m *wire.Message) (*wire.Message, error) {
+// wrapRequest runs the request through the capability chain and returns
+// the enveloped frame to hand to the base protocol. Shared by Call,
+// Begin, and Post, so the pipelined and one-way paths are metered and
+// protected identically to the synchronous one.
+func (g *Glue) wrapRequest(m *wire.Message) (*wire.Message, error) {
 	frame := &Frame{Object: m.Object, Method: m.Method, Dir: Request, Clock: g.clock}
 	body := m.Body
 	envs := make([]wire.Envelope, 0, len(g.caps)+1)
@@ -214,8 +218,17 @@ func (g *Glue) Call(m *wire.Message) (*wire.Message, error) {
 	out := *m
 	out.Body = body
 	out.Envelopes = envs
+	return &out, nil
+}
 
-	reply, err := g.base.Call(&out)
+// Call implements core.Protocol: process with each capability in order,
+// delegate to the base protocol, then un-process the reply in reverse.
+func (g *Glue) Call(m *wire.Message) (*wire.Message, error) {
+	out, err := g.wrapRequest(m)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := g.base.Call(out)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +237,91 @@ func (g *Glue) Call(m *wire.Message) (*wire.Message, error) {
 		return reply, nil
 	}
 	return g.unwrapReply(reply)
+}
+
+// gluePending is the completion handle of a pipelined glue invocation:
+// the base protocol's pending, with the reply un-processed through the
+// capability chain (once) on resolution.
+type gluePending struct {
+	g     *Glue
+	p     core.Pending
+	once  sync.Once
+	reply *wire.Message
+	err   error
+}
+
+func (gp *gluePending) Done() <-chan struct{} { return gp.p.Done() }
+
+func (gp *gluePending) Reply() (*wire.Message, error) {
+	gp.once.Do(func() {
+		reply, err := gp.p.Reply()
+		if err != nil {
+			gp.err = err
+			return
+		}
+		if reply.Type != wire.TReply {
+			gp.reply = reply // faults travel outside the envelope
+			return
+		}
+		gp.reply, gp.err = gp.g.unwrapReply(reply)
+	})
+	return gp.reply, gp.err
+}
+
+// callPending adapts a blocking base.Call to the Pending surface when
+// the base protocol cannot pipeline: Begin still returns immediately,
+// the call runs in its own goroutine.
+type callPending struct {
+	done  chan struct{}
+	reply *wire.Message
+	err   error
+}
+
+func (cp *callPending) Done() <-chan struct{} { return cp.done }
+
+func (cp *callPending) Reply() (*wire.Message, error) {
+	<-cp.done
+	return cp.reply, cp.err
+}
+
+// Begin implements core.PipelinedProtocol: capability processing happens
+// in the caller's goroutine (so quota/rate accounting observes the issue
+// order), the request is pipelined through the base when it supports
+// Begin, and the reply is un-processed on the completion path. Batched
+// requests therefore traverse the capability chain individually — every
+// sub-request in a TBatch carries its own envelope chain.
+func (g *Glue) Begin(m *wire.Message) (core.Pending, error) {
+	out, err := g.wrapRequest(m)
+	if err != nil {
+		return nil, err
+	}
+	if pp, ok := g.base.(core.PipelinedProtocol); ok {
+		p, err := pp.Begin(out)
+		if err != nil {
+			return nil, err
+		}
+		return &gluePending{g: g, p: p}, nil
+	}
+	cp := &callPending{done: make(chan struct{})}
+	go func() {
+		reply, err := g.base.Call(out)
+		if err == nil && reply.Type == wire.TReply {
+			reply, err = g.unwrapReply(reply)
+		}
+		cp.reply, cp.err = reply, err
+		close(cp.done)
+	}()
+	return cp, nil
+}
+
+// SetBatching implements core.BatchingProtocol by forwarding the policy
+// to the base protocol when it listens: coalescing happens beneath the
+// capability chain, so each batched sub-request keeps its own envelope
+// chain and server-side un-processing is unchanged.
+func (g *Glue) SetBatching(p transport.BatchPolicy) {
+	if bp, ok := g.base.(core.BatchingProtocol); ok {
+		bp.SetBatching(p)
+	}
 }
 
 func (g *Glue) unwrapReply(reply *wire.Message) (*wire.Message, error) {
@@ -263,22 +361,11 @@ func (g *Glue) Post(m *wire.Message) error {
 	if !ok {
 		return core.ErrOneWayUnsupported
 	}
-	frame := &Frame{Object: m.Object, Method: m.Method, Dir: Request, Clock: g.clock}
-	body := m.Body
-	envs := make([]wire.Envelope, 0, len(g.caps)+1)
-	envs = append(envs, wire.Envelope{ID: core.GlueEnvelopeID, Data: []byte(g.tag)})
-	for _, c := range g.caps {
-		nb, env, err := c.Process(frame, body)
-		if err != nil {
-			return fmt.Errorf("capability %s: %w", c.Kind(), err)
-		}
-		body = nb
-		envs = append(envs, wire.Envelope{ID: c.Kind(), Data: env})
+	out, err := g.wrapRequest(m)
+	if err != nil {
+		return err
 	}
-	out := *m
-	out.Body = body
-	out.Envelopes = envs
-	return ow.Post(&out)
+	return ow.Post(out)
 }
 
 // Close implements core.Protocol.

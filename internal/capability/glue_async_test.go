@@ -1,0 +1,160 @@
+package capability
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/future"
+	"openhpcxx/internal/transport"
+	"openhpcxx/internal/wire"
+)
+
+// TestGlueBatchedThroughChain is the acceptance check for batching +
+// capabilities: requests coalesced into TBatch frames still traverse an
+// encrypt+auth chain individually and round-trip correctly.
+func TestGlueBatchedThroughChain(t *testing.T) {
+	rt := world(t)
+	server, s := echoServer(t, rt, "server", "m1")
+	clientCtx, err := rt.NewContext("client", "m3")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := server.EntryStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	glueE, err := GlueEntry(server, "sec-batch", base,
+		MustNewEncrypt(key32(), ScopeAlways),
+		MustNewAuth("client", []byte("k"), ScopeAlways),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := clientCtx.NewGlobalPtr(server.NewRef(s, glueE))
+	if id, err := gp.SelectedProtocol(); err != nil || id != core.ProtoGlue {
+		t.Fatalf("selected %s, %v", id, err)
+	}
+	gp.SetBatchPolicy(&transport.BatchPolicy{MaxMessages: 8, MaxDelay: 2 * time.Millisecond})
+
+	const n = 48
+	fs := make([]*future.Future, n)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("upper", []byte(fmt.Sprintf("sec-%d", i)))
+	}
+	for i, f := range fs {
+		body, err := f.Wait()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("SEC-%d", i); string(body) != want {
+			t.Fatalf("future %d: got %q want %q", i, body, want)
+		}
+	}
+	if got := rt.Metrics().Counter("srv.batches").Value(); got == 0 {
+		t.Fatal("no TBatch frame flowed beneath the glue chain")
+	}
+}
+
+// TestGlueAsyncQuotaAccounting pins capability accounting on the async
+// path: a quota of N admits exactly N invocations whether they are
+// issued synchronously or through futures.
+func TestGlueAsyncQuotaAccounting(t *testing.T) {
+	rt := world(t)
+	server, s := echoServer(t, rt, "server", "m1")
+	clientCtx, _ := rt.NewContext("client", "m2")
+
+	base, _ := server.EntryStream()
+	glueE, err := GlueEntry(server, "metered-async", base, NewQuota(3, time.Time{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := clientCtx.NewGlobalPtr(server.NewRef(s, glueE))
+
+	fs := make([]*future.Future, 3)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("echo", []byte("x"))
+	}
+	if err := future.WaitAll(fs...); err != nil {
+		t.Fatalf("within quota: %v", err)
+	}
+	err = gp.InvokeAsync("echo", []byte("x")).Err()
+	var f *wire.Fault
+	if !errors.As(err, &f) || f.Code != wire.FaultQuota {
+		t.Fatalf("over quota: %v", err)
+	}
+}
+
+// TestGlueAsyncPipelined checks the glue Begin path without batching:
+// futures over a capability chain resolve with un-processed bodies.
+func TestGlueAsyncPipelined(t *testing.T) {
+	rt := world(t)
+	server, s := echoServer(t, rt, "server", "m1")
+	clientCtx, _ := rt.NewContext("client", "m2")
+
+	base, _ := server.EntryStream()
+	glueE, err := GlueEntry(server, "pipe", base, MustNewEncrypt(key32(), ScopeAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp := clientCtx.NewGlobalPtr(server.NewRef(s, glueE))
+
+	fs := make([]*future.Future, 8)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("echo", []byte{byte(i)})
+	}
+	for i, f := range fs {
+		body, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(body) != 1 || body[0] != byte(i) {
+			t.Fatalf("future %d: got %v", i, body)
+		}
+	}
+}
+
+// TestGlueBeginNonPipelinedBase covers the fallback: a base protocol
+// with only Call still supports Begin through the glue (the call runs in
+// its own goroutine).
+func TestGlueBeginNonPipelinedBase(t *testing.T) {
+	j := &journal{}
+	c1 := &recordingCap{kind: "c1", journal: j}
+	sc1 := &recordingCap{kind: "c1", journal: j}
+	gs := NewGlueServer("np", []Capability{sc1}, clock.Real{})
+	base := &localProto{handle: func(m *wire.Message) *wire.Message {
+		body, err := gs.UnwrapRequest(m)
+		if err != nil {
+			t.Errorf("unwrap: %v", err)
+			return nil
+		}
+		reply, err := gs.WrapReply(m, append([]byte("re:"), body...))
+		if err != nil {
+			t.Errorf("wrap: %v", err)
+			return nil
+		}
+		return reply
+	}}
+	g := NewGlue("np", base, clock.Real{}, c1)
+
+	p, err := g.Begin(&wire.Message{Type: wire.TRequest, Object: "o", Method: "m", Body: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := p.Reply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply.Body) != "re:hi" {
+		t.Fatalf("got %q", reply.Body)
+	}
+	// Reply is idempotent.
+	again, err := p.Reply()
+	if err != nil || string(again.Body) != "re:hi" {
+		t.Fatalf("second Reply: %q %v", again.Body, err)
+	}
+}

@@ -12,11 +12,39 @@ type Clock interface {
 	Now() time.Time
 }
 
+// Sleeper is optionally implemented by clocks that can also delay the
+// caller (retry backoff). Real sleeps in real time; Fake merely
+// advances itself, so tests with injected fake clocks pay no wall-clock
+// cost for backoff. Callers that hold only a Clock should type-assert
+// and fall back to time.Sleep.
+type Sleeper interface {
+	Sleep(d time.Duration)
+}
+
+// Sleep delays through c if it implements Sleeper, else in real time.
+func Sleep(c Clock, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if s, ok := c.(Sleeper); ok {
+		s.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // Real reads the system clock.
 type Real struct{}
 
 // Now implements Clock.
 func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Sleeper in real time.
+func (Real) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
 
 // Fake is a manually advanced clock for tests.
 type Fake struct {
@@ -32,6 +60,14 @@ func (f *Fake) Now() time.Time {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.now
+}
+
+// Sleep implements Sleeper by advancing the fake clock instantly — a
+// backoff under test costs simulated time, not wall-clock time.
+func (f *Fake) Sleep(d time.Duration) {
+	if d > 0 {
+		f.Advance(d)
+	}
 }
 
 // Advance moves the clock forward by d.

@@ -1,0 +1,126 @@
+// Asynchronous invocation: GlobalPtr.InvokeAsync returns a future while
+// the request is pipelined on the wire. The first attempt is issued in
+// the caller's goroutine through PipelinedProtocol.Begin when the bound
+// protocol supports it, so a loop of InvokeAsync calls genuinely keeps
+// many requests in flight per connection; the adaptation machinery
+// (migration chase, protocol re-selection, retry backoff) runs on the
+// completion goroutine and is shared verbatim with the synchronous path
+// via prepare/settle.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/future"
+	"openhpcxx/internal/wire"
+)
+
+// InvokeAsync calls a method on the remote object without waiting for
+// the reply. It returns a future that resolves with the reply body or
+// error; the same transparent adaptation as Invoke (FaultMoved chase,
+// FaultNotApplicable re-selection, transport-error invalidation with
+// backoff) happens on the completion path before the future resolves.
+//
+// Admission is bounded by the per-GP in-flight limiter (default
+// DefaultMaxInFlight, steerable with SetMaxInFlight): when the limit is
+// reached, InvokeAsync blocks the caller until a slot frees — natural
+// backpressure rather than unbounded queueing. Canceling the returned
+// future releases its slot immediately; the request already on the wire
+// runs to completion on the server and its reply is discarded.
+func (g *GlobalPtr) InvokeAsync(method string, args []byte) *future.Future {
+	fut := future.New()
+
+	g.mu.Lock()
+	sem := g.inflight
+	g.mu.Unlock()
+	sem <- struct{}{} // admission: backpressure at the in-flight bound
+	var relOnce sync.Once
+	release := func() { relOnce.Do(func() { <-sem }) }
+	fut.OnCancel(release)
+
+	p, err := g.prepare(wire.TRequest, method, args)
+	if err != nil {
+		release()
+		fut.Fail(err)
+		return fut
+	}
+	p.pm.calls.Inc()
+	p.pm.reqBytes.Add(uint64(len(args)))
+	start := time.Now()
+
+	if pp, ok := p.proto.(PipelinedProtocol); ok {
+		pending, berr := pp.Begin(p.req)
+		if berr == nil {
+			go func() {
+				defer release()
+				reply, rerr := pending.Reply()
+				p.pm.latency.ObserveDuration(time.Since(start))
+				g.settleAsync(fut, p, reply, rerr, method, args)
+			}()
+			return fut
+		}
+		go func() {
+			defer release()
+			g.settleAsync(fut, p, nil, berr, method, args)
+		}()
+		return fut
+	}
+
+	// Protocol without Begin: run Call in the completion goroutine — the
+	// futures surface is preserved, per-connection pipelining is not.
+	go func() {
+		defer release()
+		reply, cerr := p.proto.Call(p.req)
+		p.pm.latency.ObserveDuration(time.Since(start))
+		g.settleAsync(fut, p, reply, cerr, method, args)
+	}()
+	return fut
+}
+
+// settleAsync classifies the first attempt's outcome and, when the
+// adaptation machinery asks for a retry, runs the remaining attempts
+// synchronously in the completion goroutine before resolving the
+// future. A canceled future abandons the chase between attempts.
+func (g *GlobalPtr) settleAsync(fut *future.Future, p prepared, reply *wire.Message, err error, method string, args []byte) {
+	body, done, backoff, serr := g.settle(p, reply, err)
+	if done {
+		finishFuture(fut, body, serr)
+		return
+	}
+	lastErr, needBackoff := serr, backoff
+	for attempt := 1; attempt < maxInvokeAttempts; attempt++ {
+		if _, _, resolved := fut.TryResult(); resolved {
+			return // canceled (or raced): nobody is waiting, stop retrying
+		}
+		if needBackoff {
+			clock.Sleep(g.host.rt.Clock(), retryBackoff(attempt))
+		}
+		rp, perr := g.prepare(wire.TRequest, method, args)
+		if perr != nil {
+			fut.Fail(perr)
+			return
+		}
+		rp.pm.calls.Inc()
+		rp.pm.reqBytes.Add(uint64(len(args)))
+		start := time.Now()
+		r, cerr := rp.proto.Call(rp.req)
+		rp.pm.latency.ObserveDuration(time.Since(start))
+		body, done, backoff, serr := g.settle(rp, r, cerr)
+		if done {
+			finishFuture(fut, body, serr)
+			return
+		}
+		lastErr, needBackoff = serr, backoff
+	}
+	fut.Fail(g.giveUp(method, lastErr))
+}
+
+func finishFuture(f *future.Future, body []byte, err error) {
+	if err != nil {
+		f.Fail(err)
+		return
+	}
+	f.Complete(body)
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/future"
+	"openhpcxx/internal/transport"
+	"openhpcxx/internal/wire"
+)
+
+func TestInvokeAsyncBasic(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	_, ref := exportEcho(t, server)
+	gp := client.NewGlobalPtr(ref)
+
+	const n = 10
+	fs := make([]*future.Future, n)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("upper", []byte(fmt.Sprintf("msg-%d", i)))
+	}
+	if err := future.WaitAll(fs...); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fs {
+		body, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("MSG-%d", i); string(body) != want {
+			t.Fatalf("future %d: got %q want %q", i, body, want)
+		}
+	}
+}
+
+func TestInvokeAsyncFaultResolvesFuture(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	_, ref := exportEcho(t, server)
+	gp := client.NewGlobalPtr(ref)
+
+	err := gp.InvokeAsync("fail", nil).Err()
+	var f *wire.Fault
+	if !errors.As(err, &f) || f.Code != wire.FaultBadRequest {
+		t.Fatalf("got %v, want bad-request fault", err)
+	}
+}
+
+// concurrencyTracker counts how many invocations of "gate" overlap.
+type concurrencyTracker struct {
+	mu      sync.Mutex
+	cur     int
+	maxSeen int
+	hold    time.Duration
+}
+
+func (ct *concurrencyTracker) methods() map[string]Method {
+	return map[string]Method{
+		"gate": func(args []byte) ([]byte, error) {
+			ct.mu.Lock()
+			ct.cur++
+			if ct.cur > ct.maxSeen {
+				ct.maxSeen = ct.cur
+			}
+			ct.mu.Unlock()
+			time.Sleep(ct.hold)
+			ct.mu.Lock()
+			ct.cur--
+			ct.mu.Unlock()
+			return args, nil
+		},
+	}
+}
+
+func (ct *concurrencyTracker) max() int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.maxSeen
+}
+
+// TestInvokeAsyncPipelines shows the point of the subsystem: many
+// requests in flight on one connection at once.
+func TestInvokeAsyncPipelines(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	if err := server.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	ct := &concurrencyTracker{hold: 20 * time.Millisecond}
+	s, err := server.Export("Gate", nil, ct.methods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, _ := server.EntryStream()
+	gp := client.NewGlobalPtr(server.NewRef(s, entry))
+
+	const n = 8
+	fs := make([]*future.Future, n)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("gate", []byte{byte(i)})
+	}
+	if err := future.WaitAll(fs...); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.max(); got < 2 {
+		t.Fatalf("server saw max concurrency %d; requests were not pipelined", got)
+	}
+}
+
+// TestInvokeAsyncInFlightLimiter pins the per-GP bound: the server may
+// never observe more overlapping invocations than SetMaxInFlight allows.
+func TestInvokeAsyncInFlightLimiter(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	if err := server.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	ct := &concurrencyTracker{hold: 5 * time.Millisecond}
+	s, _ := server.Export("Gate", nil, ct.methods())
+	entry, _ := server.EntryStream()
+	gp := client.NewGlobalPtr(server.NewRef(s, entry))
+	gp.SetMaxInFlight(2)
+
+	const n = 12
+	fs := make([]*future.Future, n)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("gate", nil) // blocks when 2 are outstanding
+	}
+	if err := future.WaitAll(fs...); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.max(); got > 2 {
+		t.Fatalf("server saw max concurrency %d, limit was 2", got)
+	}
+}
+
+func TestInvokeAsyncCancel(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	if err := server.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	s, _ := server.Export("Slow", nil, map[string]Method{
+		"slow": func(args []byte) ([]byte, error) { <-release; return args, nil },
+	})
+	entry, _ := server.EntryStream()
+	gp := client.NewGlobalPtr(server.NewRef(s, entry))
+	gp.SetMaxInFlight(1)
+
+	f := gp.InvokeAsync("slow", []byte("x"))
+	if !f.Cancel() {
+		t.Fatal("Cancel did not resolve the future")
+	}
+	if _, err := f.Wait(); !errors.Is(err, future.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	// The canceled future released its limiter slot, so another async
+	// invocation must be admitted immediately even at MaxInFlight=1.
+	admitted := make(chan *future.Future, 1)
+	go func() { admitted <- gp.InvokeAsync("echo2", nil) }()
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("limiter slot was not released by Cancel")
+	}
+	close(release)
+}
+
+// TestInvokeAsyncMigrationChase drives the tombstone chase through the
+// asynchronous completion path.
+func TestInvokeAsyncMigrationChase(t *testing.T) {
+	_, rt := testWorld(t)
+	ctx1, _ := rt.NewContext("ctx1", "mA")
+	ctx2, _ := rt.NewContext("ctx2", "mB")
+	client, _ := rt.NewContext("client", "mC")
+
+	s1, ref1 := exportEcho(t, ctx1)
+	gp := client.NewGlobalPtr(ref1)
+	if err := gp.InvokeAsync("echo", []byte("pre")).Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ctx2.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ctx2.ExportAs(s1.ID(), s1.Iface(), nil, echoMethods(), s1.Epoch()+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := ctx2.EntryStream()
+	ctx1.Unexport(s1.ID(), ctx2.NewRef(s2, e2))
+
+	body, err := gp.InvokeAsync("upper", []byte("moved")).Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "MOVED" {
+		t.Fatalf("got %q", body)
+	}
+	if got := gp.Ref().Server.Machine; got != "mB" {
+		t.Fatalf("gp ref server %s, want mB", got)
+	}
+}
+
+// TestInvokeAsyncOverNexus exercises the pipelined path of the Nexus
+// protocol (BeginRSR + embedded reply decode).
+func TestInvokeAsyncOverNexus(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	if err := server.BindNexusSim(0); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := server.Export("Echo", nil, echoMethods())
+	entry, _ := server.EntryNexus()
+	gp := client.NewGlobalPtr(server.NewRef(s, entry))
+
+	fs := make([]*future.Future, 6)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("upper", []byte(fmt.Sprintf("nx-%d", i)))
+	}
+	for i, f := range fs {
+		body, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("NX-%d", i); string(body) != want {
+			t.Fatalf("future %d: got %q", i, body)
+		}
+	}
+}
+
+// TestBatchedInvoke turns on adaptive micro-batching and checks both
+// correctness and that TBatch frames actually flowed.
+func TestBatchedInvoke(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	_, ref := exportEcho(t, server)
+	gp := client.NewGlobalPtr(ref)
+	gp.SetBatchPolicy(&transport.BatchPolicy{MaxMessages: 8, MaxDelay: 2 * time.Millisecond})
+
+	const n = 64
+	fs := make([]*future.Future, n)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("upper", []byte(fmt.Sprintf("b-%d", i)))
+	}
+	for i, f := range fs {
+		body, err := f.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("B-%d", i); string(body) != want {
+			t.Fatalf("future %d: got %q want %q", i, body, want)
+		}
+	}
+	if got := rt.Metrics().Counter("srv.batches").Value(); got == 0 {
+		t.Fatal("no TBatch frame reached the server")
+	}
+	if got := rt.Metrics().Counter("srv.batch_msgs").Value(); got == 0 {
+		t.Fatal("no batched sub-requests accounted")
+	}
+
+	// Turning the policy off must fall back to plain frames and keep
+	// working.
+	gp.SetBatchPolicy(nil)
+	before := rt.Metrics().Counter("srv.batches").Value()
+	if body, err := gp.Invoke("echo", []byte("plain")); err != nil || string(body) != "plain" {
+		t.Fatalf("after disable: %q %v", body, err)
+	}
+	if after := rt.Metrics().Counter("srv.batches").Value(); after != before {
+		t.Fatal("batching still on after SetBatchPolicy(nil)")
+	}
+}
+
+// TestBatchedSyncInvoke checks that synchronous Invokes also coalesce
+// when issued concurrently under a batching policy.
+func TestBatchedSyncInvoke(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	_, ref := exportEcho(t, server)
+	gp := client.NewGlobalPtr(ref)
+	gp.SetBatchPolicy(&transport.BatchPolicy{MaxMessages: 4, MaxDelay: 2 * time.Millisecond})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err := gp.Invoke("echo", []byte{byte(i)})
+			if err == nil && (len(body) != 1 || body[0] != byte(i)) {
+				err = fmt.Errorf("reply mismatch: %v", body)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+// TestOneWayPostDuringAsync checks Post keeps working while futures are
+// outstanding on the same GP.
+func TestOneWayPostDuringAsync(t *testing.T) {
+	_, rt := testWorld(t)
+	server, _ := rt.NewContext("server", "mA")
+	client, _ := rt.NewContext("client", "mB")
+	if err := server.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	var oneways atomic.Int64
+	done := make(chan struct{}, 64)
+	s, _ := server.Export("Mix", nil, map[string]Method{
+		"note": func(args []byte) ([]byte, error) {
+			oneways.Add(1)
+			done <- struct{}{}
+			return nil, nil
+		},
+		"echo": func(args []byte) ([]byte, error) { return args, nil },
+	})
+	entry, _ := server.EntryStream()
+	gp := client.NewGlobalPtr(server.NewRef(s, entry))
+
+	fs := make([]*future.Future, 8)
+	for i := range fs {
+		fs[i] = gp.InvokeAsync("echo", []byte{byte(i)})
+		if err := gp.Post("note", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := future.WaitAll(fs...); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("one-way %d never executed (saw %d)", i, oneways.Load())
+		}
+	}
+}
+
+// TestSharedGlobalPtrStress hammers one GlobalPtr from many goroutines
+// while the object ping-pongs between two contexts and a spoiler
+// invalidates the protocol binding — the -race regression the async
+// completion path must survive.
+func TestSharedGlobalPtrStress(t *testing.T) {
+	_, rt := testWorld(t)
+	ctx1, _ := rt.NewContext("ctx1", "mA")
+	ctx2, _ := rt.NewContext("ctx2", "mB")
+	client, _ := rt.NewContext("client", "mC")
+	if err := ctx1.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx2.BindSim(0); err != nil {
+		t.Fatal(err)
+	}
+
+	s1, err := ctx1.Export("Echo", nil, echoMethods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := ctx1.EntryStream()
+	gp := client.NewGlobalPtr(ctx1.NewRef(s1, e1))
+
+	const (
+		workers  = 8
+		perGoro  = 40
+		migrates = 6
+	)
+	stop := make(chan struct{})
+
+	// Migrator: ping-pong the object between ctx1 and ctx2, leaving
+	// tombstones each hop.
+	var migWG sync.WaitGroup
+	migWG.Add(1)
+	go func() {
+		defer migWG.Done()
+		cur, other := ctx1, ctx2
+		s := s1
+		for i := 0; i < migrates; i++ {
+			time.Sleep(3 * time.Millisecond)
+			ns, err := other.ExportAs(s.ID(), s.Iface(), nil, echoMethods(), s.Epoch()+1)
+			if err != nil {
+				t.Errorf("migrate %d: %v", i, err)
+				return
+			}
+			oe, _ := other.EntryStream()
+			cur.Unexport(s.ID(), other.NewRef(ns, oe))
+			cur, other, s = other, cur, ns
+		}
+	}()
+
+	// Spoiler: keeps dropping the client binding mid-traffic.
+	var spoilWG sync.WaitGroup
+	spoilWG.Add(1)
+	go func() {
+		defer spoilWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				gp.Invalidate()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*perGoro)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perGoro; i++ {
+				payload := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				var body []byte
+				var err error
+				if i%2 == 0 {
+					body, err = gp.Invoke("echo", payload)
+				} else {
+					body, err = gp.InvokeAsync("echo", payload).Wait()
+				}
+				if err != nil {
+					// Racing a migration can exhaust the attempt budget;
+					// that is an acceptable outcome, corruption is not.
+					continue
+				}
+				if string(body) != string(payload) {
+					errCh <- fmt.Errorf("w%d call %d: got %q want %q", w, i, body, payload)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	migWG.Wait()
+	close(stop)
+	spoilWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// The dust settles: the GP must still complete a call wherever the
+	// object ended up.
+	body, err := gp.Invoke("upper", []byte("final"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "FINAL" {
+		t.Fatalf("got %q", body)
+	}
+}

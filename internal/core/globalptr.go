@@ -3,9 +3,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/stats"
+	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
 )
 
@@ -17,16 +21,50 @@ import (
 type GlobalPtr struct {
 	host *Context
 
-	mu    sync.Mutex
-	ref   *ObjectRef
-	proto Protocol
-	entry int // index into ref.Protocols of the selected entry
+	mu      sync.Mutex
+	ref     *ObjectRef
+	proto   Protocol
+	entry   int           // index into ref.Protocols of the selected entry
+	metrics *protoMetrics // cached handles for the bound protocol
+	policy  *transport.BatchPolicy
+
+	inflight chan struct{} // per-GP async in-flight limiter
 }
+
+// protoMetrics caches the metric handles for one bound protocol, so the
+// invocation hot path increments atomics instead of rebuilding metric
+// names and taking the registry lock on every call.
+type protoMetrics struct {
+	calls, oneway, reqBytes, respBytes *stats.Counter
+	transportErrors, faults            *stats.Counter
+	latency                            *stats.Histogram
+}
+
+func newProtoMetrics(r *stats.Registry, pid string) *protoMetrics {
+	return &protoMetrics{
+		calls:           r.Counter("rpc." + pid + ".calls"),
+		oneway:          r.Counter("rpc." + pid + ".oneway"),
+		reqBytes:        r.Counter("rpc." + pid + ".req_bytes"),
+		respBytes:       r.Counter("rpc." + pid + ".resp_bytes"),
+		transportErrors: r.Counter("rpc." + pid + ".transport_errors"),
+		faults:          r.Counter("rpc." + pid + ".faults"),
+		latency:         r.Histogram("rpc." + pid + ".latency_us"),
+	}
+}
+
+// DefaultMaxInFlight is the default per-GP bound on outstanding
+// asynchronous invocations.
+const DefaultMaxInFlight = 32
 
 // NewGlobalPtr binds a reference to a client context. The reference is
 // cloned, so callers may keep mutating their copy.
 func (c *Context) NewGlobalPtr(ref *ObjectRef) *GlobalPtr {
-	return &GlobalPtr{host: c, ref: ref.Clone(), entry: -1}
+	return &GlobalPtr{
+		host:     c,
+		ref:      ref.Clone(),
+		entry:    -1,
+		inflight: make(chan struct{}, DefaultMaxInFlight),
+	}
 }
 
 // Ref returns a copy of the current object reference.
@@ -58,6 +96,65 @@ func (g *GlobalPtr) invalidateLocked() {
 		g.proto = nil
 	}
 	g.entry = -1
+	g.metrics = nil
+}
+
+// SetMaxInFlight resizes the per-GP bound on outstanding asynchronous
+// invocations (n <= 0 restores the default). Resizing affects future
+// InvokeAsync calls; invocations already in flight drain against the
+// limiter they were admitted under.
+func (g *GlobalPtr) SetMaxInFlight(n int) {
+	if n <= 0 {
+		n = DefaultMaxInFlight
+	}
+	g.mu.Lock()
+	g.inflight = make(chan struct{}, n)
+	g.mu.Unlock()
+}
+
+// SetBatchPolicy steers adaptive micro-batching for this GP: requests
+// are coalesced into wire.TBatch frames under the given watermarks when
+// the bound protocol supports it (the stream family and glue chains over
+// it do; Nexus embeds frames per-RSR and ignores the knob). A nil policy
+// disables batching. The policy survives rebinds — it is re-applied
+// after every protocol selection.
+func (g *GlobalPtr) SetBatchPolicy(p *transport.BatchPolicy) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if p == nil {
+		g.policy = nil
+	} else {
+		cp := *p
+		g.policy = &cp
+	}
+	if g.proto != nil {
+		g.applyBatchingLocked()
+	}
+}
+
+// BatchPolicy reports the configured batching policy (nil when off).
+func (g *GlobalPtr) BatchPolicy() *transport.BatchPolicy {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.policy == nil {
+		return nil
+	}
+	cp := *g.policy
+	return &cp
+}
+
+// applyBatchingLocked pushes the GP's policy into the bound protocol, if
+// it listens. Caller holds g.mu.
+func (g *GlobalPtr) applyBatchingLocked() {
+	bp, ok := g.proto.(BatchingProtocol)
+	if !ok {
+		return
+	}
+	if g.policy == nil {
+		bp.SetBatching(transport.BatchPolicy{})
+	} else {
+		bp.SetBatching(*g.policy)
+	}
 }
 
 // SelectedProtocol reports which protocol the GP is currently bound to,
@@ -100,6 +197,10 @@ func (g *GlobalPtr) bindLocked() error {
 	}
 	g.proto = p
 	g.entry = idx
+	// Satellite of the async work: metric handles are resolved once per
+	// bind, not once per call.
+	g.metrics = newProtoMetrics(g.host.rt.Metrics(), string(p.ID()))
+	g.applyBatchingLocked()
 	g.host.rt.recordEvent("select", g.ref.Object,
 		"context %s picked table[%d] %s (server at %s)", g.host.name, idx, p.ID(), g.ref.Server)
 	return nil
@@ -109,78 +210,136 @@ func (g *GlobalPtr) bindLocked() error {
 // mid-call yields FaultMoved chains; each hop refreshes the reference.
 const maxInvokeAttempts = 4
 
+// Retry backoff: attempts after a transport error or a stale protocol
+// choice wait base<<n capped at retryBackoffCap, with ±50% jitter so a
+// herd of GPs re-selecting against one recovering server de-correlates.
+// Migration chases (FaultMoved) skip the backoff — the tombstone hands
+// over a fresh, authoritative reference, so retrying immediately is
+// right. Sleeps go through the runtime clock: tests with clock.Fake pay
+// simulated time only.
+const (
+	retryBackoffBase = 2 * time.Millisecond
+	retryBackoffCap  = 50 * time.Millisecond
+)
+
+// retryBackoff computes the jittered delay before retry attempt n (n>=1).
+func retryBackoff(attempt int) time.Duration {
+	d := retryBackoffBase << (attempt - 1)
+	if d > retryBackoffCap || d <= 0 {
+		d = retryBackoffCap
+	}
+	// Jitter in [0.5d, 1.5d).
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// prepared is one ready-to-send attempt: the bound protocol, the frame,
+// and the metric handles that account for it.
+type prepared struct {
+	proto Protocol
+	req   *wire.Message
+	pm    *protoMetrics
+}
+
+// prepare binds (selecting a protocol if needed) and builds the request
+// frame for one attempt.
+func (g *GlobalPtr) prepare(typ wire.MsgType, method string, args []byte) (prepared, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.bindLocked(); err != nil {
+		return prepared{}, err
+	}
+	return prepared{
+		proto: g.proto,
+		req: &wire.Message{
+			Type:   typ,
+			Object: string(g.ref.Object),
+			Method: method,
+			Epoch:  g.ref.Epoch,
+			Body:   args,
+		},
+		pm: g.metrics,
+	}, nil
+}
+
+// settle classifies the outcome of one attempt and performs the
+// adaptation side effects (invalidation, reference refresh, metrics).
+// done=false means the caller should retry; backoff reports whether the
+// retry deserves a delay (transport errors and stale selections do,
+// migration chases do not).
+func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []byte, done bool, backoff bool, outErr error) {
+	if err != nil {
+		p.pm.transportErrors.Inc()
+		// Transport-level failure: drop the binding and retry through a
+		// fresh selection.
+		g.Invalidate()
+		return nil, false, true, err
+	}
+	switch reply.Type {
+	case wire.TReply:
+		p.pm.respBytes.Add(uint64(len(reply.Body)))
+		return reply.Body, true, false, nil
+	case wire.TFault:
+		p.pm.faults.Inc()
+		ferr := wire.DecodeFault(reply.Body)
+		var f *wire.Fault
+		if !errors.As(ferr, &f) {
+			return nil, true, false, ferr
+		}
+		switch f.Code {
+		case wire.FaultMoved:
+			newRef, derr := DecodeRef(f.Data)
+			if derr != nil {
+				return nil, true, false, fmt.Errorf("core: moved but reference undecodable: %w", derr)
+			}
+			g.host.rt.recordEvent("refresh", newRef.Object,
+				"context %s chased tombstone to %s (epoch %d)", g.host.name, newRef.Server, newRef.Epoch)
+			g.SetRef(newRef)
+			return nil, false, false, f
+		case wire.FaultNotApplicable:
+			g.Invalidate()
+			return nil, false, true, f
+		default:
+			return nil, true, false, f
+		}
+	default:
+		return nil, true, false, fmt.Errorf("core: unexpected reply type %v", reply.Type)
+	}
+}
+
+// giveUp builds the terminal error after maxInvokeAttempts retries.
+func (g *GlobalPtr) giveUp(method string, lastErr error) error {
+	return fmt.Errorf("core: invoke %s.%s gave up after %d attempts: %w",
+		g.Object(), method, maxInvokeAttempts, lastErr)
+}
+
 // Invoke calls a method on the remote object: it selects a protocol,
 // sends the request, and transparently adapts to migration (FaultMoved
 // refreshes the reference and re-selects) and to stale protocol choices
 // (FaultNotApplicable re-selects).
 func (g *GlobalPtr) Invoke(method string, args []byte) ([]byte, error) {
 	var lastErr error
+	needBackoff := false
 	for attempt := 0; attempt < maxInvokeAttempts; attempt++ {
-		g.mu.Lock()
-		if err := g.bindLocked(); err != nil {
-			g.mu.Unlock()
+		if attempt > 0 && needBackoff {
+			clock.Sleep(g.host.rt.Clock(), retryBackoff(attempt))
+		}
+		p, err := g.prepare(wire.TRequest, method, args)
+		if err != nil {
 			return nil, err
 		}
-		proto := g.proto
-		req := &wire.Message{
-			Type:   wire.TRequest,
-			Object: string(g.ref.Object),
-			Method: method,
-			Epoch:  g.ref.Epoch,
-			Body:   args,
-		}
-		g.mu.Unlock()
-
-		metrics := g.host.rt.Metrics()
-		pid := string(proto.ID())
-		metrics.Counter("rpc." + pid + ".calls").Inc()
-		metrics.Counter("rpc." + pid + ".req_bytes").Add(uint64(len(args)))
+		p.pm.calls.Inc()
+		p.pm.reqBytes.Add(uint64(len(args)))
 		start := time.Now()
-		reply, err := proto.Call(req)
-		metrics.Histogram("rpc." + pid + ".latency_us").ObserveDuration(time.Since(start))
-		if err != nil {
-			metrics.Counter("rpc." + pid + ".transport_errors").Inc()
-			// Transport-level failure: drop the binding and retry once
-			// through a fresh selection.
-			lastErr = err
-			g.Invalidate()
-			continue
+		reply, err := p.proto.Call(p.req)
+		p.pm.latency.ObserveDuration(time.Since(start))
+
+		body, done, backoff, serr := g.settle(p, reply, err)
+		if done {
+			return body, serr
 		}
-		switch reply.Type {
-		case wire.TReply:
-			metrics.Counter("rpc." + pid + ".resp_bytes").Add(uint64(len(reply.Body)))
-			return reply.Body, nil
-		case wire.TFault:
-			metrics.Counter("rpc." + pid + ".faults").Inc()
-			ferr := wire.DecodeFault(reply.Body)
-			var f *wire.Fault
-			if !errors.As(ferr, &f) {
-				return nil, ferr
-			}
-			switch f.Code {
-			case wire.FaultMoved:
-				newRef, derr := DecodeRef(f.Data)
-				if derr != nil {
-					return nil, fmt.Errorf("core: moved but reference undecodable: %w", derr)
-				}
-				g.host.rt.recordEvent("refresh", newRef.Object,
-					"context %s chased tombstone to %s (epoch %d)", g.host.name, newRef.Server, newRef.Epoch)
-				g.SetRef(newRef)
-				lastErr = f
-				continue
-			case wire.FaultNotApplicable:
-				g.Invalidate()
-				lastErr = f
-				continue
-			default:
-				return nil, f
-			}
-		default:
-			return nil, fmt.Errorf("core: unexpected reply type %v", reply.Type)
-		}
+		lastErr, needBackoff = serr, backoff
 	}
-	return nil, fmt.Errorf("core: invoke %s.%s gave up after %d attempts: %w",
-		g.ref.Object, method, maxInvokeAttempts, lastErr)
+	return nil, g.giveUp(method, lastErr)
 }
 
 // Object returns the target object id.

@@ -27,31 +27,18 @@ var ErrOneWayUnsupported = errors.New("core: selected protocol does not support 
 // capability chain, so one-way calls are metered and protected exactly
 // like two-way ones.
 func (g *GlobalPtr) Post(method string, args []byte) error {
-	g.mu.Lock()
-	if err := g.bindLocked(); err != nil {
-		g.mu.Unlock()
+	p, err := g.prepare(wire.TControl, method, args)
+	if err != nil {
 		return err
 	}
-	proto := g.proto
-	req := &wire.Message{
-		Type:   wire.TControl,
-		Object: string(g.ref.Object),
-		Method: method,
-		Epoch:  g.ref.Epoch,
-		Body:   args,
-	}
-	g.mu.Unlock()
-
-	ow, ok := proto.(OneWayProtocol)
+	ow, ok := p.proto.(OneWayProtocol)
 	if !ok {
 		return ErrOneWayUnsupported
 	}
-	metrics := g.host.rt.Metrics()
-	pid := string(proto.ID())
-	metrics.Counter("rpc." + pid + ".oneway").Inc()
-	metrics.Counter("rpc." + pid + ".req_bytes").Add(uint64(len(args)))
-	if err := ow.Post(req); err != nil {
-		metrics.Counter("rpc." + pid + ".transport_errors").Inc()
+	p.pm.oneway.Inc()
+	p.pm.reqBytes.Add(uint64(len(args)))
+	if err := ow.Post(p.req); err != nil {
+		p.pm.transportErrors.Inc()
 		g.Invalidate()
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
 )
 
@@ -17,6 +18,42 @@ type Protocol interface {
 	ID() ProtoID
 	Call(m *wire.Message) (*wire.Message, error)
 	Close() error
+}
+
+// Pending is one in-flight pipelined exchange — the completion handle a
+// PipelinedProtocol returns from Begin. It matches transport.Pending
+// structurally, so mux pendings flow straight through protocol objects
+// without adapters.
+type Pending interface {
+	// Done is closed when the exchange resolves.
+	Done() <-chan struct{}
+	// Reply blocks until resolution and returns the reply frame
+	// (possibly TFault) or the transport error.
+	Reply() (*wire.Message, error)
+}
+
+// PipelinedProtocol is the optional interface of protocol objects that
+// can keep many requests in flight per connection: Begin sends the
+// request and returns immediately with a completion handle. The
+// transport.Mux always supported this (replies are matched by request
+// id); Protocol.Call used to hide it. The built-in stream (TCP, sim,
+// shm), nexus, and glue protocols all implement it; protocols that do
+// not are still usable asynchronously — the ORB falls back to running
+// Call in the completion goroutine, losing pipelining but keeping the
+// futures surface.
+type PipelinedProtocol interface {
+	Protocol
+	Begin(m *wire.Message) (Pending, error)
+}
+
+// BatchingProtocol is the optional interface of protocol objects that
+// can coalesce requests into wire.TBatch frames (adaptive
+// micro-batching). SetBatching with an all-zero policy disables
+// coalescing. The glue protocol forwards the knob to its base protocol,
+// so batched calls still traverse the capability chain individually —
+// every sub-request in a batch carries its own envelope chain.
+type BatchingProtocol interface {
+	SetBatching(p transport.BatchPolicy)
 }
 
 // ProtoFactory manufactures client protocol instances from protocol

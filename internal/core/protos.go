@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/transport"
 	"openhpcxx/internal/transport/nexus"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -116,23 +118,74 @@ func (c *Context) NewRef(s *Servant, entries ...ProtoEntry) *ObjectRef {
 }
 
 // streamProto carries frames over a pooled framed stream connection.
+// It implements PipelinedProtocol (the mux matches replies by request
+// id, so any number of Begins may be outstanding) and BatchingProtocol
+// (an optional coalescer packs requests into TBatch frames).
 type streamProto struct {
 	id   ProtoID
 	addr string
 	host *Context
+
+	mu   sync.Mutex
+	coal *transport.Coalescer
 }
 
 func (p *streamProto) ID() ProtoID { return p.id }
 
-func (p *streamProto) Call(m *wire.Message) (*wire.Message, error) {
+// begin issues one frame on the pooled mux, dropping the connection on
+// write failure so the next attempt redials.
+func (p *streamProto) begin(m *wire.Message) (Pending, error) {
 	mux, err := p.host.muxes.Get(p.addr)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := mux.Call(m)
+	pc, err := mux.Begin(m)
 	if err != nil {
-		// The pooled connection may have died; drop it so the next call
-		// redials instead of failing forever.
+		p.host.muxes.Drop(p.addr)
+		return nil, err
+	}
+	return pc, nil
+}
+
+// Begin implements PipelinedProtocol. Requests route through the
+// coalescer when batching is on; everything else goes straight out.
+func (p *streamProto) Begin(m *wire.Message) (Pending, error) {
+	p.mu.Lock()
+	coal := p.coal
+	p.mu.Unlock()
+	if coal != nil && m.Type == wire.TRequest {
+		return coal.Begin(m)
+	}
+	return p.begin(m)
+}
+
+// SetBatching implements BatchingProtocol: a zero policy disables
+// coalescing, anything else (defaults filled in) enables it.
+func (p *streamProto) SetBatching(policy transport.BatchPolicy) {
+	p.mu.Lock()
+	old := p.coal
+	if policy == (transport.BatchPolicy{}) {
+		p.coal = nil
+	} else {
+		p.coal = transport.NewCoalescer(func(m *wire.Message) (transport.Pending, error) {
+			return p.begin(m)
+		}, policy)
+	}
+	p.mu.Unlock()
+	if old != nil {
+		old.Close() // flush stragglers
+	}
+}
+
+func (p *streamProto) Call(m *wire.Message) (*wire.Message, error) {
+	pending, err := p.Begin(m)
+	if err != nil {
+		// The pooled connection may have died; begin already dropped it
+		// so the next call redials instead of failing forever.
+		return nil, err
+	}
+	reply, err := pending.Reply()
+	if err != nil {
 		p.host.muxes.Drop(p.addr)
 		return nil, err
 	}
@@ -215,6 +268,48 @@ func (p *nexusProto) Call(m *wire.Message) (*wire.Message, error) {
 		return nil, fmt.Errorf("core: embedded reply: %w", err)
 	}
 	return reply, nil
+}
+
+// nexusPending adapts a nexus.PendingRSR to core.Pending by decoding the
+// embedded reply frame once, on first Reply.
+type nexusPending struct {
+	p     *nexus.PendingRSR
+	once  sync.Once
+	reply *wire.Message
+	err   error
+}
+
+func (n *nexusPending) Done() <-chan struct{} { return n.p.Done() }
+
+func (n *nexusPending) Reply() (*wire.Message, error) {
+	n.once.Do(func() {
+		out, err := n.p.Result()
+		if err != nil {
+			n.err = err
+			return
+		}
+		reply := new(wire.Message)
+		if err := xdr.Unmarshal(out, reply); err != nil {
+			n.err = fmt.Errorf("core: embedded reply: %w", err)
+			return
+		}
+		n.reply = reply
+	})
+	return n.reply, n.err
+}
+
+// Begin implements PipelinedProtocol: the RSR is issued without waiting,
+// so many embedded invocations may be in flight on the Nexus connection.
+func (p *nexusProto) Begin(m *wire.Message) (Pending, error) {
+	e := xdr.NewEncoder(64 + len(m.Body))
+	if err := m.MarshalXDR(e); err != nil {
+		return nil, err
+	}
+	pr, err := p.host.nexus().BeginRSR(p.sp, orbInvokeHandler, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	return &nexusPending{p: pr}, nil
 }
 
 // Post implements OneWayProtocol via a one-way Nexus RSR.

@@ -158,6 +158,9 @@ func (c *Context) dispatch(m *wire.Message) *wire.Message {
 		}
 		return nil
 	}
+	if m.Type == wire.TBatch {
+		return c.handleBatch(m)
+	}
 	if m.Type != wire.TRequest {
 		return nil
 	}
@@ -223,6 +226,45 @@ func (c *Context) handleRequest(m *wire.Message) (*wire.Message, error) {
 		Epoch:  s.Epoch(),
 		Body:   out,
 	}, nil
+}
+
+// handleBatch dispatches every sub-request of a wire.TBatch frame and
+// returns a TBatch reply with the sub-replies in matching positions —
+// the coalescer on the client demultiplexes by index. Each sub-request
+// takes the full dispatch path independently (servant lookup, glue
+// un-processing, tombstones), so a batch may mix objects and glue
+// chains and individual faults stay individual.
+func (c *Context) handleBatch(m *wire.Message) *wire.Message {
+	whole := func(err error) *wire.Message {
+		f, ferr := wire.FaultMessage(m, err)
+		if ferr != nil {
+			return nil
+		}
+		return f
+	}
+	subs, err := wire.DecodeBatch(m)
+	if err != nil {
+		return whole(wire.Faultf(wire.FaultBadRequest, "batch: %v", err))
+	}
+	c.rt.Metrics().Counter("srv.batches").Inc()
+	c.rt.Metrics().Counter("srv.batch_msgs").Add(uint64(len(subs)))
+	replies := make([]*wire.Message, len(subs))
+	for i, sub := range subs {
+		r := c.dispatch(sub)
+		if r == nil {
+			// One-way sub-requests (or malformed frames dispatch drops)
+			// still need a placeholder so positions line up.
+			r = &wire.Message{Type: wire.TReply, Object: sub.Object, Method: sub.Method}
+		}
+		r.RequestID = sub.RequestID
+		replies[i] = r
+	}
+	out, err := wire.EncodeBatch(replies)
+	if err != nil {
+		return whole(wire.Faultf(wire.FaultBadRequest, "batch reply: %v", err))
+	}
+	out.RequestID = m.RequestID
+	return out
 }
 
 // nexusInvoke is the handler behind the ORB's Nexus endpoint: the RSR

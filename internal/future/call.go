@@ -1,0 +1,62 @@
+package future
+
+import (
+	"openhpcxx/internal/xdr"
+)
+
+// Invoker is the slice of the ORB's GlobalPtr that the typed helpers
+// need. Declaring it here (instead of importing core) keeps the
+// dependency arrow pointing ORB → future, so protocol objects and
+// capability chains can resolve futures without import cycles.
+type Invoker interface {
+	InvokeAsync(method string, args []byte) *Future
+}
+
+// Typed is a future carrying an XDR-decoded reply of type Resp. The
+// decode happens once, on first Wait, in the waiter's goroutine.
+type Typed[Resp any] struct {
+	f      *Future
+	decode func([]byte) (*Resp, error)
+}
+
+// Call starts a typed asynchronous invocation: the request is marshaled
+// and issued immediately; the returned Typed future decodes the reply
+// on Wait. Marshaling errors surface as an already-failed future so
+// call sites keep a single error path.
+func Call[Req xdr.Marshaler, Resp any, PResp interface {
+	*Resp
+	xdr.Unmarshaler
+}](g Invoker, method string, req Req) *Typed[Resp] {
+	decode := func(b []byte) (*Resp, error) {
+		resp := PResp(new(Resp))
+		if err := xdr.Unmarshal(b, resp); err != nil {
+			return nil, err
+		}
+		return (*Resp)(resp), nil
+	}
+	args, err := xdr.Marshal(req)
+	if err != nil {
+		return &Typed[Resp]{f: Failed(err), decode: decode}
+	}
+	return &Typed[Resp]{f: g.InvokeAsync(method, args), decode: decode}
+}
+
+// Future returns the underlying untyped future (for WaitAll/WaitAny
+// composition and cancellation).
+func (t *Typed[Resp]) Future() *Future { return t.f }
+
+// Done returns a channel closed when the invocation resolves.
+func (t *Typed[Resp]) Done() <-chan struct{} { return t.f.Done() }
+
+// Cancel abandons the invocation (see Future.Cancel).
+func (t *Typed[Resp]) Cancel() bool { return t.f.Cancel() }
+
+// Wait blocks until the invocation resolves and returns the decoded
+// reply or the invocation/decoding error.
+func (t *Typed[Resp]) Wait() (*Resp, error) {
+	body, err := t.f.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return t.decode(body)
+}

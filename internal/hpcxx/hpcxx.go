@@ -13,9 +13,9 @@ package hpcxx
 
 import (
 	"fmt"
-	"sync"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/future"
 	"openhpcxx/internal/xdr"
 )
 
@@ -49,33 +49,51 @@ func (e *MemberError) Error() string {
 
 func (e *MemberError) Unwrap() error { return e.Err }
 
-// Invoke calls method on every member concurrently with per-member
-// arguments (args[i] goes to rank i; a nil slice sends empty bodies to
-// everyone) and gathers the raw replies in rank order. The first
-// member failure (lowest rank) is returned; other results are dropped.
-func (g *Group) Invoke(method string, args [][]byte) ([][]byte, error) {
+// InvokeAsync issues method on every member without waiting: the i-th
+// future resolves with rank i's reply. Requests are issued in rank
+// order from the caller's goroutine, so members bound to pipelined
+// protocols get their requests on the wire back-to-back (and, under a
+// batching policy, coalesced into TBatch frames) instead of one
+// goroutine-scheduling quantum apart. args follows Invoke's convention:
+// args[i] to rank i, nil for empty bodies everywhere.
+func (g *Group) InvokeAsync(method string, args [][]byte) ([]*future.Future, error) {
 	if args != nil && len(args) != len(g.members) {
 		return nil, fmt.Errorf("hpcxx: %d argument bodies for %d members", len(args), len(g.members))
 	}
-	out := make([][]byte, len(g.members))
-	errs := make([]error, len(g.members))
-	var wg sync.WaitGroup
+	fs := make([]*future.Future, len(g.members))
 	for i, gp := range g.members {
-		wg.Add(1)
-		go func(i int, gp *core.GlobalPtr) {
-			defer wg.Done()
-			var body []byte
-			if args != nil {
-				body = args[i]
-			}
-			out[i], errs[i] = gp.Invoke(method, body)
-		}(i, gp)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, &MemberError{Rank: i, Err: err}
+		var body []byte
+		if args != nil {
+			body = args[i]
 		}
+		fs[i] = gp.InvokeAsync(method, body)
+	}
+	return fs, nil
+}
+
+// Invoke calls method on every member concurrently with per-member
+// arguments (args[i] goes to rank i; a nil slice sends empty bodies to
+// everyone) and gathers the raw replies in rank order. The collective
+// rides on futures: every request is pipelined before the first reply
+// is awaited. The first member failure (lowest rank) is returned; other
+// results are dropped, though every request runs to completion first
+// (no member observes a half-issued collective).
+func (g *Group) Invoke(method string, args [][]byte) ([][]byte, error) {
+	fs, err := g.InvokeAsync(method, args)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(fs))
+	var first *MemberError
+	for i, f := range fs {
+		body, err := f.Wait()
+		if err != nil && first == nil {
+			first = &MemberError{Rank: i, Err: err}
+		}
+		out[i] = body
+	}
+	if first != nil {
+		return nil, first
 	}
 	return out, nil
 }

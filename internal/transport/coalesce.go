@@ -1,0 +1,273 @@
+// Adaptive micro-batching: a client-side coalescer that packs many
+// small requests bound for one peer into wire.TBatch frames.
+//
+// The shape mirrors continuous batching in serving systems: requests
+// accumulate in a queue and the queue flushes on whichever watermark
+// trips first — message count, byte size, or a max-delay timer armed by
+// the first message of a batch. A lone request therefore pays at most
+// MaxDelay extra latency, while a burst (e.g. a pipelined fan-out) is
+// packed densely and pays per-frame latency and framing overhead once
+// per flush. All knobs are steerable per object reference through the
+// ORB (GlobalPtr.SetBatchPolicy), in the spirit of the paper's Open
+// Implementation: batching is one more communication decision the
+// application can reach in and turn.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/wire"
+)
+
+// BatchPolicy sets the coalescer's flush watermarks. The zero value of
+// a field selects its default.
+type BatchPolicy struct {
+	// MaxMessages flushes when this many requests are queued
+	// (default 16, capped at wire.MaxBatchMessages).
+	MaxMessages int
+	// MaxBytes flushes when the queued payload reaches this size
+	// (default 64 KiB). A single request larger than MaxBytes still
+	// ships — alone in its batch.
+	MaxBytes int
+	// MaxDelay bounds how long the first queued request waits for
+	// company (default 200µs).
+	MaxDelay time.Duration
+}
+
+// Defaults for BatchPolicy fields.
+const (
+	DefaultBatchMessages = 16
+	DefaultBatchBytes    = 64 << 10
+	DefaultBatchDelay    = 200 * time.Microsecond
+)
+
+// DefaultBatchPolicy returns a policy with every watermark at its
+// default — the "just turn batching on" value.
+func DefaultBatchPolicy() BatchPolicy { return BatchPolicy{}.withDefaults() }
+
+func (p BatchPolicy) withDefaults() BatchPolicy {
+	if p.MaxMessages <= 0 {
+		p.MaxMessages = DefaultBatchMessages
+	}
+	if p.MaxMessages > wire.MaxBatchMessages {
+		p.MaxMessages = wire.MaxBatchMessages
+	}
+	if p.MaxBytes <= 0 {
+		p.MaxBytes = DefaultBatchBytes
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultBatchDelay
+	}
+	return p
+}
+
+// ErrCoalescerClosed is returned by Begin on a closed coalescer.
+var ErrCoalescerClosed = errors.New("transport: coalescer closed")
+
+// batchItem is one queued request and its completion handle.
+type batchItem struct {
+	msg *wire.Message
+	p   *pendingItem
+}
+
+// pendingItem resolves when its sub-reply is demultiplexed from the
+// batch reply. Same single-assignment discipline as PendingCall.
+type pendingItem struct {
+	once  sync.Once
+	done  chan struct{}
+	reply *wire.Message
+	err   error
+}
+
+func newPendingItem() *pendingItem { return &pendingItem{done: make(chan struct{})} }
+
+func (p *pendingItem) Done() <-chan struct{} { return p.done }
+
+func (p *pendingItem) Reply() (*wire.Message, error) {
+	<-p.done
+	return p.reply, p.err
+}
+
+func (p *pendingItem) resolve(reply *wire.Message, err error) {
+	p.once.Do(func() {
+		p.reply, p.err = reply, err
+		close(p.done)
+	})
+}
+
+// Coalescer batches requests headed for one peer. send issues one
+// TBatch frame and returns its completion handle — normally a closure
+// over Mux.Begin (plus whatever redial logic the protocol object
+// keeps). A Coalescer is safe for concurrent use.
+type Coalescer struct {
+	send   func(*wire.Message) (Pending, error)
+	policy BatchPolicy
+
+	mu     sync.Mutex
+	queue  []batchItem
+	bytes  int
+	timer  *time.Timer
+	closed bool
+}
+
+// NewCoalescer builds a coalescer flushing through send under policy.
+func NewCoalescer(send func(*wire.Message) (Pending, error), policy BatchPolicy) *Coalescer {
+	return &Coalescer{send: send, policy: policy.withDefaults()}
+}
+
+// Policy returns the effective (defaulted) policy.
+func (c *Coalescer) Policy() BatchPolicy { return c.policy }
+
+// Begin queues msg for the next batch and returns its completion
+// handle. Only two-way requests belong in batches; callers keep
+// one-way traffic on the direct path.
+func (c *Coalescer) Begin(msg *wire.Message) (Pending, error) {
+	if msg.Type != wire.TRequest {
+		return nil, fmt.Errorf("transport: cannot batch %v frame", msg.Type)
+	}
+	item := batchItem{msg: msg, p: newPendingItem()}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrCoalescerClosed
+	}
+	c.queue = append(c.queue, item)
+	c.bytes += len(msg.Body) + len(msg.Object) + len(msg.Method) + 64
+	var flush []batchItem
+	if len(c.queue) >= c.policy.MaxMessages || c.bytes >= c.policy.MaxBytes {
+		flush = c.takeLocked()
+	} else if c.timer == nil {
+		// First resident arms the delay watermark.
+		c.timer = time.AfterFunc(c.policy.MaxDelay, c.flushTimer)
+	}
+	c.mu.Unlock()
+
+	if flush != nil {
+		c.dispatch(flush)
+	}
+	return item.p, nil
+}
+
+// Call is the synchronous convenience over Begin.
+func (c *Coalescer) Call(msg *wire.Message) (*wire.Message, error) {
+	p, err := c.Begin(msg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Reply()
+}
+
+// Flush forces out whatever is queued, regardless of watermarks.
+func (c *Coalescer) Flush() {
+	c.mu.Lock()
+	flush := c.takeLocked()
+	c.mu.Unlock()
+	if flush != nil {
+		c.dispatch(flush)
+	}
+}
+
+// takeLocked removes the current queue for dispatch. Caller holds mu.
+func (c *Coalescer) takeLocked() []batchItem {
+	if len(c.queue) == 0 {
+		return nil
+	}
+	q := c.queue
+	c.queue = nil
+	c.bytes = 0
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	return q
+}
+
+func (c *Coalescer) flushTimer() {
+	c.mu.Lock()
+	c.timer = nil
+	flush := c.takeLocked()
+	c.mu.Unlock()
+	if flush != nil {
+		c.dispatch(flush)
+	}
+}
+
+// dispatch ships one batch and demultiplexes the batch reply to the
+// items by position. A batch of one skips TBatch framing entirely —
+// adaptivity means a lone caller never pays the batch envelope.
+func (c *Coalescer) dispatch(items []batchItem) {
+	if len(items) == 1 {
+		p, err := c.send(items[0].msg)
+		if err != nil {
+			items[0].p.resolve(nil, err)
+			return
+		}
+		go func() {
+			reply, err := p.Reply()
+			items[0].p.resolve(reply, err)
+		}()
+		return
+	}
+
+	msgs := make([]*wire.Message, len(items))
+	for i, it := range items {
+		msgs[i] = it.msg
+	}
+	frame, err := wire.EncodeBatch(msgs)
+	if err != nil {
+		c.failAll(items, err)
+		return
+	}
+	p, err := c.send(frame)
+	if err != nil {
+		c.failAll(items, err)
+		return
+	}
+	go func() {
+		reply, err := p.Reply()
+		if err != nil {
+			c.failAll(items, err)
+			return
+		}
+		if reply.Type != wire.TBatch {
+			// A whole-batch fault (e.g. the peer predates TBatch)
+			// fans out to every item; per-call faults arrive inside
+			// the batch instead.
+			c.failAll(items, fmt.Errorf("transport: batch reply is %v frame", reply.Type))
+			return
+		}
+		subs, derr := wire.DecodeBatch(reply)
+		if derr != nil {
+			c.failAll(items, derr)
+			return
+		}
+		if len(subs) != len(items) {
+			c.failAll(items, fmt.Errorf("transport: batch reply has %d entries, want %d", len(subs), len(items)))
+			return
+		}
+		for i, it := range items {
+			it.p.resolve(subs[i], nil)
+		}
+	}()
+}
+
+func (c *Coalescer) failAll(items []batchItem, err error) {
+	for _, it := range items {
+		it.p.resolve(nil, err)
+	}
+}
+
+// Close flushes the queue and rejects further Begins.
+func (c *Coalescer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	flush := c.takeLocked()
+	c.mu.Unlock()
+	if flush != nil {
+		c.dispatch(flush)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openhpcxx/internal/wire"
@@ -18,10 +19,25 @@ var ErrMuxClosed = errors.New("transport: mux closed")
 // explicit timeout configured.
 const DefaultCallTimeout = 30 * time.Second
 
+// Pending is one in-flight request/reply exchange: a completion handle
+// the caller waits on. The same shape is re-exported by the ORB as
+// core.Pending, so protocol objects can hand mux pendings straight up
+// the stack.
+type Pending interface {
+	// Done is closed when the exchange resolves (reply, transport
+	// failure, or timeout).
+	Done() <-chan struct{}
+	// Reply returns the resolution. Calling it before Done is closed
+	// blocks until resolution.
+	Reply() (*wire.Message, error)
+}
+
 // Mux multiplexes concurrent request/reply exchanges over a single
 // connection. It assigns request ids, serializes frame writes, and
 // demultiplexes replies to the waiting callers. A Mux is safe for
-// concurrent use.
+// concurrent use; any number of exchanges may be in flight at once
+// (request pipelining — the reply stream is matched by request id, not
+// by order).
 type Mux struct {
 	conn    net.Conn
 	timeout time.Duration
@@ -30,7 +46,7 @@ type Mux struct {
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan *wire.Message
+	pending map[uint64]*PendingCall
 	err     error
 	closed  bool
 }
@@ -41,7 +57,7 @@ func NewMux(conn net.Conn) *Mux {
 		conn:    conn,
 		timeout: DefaultCallTimeout,
 		nextID:  1,
-		pending: make(map[uint64]chan *wire.Message),
+		pending: make(map[uint64]*PendingCall),
 	}
 	go m.readLoop()
 	return m
@@ -54,6 +70,63 @@ func (m *Mux) SetTimeout(d time.Duration) {
 	m.mu.Unlock()
 }
 
+// PendingCall is one in-flight exchange on a Mux. Resolution is
+// single-assignment: the first of {matched reply, connection failure,
+// timeout} wins and closes Done. There is no channel send anywhere on
+// the resolution path — the read loop can never stall on a caller that
+// abandoned its request (the failure mode a send on an unbuffered, or
+// even buffered-but-reused, channel would invite; see
+// TestMuxAbandonedCallDoesNotStallReader).
+type PendingCall struct {
+	m *Mux
+	id uint64
+	// timer is the timeout watchdog; atomic because it is armed after
+	// the pending is already visible to the read loop, which may be
+	// resolving it concurrently. A timer that escapes the Stop fires
+	// harmlessly: forget and resolve are both idempotent.
+	timer atomic.Pointer[time.Timer]
+
+	once  sync.Once
+	done  chan struct{}
+	reply *wire.Message
+	err   error
+}
+
+// Done implements Pending.
+func (p *PendingCall) Done() <-chan struct{} { return p.done }
+
+// Reply implements Pending.
+func (p *PendingCall) Reply() (*wire.Message, error) {
+	<-p.done
+	return p.reply, p.err
+}
+
+// resolve records the outcome exactly once. reply/err are published
+// before done closes, so readers that wait on Done observe them safely.
+func (p *PendingCall) resolve(reply *wire.Message, err error) {
+	p.once.Do(func() {
+		if t := p.timer.Load(); t != nil {
+			t.Stop()
+		}
+		p.reply, p.err = reply, err
+		close(p.done)
+	})
+}
+
+// Abandon gives up on the exchange: the pending entry is removed so a
+// late reply is dropped by the read loop, and Reply returns
+// ErrMuxClosed-independent cancellation. Safe to call at any time.
+func (p *PendingCall) Abandon() {
+	p.m.forget(p.id)
+	p.resolve(nil, fmt.Errorf("transport: call abandoned"))
+}
+
+func (m *Mux) forget(id uint64) {
+	m.mu.Lock()
+	delete(m.pending, id)
+	m.mu.Unlock()
+}
+
 func (m *Mux) readLoop() {
 	for {
 		msg, err := wire.Read(m.conn)
@@ -62,13 +135,16 @@ func (m *Mux) readLoop() {
 			return
 		}
 		m.mu.Lock()
-		ch, ok := m.pending[msg.RequestID]
+		p, ok := m.pending[msg.RequestID]
 		if ok {
 			delete(m.pending, msg.RequestID)
 		}
 		m.mu.Unlock()
 		if ok {
-			ch <- msg
+			// resolve never blocks (single-assignment + close, no
+			// channel send), so a caller that raced an abandon with
+			// this delivery cannot stall the reader.
+			p.resolve(msg, nil)
 		}
 		// Replies for abandoned requests are dropped.
 	}
@@ -82,18 +158,24 @@ func (m *Mux) fail(err error) {
 	if m.err == nil {
 		m.err = err
 	}
-	for id, ch := range m.pending {
+	failed := make([]*PendingCall, 0, len(m.pending))
+	for id, p := range m.pending {
 		delete(m.pending, id)
-		close(ch)
+		failed = append(failed, p)
 	}
+	err = m.err
 	m.mu.Unlock()
+	for _, p := range failed {
+		p.resolve(nil, err)
+	}
 }
 
-// Call sends msg (assigning its RequestID) and waits for the matching
-// reply. The returned message may be a TFault frame; decoding the fault
-// is the caller's concern so that capability layers can inspect replies.
-func (m *Mux) Call(msg *wire.Message) (*wire.Message, error) {
-	ch := make(chan *wire.Message, 1)
+// Begin sends msg (assigning its RequestID) and returns a completion
+// handle without waiting for the reply — the request pipelining
+// primitive. Any number of Begins may be outstanding; replies are
+// demultiplexed by id. The mux's timeout (if any) applies to each
+// pending exchange individually.
+func (m *Mux) Begin(msg *wire.Message) (*PendingCall, error) {
 	m.mu.Lock()
 	if m.closed || m.err != nil {
 		err := m.err
@@ -106,7 +188,8 @@ func (m *Mux) Call(msg *wire.Message) (*wire.Message, error) {
 	id := m.nextID
 	m.nextID++
 	msg.RequestID = id
-	m.pending[id] = ch
+	p := &PendingCall{m: m, id: id, done: make(chan struct{})}
+	m.pending[id] = p
 	timeout := m.timeout
 	m.mu.Unlock()
 
@@ -114,36 +197,30 @@ func (m *Mux) Call(msg *wire.Message) (*wire.Message, error) {
 	err := wire.Write(m.conn, msg)
 	m.wmu.Unlock()
 	if err != nil {
-		m.mu.Lock()
-		delete(m.pending, id)
-		m.mu.Unlock()
+		m.forget(id)
+		p.resolve(nil, fmt.Errorf("transport: write: %w", err))
 		return nil, fmt.Errorf("transport: write: %w", err)
 	}
 
-	var timer <-chan time.Time
 	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		timer = t.C
+		method := msg.Method
+		p.timer.Store(time.AfterFunc(timeout, func() {
+			m.forget(id)
+			p.resolve(nil, fmt.Errorf("transport: call %q timed out after %v", method, timeout))
+		}))
 	}
-	select {
-	case reply, ok := <-ch:
-		if !ok {
-			m.mu.Lock()
-			err := m.err
-			m.mu.Unlock()
-			if err == nil {
-				err = ErrMuxClosed
-			}
-			return nil, err
-		}
-		return reply, nil
-	case <-timer:
-		m.mu.Lock()
-		delete(m.pending, id)
-		m.mu.Unlock()
-		return nil, fmt.Errorf("transport: call %q timed out after %v", msg.Method, timeout)
+	return p, nil
+}
+
+// Call sends msg (assigning its RequestID) and waits for the matching
+// reply. The returned message may be a TFault frame; decoding the fault
+// is the caller's concern so that capability layers can inspect replies.
+func (m *Mux) Call(msg *wire.Message) (*wire.Message, error) {
+	p, err := m.Begin(msg)
+	if err != nil {
+		return nil, err
 	}
+	return p.Reply()
 }
 
 // Post sends msg without awaiting any reply (one-way traffic). The
@@ -163,6 +240,13 @@ func (m *Mux) Post(msg *wire.Message) error {
 	m.wmu.Lock()
 	defer m.wmu.Unlock()
 	return wire.Write(m.conn, msg)
+}
+
+// InFlight reports how many exchanges are currently pending.
+func (m *Mux) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
 }
 
 // Close tears down the connection; outstanding calls fail.

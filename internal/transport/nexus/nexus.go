@@ -193,8 +193,30 @@ func (n *Node) handleFrame(m *wire.Message) *wire.Message {
 // ErrNodeClosed is returned by RSRs on a closed node.
 var ErrNodeClosed = errors.New("nexus: node closed")
 
-// RSR issues a request/reply remote service request.
-func (n *Node) RSR(sp Startpoint, handlerID uint32, buf []byte) ([]byte, error) {
+// PendingRSR is one in-flight request/reply RSR issued with BeginRSR.
+type PendingRSR struct {
+	p transport.Pending
+}
+
+// Done is closed when the RSR resolves.
+func (p *PendingRSR) Done() <-chan struct{} { return p.p.Done() }
+
+// Result returns the reply buffer or error; it blocks until Done.
+func (p *PendingRSR) Result() ([]byte, error) {
+	reply, err := p.p.Reply()
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == wire.TFault {
+		return nil, wire.DecodeFault(reply.Body)
+	}
+	return reply.Body, nil
+}
+
+// BeginRSR issues a request/reply RSR without waiting for completion —
+// Nexus's one-way RSR nature surfaced as request pipelining: many RSRs
+// may be outstanding on one connection, matched by request id.
+func (n *Node) BeginRSR(sp Startpoint, handlerID uint32, buf []byte) (*PendingRSR, error) {
 	n.mu.Lock()
 	closed := n.closed
 	n.mu.Unlock()
@@ -205,7 +227,7 @@ func (n *Node) RSR(sp Startpoint, handlerID uint32, buf []byte) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	reply, err := mux.Call(&wire.Message{
+	p, err := mux.Begin(&wire.Message{
 		Type:   wire.TRequest,
 		Object: sp.Endpoint,
 		Method: rsrMethod(handlerID),
@@ -214,10 +236,17 @@ func (n *Node) RSR(sp Startpoint, handlerID uint32, buf []byte) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	if reply.Type == wire.TFault {
-		return nil, wire.DecodeFault(reply.Body)
+	return &PendingRSR{p: p}, nil
+}
+
+// RSR issues a request/reply remote service request and waits for the
+// reply.
+func (n *Node) RSR(sp Startpoint, handlerID uint32, buf []byte) ([]byte, error) {
+	p, err := n.BeginRSR(sp, handlerID, buf)
+	if err != nil {
+		return nil, err
 	}
-	return reply.Body, nil
+	return p.Result()
 }
 
 // Post issues a one-way RSR: no reply is generated or awaited.

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"fmt"
+
+	"openhpcxx/internal/xdr"
+)
+
+// TBatch is a micro-batch frame: its body is a count followed by
+// concatenated sub-messages, each a complete (magic+version checked)
+// message encoding. The client-side coalescer packs many small
+// requests into one TBatch so per-frame latency and framing overhead
+// are paid once per flush instead of once per call; the server
+// dispatches every sub-request through the ordinary path (including
+// glue capability un-processing — each sub-message carries its own
+// envelope chain) and answers with a TBatch of the replies in request
+// order.
+const TBatch MsgType = 5
+
+// MaxBatchMessages bounds the sub-message count a decoder accepts,
+// protecting servers from hostile counts.
+const MaxBatchMessages = 4096
+
+// EncodeBatch packs msgs into one TBatch frame. The outer frame's
+// RequestID is left zero — the transport assigns it like any other
+// request — and sub-messages keep their own ids (reply matching inside
+// a batch is positional).
+func EncodeBatch(msgs []*Message) (*Message, error) {
+	if len(msgs) == 0 {
+		return nil, fmt.Errorf("wire: empty batch")
+	}
+	if len(msgs) > MaxBatchMessages {
+		return nil, fmt.Errorf("wire: batch of %d exceeds %d", len(msgs), MaxBatchMessages)
+	}
+	size := 0
+	for _, m := range msgs {
+		size += 64 + len(m.Body)
+	}
+	e := xdr.NewEncoder(size)
+	e.PutUint32(uint32(len(msgs)))
+	sub := xdr.NewEncoder(0)
+	for _, m := range msgs {
+		if m.Type == TBatch {
+			return nil, fmt.Errorf("wire: nested batch")
+		}
+		sub.Reset()
+		if err := m.MarshalXDR(sub); err != nil {
+			return nil, err
+		}
+		e.PutOpaque(sub.Bytes())
+	}
+	body := e.Bytes()
+	if len(body) > MaxFrame {
+		return nil, ErrTooLarge
+	}
+	return &Message{Type: TBatch, Body: body}, nil
+}
+
+// DecodeBatch unpacks a TBatch frame into its sub-messages. Nested
+// batches are rejected, so dispatch recursion is bounded at one level.
+func DecodeBatch(m *Message) ([]*Message, error) {
+	if m.Type != TBatch {
+		return nil, fmt.Errorf("wire: DecodeBatch on %v frame", m.Type)
+	}
+	d := xdr.NewDecoder(m.Body)
+	n, err := d.Uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty batch")
+	}
+	if n > MaxBatchMessages {
+		return nil, fmt.Errorf("wire: batch of %d exceeds %d", n, MaxBatchMessages)
+	}
+	out := make([]*Message, 0, n)
+	for i := uint32(0); i < n; i++ {
+		raw, err := d.Opaque()
+		if err != nil {
+			return nil, fmt.Errorf("wire: batch entry %d: %w", i, err)
+		}
+		sub := new(Message)
+		if err := xdr.Unmarshal(raw, sub); err != nil {
+			return nil, fmt.Errorf("wire: batch entry %d: %w", i, err)
+		}
+		if sub.Type == TBatch {
+			return nil, fmt.Errorf("wire: batch entry %d is a nested batch", i)
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func sampleBatch(t *testing.T) []*Message {
+	t.Helper()
+	return []*Message{
+		{Type: TRequest, RequestID: 0, Object: "ctx/obj-1", Method: "exchange", Epoch: 1, Body: []byte("one")},
+		{Type: TRequest, Object: "ctx/obj-2", Method: "get", Epoch: 2,
+			Envelopes: []Envelope{{ID: "glue", Data: []byte("sec")}, {ID: "encrypt", Data: []byte{9}}},
+			Body:      []byte("two")},
+		{Type: TControl, Object: "ctx/obj-1", Method: "ping"},
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := sampleBatch(t)
+	frame, err := EncodeBatch(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame.Type != TBatch {
+		t.Fatalf("frame type %v", frame.Type)
+	}
+	// The batch frame must survive the ordinary framed write/read path.
+	var buf bytes.Buffer
+	frame.RequestID = 77
+	if err := Write(&buf, frame); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.RequestID != 77 {
+		t.Fatalf("outer request id %d", rt.RequestID)
+	}
+	subs, err := DecodeBatch(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != len(msgs) {
+		t.Fatalf("decoded %d subs, want %d", len(subs), len(msgs))
+	}
+	for i, sub := range subs {
+		want := msgs[i]
+		if sub.Type != want.Type || sub.Object != want.Object || sub.Method != want.Method ||
+			sub.Epoch != want.Epoch || !bytes.Equal(sub.Body, want.Body) ||
+			len(sub.Envelopes) != len(want.Envelopes) {
+			t.Fatalf("sub %d: %+v != %+v", i, sub, want)
+		}
+	}
+}
+
+func TestBatchRejections(t *testing.T) {
+	if _, err := EncodeBatch(nil); err == nil {
+		t.Fatal("empty batch encoded")
+	}
+	inner, err := EncodeBatch([]*Message{{Type: TRequest, Object: "o", Method: "m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeBatch([]*Message{inner}); err == nil {
+		t.Fatal("nested batch encoded")
+	}
+	if _, err := DecodeBatch(&Message{Type: TRequest}); err == nil {
+		t.Fatal("DecodeBatch accepted non-batch frame")
+	}
+	if _, err := DecodeBatch(&Message{Type: TBatch, Body: []byte{0, 0, 0, 0}}); err == nil {
+		t.Fatal("DecodeBatch accepted zero count")
+	}
+	// Hostile count with no payload.
+	if _, err := DecodeBatch(&Message{Type: TBatch, Body: []byte{0xff, 0xff, 0xff, 0xff}}); err == nil {
+		t.Fatal("DecodeBatch accepted hostile count")
+	}
+	too := make([]*Message, MaxBatchMessages+1)
+	for i := range too {
+		too[i] = &Message{Type: TRequest, Object: "o", Method: "m"}
+	}
+	if _, err := EncodeBatch(too); err == nil {
+		t.Fatal("oversized batch encoded")
+	}
+}
+
+func TestBatchEntryCorruption(t *testing.T) {
+	frame, err := EncodeBatch(sampleBatch(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first sub-message's magic; the decoder must
+	// reject rather than mis-parse.
+	frame.Body[8] ^= 0xff
+	if _, err := DecodeBatch(frame); err == nil {
+		t.Fatal("corrupted batch decoded")
+	}
+}
+
+func BenchmarkEncodeBatch(b *testing.B) {
+	msgs := make([]*Message, 32)
+	for i := range msgs {
+		msgs[i] = &Message{Type: TRequest, Object: "ctx/obj-1", Method: "exchange",
+			Body: bytes.Repeat([]byte{byte(i)}, 256)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeBatch(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleEncodeBatch() {
+	frame, _ := EncodeBatch([]*Message{
+		{Type: TRequest, Object: "ctx/obj-1", Method: "a"},
+		{Type: TRequest, Object: "ctx/obj-1", Method: "b"},
+	})
+	subs, _ := DecodeBatch(frame)
+	fmt.Println(frame.Type, len(subs), subs[0].Method, subs[1].Method)
+	// Output: batch 2 a b
+}

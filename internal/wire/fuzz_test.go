@@ -21,10 +21,39 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
 
+	// TBatch seed: a micro-batch of two requests (one enveloped), so the
+	// fuzzer explores the batch decoder's count/opaque/nested-frame paths.
+	batch, err := EncodeBatch([]*Message{
+		{Type: TRequest, Object: "ctx/obj-1", Method: "exchange", Body: []byte("a")},
+		{Type: TRequest, Object: "ctx/obj-2", Method: "get", Epoch: 3,
+			Envelopes: []Envelope{{ID: "glue", Data: []byte("sec")}}, Body: []byte("bb")},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var batchSeed bytes.Buffer
+	Write(&batchSeed, batch)
+	f.Add(batchSeed.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Read(bytes.NewReader(data))
 		if err != nil {
 			return
+		}
+		if m.Type == TBatch {
+			// Any accepted batch must decode without panicking, and an
+			// accepted decode must re-encode and re-decode stably.
+			subs, err := DecodeBatch(m)
+			if err == nil {
+				re, err := EncodeBatch(subs)
+				if err != nil {
+					t.Fatalf("accepted batch failed to re-encode: %v", err)
+				}
+				subs2, err := DecodeBatch(re)
+				if err != nil || len(subs2) != len(subs) {
+					t.Fatalf("unstable batch round trip: %v (%d vs %d)", err, len(subs2), len(subs))
+				}
+			}
 		}
 		var out bytes.Buffer
 		if err := Write(&out, m); err != nil {

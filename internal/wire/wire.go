@@ -49,6 +49,8 @@ func (t MsgType) String() string {
 		return "fault"
 	case TControl:
 		return "control"
+	case TBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("msgtype(%d)", uint32(t))
 }
