@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-async
+.PHONY: ci vet build test race faults bench-async bench-faults
 
 ci: vet build test race
 
@@ -11,11 +11,23 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -shuffle=on -race ./internal/...
+
+# The fault-injection and failover suites: netsim crash/restart/blackhole,
+# transport drain, endpoint health breakers, core failover/deadlines, and
+# the glue capability chain under injected faults.
+faults:
+	$(GO) test -race -run 'Fault|Failover|Drain|Crash|Expired|Deadline|Refund|Probe|Breaker|Health' \
+		./internal/netsim/ ./internal/transport/ ./internal/health/ \
+		./internal/core/ ./internal/capability/ ./internal/bench/
 
 # Regenerate the async throughput figure quickly and emit JSON.
 bench-async:
 	$(GO) run ./cmd/ohpc-bench -fig=a1 -quick -json=-
+
+# Regenerate the availability-under-faults figure quickly and emit JSON.
+bench-faults:
+	$(GO) run ./cmd/ohpc-bench -fig=r1 -quick -json=-

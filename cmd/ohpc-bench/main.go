@@ -27,13 +27,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), e1 (extension), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), e1 (extension), r1 (robustness), or all")
 	profile := flag.String("profile", "both", "network for figure 5: atm, ethernet, or both")
 	quick := flag.Bool("quick", false, "time-scale the links 16x and shorten averaging")
 	plot := flag.Bool("plot", true, "also render figure 5 as an ASCII log-log plot")
 	reps := flag.Int("reps", 0, "minimum exchanges per measurement cell (0 = default)")
 	csvPath := flag.String("csv", "", "also write figure 5 data as CSV to this file")
-	jsonPath := flag.String("json", "", "write the async figure (a1) data as JSON to this file ('-' for stdout)")
+	jsonPath := flag.String("json", "", "write the a1/r1 figure data as JSON to this file ('-' for stdout)")
 	calls := flag.Int("calls", 0, "calls per mode for the async figure (0 = default)")
 	flag.Parse()
 
@@ -201,7 +201,36 @@ func main() {
 		return nil
 	})
 
-	if !strings.Contains("1 2 3 4 5 a1 e1 all", *fig) {
+	run("r1", func() error {
+		cfg := bench.R1Config{}
+		if *quick {
+			cfg.Duration = 600 * time.Millisecond
+		}
+		res, err := bench.RunFigureR1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigureR1(res))
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	if !strings.Contains("1 2 3 4 5 a1 e1 r1 all", *fig) {
 		fmt.Fprintf(os.Stderr, "ohpc-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}

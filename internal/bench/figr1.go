@@ -1,0 +1,332 @@
+// Figure R1: availability of a remote service through a scripted fault
+// schedule — a machine crash and restart, then a one-way blackhole — with
+// the ORB's failover machinery (deadlines, per-endpoint circuit breakers,
+// fall-through down the reference's ordered protocol table, and probe-
+// driven re-promotion) switched on versus off.
+//
+// The deployment is a client plus two replicas of a stateless servant:
+// the preferred table entry points at the primary machine, the second at
+// a backup. The paper's protocol table (§3.1) ranks how a server is
+// willing to be accessed; this figure shows the same ordered table doing
+// double duty as a failover chain: when the primary's breaker trips, the
+// next entry serves, and when the background probe proves the primary
+// recovered, traffic is promoted back.
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/health"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/wire"
+)
+
+// R1 figure mode names.
+const (
+	ModeFailover   = "failover"
+	ModeNoFailover = "no-failover"
+	R1FigureTitle  = "Figure R1: availability under crash/restart and blackhole faults"
+)
+
+// r1SimPort is the primary's fixed stream port, so the restart hook can
+// re-bind the same address the protocol table advertises.
+const r1SimPort = 7101
+
+// R1Config parameterizes the availability experiment.
+type R1Config struct {
+	// Profile shapes the LAN joining client, primary, and backup
+	// (default ProfileEthernet). The netsim shapes traffic in real time,
+	// so the fault schedule below runs on the wall clock.
+	Profile netsim.LinkProfile
+	// Duration is the total run length (default 1.2s). The schedule
+	// scales with it: crash at 1/6, restart at 2/5, blackhole at 3/5,
+	// heal at 3/4.
+	Duration time.Duration
+	// Deadline bounds each call (default 50ms); it travels in the wire
+	// header and is enforced client-side through the call context.
+	Deadline time.Duration
+	// Pace is the gap between consecutive calls (default 1ms).
+	Pace time.Duration
+	// Ints is the array length exchanged per call (default 16).
+	Ints int
+}
+
+func (c *R1Config) fill() {
+	if c.Profile.Name == "" {
+		c.Profile = netsim.ProfileEthernet
+	}
+	if c.Duration <= 0 {
+		c.Duration = 1200 * time.Millisecond
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 50 * time.Millisecond
+	}
+	if c.Pace <= 0 {
+		c.Pace = time.Millisecond
+	}
+	if c.Ints <= 0 {
+		c.Ints = 16
+	}
+}
+
+// R1Point is one row of the figure: one failover mode through the same
+// fault schedule.
+type R1Point struct {
+	Mode string `json:"mode"`
+	// Total calls issued; OK completed; Expired hit their deadline;
+	// Failed errored any other way.
+	Total   int `json:"total"`
+	OK      int `json:"ok"`
+	Expired int `json:"expired"`
+	Failed  int `json:"failed"`
+	// Availability is OK/Total.
+	Availability float64 `json:"availability"`
+	// P50/P99 are latency percentiles over successful calls.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// Promoted reports whether the GP ended the run bound to the
+	// preferred (primary) table entry again — probe-driven re-promotion
+	// after the faults healed.
+	Promoted bool `json:"promoted"`
+}
+
+// R1Result is the whole figure.
+type R1Result struct {
+	Profile  string        `json:"profile"`
+	Duration time.Duration `json:"duration_ns"`
+	Deadline time.Duration `json:"deadline_ns"`
+	// Schedule describes the fault events, in order.
+	Schedule []string  `json:"schedule"`
+	Points   []R1Point `json:"points"`
+}
+
+// r1Deployment is one mode's testbed: client, primary, backup.
+type r1Deployment struct {
+	Deployment
+	primary *core.Context
+	ref     *core.ObjectRef
+}
+
+const r1Object = core.ObjectID("r1/exchange")
+
+func newR1Deployment(cfg R1Config, failover bool) (*r1Deployment, error) {
+	n := netsim.New()
+	n.AddLAN("lan", "campus", cfg.Profile)
+	n.MustAddMachine("client-m", "lan")
+	n.MustAddMachine("primary-m", "lan")
+	n.MustAddMachine("backup-m", "lan")
+	rt := newRuntime(n, "bench-r1")
+	rt.SetFailover(failover)
+	if failover {
+		// Fast probes so re-promotion lands inside the run; bounded so a
+		// probe into the blackhole cannot wedge the prober.
+		rt.SetHealthOptions(health.Options{
+			ProbeInterval: 20 * time.Millisecond,
+			ProbeTimeout:  150 * time.Millisecond,
+		})
+	}
+	fail := func(err error) (*r1Deployment, error) {
+		rt.Close()
+		return nil, err
+	}
+	clientCtx, err := rt.NewContext("client", "client-m")
+	if err != nil {
+		return fail(err)
+	}
+	primary, err := rt.NewContext("primary", "primary-m")
+	if err != nil {
+		return fail(err)
+	}
+	if err := primary.BindSim(r1SimPort); err != nil {
+		return fail(err)
+	}
+	backup, err := rt.NewContext("backup", "backup-m")
+	if err != nil {
+		return fail(err)
+	}
+	if err := backup.BindSim(0); err != nil {
+		return fail(err)
+	}
+	// The same stateless servant on both machines, under one object id:
+	// the backup is a replica, and the reference's ordered table is the
+	// failover chain.
+	impl, methods := ExchangeActivator()
+	s, err := primary.ExportAs(r1Object, ExchangeIface, impl, methods, 0)
+	if err != nil {
+		return fail(err)
+	}
+	bimpl, bmethods := ExchangeActivator()
+	if _, err := backup.ExportAs(r1Object, ExchangeIface, bimpl, bmethods, 0); err != nil {
+		return fail(err)
+	}
+	pe, err := primary.EntryStream()
+	if err != nil {
+		return fail(err)
+	}
+	be, err := backup.EntryStream()
+	if err != nil {
+		return fail(err)
+	}
+	return &r1Deployment{
+		Deployment: Deployment{Net: n, Runtime: rt, Client: clientCtx},
+		primary:    primary,
+		ref:        primary.NewRef(s, pe, be),
+	}, nil
+}
+
+// r1Plan builds the fault schedule for one run, scaled to its duration.
+func r1Plan(cfg R1Config, d *r1Deployment) (*netsim.FaultPlan, []string) {
+	crashAt := cfg.Duration / 6
+	restartAt := cfg.Duration * 2 / 5
+	holeAt := cfg.Duration * 3 / 5
+	healAt := cfg.Duration * 3 / 4
+	plan := new(netsim.FaultPlan)
+	plan.CrashAt(crashAt, "primary-m")
+	plan.RestartAt(restartAt, "primary-m", func() {
+		// The supervisor brings the service back on the same port the
+		// protocol table advertises.
+		_ = d.primary.BindSim(r1SimPort)
+	})
+	plan.BlackholeAt(holeAt, "client-m", "primary-m", true)
+	plan.BlackholeAt(healAt, "client-m", "primary-m", false)
+	return plan, []string{
+		fmt.Sprintf("%6v  crash primary-m", crashAt.Round(time.Millisecond)),
+		fmt.Sprintf("%6v  restart primary-m (re-bind sim port %d)", restartAt.Round(time.Millisecond), r1SimPort),
+		fmt.Sprintf("%6v  blackhole client-m -> primary-m", holeAt.Round(time.Millisecond)),
+		fmt.Sprintf("%6v  heal blackhole", healAt.Round(time.Millisecond)),
+	}
+}
+
+// runR1Mode drives the call stream through the fault schedule under one
+// failover setting.
+func runR1Mode(cfg R1Config, failover bool) (R1Point, []string, error) {
+	d, err := newR1Deployment(cfg, failover)
+	if err != nil {
+		return R1Point{}, nil, err
+	}
+	defer d.Close()
+
+	mode := ModeNoFailover
+	if failover {
+		mode = ModeFailover
+	}
+	gp := d.Client.NewGlobalPtr(d.ref)
+	gp.SetDefaultDeadline(cfg.Deadline)
+	arr := &core.Int32Slice{V: make([]int32, cfg.Ints)}
+	for i := range arr.V {
+		arr.V[i] = int32(i)
+	}
+	// Warm-up before the schedule starts: selection + connection setup.
+	if _, err := core.Call[*core.Int32Slice, core.Int32Slice](gp, "exchange", arr); err != nil {
+		return R1Point{}, nil, fmt.Errorf("bench: %s warm-up: %w", mode, err)
+	}
+
+	plan, schedule := r1Plan(cfg, d)
+	run := plan.Run(d.Net)
+	defer run.Stop()
+
+	pt := R1Point{Mode: mode}
+	var latencies []time.Duration
+	start := time.Now()
+	for time.Since(start) < cfg.Duration {
+		callCtx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+		t0 := time.Now()
+		_, err := core.CallCtx[*core.Int32Slice, core.Int32Slice](callCtx, gp, "exchange", arr)
+		lat := time.Since(t0)
+		cancel()
+		pt.Total++
+		switch {
+		case err == nil:
+			pt.OK++
+			latencies = append(latencies, lat)
+		case errors.Is(err, context.DeadlineExceeded) || isFaultCode(err, wire.FaultExpired):
+			pt.Expired++
+		default:
+			pt.Failed++
+		}
+		time.Sleep(cfg.Pace)
+	}
+	run.Wait()
+
+	if pt.Total > 0 {
+		pt.Availability = float64(pt.OK) / float64(pt.Total)
+	}
+	pt.P50, pt.P99 = percentiles(latencies)
+	if idx, _, err := gp.SelectedEntry(); err == nil {
+		pt.Promoted = idx == 0
+	}
+	return pt, schedule, nil
+}
+
+// isFaultCode reports whether err carries the given wire fault code.
+func isFaultCode(err error, code wire.FaultCode) bool {
+	var f *wire.Fault
+	return errors.As(err, &f) && f.Code == code
+}
+
+// percentiles returns the p50 and p99 of the sample (zero when empty).
+func percentiles(ls []time.Duration) (p50, p99 time.Duration) {
+	if len(ls) == 0 {
+		return 0, 0
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(ls)-1))
+		return ls[i]
+	}
+	return idx(0.50), idx(0.99)
+}
+
+// RunFigureR1 produces the availability figure: the same fault schedule
+// with failover on and off.
+func RunFigureR1(cfg R1Config) (*R1Result, error) {
+	cfg.fill()
+	res := &R1Result{
+		Profile:  cfg.Profile.Name,
+		Duration: cfg.Duration,
+		Deadline: cfg.Deadline,
+	}
+	for _, failover := range []bool{true, false} {
+		pt, schedule, err := runR1Mode(cfg, failover)
+		if err != nil {
+			return nil, err
+		}
+		if res.Schedule == nil {
+			res.Schedule = schedule
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// FormatFigureR1 renders the figure as a text table.
+func FormatFigureR1(r *R1Result) string {
+	out := fmt.Sprintf("%s\n  profile %s, run %v, per-call deadline %v\n  fault schedule:\n",
+		R1FigureTitle, r.Profile, r.Duration.Round(time.Millisecond), r.Deadline.Round(time.Millisecond))
+	for _, ev := range r.Schedule {
+		out += "    " + ev + "\n"
+	}
+	out += fmt.Sprintf("\n  %-12s %7s %6s %8s %7s %13s %10s %10s %9s\n",
+		"mode", "total", "ok", "expired", "failed", "availability", "p50", "p99", "promoted")
+	for _, p := range r.Points {
+		out += fmt.Sprintf("  %-12s %7d %6d %8d %7d %12.2f%% %10v %10v %9v\n",
+			p.Mode, p.Total, p.OK, p.Expired, p.Failed, 100*p.Availability,
+			p.P50.Round(10*time.Microsecond), p.P99.Round(10*time.Microsecond), p.Promoted)
+	}
+	var on, off float64
+	for _, p := range r.Points {
+		if p.Mode == ModeFailover {
+			on = p.Availability
+		} else {
+			off = p.Availability
+		}
+	}
+	out += fmt.Sprintf("\n  failover keeps the service at %.1f%% availability through the schedule; without it the same faults leave %.1f%%\n",
+		100*on, 100*off)
+	return out
+}

@@ -230,6 +230,10 @@ func (g *Glue) Call(m *wire.Message) (*wire.Message, error) {
 	}
 	reply, err := g.base.Call(out)
 	if err != nil {
+		// The attempt died in transport: the server never charged its
+		// authoritative capabilities, so hand the client-mirror charges
+		// back before the ORB retries elsewhere.
+		g.refundRequest(m.Object, m.Method)
 		return nil, err
 	}
 	if reply.Type != wire.TReply {
@@ -243,19 +247,30 @@ func (g *Glue) Call(m *wire.Message) (*wire.Message, error) {
 // the base protocol's pending, with the reply un-processed through the
 // capability chain (once) on resolution.
 type gluePending struct {
-	g     *Glue
-	p     core.Pending
-	once  sync.Once
-	reply *wire.Message
-	err   error
+	g      *Glue
+	p      core.Pending
+	object string
+	method string
+	once   sync.Once
+	reply  *wire.Message
+	err    error
 }
 
 func (gp *gluePending) Done() <-chan struct{} { return gp.p.Done() }
+
+// Abandon forwards to the base pending when it supports abandonment, so
+// a deadline firing mid-flight releases the underlying exchange.
+func (gp *gluePending) Abandon() {
+	if a, ok := gp.p.(interface{ Abandon() }); ok {
+		a.Abandon()
+	}
+}
 
 func (gp *gluePending) Reply() (*wire.Message, error) {
 	gp.once.Do(func() {
 		reply, err := gp.p.Reply()
 		if err != nil {
+			gp.g.refundRequest(gp.object, gp.method)
 			gp.err = err
 			return
 		}
@@ -298,14 +313,17 @@ func (g *Glue) Begin(m *wire.Message) (core.Pending, error) {
 	if pp, ok := g.base.(core.PipelinedProtocol); ok {
 		p, err := pp.Begin(out)
 		if err != nil {
+			g.refundRequest(m.Object, m.Method)
 			return nil, err
 		}
-		return &gluePending{g: g, p: p}, nil
+		return &gluePending{g: g, p: p, object: m.Object, method: m.Method}, nil
 	}
 	cp := &callPending{done: make(chan struct{})}
 	go func() {
 		reply, err := g.base.Call(out)
-		if err == nil && reply.Type == wire.TReply {
+		if err != nil {
+			g.refundRequest(m.Object, m.Method)
+		} else if reply.Type == wire.TReply {
 			reply, err = g.unwrapReply(reply)
 		}
 		cp.reply, cp.err = reply, err
@@ -365,7 +383,11 @@ func (g *Glue) Post(m *wire.Message) error {
 	if err != nil {
 		return err
 	}
-	return ow.Post(out)
+	if err := ow.Post(out); err != nil {
+		g.refundRequest(m.Object, m.Method)
+		return err
+	}
+	return nil
 }
 
 // Close implements core.Protocol.

@@ -127,6 +127,22 @@ func (q *Quota) check(f *Frame) error {
 	return nil
 }
 
+// Refund implements Refunder: one previously charged request is handed
+// back. The glue calls it on the client mirror when a transport attempt
+// failed before reaching the server, so failover retries are not
+// double-charged.
+func (q *Quota) Refund(*Frame) {
+	for {
+		u := q.used.Load()
+		if u == 0 {
+			return
+		}
+		if q.used.CompareAndSwap(u, u-1) {
+			return
+		}
+	}
+}
+
 // Process charges the quota on the client side for requests; replies
 // pass through untouched.
 func (q *Quota) Process(f *Frame, body []byte) ([]byte, []byte, error) {

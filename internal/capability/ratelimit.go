@@ -105,6 +105,15 @@ func (r *RateLimit) take(f *Frame) error {
 	return nil
 }
 
+// Refund implements Refunder: one token is handed back (capped at the
+// burst size). The glue calls it on the client mirror when a transport
+// attempt failed before reaching the server.
+func (r *RateLimit) Refund(*Frame) {
+	r.mu.Lock()
+	r.tokens = math.Min(r.burst, r.tokens+1)
+	r.mu.Unlock()
+}
+
 // Tokens reports the bucket's current content (tests and introspection).
 func (r *RateLimit) Tokens() float64 {
 	r.mu.Lock()

@@ -1,0 +1,31 @@
+package capability
+
+// Refunder is the optional interface of capabilities whose request-side
+// Process charges a consumable resource (a quota count, a rate-limit
+// token). When a request's transport attempt fails before it could have
+// reached the server — the base protocol returned an error, so the ORB
+// will transparently retry through a fresh protocol selection — the glue
+// refunds the client-mirror charge. Without the refund, every failover
+// retry would charge the mirror again while the server's authoritative
+// count (charged in Unprocess, which the request never reached) stays
+// put, and the mirror would drift toward denying early.
+//
+// Only client-side mirrors are refunded; the server-side authoritative
+// instances are never touched — a request that did execute is charged
+// exactly once there regardless of how many transport attempts the
+// client burned getting it through.
+type Refunder interface {
+	// Refund undoes one request charge previously made by Process.
+	Refund(f *Frame)
+}
+
+// refundRequest undoes the client-mirror charges of one failed transport
+// attempt, in the reverse of processing order.
+func (g *Glue) refundRequest(object, method string) {
+	f := &Frame{Object: object, Method: method, Dir: Request, Clock: g.clock}
+	for i := len(g.caps) - 1; i >= 0; i-- {
+		if r, ok := g.caps[i].(Refunder); ok {
+			r.Refund(f)
+		}
+	}
+}

@@ -3,6 +3,7 @@
 package clock
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -31,6 +32,34 @@ func Sleep(c Clock, d time.Duration) {
 		return
 	}
 	time.Sleep(d)
+}
+
+// SleepCtx delays through c like Sleep, but returns early with ctx.Err()
+// when the context is canceled or its deadline expires first. Fake
+// clocks advance instantly (the sleep costs simulated time only) and the
+// context is consulted afterwards, so deadline-bounded retry loops stay
+// deterministic under test.
+func SleepCtx(ctx context.Context, c Clock, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	if s, ok := c.(Sleeper); ok {
+		if _, real := c.(Real); !real {
+			s.Sleep(d)
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // Real reads the system clock.

@@ -9,6 +9,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -30,17 +32,37 @@ import (
 // future releases its slot immediately; the request already on the wire
 // runs to completion on the server and its reply is discarded.
 func (g *GlobalPtr) InvokeAsync(method string, args []byte) *future.Future {
+	return g.InvokeAsyncCtx(context.Background(), method, args)
+}
+
+// InvokeAsyncCtx is InvokeAsync bounded by a context: admission, the
+// in-flight wait, and the retry chase all respect cancellation, and the
+// deadline travels in the wire header so servers shed the request once
+// it expires. When the deadline fires while a reply is overdue, the
+// pending exchange is abandoned and the endpoint demoted, exactly as in
+// InvokeCtx.
+func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []byte) *future.Future {
 	fut := future.New()
 
 	g.mu.Lock()
 	sem := g.inflight
 	g.mu.Unlock()
-	sem <- struct{}{} // admission: backpressure at the in-flight bound
+	// Admission: backpressure at the in-flight bound, cancellable.
+	if ctx.Done() != nil {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			fut.Fail(ctx.Err())
+			return fut
+		}
+	} else {
+		sem <- struct{}{}
+	}
 	var relOnce sync.Once
 	release := func() { relOnce.Do(func() { <-sem }) }
 	fut.OnCancel(release)
 
-	p, err := g.prepare(wire.TRequest, method, args)
+	p, err := g.prepare(ctx, wire.TRequest, method, args)
 	if err != nil {
 		release()
 		fut.Fail(err)
@@ -55,15 +77,15 @@ func (g *GlobalPtr) InvokeAsync(method string, args []byte) *future.Future {
 		if berr == nil {
 			go func() {
 				defer release()
-				reply, rerr := pending.Reply()
+				reply, rerr := g.awaitPending(ctx, p, pending)
 				p.pm.latency.ObserveDuration(time.Since(start))
-				g.settleAsync(fut, p, reply, rerr, method, args)
+				g.settleAsync(ctx, fut, p, reply, rerr, method, args)
 			}()
 			return fut
 		}
 		go func() {
 			defer release()
-			g.settleAsync(fut, p, nil, berr, method, args)
+			g.settleAsync(ctx, fut, p, nil, berr, method, args)
 		}()
 		return fut
 	}
@@ -74,16 +96,44 @@ func (g *GlobalPtr) InvokeAsync(method string, args []byte) *future.Future {
 		defer release()
 		reply, cerr := p.proto.Call(p.req)
 		p.pm.latency.ObserveDuration(time.Since(start))
-		g.settleAsync(fut, p, reply, cerr, method, args)
+		g.settleAsync(ctx, fut, p, reply, cerr, method, args)
 	}()
 	return fut
+}
+
+// awaitPending waits for a pipelined reply or the context, whichever
+// resolves first; on expiry the exchange is abandoned and the endpoint
+// demoted (same policy as callWithCtx on the synchronous path).
+func (g *GlobalPtr) awaitPending(ctx context.Context, p prepared, pending Pending) (*wire.Message, error) {
+	if ctx.Done() == nil {
+		return pending.Reply()
+	}
+	select {
+	case <-pending.Done():
+		return pending.Reply()
+	case <-ctx.Done():
+		if a, ok := pending.(interface{ Abandon() }); ok {
+			a.Abandon()
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) && g.host.rt.FailoverEnabled() {
+			if ht := g.host.rt.Health(); ht != nil {
+				ht.ReportFailure(p.key)
+			}
+			g.Invalidate()
+		}
+		return nil, ctx.Err()
+	}
 }
 
 // settleAsync classifies the first attempt's outcome and, when the
 // adaptation machinery asks for a retry, runs the remaining attempts
 // synchronously in the completion goroutine before resolving the
 // future. A canceled future abandons the chase between attempts.
-func (g *GlobalPtr) settleAsync(fut *future.Future, p prepared, reply *wire.Message, err error, method string, args []byte) {
+func (g *GlobalPtr) settleAsync(ctx context.Context, fut *future.Future, p prepared, reply *wire.Message, err error, method string, args []byte) {
+	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		fut.Fail(ctxAttemptErr(err, nil))
+		return
+	}
 	body, done, backoff, serr := g.settle(p, reply, err)
 	if done {
 		finishFuture(fut, body, serr)
@@ -94,10 +144,17 @@ func (g *GlobalPtr) settleAsync(fut *future.Future, p prepared, reply *wire.Mess
 		if _, _, resolved := fut.TryResult(); resolved {
 			return // canceled (or raced): nobody is waiting, stop retrying
 		}
-		if needBackoff {
-			clock.Sleep(g.host.rt.Clock(), retryBackoff(attempt))
+		if cerr := ctx.Err(); cerr != nil {
+			fut.Fail(ctxAttemptErr(cerr, lastErr))
+			return
 		}
-		rp, perr := g.prepare(wire.TRequest, method, args)
+		if needBackoff {
+			if cerr := clock.SleepCtx(ctx, g.host.rt.Clock(), retryBackoff(attempt)); cerr != nil {
+				fut.Fail(ctxAttemptErr(cerr, lastErr))
+				return
+			}
+		}
+		rp, perr := g.prepare(ctx, wire.TRequest, method, args)
 		if perr != nil {
 			fut.Fail(perr)
 			return
@@ -105,8 +162,12 @@ func (g *GlobalPtr) settleAsync(fut *future.Future, p prepared, reply *wire.Mess
 		rp.pm.calls.Inc()
 		rp.pm.reqBytes.Add(uint64(len(args)))
 		start := time.Now()
-		r, cerr := rp.proto.Call(rp.req)
+		r, cerr := g.callWithCtx(ctx, rp)
 		rp.pm.latency.ObserveDuration(time.Since(start))
+		if cerr != nil && ctx.Err() != nil && errors.Is(cerr, ctx.Err()) {
+			fut.Fail(ctxAttemptErr(cerr, lastErr))
+			return
+		}
 		body, done, backoff, serr := g.settle(rp, r, cerr)
 		if done {
 			finishFuture(fut, body, serr)

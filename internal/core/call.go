@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"openhpcxx/internal/xdr"
 )
 
@@ -11,11 +13,21 @@ func Call[Req xdr.Marshaler, Resp any, PResp interface {
 	*Resp
 	xdr.Unmarshaler
 }](g *GlobalPtr, method string, req Req) (*Resp, error) {
+	return CallCtx[Req, Resp, PResp](context.Background(), g, method, req)
+}
+
+// CallCtx is Call bounded by a context: the deadline travels in the wire
+// header and cancellation abandons an overdue in-flight exchange (see
+// GlobalPtr.InvokeCtx).
+func CallCtx[Req xdr.Marshaler, Resp any, PResp interface {
+	*Resp
+	xdr.Unmarshaler
+}](ctx context.Context, g *GlobalPtr, method string, req Req) (*Resp, error) {
 	args, err := xdr.Marshal(req)
 	if err != nil {
 		return nil, err
 	}
-	out, err := g.Invoke(method, args)
+	out, err := g.InvokeCtx(ctx, method, args)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/health"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/stats"
 	"openhpcxx/internal/transport"
@@ -63,6 +64,8 @@ type Runtime struct {
 	mu       sync.RWMutex
 	ifaces   map[string]Activator
 	contexts map[string]*Context
+	htracker *health.Tracker
+	failover bool
 }
 
 // NewRuntime creates a runtime for one OS process attached to a
@@ -79,6 +82,8 @@ func NewRuntime(network *netsim.Network, process string) *Runtime {
 		defaultPool: NewProtoPool(),
 		ifaces:      make(map[string]Activator),
 		contexts:    make(map[string]*Context),
+		htracker:    health.NewTracker(health.Options{}),
+		failover:    true,
 	}
 	rt.defaultPool.Register(shmFactory{})
 	rt.defaultPool.Register(streamFactory{})
@@ -88,6 +93,47 @@ func NewRuntime(network *netsim.Network, process string) *Runtime {
 
 // SetClock installs a clock (tests use clock.Fake for determinism).
 func (rt *Runtime) SetClock(c clock.Clock) { rt.clock = c }
+
+// Health returns the runtime's endpoint-health tracker. Global pointers
+// report per-endpoint successes and failures into it and consult it
+// during protocol selection, so an endpoint that trips its circuit
+// breaker is skipped until a background probe proves recovery.
+func (rt *Runtime) Health() *health.Tracker {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.htracker
+}
+
+// SetHealthOptions replaces the health tracker with one using the given
+// options (failure threshold, probe interval, clock). Existing breaker
+// state is discarded; call before issuing traffic.
+func (rt *Runtime) SetHealthOptions(opts health.Options) {
+	t := health.NewTracker(opts)
+	rt.mu.Lock()
+	old := rt.htracker
+	rt.htracker = t
+	rt.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// SetFailover enables or disables endpoint-health failover (on by
+// default). With failover off, protocol selection ignores breaker state
+// and invocation failures are retried against the same ordered-table
+// choice — the baseline mode of the Figure R1 availability experiment.
+func (rt *Runtime) SetFailover(on bool) {
+	rt.mu.Lock()
+	rt.failover = on
+	rt.mu.Unlock()
+}
+
+// FailoverEnabled reports whether endpoint-health failover is on.
+func (rt *Runtime) FailoverEnabled() bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.failover
+}
 
 // Clock returns the runtime clock.
 func (rt *Runtime) Clock() clock.Clock { return rt.clock }
@@ -172,9 +218,14 @@ func (rt *Runtime) Close() {
 		ctxs = append(ctxs, c)
 	}
 	rt.contexts = make(map[string]*Context)
+	ht := rt.htracker
+	rt.htracker = nil
 	rt.mu.Unlock()
 	for _, c := range ctxs {
 		c.Close()
+	}
+	if ht != nil {
+		ht.Close()
 	}
 }
 
@@ -200,6 +251,7 @@ type Context struct {
 	servers    []io.Closer
 	nextObj    uint64
 	closed     bool
+	draining   bool
 }
 
 // Name returns the context's name.
@@ -348,6 +400,37 @@ func (c *Context) nexus() *nexus.Node {
 		}
 	}
 	return c.nexusNode
+}
+
+// Drain puts the context into lame-duck mode ahead of a planned
+// shutdown or migration wave: every transport server stops accepting
+// connections and finishes its in-flight handlers, and new requests —
+// on surviving connections or through any other protocol class — are
+// rejected with a retryable FaultUnavailable so callers fail over to
+// another endpoint instead of losing work. Drain returns when in-flight
+// requests have completed; Close remains the hard stop.
+func (c *Context) Drain() {
+	c.mu.Lock()
+	if c.draining || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.draining = true
+	servers := append([]io.Closer(nil), c.servers...)
+	c.mu.Unlock()
+	c.rt.recordEvent("drain", "", "context %s draining", c.name)
+	for _, s := range servers {
+		if d, ok := s.(interface{ Drain() }); ok {
+			d.Drain()
+		}
+	}
+}
+
+// Draining reports whether the context is in lame-duck mode.
+func (c *Context) Draining() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.draining
 }
 
 // Close tears down servers, connections and the Nexus node.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/health"
 	"openhpcxx/internal/stats"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
@@ -27,6 +29,15 @@ type GlobalPtr struct {
 	entry   int           // index into ref.Protocols of the selected entry
 	metrics *protoMetrics // cached handles for the bound protocol
 	policy  *transport.BatchPolicy
+
+	// healthGen is the health tracker generation observed when the
+	// current binding was made; when the tracker moves (an endpoint
+	// tripped or recovered), the next prepare re-runs selection and
+	// re-promotes a recovered, more preferred entry.
+	healthGen uint64
+	// deadline, when non-zero, bounds every invocation that does not
+	// carry a sooner context deadline.
+	deadline time.Duration
 
 	inflight chan struct{} // per-GP async in-flight limiter
 }
@@ -182,27 +193,139 @@ func (g *GlobalPtr) SelectedEntry() (int, ProtoID, error) {
 	return g.entry, g.ref.Protocols[g.entry].ID, nil
 }
 
-// bindLocked runs protocol selection if no protocol is bound.
-func (g *GlobalPtr) bindLocked() error {
-	if g.proto != nil {
-		return nil
+// SetDefaultDeadline bounds every invocation on this GP that does not
+// already carry a sooner context deadline: the absolute expiry travels
+// in the wire header, so servers shed the request instead of executing
+// it after the caller stopped caring. Zero disables the default.
+func (g *GlobalPtr) SetDefaultDeadline(d time.Duration) {
+	g.mu.Lock()
+	g.deadline = d
+	g.mu.Unlock()
+}
+
+// entryHealthKey identifies one protocol-table endpoint for the health
+// tracker: the protocol id plus the entry's address, so the same server
+// address reached through two protocols trips independently.
+func entryHealthKey(e ProtoEntry) string {
+	if a, err := decodeAddrData(e.Data); err == nil && a.Addr != "" {
+		return string(e.ID) + "|" + a.Addr
 	}
-	f, idx, err := g.host.pool.Select(g.ref, g.host.loc)
+	return string(e.ID) + "|" + string(e.Data)
+}
+
+// bindLocked runs protocol selection if no protocol is bound, and —
+// when the health landscape changed since the last bind — re-runs it to
+// re-promote a recovered, more preferred table entry.
+func (g *GlobalPtr) bindLocked() error {
+	ht := g.host.rt.Health()
+	failover := g.host.rt.FailoverEnabled()
+	if g.proto != nil {
+		if !failover || ht == nil || ht.Generation() == g.healthGen {
+			return nil
+		}
+		// A breaker tripped or recovered somewhere. Re-run selection with
+		// current health; rebind only when it picks a different entry
+		// (re-promotion to a recovered preferred endpoint, or demotion
+		// away from a newly tripped one). Same pick: keep the binding.
+		g.healthGen = ht.Generation()
+		f, idx, err := g.selectLocked(ht, failover)
+		if err != nil || idx == g.entry {
+			return nil
+		}
+		g.invalidateLocked()
+		return g.bindToLocked(f, idx, "promote")
+	}
+	f, idx, err := g.selectLocked(ht, failover)
 	if err != nil {
 		return err
 	}
+	if failover && ht != nil {
+		g.healthGen = ht.Generation()
+	}
+	return g.bindToLocked(f, idx, "select")
+}
+
+// selectLocked runs protocol selection, vetoing circuit-broken endpoints
+// when failover is on. If every applicable endpoint is unhealthy it
+// falls back to unfiltered selection — trying the preferred endpoint
+// beats failing without trying.
+func (g *GlobalPtr) selectLocked(ht *health.Tracker, failover bool) (ProtoFactory, int, error) {
+	if failover && ht != nil {
+		f, idx, err := g.host.pool.SelectWhere(g.ref, g.host.loc, func(_ int, e ProtoEntry) bool {
+			return ht.Allow(entryHealthKey(e))
+		})
+		if err == nil {
+			return f, idx, nil
+		}
+	}
+	return g.host.pool.Select(g.ref, g.host.loc)
+}
+
+// bindToLocked instantiates the chosen entry and caches per-binding
+// state (metric handles are resolved once per bind, not once per call).
+func (g *GlobalPtr) bindToLocked(f ProtoFactory, idx int, event string) error {
 	p, err := f.New(g.ref.Protocols[idx], g.ref, g.host)
 	if err != nil {
 		return fmt.Errorf("core: instantiating %s: %w", f.ID(), err)
 	}
 	g.proto = p
 	g.entry = idx
-	// Satellite of the async work: metric handles are resolved once per
-	// bind, not once per call.
 	g.metrics = newProtoMetrics(g.host.rt.Metrics(), string(p.ID()))
 	g.applyBatchingLocked()
-	g.host.rt.recordEvent("select", g.ref.Object,
+	g.registerProbesLocked()
+	g.host.rt.recordEvent(event, g.ref.Object,
 		"context %s picked table[%d] %s (server at %s)", g.host.name, idx, p.ID(), g.ref.Server)
+	return nil
+}
+
+// probeMethod is the method name health probes invoke; servers answer it
+// with FaultNoMethod, which is all a probe needs — proof of life.
+const probeMethod = "__health_probe__"
+
+// registerProbesLocked installs an out-of-band liveness probe for every
+// entry in the reference's table, so tripped breakers re-close when the
+// endpoint recovers — without risking live requests on it.
+func (g *GlobalPtr) registerProbesLocked() {
+	ht := g.host.rt.Health()
+	if ht == nil || !g.host.rt.FailoverEnabled() {
+		return
+	}
+	host, ref := g.host, g.ref.Clone()
+	for _, e := range ref.Protocols {
+		entry := e
+		ht.SetProbe(entryHealthKey(entry), func() error {
+			return probeEntry(host, ref, entry)
+		})
+	}
+}
+
+// probeEntry tests one protocol-table endpoint: instantiate its protocol
+// and issue a no-op call. Any decodable reply — even a fault — proves
+// the path and the server process are alive; the one exception is
+// FaultUnavailable, which means "up but refusing work" (draining) and
+// keeps the breaker open.
+func probeEntry(host *Context, ref *ObjectRef, entry ProtoEntry) error {
+	f, ok := host.pool.Lookup(entry.ID)
+	if !ok {
+		return fmt.Errorf("core: no factory for %s", entry.ID)
+	}
+	p, err := f.New(entry, ref, host)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	reply, err := p.Call(&wire.Message{Type: wire.TRequest, Object: string(ref.Object), Method: probeMethod})
+	if err != nil {
+		return err
+	}
+	if reply.Type == wire.TFault {
+		if ferr := wire.DecodeFault(reply.Body); ferr != nil {
+			var wf *wire.Fault
+			if errors.As(ferr, &wf) && wf.Code == wire.FaultUnavailable {
+				return wf
+			}
+		}
+	}
 	return nil
 }
 
@@ -233,31 +356,46 @@ func retryBackoff(attempt int) time.Duration {
 }
 
 // prepared is one ready-to-send attempt: the bound protocol, the frame,
-// and the metric handles that account for it.
+// the endpoint's health key, and the metric handles that account for it.
 type prepared struct {
 	proto Protocol
 	req   *wire.Message
 	pm    *protoMetrics
+	key   string // health-tracker key of the bound endpoint
 }
 
 // prepare binds (selecting a protocol if needed) and builds the request
-// frame for one attempt.
-func (g *GlobalPtr) prepare(typ wire.MsgType, method string, args []byte) (prepared, error) {
+// frame for one attempt. The effective deadline — the sooner of the
+// context's and the GP default — travels in the wire header so servers
+// can shed the request once it expires.
+func (g *GlobalPtr) prepare(ctx context.Context, typ wire.MsgType, method string, args []byte) (prepared, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if err := g.bindLocked(); err != nil {
 		return prepared{}, err
 	}
+	var deadline int64
+	if t, ok := ctx.Deadline(); ok {
+		deadline = t.UnixNano()
+	}
+	if g.deadline > 0 {
+		d := g.host.rt.Clock().Now().Add(g.deadline).UnixNano()
+		if deadline == 0 || d < deadline {
+			deadline = d
+		}
+	}
 	return prepared{
 		proto: g.proto,
 		req: &wire.Message{
-			Type:   typ,
-			Object: string(g.ref.Object),
-			Method: method,
-			Epoch:  g.ref.Epoch,
-			Body:   args,
+			Type:     typ,
+			Object:   string(g.ref.Object),
+			Method:   method,
+			Epoch:    g.ref.Epoch,
+			Deadline: deadline,
+			Body:     args,
 		},
-		pm: g.metrics,
+		pm:  g.metrics,
+		key: entryHealthKey(g.ref.Protocols[g.entry]),
 	}, nil
 }
 
@@ -267,16 +405,30 @@ func (g *GlobalPtr) prepare(typ wire.MsgType, method string, args []byte) (prepa
 // retry deserves a delay (transport errors and stale selections do,
 // migration chases do not).
 func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []byte, done bool, backoff bool, outErr error) {
+	ht := g.host.rt.Health()
+	report := func(ok bool) {
+		if ht == nil || !g.host.rt.FailoverEnabled() {
+			return
+		}
+		if ok {
+			ht.ReportSuccess(p.key)
+		} else {
+			ht.ReportFailure(p.key)
+		}
+	}
 	if err != nil {
 		p.pm.transportErrors.Inc()
-		// Transport-level failure: drop the binding and retry through a
-		// fresh selection.
+		// Transport-level failure: demote the endpoint and drop the
+		// binding, so the retry re-selects — past the tripped breaker to
+		// the next entry in the reference's ordered protocol table.
+		report(false)
 		g.Invalidate()
 		return nil, false, true, err
 	}
 	switch reply.Type {
 	case wire.TReply:
 		p.pm.respBytes.Add(uint64(len(reply.Body)))
+		report(true)
 		return reply.Body, true, false, nil
 	case wire.TFault:
 		p.pm.faults.Inc()
@@ -287,6 +439,9 @@ func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []b
 		}
 		switch f.Code {
 		case wire.FaultMoved:
+			// The endpoint answered authoritatively — it is healthy; the
+			// object just lives elsewhere now.
+			report(true)
 			newRef, derr := DecodeRef(f.Data)
 			if derr != nil {
 				return nil, true, false, fmt.Errorf("core: moved but reference undecodable: %w", derr)
@@ -296,9 +451,23 @@ func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []b
 			g.SetRef(newRef)
 			return nil, false, false, f
 		case wire.FaultNotApplicable:
+			report(true)
+			g.Invalidate()
+			return nil, false, true, f
+		case wire.FaultUnavailable:
+			// Deliberate refusal (draining/overloaded): trip the breaker
+			// outright — a second request would only be refused too — and
+			// retry through a fresh selection. The request never executed,
+			// so re-issuing cannot double-execute anything.
+			if ht != nil && g.host.rt.FailoverEnabled() {
+				ht.Trip(p.key)
+			}
 			g.Invalidate()
 			return nil, false, true, f
 		default:
+			// Application-level faults (including FaultExpired) come from a
+			// live endpoint; they are terminal for this invocation.
+			report(true)
 			return nil, true, false, f
 		}
 	default:
@@ -314,24 +483,55 @@ func (g *GlobalPtr) giveUp(method string, lastErr error) error {
 
 // Invoke calls a method on the remote object: it selects a protocol,
 // sends the request, and transparently adapts to migration (FaultMoved
-// refreshes the reference and re-selects) and to stale protocol choices
-// (FaultNotApplicable re-selects).
+// refreshes the reference and re-selects), to stale protocol choices
+// (FaultNotApplicable re-selects), and to failing endpoints (transport
+// errors and FaultUnavailable demote the endpoint's breaker and fail
+// over down the reference's ordered protocol table).
 func (g *GlobalPtr) Invoke(method string, args []byte) ([]byte, error) {
+	return g.InvokeCtx(context.Background(), method, args)
+}
+
+// ctxAttemptErr wraps a context expiry with the last attempt's error so
+// callers see both why the invocation stopped and what it last hit.
+func ctxAttemptErr(ctxErr, lastErr error) error {
+	if lastErr == nil {
+		return ctxErr
+	}
+	return fmt.Errorf("%w (last attempt: %v)", ctxErr, lastErr)
+}
+
+// InvokeCtx is Invoke bounded by a context: the deadline travels in the
+// wire header (servers shed the request after expiry), retry backoffs
+// respect cancellation, and an in-flight call is abandoned — and its
+// endpoint demoted — when the deadline fires while the reply is
+// overdue. The returned error wraps ctx.Err() when the context ended
+// the invocation.
+func (g *GlobalPtr) InvokeCtx(ctx context.Context, method string, args []byte) ([]byte, error) {
 	var lastErr error
 	needBackoff := false
 	for attempt := 0; attempt < maxInvokeAttempts; attempt++ {
-		if attempt > 0 && needBackoff {
-			clock.Sleep(g.host.rt.Clock(), retryBackoff(attempt))
+		if err := ctx.Err(); err != nil {
+			return nil, ctxAttemptErr(err, lastErr)
 		}
-		p, err := g.prepare(wire.TRequest, method, args)
+		if attempt > 0 && needBackoff {
+			if err := clock.SleepCtx(ctx, g.host.rt.Clock(), retryBackoff(attempt)); err != nil {
+				return nil, ctxAttemptErr(err, lastErr)
+			}
+		}
+		p, err := g.prepare(ctx, wire.TRequest, method, args)
 		if err != nil {
 			return nil, err
 		}
 		p.pm.calls.Inc()
 		p.pm.reqBytes.Add(uint64(len(args)))
 		start := time.Now()
-		reply, err := p.proto.Call(p.req)
+		reply, err := g.callWithCtx(ctx, p)
 		p.pm.latency.ObserveDuration(time.Since(start))
+		if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			// The context ended the attempt; callWithCtx already demoted
+			// the endpoint if the deadline fired mid-flight.
+			return nil, ctxAttemptErr(err, lastErr)
+		}
 
 		body, done, backoff, serr := g.settle(p, reply, err)
 		if done {
@@ -340,6 +540,37 @@ func (g *GlobalPtr) Invoke(method string, args []byte) ([]byte, error) {
 		lastErr, needBackoff = serr, backoff
 	}
 	return nil, g.giveUp(method, lastErr)
+}
+
+// callWithCtx issues one attempt, honoring cancellation mid-flight when
+// the protocol supports pipelining: on expiry the pending exchange is
+// abandoned (a late reply is dropped by the mux) and the endpoint is
+// reported failing — an endpoint that cannot answer within the deadline
+// is, for failover purposes, indistinguishable from a dead one.
+func (g *GlobalPtr) callWithCtx(ctx context.Context, p prepared) (*wire.Message, error) {
+	pp, ok := p.proto.(PipelinedProtocol)
+	if !ok || ctx.Done() == nil {
+		return p.proto.Call(p.req)
+	}
+	pending, err := pp.Begin(p.req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case <-pending.Done():
+		return pending.Reply()
+	case <-ctx.Done():
+		if a, ok := pending.(interface{ Abandon() }); ok {
+			a.Abandon()
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) && g.host.rt.FailoverEnabled() {
+			if ht := g.host.rt.Health(); ht != nil {
+				ht.ReportFailure(p.key)
+			}
+			g.Invalidate()
+		}
+		return nil, ctx.Err()
+	}
 }
 
 // Object returns the target object id.

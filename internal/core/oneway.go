@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"openhpcxx/internal/wire"
@@ -27,7 +28,7 @@ var ErrOneWayUnsupported = errors.New("core: selected protocol does not support 
 // capability chain, so one-way calls are metered and protected exactly
 // like two-way ones.
 func (g *GlobalPtr) Post(method string, args []byte) error {
-	p, err := g.prepare(wire.TControl, method, args)
+	p, err := g.prepare(context.Background(), wire.TControl, method, args)
 	if err != nil {
 		return err
 	}

@@ -196,9 +196,20 @@ var ErrNoProtocol = errors.New("core: no applicable protocol")
 // the first applicable match. The returned index identifies the chosen
 // table entry.
 func (p *ProtoPool) Select(ref *ObjectRef, client netsim.Locality) (ProtoFactory, int, error) {
+	return p.SelectWhere(ref, client, nil)
+}
+
+// SelectWhere is Select with an extra veto: entries for which allow
+// returns false are skipped even when applicable. The ORB passes an
+// endpoint-health filter here so failover falls through the reference's
+// ordered protocol table to the first entry that is both applicable and
+// not circuit-broken. A nil allow accepts everything.
+func (p *ProtoPool) SelectWhere(ref *ObjectRef, client netsim.Locality, allow func(i int, e ProtoEntry) bool) (ProtoFactory, int, error) {
 	p.mu.RLock()
 	selOrder := p.selOrder
 	p.mu.RUnlock()
+
+	ok := func(i int, e ProtoEntry) bool { return allow == nil || allow(i, e) }
 
 	if selOrder == PoolOrder {
 		for _, id := range p.IDs() {
@@ -207,7 +218,7 @@ func (p *ProtoPool) Select(ref *ObjectRef, client netsim.Locality) (ProtoFactory
 				if entry.ID != id {
 					continue
 				}
-				if f.Applicable(entry, client, ref.Server) {
+				if f.Applicable(entry, client, ref.Server) && ok(i, entry) {
 					return f, i, nil
 				}
 			}
@@ -216,11 +227,11 @@ func (p *ProtoPool) Select(ref *ObjectRef, client netsim.Locality) (ProtoFactory
 	}
 
 	for i, entry := range ref.Protocols {
-		f, ok := p.Lookup(entry.ID)
-		if !ok {
+		f, okf := p.Lookup(entry.ID)
+		if !okf {
 			continue
 		}
-		if f.Applicable(entry, client, ref.Server) {
+		if f.Applicable(entry, client, ref.Server) && ok(i, entry) {
 			return f, i, nil
 		}
 	}

@@ -164,6 +164,33 @@ func (c *Context) dispatch(m *wire.Message) *wire.Message {
 	if m.Type != wire.TRequest {
 		return nil
 	}
+	c.mu.RLock()
+	draining := c.draining
+	c.mu.RUnlock()
+	if draining {
+		// Lame-duck: reject with a retryable fault so the caller re-issues
+		// the request elsewhere. This covers every protocol class routed
+		// through the shared dispatcher (stream, nexus, custom), not just
+		// transport servers. Tombstones still answer — an evacuation
+		// drains first and moves second, and stale callers must be able to
+		// chase FaultMoved to the object's new home throughout.
+		c.mu.RLock()
+		_, live := c.servants[ObjectID(m.Object)]
+		tomb := c.tombstones[ObjectID(m.Object)]
+		c.mu.RUnlock()
+		var rej error
+		if !live && tomb != nil {
+			rej = movedFault(tomb)
+		} else {
+			c.rt.Metrics().Counter("srv.drained").Inc()
+			rej = wire.Faultf(wire.FaultUnavailable, "context %s draining", c.name)
+		}
+		f, ferr := wire.FaultMessage(m, rej)
+		if ferr != nil {
+			return nil
+		}
+		return f
+	}
 	c.rt.Metrics().Counter("srv.requests").Inc()
 	reply, err := c.handleRequest(m)
 	if err != nil {
@@ -209,6 +236,16 @@ func (c *Context) handleRequest(m *wire.Message) (*wire.Message, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	// Shed already-expired requests instead of doing dead work. The check
+	// sits after glue un-processing — capability layers (audit, quota)
+	// observe the request either way — but before the servant invoke, so
+	// the expensive part is skipped. FaultExpired is terminal on the
+	// client: the caller's deadline has passed, retrying cannot help.
+	if m.Expired(c.rt.Clock().Now().UnixNano()) {
+		c.rt.Metrics().Counter("srv.expired").Inc()
+		return nil, wire.Faultf(wire.FaultExpired, "deadline expired before %s.%s executed", m.Object, m.Method)
 	}
 
 	out, err := s.invoke(m.Method, body)

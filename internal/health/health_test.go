@@ -1,0 +1,205 @@
+package health
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUnknownEndpointsAreClosed(t *testing.T) {
+	tr := NewTracker(Options{})
+	defer tr.Close()
+	if !tr.Allow("never-seen") {
+		t.Fatal("unknown endpoint not allowed")
+	}
+	if tr.State("never-seen") != Closed {
+		t.Fatal("unknown endpoint not Closed")
+	}
+	if tr.Generation() != 0 {
+		t.Fatal("generation moved without a transition")
+	}
+}
+
+func TestThresholdTripsBreaker(t *testing.T) {
+	tr := NewTracker(Options{FailureThreshold: 2})
+	defer tr.Close()
+	tr.ReportFailure("ep")
+	if !tr.Allow("ep") {
+		t.Fatal("one failure below threshold tripped the breaker")
+	}
+	g := tr.Generation()
+	tr.ReportFailure("ep")
+	if tr.Allow("ep") || tr.State("ep") != Open {
+		t.Fatal("threshold failures did not trip the breaker")
+	}
+	if tr.Generation() == g {
+		t.Fatal("trip did not bump the generation")
+	}
+}
+
+func TestSuccessResetsStreakAndRecloses(t *testing.T) {
+	tr := NewTracker(Options{FailureThreshold: 2})
+	defer tr.Close()
+	tr.ReportFailure("ep")
+	tr.ReportSuccess("ep")
+	tr.ReportFailure("ep")
+	if !tr.Allow("ep") {
+		t.Fatal("success did not reset the failure streak")
+	}
+	tr.Trip("ep")
+	if tr.Allow("ep") {
+		t.Fatal("Trip did not open the breaker")
+	}
+	g := tr.Generation()
+	tr.ReportSuccess("ep")
+	if tr.State("ep") != Closed {
+		t.Fatal("live success did not re-close the breaker")
+	}
+	if tr.Generation() == g {
+		t.Fatal("re-close did not bump the generation")
+	}
+}
+
+func TestProbeNowReclosesOnSuccess(t *testing.T) {
+	tr := NewTracker(Options{})
+	defer tr.Close()
+	var mu sync.Mutex
+	probeErr := errors.New("still dead")
+	tr.SetProbe("ep", func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return probeErr
+	})
+	tr.Trip("ep")
+
+	tr.ProbeNow()
+	if tr.State("ep") != Open {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	mu.Lock()
+	probeErr = nil
+	mu.Unlock()
+	g := tr.Generation()
+	tr.ProbeNow()
+	if tr.State("ep") != Closed || !tr.Allow("ep") {
+		t.Fatal("successful probe did not re-close the breaker")
+	}
+	if tr.Generation() == g {
+		t.Fatal("probe re-close did not bump the generation")
+	}
+}
+
+func TestProbeNowSkipsClosedEndpoints(t *testing.T) {
+	tr := NewTracker(Options{})
+	defer tr.Close()
+	called := false
+	tr.SetProbe("ep", func() error { called = true; return nil })
+	tr.ProbeNow()
+	if called {
+		t.Fatal("probe ran against a Closed endpoint")
+	}
+}
+
+func TestHalfOpenStillVetoed(t *testing.T) {
+	tr := NewTracker(Options{})
+	defer tr.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	tr.SetProbe("ep", func() error {
+		close(started)
+		<-release
+		return nil
+	})
+	tr.Trip("ep")
+	go tr.ProbeNow()
+	<-started
+	if tr.Allow("ep") {
+		t.Fatal("HalfOpen endpoint allowed while the probe is in flight")
+	}
+	if tr.State("ep") != HalfOpen {
+		t.Fatalf("state %v, want HalfOpen", tr.State("ep"))
+	}
+	close(release)
+}
+
+func TestLiveSuccessBeatsInFlightProbe(t *testing.T) {
+	tr := NewTracker(Options{})
+	defer tr.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	tr.SetProbe("ep", func() error {
+		close(started)
+		<-release
+		return errors.New("probe says dead")
+	})
+	tr.Trip("ep")
+	done := make(chan struct{})
+	go func() { tr.ProbeNow(); close(done) }()
+	<-started
+	// Live traffic proves the endpoint while the probe is in flight; the
+	// probe's stale verdict must not re-open it.
+	tr.ReportSuccess("ep")
+	close(release)
+	<-done
+	if tr.State("ep") != Closed {
+		t.Fatalf("state %v after live success, want Closed (probe verdict was stale)", tr.State("ep"))
+	}
+}
+
+func TestProbeTimeoutCountsAsFailure(t *testing.T) {
+	tr := NewTracker(Options{ProbeTimeout: 10 * time.Millisecond})
+	defer tr.Close()
+	release := make(chan struct{})
+	defer close(release)
+	tr.SetProbe("ep", func() error { <-release; return nil })
+	tr.Trip("ep")
+	start := time.Now()
+	tr.ProbeNow()
+	if tr.State("ep") != Open {
+		t.Fatal("hung probe did not leave the breaker Open")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("ProbeNow blocked on the hung probe")
+	}
+}
+
+func TestBackgroundProberRecloses(t *testing.T) {
+	tr := NewTracker(Options{ProbeInterval: 5 * time.Millisecond})
+	defer tr.Close()
+	tr.SetProbe("ep", func() error { return nil })
+	tr.Trip("ep")
+	deadline := time.Now().Add(2 * time.Second)
+	for tr.State("ep") != Closed {
+		if time.Now().After(deadline) {
+			t.Fatal("background prober never re-closed the breaker")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestStatesAreIndependent(t *testing.T) {
+	tr := NewTracker(Options{})
+	defer tr.Close()
+	tr.Trip("a")
+	if tr.Allow("a") || !tr.Allow("b") {
+		t.Fatal("breakers are not independent per endpoint")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Closed: "closed", Open: "open", HalfOpen: "half-open", State(42): "unknown"} {
+		if s.String() != want {
+			t.Fatalf("State(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	tr := NewTracker(Options{})
+	tr.SetProbe("ep", func() error { return nil })
+	tr.Close()
+	tr.Close()
+	// SetProbe after Close must not start a prober.
+	tr.SetProbe("late", func() error { return nil })
+}

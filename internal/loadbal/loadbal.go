@@ -216,6 +216,59 @@ func (b *Balancer) Rebalance() ([]Move, error) {
 	return moves, nil
 }
 
+// Evacuate drains one balanced host and migrates every managed object
+// it holds to the least-loaded remaining host — planned maintenance
+// rather than load response. The context is drained first (in-flight
+// requests finish, late arrivals get a retryable FaultUnavailable and
+// fail over), then objects move one at a time, each to the currently
+// least-loaded destination; stale callers chase tombstones to the new
+// homes. The evacuated context is removed from the balancer's host set.
+func (b *Balancer) Evacuate(ctx *core.Context) ([]Move, error) {
+	b.mu.Lock()
+	var rest []*Host
+	found := false
+	for _, h := range b.hosts {
+		if h.Ctx == ctx {
+			found = true
+			continue
+		}
+		rest = append(rest, h)
+	}
+	if !found || len(rest) == 0 {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("loadbal: cannot evacuate %s: not a balanced host with a destination", ctx.Name())
+	}
+	b.hosts = rest
+	var victims []*managed
+	for _, m := range b.objects {
+		if m.host == ctx {
+			victims = append(victims, m)
+		}
+	}
+	b.mu.Unlock()
+	sort.Slice(victims, func(i, j int) bool { return victims[i].ref.Object < victims[j].ref.Object })
+
+	ctx.Drain()
+
+	var moves []Move
+	for _, m := range victims {
+		var dst *Host
+		var dstLoad float64
+		for _, h := range rest {
+			l := h.Load()
+			if dst == nil || l < dstLoad || (l == dstLoad && h.Ctx.Name() < dst.Ctx.Name()) {
+				dst, dstLoad = h, l
+			}
+		}
+		mv, err := b.moveObject(m, dst.Ctx)
+		if err != nil {
+			return moves, err
+		}
+		moves = append(moves, *mv)
+	}
+	return moves, nil
+}
+
 // pickVictim chooses the managed object on host with the most calls (a
 // proxy for the load it generates). Deterministic tie-break by id.
 func (b *Balancer) pickVictim(host *Host) *managed {

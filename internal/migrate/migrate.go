@@ -278,6 +278,27 @@ func Move(src *core.Context, ref *core.ObjectRef, ctlRef *core.ObjectRef) (*core
 	return newRef, nil
 }
 
+// Evacuate drains src and migrates the given objects to dst in one
+// sweep — the planned-maintenance counterpart of MoveLocal. The drain
+// happens first: src finishes its in-flight requests and rejects late
+// arrivals with a retryable FaultUnavailable, so no request races the
+// snapshots and none is silently lost; once each move commits, the
+// tombstone left behind keeps answering through the drain, and stale
+// callers chase FaultMoved to the destination. It returns the new
+// references in argument order.
+func Evacuate(src, dst *core.Context, refs ...*core.ObjectRef) ([]*core.ObjectRef, error) {
+	src.Drain()
+	out := make([]*core.ObjectRef, 0, len(refs))
+	for _, ref := range refs {
+		nr, err := MoveLocal(src, ref, dst)
+		if err != nil {
+			return out, fmt.Errorf("migrate: evacuating %s: %w", ref.Object, err)
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
 // MoveAndPublish migrates (locally) and updates the registry binding in
 // one step, the sequence the load balancer runs.
 func MoveAndPublish(src *core.Context, ref *core.ObjectRef, dst *core.Context, reg *registry.Client, name string) (*core.ObjectRef, error) {

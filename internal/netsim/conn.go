@@ -72,8 +72,13 @@ type halfPipe struct {
 	nextFree time.Time
 	profile  LinkProfile
 	closed   bool
+	failErr  error // non-nil: the pipe died abnormally (crash injection)
 	rdDead   time.Time
 	pending  []byte // remainder of a delivered packet
+	// dir, when non-nil, is the live fault state of this direction of
+	// the link (injected delay, blackhole); shared with the Network so
+	// faults apply to established connections, not just new dials.
+	dir *DirFault
 }
 
 func newHalfPipe(p LinkProfile) *halfPipe {
@@ -91,6 +96,9 @@ func (h *halfPipe) write(p []byte) (int, error) {
 		h.cond.Wait()
 	}
 	if h.closed {
+		if h.failErr != nil {
+			return 0, h.failErr
+		}
 		return 0, ErrClosed
 	}
 	now := time.Now()
@@ -122,10 +130,32 @@ func (h *halfPipe) read(p []byte) (int, error) {
 			h.mu.Unlock()
 			return 0, ErrDeadline
 		}
+		if h.closed && h.failErr != nil {
+			// Abnormal death (crash injection) trumps queued data: the
+			// peer's kernel would have torn the window down, not
+			// delivered the tail.
+			err := h.failErr
+			h.mu.Unlock()
+			return 0, err
+		}
 		if len(h.queue) > 0 {
+			if h.dir != nil && h.dir.blackholed() {
+				// Data is in flight but the path is eating it for now;
+				// poll until the hole heals or the deadline fires.
+				h.mu.Unlock()
+				if !h.sleepOrDeadline(time.Millisecond) {
+					return 0, ErrDeadline
+				}
+				h.mu.Lock()
+				continue
+			}
 			pkt := h.queue[0]
+			deliverAt := pkt.deliverAt
+			if h.dir != nil {
+				deliverAt = deliverAt.Add(h.dir.extra())
+			}
 			now := time.Now()
-			if wait := pkt.deliverAt.Sub(now); wait > 0 {
+			if wait := deliverAt.Sub(now); wait > 0 {
 				// Release the lock while the packet is "on the wire" so
 				// writers can continue to enqueue behind it.
 				h.mu.Unlock()
@@ -197,6 +227,18 @@ func (h *halfPipe) close() {
 	h.mu.Unlock()
 }
 
+// fail closes the pipe abnormally: readers and writers observe err
+// (e.g. ErrConnReset after a machine crash) instead of a clean EOF.
+func (h *halfPipe) fail(err error) {
+	h.mu.Lock()
+	h.closed = true
+	if h.failErr == nil {
+		h.failErr = err
+	}
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
 func (h *halfPipe) setReadDeadline(t time.Time) {
 	h.mu.Lock()
 	h.rdDead = t
@@ -213,6 +255,9 @@ type Conn struct {
 	local  Addr
 	remote Addr
 	once   sync.Once
+	// onClose, when set (Network-dialed connections), unregisters the
+	// connection from the network's live-connection table.
+	onClose func()
 }
 
 var _ net.Conn = (*Conn)(nil)
@@ -240,8 +285,25 @@ func (c *Conn) Close() error {
 	c.once.Do(func() {
 		c.send.close()
 		c.recv.close()
+		if c.onClose != nil {
+			c.onClose()
+		}
 	})
 	return nil
+}
+
+// Fail tears the connection down abnormally: both ends observe err from
+// every subsequent Read and Write — the simulated equivalent of a peer
+// crash resetting the connection (ECONNRESET), as opposed to the clean
+// FIN that Close models.
+func (c *Conn) Fail(err error) {
+	c.once.Do(func() {
+		c.send.fail(err)
+		c.recv.fail(err)
+		if c.onClose != nil {
+			c.onClose()
+		}
+	})
 }
 
 // LocalAddr implements net.Conn.

@@ -33,6 +33,9 @@ type Network struct {
 	packetSocks map[Addr]*PacketConn
 	dgramShape  map[dgramKey]DatagramProfile
 	partitions  map[dgramKey]bool
+	down        map[MachineID]bool
+	conns       map[*Conn]connEnds
+	linkFaults  map[dgramKey]*DirFault
 	rng         *rand.Rand
 	nextPort    int
 	// CampusLink joins LANs on the same campus; WANLink joins campuses.
@@ -51,6 +54,9 @@ func New() *Network {
 		packetSocks: make(map[Addr]*PacketConn),
 		dgramShape:  make(map[dgramKey]DatagramProfile),
 		partitions:  make(map[dgramKey]bool),
+		down:        make(map[MachineID]bool),
+		conns:       make(map[*Conn]connEnds),
+		linkFaults:  make(map[dgramKey]*DirFault),
 		rng:         rand.New(rand.NewSource(1)),
 		nextPort:    40000,
 		CampusLink:  ProfileCampus,
@@ -189,6 +195,9 @@ func (n *Network) Listen(m MachineID, port int) (*Listener, error) {
 	if _, ok := n.machines[m]; !ok {
 		return nil, fmt.Errorf("netsim: unknown machine %q", m)
 	}
+	if n.down[m] {
+		return nil, fmt.Errorf("netsim: machine %s is down", m)
+	}
 	if port == 0 {
 		port = n.nextPort
 		n.nextPort++
@@ -237,6 +246,16 @@ func (n *Network) Partitioned(a, b MachineID) bool {
 // the client end of a shaped connection.
 func (n *Network) Dial(from MachineID, to Addr) (*Conn, error) {
 	n.mu.Lock()
+	if n.down[from] || n.down[to.Machine] {
+		var m MachineID
+		if n.down[from] {
+			m = from
+		} else {
+			m = to.Machine
+		}
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netsim: no route to %v: machine %s is down", to, m)
+	}
 	if n.partitions[dgramKey{from, to.Machine}] {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("netsim: no route from %s to %s (partitioned)", from, to.Machine)
@@ -249,16 +268,37 @@ func (n *Network) Dial(from MachineID, to Addr) (*Conn, error) {
 	l, ok := n.listeners[to]
 	port := n.nextPort
 	n.nextPort++
+	fwd := n.dirFaultLocked(from, to.Machine)
+	rev := n.dirFaultLocked(to.Machine, from)
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("netsim: connection refused: %v", to)
 	}
 	clientAddr := Addr{Machine: from, Port: port}
 	client, server := Pipe(profile, clientAddr, to)
+	// Wire the live per-direction fault state into the two half pipes so
+	// injected delay/blackhole faults apply to this connection after the
+	// fact, and register the pair for crash injection.
+	client.send.dir, server.send.dir = fwd, rev
+	n.registerConn(client, from, to.Machine)
 	if err := l.deliver(server); err != nil {
 		client.Close()
 		server.Close()
 		return nil, err
 	}
 	return client, nil
+}
+
+// connEnds records which machines a live connection touches.
+type connEnds struct{ a, b MachineID }
+
+func (n *Network) registerConn(c *Conn, a, b MachineID) {
+	n.mu.Lock()
+	n.conns[c] = connEnds{a: a, b: b}
+	n.mu.Unlock()
+	c.onClose = func() {
+		n.mu.Lock()
+		delete(n.conns, c)
+		n.mu.Unlock()
+	}
 }

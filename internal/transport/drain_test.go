@@ -1,0 +1,250 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/wire"
+)
+
+// faultCodeOf extracts the wire fault code from a TFault frame.
+func faultCodeOf(t *testing.T, m *wire.Message) wire.FaultCode {
+	t.Helper()
+	if m.Type != wire.TFault {
+		t.Fatalf("reply type %v, want TFault", m.Type)
+	}
+	err := wire.DecodeFault(m.Body)
+	var f *wire.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("undecodable fault: %v", err)
+	}
+	return f.Code
+}
+
+func TestServerDrainRejectsNewFinishesInFlight(t *testing.T) {
+	shm := NewSHM()
+	l, err := shm.Listen("drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var handled atomic.Int32
+	srv := Serve(l, func(m *wire.Message) *wire.Message {
+		if string(m.Body) == "slow" {
+			close(entered)
+			<-release
+		}
+		handled.Add(1)
+		return echoHandler(m)
+	})
+	defer srv.Close()
+
+	c, err := shm.Dial("drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := NewMux(c)
+	defer mx.Close()
+
+	// One request in flight when the drain begins.
+	slow, err := mx.Begin(&wire.Message{Type: wire.TRequest, Method: "m", Body: []byte("slow")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	drained := make(chan struct{})
+	go func() {
+		srv.Drain()
+		close(drained)
+	}()
+	// Drain must not return while the slow handler runs.
+	select {
+	case <-drained:
+		t.Fatal("Drain returned with a handler in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if !srv.Draining() {
+		t.Fatal("server not draining")
+	}
+
+	// A new request on the existing connection is rejected, not dropped
+	// and not executed.
+	reply, err := mx.Call(&wire.Message{Type: wire.TRequest, Method: "m", Body: []byte("new")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := faultCodeOf(t, reply); code != wire.FaultUnavailable {
+		t.Fatalf("drained request got fault %v, want FaultUnavailable", code)
+	}
+
+	// The in-flight request still completes.
+	close(release)
+	r, err := slow.Reply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r.Body) != "slow" {
+		t.Fatalf("slow reply %q", r.Body)
+	}
+	<-drained
+	if got := handled.Load(); got != 1 {
+		t.Fatalf("handled %d requests, want 1 (the in-flight one)", got)
+	}
+
+	// New connections are refused: the listener is closed.
+	if _, err := shm.Dial("drain"); err == nil {
+		t.Fatal("dial to draining server succeeded")
+	}
+}
+
+func TestServerDrainIgnoresOneWay(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("drain-ow")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	c, err := shm.Dial("drain-ow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := NewMux(c)
+	defer mx.Close()
+	srv.Drain()
+	// One-way control frames get no fault back; the write itself succeeds.
+	if err := mx.Post(&wire.Message{Type: wire.TControl, Method: "tick"}); err != nil {
+		t.Fatal(err)
+	}
+	// And the connection is still healthy for the rejection round trip.
+	reply, err := mx.Call(&wire.Message{Type: wire.TRequest, Method: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := faultCodeOf(t, reply); code != wire.FaultUnavailable {
+		t.Fatalf("fault %v, want FaultUnavailable", code)
+	}
+}
+
+// TestPoolReplacesUnhealthyMux pins the leak fix: a superseded unhealthy
+// mux is closed when the pool re-dials, so its stragglers fail promptly
+// instead of dangling on a dead read loop.
+func TestPoolReplacesUnhealthyMux(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("pool-leak")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+
+	var dials atomic.Int32
+	p := NewPool(func(string) (net.Conn, error) {
+		dials.Add(1)
+		return shm.Dial("pool-leak")
+	})
+	defer p.Close()
+
+	m1, err := p.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Call(&wire.Message{Type: wire.TRequest, Method: "m"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the connection behind the pool's back and park a pending call
+	// on the dying mux.
+	pend, err := m1.Begin(&wire.Message{Type: wire.TRequest, Method: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+	if m1.Healthy() {
+		t.Fatal("closed mux reports healthy")
+	}
+
+	m2, err := p.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 == m1 {
+		t.Fatal("pool returned the unhealthy mux")
+	}
+	if dials.Load() != 2 {
+		t.Fatalf("dialed %d times, want 2", dials.Load())
+	}
+	// The straggler resolved with an error instead of hanging.
+	select {
+	case <-pend.Done():
+		if _, err := pend.Reply(); err == nil {
+			t.Fatal("straggler on closed mux succeeded")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("straggler still pending after the mux was superseded")
+	}
+	if _, err := m2.Call(&wire.Message{Type: wire.TRequest, Method: "m"}); err != nil {
+		t.Fatalf("replacement mux broken: %v", err)
+	}
+}
+
+// TestMuxRecordsWriteError pins the satellite fix: the first underlying
+// write error is retained and surfaces through Healthy/Begin.
+func TestMuxRecordsWriteError(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("rec-err")
+	srv := Serve(l, echoHandler)
+	defer srv.Close()
+	c, err := shm.Dial("rec-err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := NewMux(c)
+	defer mx.Close()
+	c.Close() // break the conn under the mux
+
+	if err := mx.Post(&wire.Message{Type: wire.TControl, Method: "x"}); err == nil {
+		t.Fatal("post on broken conn succeeded")
+	}
+	if mx.Healthy() {
+		t.Fatal("mux healthy after write error")
+	}
+	if _, err := mx.Begin(&wire.Message{Type: wire.TRequest, Method: "m"}); err == nil {
+		t.Fatal("begin on broken mux succeeded")
+	}
+}
+
+// TestPendingAbandonStopsTimer pins the satellite fix: abandoning a
+// pending call disarms its timeout watchdog (no goroutine fires later to
+// resolve a forgotten call).
+func TestPendingAbandonStopsTimer(t *testing.T) {
+	shm := NewSHM()
+	l, _ := shm.Listen("abandon-timer")
+	block := make(chan struct{})
+	srv := Serve(l, func(m *wire.Message) *wire.Message {
+		<-block
+		return echoHandler(m)
+	})
+	defer srv.Close()
+	defer close(block)
+	c, err := shm.Dial("abandon-timer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := NewMux(c)
+	defer mx.Close()
+	mx.SetTimeout(30 * time.Millisecond)
+	pend, err := mx.Begin(&wire.Message{Type: wire.TRequest, Method: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pend.Abandon()
+	// After the timeout would have fired, the pending is resolved by the
+	// abandonment (not by the watchdog), and the mux is still healthy.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := pend.Reply(); err == nil {
+		t.Fatal("abandoned call returned a reply")
+	}
+	if !mx.Healthy() {
+		t.Fatal("mux unhealthy after abandoned call")
+	}
+}

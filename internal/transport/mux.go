@@ -150,6 +150,19 @@ func (m *Mux) readLoop() {
 	}
 }
 
+// recordErr notes the first underlying transport error so later
+// Begin/Call/Post return the real cause (ECONNRESET, write failure)
+// instead of a generic ErrMuxClosed, and so Healthy() turns false and
+// pools re-dial. It does not resolve pendings — data already on the
+// wire may still produce replies; the read loop settles those.
+func (m *Mux) recordErr(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+}
+
 func (m *Mux) fail(err error) {
 	if err == io.EOF {
 		err = ErrMuxClosed
@@ -197,6 +210,7 @@ func (m *Mux) Begin(msg *wire.Message) (*PendingCall, error) {
 	err := wire.Write(m.conn, msg)
 	m.wmu.Unlock()
 	if err != nil {
+		m.recordErr(err)
 		m.forget(id)
 		p.resolve(nil, fmt.Errorf("transport: write: %w", err))
 		return nil, fmt.Errorf("transport: write: %w", err)
@@ -204,10 +218,20 @@ func (m *Mux) Begin(msg *wire.Message) (*PendingCall, error) {
 
 	if timeout > 0 {
 		method := msg.Method
-		p.timer.Store(time.AfterFunc(timeout, func() {
+		t := time.AfterFunc(timeout, func() {
 			m.forget(id)
 			p.resolve(nil, fmt.Errorf("transport: call %q timed out after %v", method, timeout))
-		}))
+		})
+		p.timer.Store(t)
+		// The pending may already have resolved (fast reply, abandon,
+		// connection failure) between the map insert and the Store above;
+		// resolve couldn't see the timer then, so stop it here. Both
+		// checks together guarantee no timer outlives its exchange.
+		select {
+		case <-p.done:
+			t.Stop()
+		default:
+		}
 	}
 	return p, nil
 }
@@ -238,8 +262,12 @@ func (m *Mux) Post(msg *wire.Message) error {
 	}
 	m.mu.Unlock()
 	m.wmu.Lock()
-	defer m.wmu.Unlock()
-	return wire.Write(m.conn, msg)
+	err := wire.Write(m.conn, msg)
+	m.wmu.Unlock()
+	if err != nil {
+		m.recordErr(err)
+	}
+	return err
 }
 
 // InFlight reports how many exchanges are currently pending.

@@ -25,8 +25,15 @@ func NewPool(dial func(key string) (net.Conn, error)) *Pool {
 func (p *Pool) Get(key string) (*Mux, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if m, ok := p.muxes[key]; ok && m.Healthy() {
-		return m, nil
+	if m, ok := p.muxes[key]; ok {
+		if m.Healthy() {
+			return m, nil
+		}
+		// Close the superseded mux before re-dialing: its read loop and
+		// file descriptor would otherwise leak for the life of the pool,
+		// and its stragglers should fail now rather than dangle.
+		m.Close()
+		delete(p.muxes, key)
 	}
 	c, err := p.dial(key)
 	if err != nil {

@@ -20,8 +20,10 @@ const (
 	FaultAuth          FaultCode = 5 // authentication failed
 	FaultQuota         FaultCode = 6 // quota capability exhausted
 	FaultCapability    FaultCode = 7 // capability processing failed
-	FaultNotApplicable FaultCode = 8 // protocol not applicable for this pair
-	FaultBadRequest    FaultCode = 9 // malformed arguments
+	FaultNotApplicable FaultCode = 8  // protocol not applicable for this pair
+	FaultBadRequest    FaultCode = 9  // malformed arguments
+	FaultExpired       FaultCode = 10 // request deadline already passed; not retryable
+	FaultUnavailable   FaultCode = 11 // endpoint draining/overloaded; retry elsewhere
 )
 
 func (c FaultCode) String() string {
@@ -44,8 +46,20 @@ func (c FaultCode) String() string {
 		return "not-applicable"
 	case FaultBadRequest:
 		return "bad-request"
+	case FaultExpired:
+		return "expired"
+	case FaultUnavailable:
+		return "unavailable"
 	}
 	return fmt.Sprintf("fault(%d)", uint32(c))
+}
+
+// Retryable reports whether a fault of this code is worth retrying
+// against a different endpoint: the request never executed (a draining
+// server rejected it, or the protocol choice was stale), so re-issuing
+// it cannot double-execute anything.
+func (c FaultCode) Retryable() bool {
+	return c == FaultUnavailable || c == FaultNotApplicable
 }
 
 // Fault is a remote error. It travels as the body of a TFault message and

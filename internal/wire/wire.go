@@ -21,8 +21,13 @@ import (
 // Magic identifies Open HPC++ frames ("HPCX").
 const Magic uint32 = 0x48504358
 
-// Version is the wire protocol version.
-const Version uint32 = 1
+// Version is the wire protocol version. Version 2 added the absolute
+// invocation deadline to the header; version-1 frames (no deadline
+// field) are still accepted, decoding with Deadline == 0.
+const Version uint32 = 2
+
+// minVersion is the oldest wire version the decoder accepts.
+const minVersion uint32 = 1
 
 // MaxFrame bounds a frame's total size (64 MiB), protecting servers from
 // hostile length prefixes.
@@ -70,8 +75,18 @@ type Message struct {
 	Object    string // target object id ("context-id/obj-N")
 	Method    string
 	Epoch     uint64 // migration epoch of the OR the caller used
+	// Deadline is the absolute instant (Unix nanoseconds) after which
+	// the caller no longer wants the result; 0 means no deadline.
+	// Servers shed already-expired requests instead of doing dead work.
+	Deadline int64
 	Envelopes []Envelope
 	Body      []byte
+}
+
+// Expired reports whether the message carries a deadline that has
+// already passed at the given instant.
+func (m *Message) Expired(now int64) bool {
+	return m.Deadline != 0 && now > m.Deadline
 }
 
 // MarshalXDR encodes everything after the frame length prefix.
@@ -83,6 +98,7 @@ func (m *Message) MarshalXDR(e *xdr.Encoder) error {
 	e.PutString(m.Object)
 	e.PutString(m.Method)
 	e.PutUint64(m.Epoch)
+	e.PutInt64(m.Deadline)
 	e.PutUint32(uint32(len(m.Envelopes)))
 	for _, env := range m.Envelopes {
 		e.PutString(env.ID)
@@ -112,7 +128,7 @@ func (m *Message) UnmarshalXDR(d *xdr.Decoder) error {
 	if err != nil {
 		return err
 	}
-	if ver != Version {
+	if ver < minVersion || ver > Version {
 		return ErrBadVersion
 	}
 	typ, err := d.Uint32()
@@ -131,6 +147,12 @@ func (m *Message) UnmarshalXDR(d *xdr.Decoder) error {
 	}
 	if m.Epoch, err = d.Uint64(); err != nil {
 		return err
+	}
+	m.Deadline = 0
+	if ver >= 2 {
+		if m.Deadline, err = d.Int64(); err != nil {
+			return err
+		}
 	}
 	n, err := d.Uint32()
 	if err != nil {
