@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race faults bench-async bench-faults
+.PHONY: ci vet build test race determinism cover faults fuzz bench-async bench-faults
 
-ci: vet build test race
+ci: vet build test race determinism cover
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,25 @@ test:
 race:
 	$(GO) test -shuffle=on -race ./internal/...
 
+# Determinism sweep: the fault-injection and failover suites must pass
+# repeatedly, in shuffled order, under the race detector — no run-order
+# luck, no wall-clock luck.
+determinism:
+	$(GO) test -count=3 -shuffle=on -race \
+		-run 'Fault|Failover|Drain|Crash|Blackhole|Expired|Deadline|Probe|Breaker|Health|Trace' \
+		./internal/netsim/ ./internal/transport/ ./internal/health/ \
+		./internal/core/ ./internal/capability/
+
+# Coverage floor: the wire format, the metrics registry, and the tracing
+# subsystem are load-bearing for every protocol — hold them at >= 70%.
+cover:
+	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/; do \
+		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i ~ /%/) {gsub("%","",$$i); print $$i}}'); \
+		echo "coverage $$pkg: $$pct%"; \
+		ok=$$(echo "$$pct" | awk '{print ($$1 >= 70.0) ? "yes" : "no"}'); \
+		if [ "$$ok" != "yes" ]; then echo "coverage floor (70%) violated in $$pkg"; exit 1; fi; \
+	done
+
 # The fault-injection and failover suites: netsim crash/restart/blackhole,
 # transport drain, endpoint health breakers, core failover/deadlines, and
 # the glue capability chain under injected faults.
@@ -23,6 +42,14 @@ faults:
 	$(GO) test -race -run 'Fault|Failover|Drain|Crash|Expired|Deadline|Refund|Probe|Breaker|Health' \
 		./internal/netsim/ ./internal/transport/ ./internal/health/ \
 		./internal/core/ ./internal/capability/ ./internal/bench/
+
+# Frame-decoder fuzzing: the header decoder (with the v3 trace fields)
+# and the TBatch body decoder must never panic and must round-trip every
+# input they accept. Go runs one fuzz target per invocation.
+fuzz:
+	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzDecodeHeader -fuzztime=10s
+	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzDecodeBatch -fuzztime=10s
+	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzRead -fuzztime=10s
 
 # Regenerate the async throughput figure quickly and emit JSON.
 bench-async:

@@ -8,6 +8,7 @@
 //	ohpc-bench -fig=5 -profile=atm -plot
 //	ohpc-bench -fig=4
 //	ohpc-bench -fig=a1 -json=async.json   # async throughput figure
+//	ohpc-bench -fig=o1 -trace=spans.json  # tracing overhead + span dump
 //
 // Absolute numbers depend on the host and the simulated link rates; the
 // shapes — which protocol wins, by roughly what factor, and where the
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), e1 (extension), r1 (robustness), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), e1 (extension), r1 (robustness), o1 (tracing overhead), or all")
 	profile := flag.String("profile", "both", "network for figure 5: atm, ethernet, or both")
 	quick := flag.Bool("quick", false, "time-scale the links 16x and shorten averaging")
 	plot := flag.Bool("plot", true, "also render figure 5 as an ASCII log-log plot")
@@ -35,6 +36,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also write figure 5 data as CSV to this file")
 	jsonPath := flag.String("json", "", "write the a1/r1 figure data as JSON to this file ('-' for stdout)")
 	calls := flag.Int("calls", 0, "calls per mode for the async figure (0 = default)")
+	tracePath := flag.String("trace", "", "write the o1 figure's recorded spans as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	var csvOut *os.File
@@ -230,7 +232,57 @@ func main() {
 		return nil
 	})
 
-	if !strings.Contains("1 2 3 4 5 a1 e1 r1 all", *fig) {
+	run("o1", func() error {
+		cfg := bench.O1Config{}
+		if *quick {
+			cfg.MinReps = 200
+			cfg.MinDuration = 30 * time.Millisecond
+		}
+		if *reps > 0 {
+			cfg.MinReps = *reps
+		}
+		res, err := bench.RunFigureO1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigureO1(res))
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		}
+		if *tracePath != "" {
+			out := os.Stdout
+			if *tracePath != "-" {
+				f, err := os.Create(*tracePath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := res.Ring.WriteJSON(out); err != nil {
+				return err
+			}
+			if *tracePath != "-" {
+				fmt.Printf("wrote %d spans (of %d recorded) to %s\n", len(res.Ring.Spans()), res.Ring.Total(), *tracePath)
+			}
+		}
+		return nil
+	})
+
+	if !strings.Contains("1 2 3 4 5 a1 e1 r1 o1 all", *fig) {
 		fmt.Fprintf(os.Stderr, "ohpc-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}

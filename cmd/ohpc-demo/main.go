@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"openhpcxx/internal/bench"
@@ -18,11 +20,14 @@ import (
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/loadbal"
 	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/registry"
 )
 
 func main() {
 	passes := flag.Int("passes", 3, "load-balancing passes to run")
+	tracePath := flag.String("trace", "", "record invocation spans and write them as JSON to this file ('-' for stdout)")
+	metricsPath := flag.String("metrics", "", "write the runtime metrics snapshot as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	n := netsim.New()
@@ -37,6 +42,14 @@ func main() {
 	capability.Install(rt.DefaultPool())
 	rt.RegisterIface(bench.ExchangeIface, bench.ExchangeActivator)
 	defer rt.Close()
+
+	// With -trace, every invocation in the demo records its span tree —
+	// client and server halves joined by the wire-propagated trace id.
+	var ring *obs.Ring
+	if *tracePath != "" {
+		ring = obs.NewRing(0)
+		rt.Tracer().SetRecorder(ring)
+	}
 
 	must := func(err error) {
 		if err != nil {
@@ -145,4 +158,27 @@ func main() {
 		fmt.Println("  " + ev.String())
 	}
 	fmt.Printf("\nmetrics:\n%s", rt.Metrics().Dump())
+
+	toFile := func(path string, write func(io.Writer) error) {
+		out := os.Stdout
+		if path != "-" {
+			f, err := os.Create(path)
+			must(err)
+			defer f.Close()
+			out = f
+		}
+		must(write(out))
+	}
+	if *metricsPath != "" {
+		toFile(*metricsPath, rt.WriteMetrics)
+		if *metricsPath != "-" {
+			fmt.Printf("\nwrote metrics snapshot to %s\n", *metricsPath)
+		}
+	}
+	if ring != nil {
+		toFile(*tracePath, ring.WriteJSON)
+		if *tracePath != "-" {
+			fmt.Printf("wrote %d spans (of %d recorded) to %s\n", len(ring.Spans()), ring.Total(), *tracePath)
+		}
+	}
 }

@@ -1,0 +1,165 @@
+// Figure O1: the cost of end-to-end invocation tracing. The same
+// exchange workload runs over the stream protocol on an unshaped
+// simulated LAN three ways:
+//
+//   - "untraced": the tracer is present but has no recorder installed —
+//     the default state of every runtime. This is the per-call price the
+//     instrumentation adds to the PR2 invocation path: one nil check and
+//     one atomic load per would-be span.
+//   - "ring": a Ring recorder collects every span, the state an operator
+//     flips on to diagnose a live system (ohpc-bench -fig=o1 -trace=FILE
+//     dumps the resulting spans as JSON).
+//
+// The acceptance bar is that "untraced" stays within a couple of percent
+// of the pre-instrumentation baseline; since instrumentation cannot be
+// compiled out per run, the figure reports both modes' absolute RTTs and
+// the relative overhead of enabling the ring, and the untraced span path
+// is pinned separately by BenchmarkUntracedStartRoot (single-digit ns).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/obs"
+)
+
+// O1 figure mode names.
+const (
+	ModeUntraced  = "untraced"
+	ModeRing      = "ring"
+	O1FigureTitle = "Figure O1: invocation tracing overhead (stream protocol, unshaped LAN)"
+)
+
+// O1Config parameterizes the tracing-overhead experiment.
+type O1Config struct {
+	// Ints is the array length exchanged per call (default 16: small
+	// payloads make per-call overhead visible).
+	Ints int
+	// MinReps / MinDuration bound each measurement cell (defaults
+	// 2000 reps, 250ms).
+	MinReps     int
+	MinDuration time.Duration
+	// RingSize is the span ring capacity for the traced mode (default
+	// obs.DefaultRingSize).
+	RingSize int
+}
+
+func (c *O1Config) fill() {
+	if c.Ints <= 0 {
+		c.Ints = 16
+	}
+	if c.MinReps <= 0 {
+		c.MinReps = 2000
+	}
+	if c.MinDuration <= 0 {
+		c.MinDuration = 250 * time.Millisecond
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = obs.DefaultRingSize
+	}
+}
+
+// O1Point is one mode's measurement.
+type O1Point struct {
+	Mode   string        `json:"mode"`
+	Reps   int           `json:"reps"`
+	AvgRTT time.Duration `json:"avg_rtt_ns"`
+	// OverheadPct is this mode's AvgRTT relative to the untraced mode
+	// (0 for the untraced row itself).
+	OverheadPct float64 `json:"overhead_pct"`
+	// SpansTotal / SpansRetained report the ring recorder's view after
+	// the run (zero for the untraced mode).
+	SpansTotal    uint64 `json:"spans_total,omitempty"`
+	SpansRetained int    `json:"spans_retained,omitempty"`
+}
+
+// O1Result is the whole figure. Ring holds the traced run's span buffer
+// so callers can export it (ohpc-bench -trace=FILE).
+type O1Result struct {
+	Ints   int       `json:"ints"`
+	Points []O1Point `json:"points"`
+	Ring   *obs.Ring `json:"-"`
+}
+
+// RunFigureO1 measures the exchange workload with tracing disabled and
+// with a ring recorder installed, on one deployment so connection state
+// and protocol selection are shared.
+func RunFigureO1(cfg O1Config) (*O1Result, error) {
+	cfg.fill()
+	n := netsim.New()
+	n.AddLAN("lan", "campus", netsim.ProfileUnshaped)
+	n.MustAddMachine("client-m", "lan")
+	n.MustAddMachine("server-m", "lan")
+	rt := newRuntime(n, "bench-o1")
+	defer rt.Close()
+
+	clientCtx, err := rt.NewContext("client", "client-m")
+	if err != nil {
+		return nil, err
+	}
+	srvCtx, err := rt.NewContext("server", "server-m")
+	if err != nil {
+		return nil, err
+	}
+	if err := srvCtx.BindSim(0); err != nil {
+		return nil, err
+	}
+	s, err := exportExchange(srvCtx)
+	if err != nil {
+		return nil, err
+	}
+	entry, err := srvCtx.EntryStream()
+	if err != nil {
+		return nil, err
+	}
+	gp := clientCtx.NewGlobalPtr(srvCtx.NewRef(s, entry))
+
+	res := &O1Result{Ints: cfg.Ints, Ring: obs.NewRing(cfg.RingSize)}
+	measure := func(mode string) (O1Point, error) {
+		m, err := MeasureExchange(gp, cfg.Ints, cfg.MinReps, cfg.MinDuration)
+		if err != nil {
+			return O1Point{}, fmt.Errorf("bench: o1 %s: %w", mode, err)
+		}
+		return O1Point{Mode: mode, Reps: m.Reps, AvgRTT: m.AvgRTT}, nil
+	}
+
+	// Untraced first: the default runtime state.
+	base, err := measure(ModeUntraced)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, base)
+
+	// Ring recorder on: every invocation now records its span tree.
+	rt.Tracer().SetRecorder(res.Ring)
+	defer rt.Tracer().SetRecorder(nil)
+	traced, err := measure(ModeRing)
+	if err != nil {
+		return nil, err
+	}
+	if base.AvgRTT > 0 {
+		traced.OverheadPct = 100 * (float64(traced.AvgRTT)/float64(base.AvgRTT) - 1)
+	}
+	traced.SpansTotal = res.Ring.Total()
+	traced.SpansRetained = len(res.Ring.Spans())
+	res.Points = append(res.Points, traced)
+	return res, nil
+}
+
+// FormatFigureO1 renders the figure as a text table.
+func FormatFigureO1(r *O1Result) string {
+	out := fmt.Sprintf("%s\n  %d-int exchange per call\n\n  %-10s %8s %12s %10s %12s\n",
+		O1FigureTitle, r.Ints, "mode", "reps", "avg rtt", "overhead", "spans")
+	for _, p := range r.Points {
+		spans := "-"
+		if p.SpansTotal > 0 {
+			spans = fmt.Sprintf("%d", p.SpansTotal)
+		}
+		out += fmt.Sprintf("  %-10s %8d %12v %9.2f%% %12s\n",
+			p.Mode, p.Reps, p.AvgRTT.Round(10*time.Nanosecond), p.OverheadPct, spans)
+	}
+	out += "\n  'untraced' is the default runtime state: the span path costs one atomic load per call.\n"
+	return out
+}

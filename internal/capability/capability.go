@@ -73,6 +73,35 @@ type Capability interface {
 	Unprocess(f *Frame, envelope, body []byte) ([]byte, error)
 }
 
+// Exclusive is optionally implemented by capabilities whose live value
+// carries per-instance state — counters, budgets — that must belong to
+// exactly one glue installation. GlueEntry grants each Exclusive
+// capability to the entry's tag and refuses a value that was already
+// granted elsewhere: installing one stateful instance on two entries
+// would silently merge both entries' state into a single set of
+// counters (and, because glue entries serialize capabilities and
+// rebuild them on each side, the shared original would never see the
+// traffic either — every reading from it would be wrong twice over).
+// Build a fresh instance per installation instead.
+type Exclusive interface {
+	// Grant claims the instance for the named installation. A second
+	// Grant must return an error identifying the first owner.
+	Grant(owner string) error
+}
+
+// grantAll claims every Exclusive capability in the chain for owner,
+// stopping at the first refusal.
+func grantAll(owner string, caps []Capability) error {
+	for _, c := range caps {
+		if ex, ok := c.(Exclusive); ok {
+			if err := ex.Grant(owner); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Scope is a locality predicate shared by several capabilities: it says
 // between which localities the capability applies. The paper's
 // authentication capability uses cross-LAN ("applicable only when the

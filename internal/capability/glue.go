@@ -8,6 +8,7 @@ import (
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -66,6 +67,12 @@ func (g *glueData) UnmarshalXDR(d *xdr.Decoder) error {
 // entry to embed in object references. base is the real protocol entry
 // the glue delegates transport to.
 func GlueEntry(ctx *core.Context, tag string, base core.ProtoEntry, caps ...Capability) (core.ProtoEntry, error) {
+	// Stateful capabilities (Exclusive) belong to exactly one entry:
+	// refusing a double-grant here catches the shared-counter bug at
+	// construction time instead of as silently merged statistics.
+	if err := grantAll(tag, caps); err != nil {
+		return core.ProtoEntry{}, err
+	}
 	specs, err := Specs(caps)
 	if err != nil {
 		return core.ProtoEntry{}, err
@@ -173,17 +180,18 @@ func (f *glueFactory) New(entry core.ProtoEntry, ref *core.ObjectRef, host *core
 		base.Close()
 		return nil, err
 	}
-	return &Glue{tag: g.Tag, base: base, caps: caps, clock: host.Runtime().Clock()}, nil
+	return &Glue{tag: g.Tag, base: base, caps: caps, clock: host.Runtime().Clock(), tracer: host.Runtime().Tracer()}, nil
 }
 
 // Glue is the client-side glue protocol object: it lets each registered
 // capability process a request before handing it to the base protocol,
 // and un-processes replies in reverse order.
 type Glue struct {
-	tag   string
-	base  core.Protocol
-	caps  []Capability
-	clock clock.Clock
+	tag    string
+	base   core.Protocol
+	caps   []Capability
+	clock  clock.Clock
+	tracer *obs.Tracer // nil (untraced) for hand-assembled glues
 }
 
 // NewGlue assembles a glue protocol object directly (tests and custom
@@ -203,6 +211,10 @@ func (g *Glue) Capabilities() []Capability { return g.caps }
 // Begin, and Post, so the pipelined and one-way paths are metered and
 // protected identically to the synchronous one.
 func (g *Glue) wrapRequest(m *wire.Message) (*wire.Message, error) {
+	// Continue the invocation's trace (the GP stamped its IDs into the
+	// header): one "glue.process" span covers the whole capability chain
+	// and records which kinds processed the body.
+	sp := g.tracer.StartChild(obs.TraceID(m.TraceID), obs.SpanID(m.SpanID), obs.KindClient, "glue.process")
 	frame := &Frame{Object: m.Object, Method: m.Method, Dir: Request, Clock: g.clock}
 	body := m.Body
 	envs := make([]wire.Envelope, 0, len(g.caps)+1)
@@ -210,7 +222,10 @@ func (g *Glue) wrapRequest(m *wire.Message) (*wire.Message, error) {
 	for _, c := range g.caps {
 		nb, env, err := c.Process(frame, body)
 		if err != nil {
-			return nil, fmt.Errorf("capability %s: %w", c.Kind(), err)
+			err = fmt.Errorf("capability %s: %w", c.Kind(), err)
+			sp.SetErr(err)
+			sp.End()
+			return nil, err
 		}
 		body = nb
 		envs = append(envs, wire.Envelope{ID: c.Kind(), Data: env})
@@ -218,7 +233,31 @@ func (g *Glue) wrapRequest(m *wire.Message) (*wire.Message, error) {
 	out := *m
 	out.Body = body
 	out.Envelopes = envs
+	if sp != nil {
+		sp.SetCaps(envCaps(envs))
+		sp.SetBytes(len(body))
+		sp.End()
+	}
 	return &out, nil
+}
+
+// envCaps joins the envelope chain's capability kinds (everything after
+// the leading glue entry) for span records.
+func envCaps(envs []wire.Envelope) string {
+	kinds := make([]string, 0, len(envs))
+	for _, e := range envs[1:] {
+		kinds = append(kinds, e.ID)
+	}
+	return strings.Join(kinds, ",")
+}
+
+// baseSpan opens a client-side span named after the base protocol,
+// covering the send (and, for pipelined glues, the in-flight wait) of
+// one enveloped frame. Nil when untraced.
+func (g *Glue) baseSpan(out *wire.Message) *obs.Active {
+	sp := g.tracer.StartChild(obs.TraceID(out.TraceID), obs.SpanID(out.SpanID), obs.KindClient, string(g.base.ID()))
+	sp.SetBytes(len(out.Body))
+	return sp
 }
 
 // Call implements core.Protocol: process with each capability in order,
@@ -228,7 +267,10 @@ func (g *Glue) Call(m *wire.Message) (*wire.Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	bs := g.baseSpan(out)
 	reply, err := g.base.Call(out)
+	bs.SetErr(err)
+	bs.End()
 	if err != nil {
 		// The attempt died in transport: the server never charged its
 		// authoritative capabilities, so hand the client-mirror charges
@@ -251,6 +293,7 @@ type gluePending struct {
 	p      core.Pending
 	object string
 	method string
+	span   *obs.Active // base-protocol send span, ended on resolution
 	once   sync.Once
 	reply  *wire.Message
 	err    error
@@ -269,6 +312,8 @@ func (gp *gluePending) Abandon() {
 func (gp *gluePending) Reply() (*wire.Message, error) {
 	gp.once.Do(func() {
 		reply, err := gp.p.Reply()
+		gp.span.SetErr(err)
+		gp.span.End()
 		if err != nil {
 			gp.g.refundRequest(gp.object, gp.method)
 			gp.err = err
@@ -311,16 +356,22 @@ func (g *Glue) Begin(m *wire.Message) (core.Pending, error) {
 		return nil, err
 	}
 	if pp, ok := g.base.(core.PipelinedProtocol); ok {
+		bs := g.baseSpan(out)
 		p, err := pp.Begin(out)
 		if err != nil {
+			bs.SetErr(err)
+			bs.End()
 			g.refundRequest(m.Object, m.Method)
 			return nil, err
 		}
-		return &gluePending{g: g, p: p, object: m.Object, method: m.Method}, nil
+		return &gluePending{g: g, p: p, object: m.Object, method: m.Method, span: bs}, nil
 	}
 	cp := &callPending{done: make(chan struct{})}
+	bs := g.baseSpan(out)
 	go func() {
 		reply, err := g.base.Call(out)
+		bs.SetErr(err)
+		bs.End()
 		if err != nil {
 			g.refundRequest(m.Object, m.Method)
 		} else if reply.Type == wire.TReply {
@@ -383,10 +434,14 @@ func (g *Glue) Post(m *wire.Message) error {
 	if err != nil {
 		return err
 	}
+	bs := g.baseSpan(out)
 	if err := ow.Post(out); err != nil {
+		bs.SetErr(err)
+		bs.End()
 		g.refundRequest(m.Object, m.Method)
 		return err
 	}
+	bs.End()
 	return nil
 }
 

@@ -9,13 +9,18 @@ import (
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/future"
+	"openhpcxx/internal/obs"
+	"openhpcxx/internal/obs/obstest"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
 )
 
 // TestGlueBatchedThroughChain is the acceptance check for batching +
 // capabilities: requests coalesced into TBatch frames still traverse an
-// encrypt+auth chain individually and round-trip correctly.
+// encrypt+auth chain individually and round-trip correctly. Instead of
+// diffing the aggregate srv.batches counter, it asserts on a coalesced
+// invocation's own trace: the rider's batch span, its capability
+// processing, and the server half all under one trace ID.
 func TestGlueBatchedThroughChain(t *testing.T) {
 	rt := world(t)
 	server, s := echoServer(t, rt, "server", "m1")
@@ -40,6 +45,7 @@ func TestGlueBatchedThroughChain(t *testing.T) {
 		t.Fatalf("selected %s, %v", id, err)
 	}
 	gp.SetBatchPolicy(&transport.BatchPolicy{MaxMessages: 8, MaxDelay: 2 * time.Millisecond})
+	col := obstest.Attach(t, rt.Tracer())
 
 	const n = 48
 	fs := make([]*future.Future, n)
@@ -55,6 +61,30 @@ func TestGlueBatchedThroughChain(t *testing.T) {
 			t.Fatalf("future %d: got %q want %q", i, body, want)
 		}
 	}
+	// Wait for every root to end (the settle goroutines), then pull one
+	// coalesced rider's trace — no sleeps, the collector wakes us.
+	col.WaitForSpans(t, "invoke", n, 5*time.Second)
+	spans := col.WaitFor(t, 5*time.Second, "a batch span of >= 2 riders", func(spans []obs.Span) bool {
+		for _, s := range spans {
+			if s.Name == "batch" && s.Batch >= 2 {
+				return true
+			}
+		}
+		return false
+	})
+	var rider obs.Span
+	for _, s := range spans {
+		if s.Name == "batch" && s.Batch >= 2 {
+			rider = s
+			break
+		}
+	}
+	tr := obstest.Trace(spans, rider.Trace)
+	obstest.AssertBatched(t, tr, 2)
+	obstest.AssertConnected(t, tr)
+	// The rider still traversed the capability chain individually: glue
+	// processing on the way out, glue unprocessing on the server.
+	obstest.AssertPath(t, tr, "invoke→glue.process→dispatch→glue.unprocess→servant")
 	if got := rt.Metrics().Counter("srv.batches").Value(); got == 0 {
 		t.Fatal("no TBatch frame flowed beneath the glue chain")
 	}

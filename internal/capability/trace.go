@@ -1,6 +1,8 @@
 package capability
 
 import (
+	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"openhpcxx/internal/netsim"
@@ -13,6 +15,15 @@ import (
 const KindTrace = "trace"
 
 // Trace counts frames and bytes in each direction.
+//
+// Counters are per-instance: every frame that flows through the glue
+// holding this value lands in this value's counters. Installing one
+// Trace on two glue entries would therefore merge both entries' traffic
+// into a single indistinguishable meter — and, because glue entries
+// serialize their capabilities and rebuild independent copies on each
+// side, the caller's original would meter nothing at all. Trace
+// implements Exclusive so GlueEntry refuses the second installation
+// with a defensive error; build one NewTrace per entry.
 type Trace struct {
 	requests  atomic.Uint64
 	replies   atomic.Uint64
@@ -20,6 +31,9 @@ type Trace struct {
 	repBytes  atomic.Uint64
 	processed atomic.Uint64 // Process calls (sending side)
 	reversed  atomic.Uint64 // Unprocess calls (receiving side)
+
+	mu    sync.Mutex
+	owner string // glue tag this value was granted to ("" = ungranted)
 }
 
 // NewTrace builds a metering capability.
@@ -34,6 +48,20 @@ func (*Trace) Applicable(client, server netsim.Locality) bool { return true }
 // Config implements Capability. Counters are per-instance state, not
 // configuration, so the config is empty.
 func (*Trace) Config() ([]byte, error) { return nil, nil }
+
+// Grant implements Exclusive: the first installation claims the value,
+// the second is refused so two glue entries can never share one meter.
+func (t *Trace) Grant(owner string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.owner != "" {
+		return fmt.Errorf(
+			"capability: trace already granted to glue %q; counters are per-instance, build a fresh NewTrace for %q",
+			t.owner, owner)
+	}
+	t.owner = owner
+	return nil
+}
 
 // Process counts an outgoing frame.
 func (t *Trace) Process(f *Frame, body []byte) ([]byte, []byte, error) {

@@ -1,0 +1,65 @@
+package capability
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression: Trace counters are per-instance, so one Trace value
+// installed on two glue entries would merge both entries' statistics
+// into a single meter. GlueEntry must refuse the second grant with a
+// defensive error naming the first owner, and fresh instances must
+// keep working.
+func TestGlueEntryRefusesDoubleGrantedTrace(t *testing.T) {
+	rt := world(t)
+	server, _ := echoServer(t, rt, "server", "m1")
+	base, err := server.EntryStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := NewTrace()
+	if _, err := GlueEntry(server, "metered-a", base, tr); err != nil {
+		t.Fatalf("first grant refused: %v", err)
+	}
+	_, err = GlueEntry(server, "metered-b", base, tr)
+	if err == nil {
+		t.Fatal("double-granted trace accepted: two entries now share one meter")
+	}
+	if !strings.Contains(err.Error(), "metered-a") || !strings.Contains(err.Error(), "metered-b") {
+		t.Fatalf("error does not identify both installations: %v", err)
+	}
+
+	// A fresh instance per entry is the documented fix.
+	if _, err := GlueEntry(server, "metered-b", base, NewTrace()); err != nil {
+		t.Fatalf("fresh trace refused: %v", err)
+	}
+}
+
+// Grant is first-wins and sticky regardless of interface plumbing.
+func TestTraceGrantExclusive(t *testing.T) {
+	tr := NewTrace()
+	var ex Exclusive = tr // Trace must satisfy Exclusive
+	if err := ex.Grant("one"); err != nil {
+		t.Fatalf("first Grant failed: %v", err)
+	}
+	if err := ex.Grant("two"); err == nil {
+		t.Fatal("second Grant succeeded")
+	} else if !strings.Contains(err.Error(), `"one"`) {
+		t.Fatalf("second Grant does not name the first owner: %v", err)
+	}
+	// Still refused later — the claim does not expire.
+	if err := ex.Grant("three"); err == nil {
+		t.Fatal("third Grant succeeded")
+	}
+}
+
+// Stateless capabilities are not Exclusive and may be serialized into
+// any number of entries (their rebuilt copies are independent anyway).
+func TestStatelessCapsNotExclusive(t *testing.T) {
+	for _, c := range []Capability{NewChecksum(), MustNewEncrypt(key32(), ScopeAlways)} {
+		if _, ok := c.(Exclusive); ok {
+			t.Fatalf("%s unexpectedly implements Exclusive", c.Kind())
+		}
+	}
+}

@@ -62,6 +62,24 @@ func SleepCtx(ctx context.Context, c Clock, d time.Duration) error {
 	}
 }
 
+// Afterer is optionally implemented by clocks that can deliver a wakeup
+// channel, the clock-injected analogue of time.After. Fake clocks fire
+// the channel when Advance/Set moves past the deadline, so timeout
+// paths are testable without wall-clock waits.
+type Afterer interface {
+	After(d time.Duration) <-chan time.Time
+}
+
+// After returns a channel that receives the clock's time once d has
+// elapsed on c. Clocks that do not implement Afterer fall back to the
+// real time.After.
+func After(c Clock, d time.Duration) <-chan time.Time {
+	if a, ok := c.(Afterer); ok {
+		return a.After(d)
+	}
+	return time.After(d)
+}
+
 // Real reads the system clock.
 type Real struct{}
 
@@ -75,10 +93,20 @@ func (Real) Sleep(d time.Duration) {
 	}
 }
 
+// After implements Afterer in real time.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
 // Fake is a manually advanced clock for tests.
 type Fake struct {
-	mu  sync.Mutex
-	now time.Time
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+// fakeWaiter is one pending After channel.
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
 }
 
 // NewFake returns a Fake set to start.
@@ -99,10 +127,48 @@ func (f *Fake) Sleep(d time.Duration) {
 	}
 }
 
+// After implements Afterer: the returned channel fires (with the fake
+// time) once Advance or Set moves the clock to or past now+d. d <= 0
+// fires immediately.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	f.mu.Lock()
+	if d <= 0 {
+		ch <- f.now
+	} else {
+		f.waiters = append(f.waiters, fakeWaiter{at: f.now.Add(d), ch: ch})
+	}
+	f.mu.Unlock()
+	return ch
+}
+
+// Waiters reports how many After channels are still pending. Tests use
+// it to advance only once the code under test has armed its timer.
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+// fire delivers and removes every waiter whose deadline has passed.
+// Callers hold f.mu.
+func (f *Fake) fire() {
+	kept := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.at.After(f.now) {
+			w.ch <- f.now
+			continue
+		}
+		kept = append(kept, w)
+	}
+	f.waiters = kept
+}
+
 // Advance moves the clock forward by d.
 func (f *Fake) Advance(d time.Duration) {
 	f.mu.Lock()
 	f.now = f.now.Add(d)
+	f.fire()
 	f.mu.Unlock()
 }
 
@@ -110,5 +176,6 @@ func (f *Fake) Advance(d time.Duration) {
 func (f *Fake) Set(t time.Time) {
 	f.mu.Lock()
 	f.now = t
+	f.fire()
 	f.mu.Unlock()
 }

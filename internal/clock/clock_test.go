@@ -31,6 +31,60 @@ func TestFakeClock(t *testing.T) {
 	}
 }
 
+func TestFakeAfterFiresOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(1000, 0))
+	ch := After(f, 10*time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired before the clock advanced")
+	default:
+	}
+	if f.Waiters() != 1 {
+		t.Fatalf("%d waiters, want 1", f.Waiters())
+	}
+	f.Advance(9 * time.Millisecond)
+	select {
+	case <-ch:
+		t.Fatal("After fired before its deadline")
+	default:
+	}
+	f.Advance(time.Millisecond)
+	at := <-ch
+	if !at.Equal(time.Unix(1000, 0).Add(10 * time.Millisecond)) {
+		t.Fatalf("fired at %v", at)
+	}
+	if f.Waiters() != 0 {
+		t.Fatalf("%d waiters left, want 0", f.Waiters())
+	}
+}
+
+func TestFakeAfterImmediateAndSet(t *testing.T) {
+	f := NewFake(time.Unix(1000, 0))
+	select {
+	case <-After(f, 0):
+	default:
+		t.Fatal("After(0) must fire immediately")
+	}
+	ch := After(f, time.Hour)
+	f.Set(time.Unix(5000, 0)) // jump past the deadline
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Set past the deadline did not fire the waiter")
+	}
+}
+
+func TestRealAfterFallback(t *testing.T) {
+	// A clock that is not an Afterer falls back to real time.After.
+	type bare struct{ Clock }
+	ch := After(bare{Real{}}, time.Millisecond)
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fallback After never fired")
+	}
+}
+
 func TestFakeClockConcurrent(t *testing.T) {
 	f := NewFake(time.Unix(0, 0))
 	done := make(chan struct{})

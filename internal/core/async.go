@@ -16,6 +16,7 @@ import (
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/future"
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/wire"
 )
 
@@ -43,6 +44,17 @@ func (g *GlobalPtr) InvokeAsync(method string, args []byte) *future.Future {
 // InvokeCtx.
 func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []byte) *future.Future {
 	fut := future.New()
+	root := g.host.rt.Tracer().StartRoot(obs.KindClient, "invoke")
+	if root != nil {
+		root.SetRPC(string(g.Object()), method)
+		root.SetBytes(len(args))
+	}
+	fail := func(err error) *future.Future {
+		fut.Fail(err)
+		root.SetErr(err)
+		root.End()
+		return fut
+	}
 
 	g.mu.Lock()
 	sem := g.inflight
@@ -52,8 +64,7 @@ func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []by
 		select {
 		case sem <- struct{}{}:
 		case <-ctx.Done():
-			fut.Fail(ctx.Err())
-			return fut
+			return fail(ctx.Err())
 		}
 	} else {
 		sem <- struct{}{}
@@ -62,11 +73,24 @@ func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []by
 	release := func() { relOnce.Do(func() { <-sem }) }
 	fut.OnCancel(release)
 
+	sel := root.Child("select")
 	p, err := g.prepare(ctx, wire.TRequest, method, args)
 	if err != nil {
 		release()
-		fut.Fail(err)
-		return fut
+		sel.SetErr(err)
+		sel.End()
+		return fail(err)
+	}
+	var send *obs.Active
+	if root != nil {
+		sel.SetProto(string(p.proto.ID()), p.key)
+		sel.End()
+		stampTrace(p.req, root)
+		// The send span covers issue plus the in-flight wait for the
+		// pipelined reply.
+		send = root.Child(string(p.proto.ID()))
+		send.SetProto(string(p.proto.ID()), p.key)
+		send.SetBytes(len(args))
 	}
 	p.pm.calls.Inc()
 	p.pm.reqBytes.Add(uint64(len(args)))
@@ -79,13 +103,17 @@ func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []by
 				defer release()
 				reply, rerr := g.awaitPending(ctx, p, pending)
 				p.pm.latency.ObserveDuration(time.Since(start))
-				g.settleAsync(ctx, fut, p, reply, rerr, method, args)
+				send.SetErr(rerr)
+				send.End()
+				g.settleAsync(ctx, root, fut, p, reply, rerr, method, args)
 			}()
 			return fut
 		}
 		go func() {
 			defer release()
-			g.settleAsync(ctx, fut, p, nil, berr, method, args)
+			send.SetErr(berr)
+			send.End()
+			g.settleAsync(ctx, root, fut, p, nil, berr, method, args)
 		}()
 		return fut
 	}
@@ -96,7 +124,9 @@ func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []by
 		defer release()
 		reply, cerr := p.proto.Call(p.req)
 		p.pm.latency.ObserveDuration(time.Since(start))
-		g.settleAsync(ctx, fut, p, reply, cerr, method, args)
+		send.SetErr(cerr)
+		send.End()
+		g.settleAsync(ctx, root, fut, p, reply, cerr, method, args)
 	}()
 	return fut
 }
@@ -129,53 +159,82 @@ func (g *GlobalPtr) awaitPending(ctx context.Context, p prepared, pending Pendin
 // adaptation machinery asks for a retry, runs the remaining attempts
 // synchronously in the completion goroutine before resolving the
 // future. A canceled future abandons the chase between attempts.
-func (g *GlobalPtr) settleAsync(ctx context.Context, fut *future.Future, p prepared, reply *wire.Message, err error, method string, args []byte) {
+func (g *GlobalPtr) settleAsync(ctx context.Context, root *obs.Active, fut *future.Future, p prepared, reply *wire.Message, err error, method string, args []byte) {
+	fail := func(ferr error) {
+		fut.Fail(ferr)
+		root.SetErr(ferr)
+		root.End()
+	}
 	if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
-		fut.Fail(ctxAttemptErr(err, nil))
+		fail(ctxAttemptErr(err, nil))
 		return
 	}
 	body, done, backoff, serr := g.settle(p, reply, err)
 	if done {
 		finishFuture(fut, body, serr)
+		root.SetErr(serr)
+		root.End()
 		return
 	}
 	lastErr, needBackoff := serr, backoff
 	for attempt := 1; attempt < maxInvokeAttempts; attempt++ {
 		if _, _, resolved := fut.TryResult(); resolved {
+			root.SetCause("canceled")
+			root.End()
 			return // canceled (or raced): nobody is waiting, stop retrying
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			fut.Fail(ctxAttemptErr(cerr, lastErr))
+			fail(ctxAttemptErr(cerr, lastErr))
 			return
 		}
+		rs := root.Child("retry")
+		rs.SetCause(retryCause(lastErr))
 		if needBackoff {
 			if cerr := clock.SleepCtx(ctx, g.host.rt.Clock(), retryBackoff(attempt)); cerr != nil {
-				fut.Fail(ctxAttemptErr(cerr, lastErr))
+				rs.End()
+				fail(ctxAttemptErr(cerr, lastErr))
 				return
 			}
 		}
+		rs.End()
+		sel := root.Child("select")
 		rp, perr := g.prepare(ctx, wire.TRequest, method, args)
 		if perr != nil {
-			fut.Fail(perr)
+			sel.SetErr(perr)
+			sel.End()
+			fail(perr)
 			return
+		}
+		var send *obs.Active
+		if root != nil {
+			sel.SetProto(string(rp.proto.ID()), rp.key)
+			sel.End()
+			stampTrace(rp.req, root)
+			send = root.Child(string(rp.proto.ID()))
+			send.SetProto(string(rp.proto.ID()), rp.key)
+			send.SetBytes(len(args))
 		}
 		rp.pm.calls.Inc()
 		rp.pm.reqBytes.Add(uint64(len(args)))
 		start := time.Now()
 		r, cerr := g.callWithCtx(ctx, rp)
 		rp.pm.latency.ObserveDuration(time.Since(start))
+		send.SetErr(cerr)
+		send.End()
 		if cerr != nil && ctx.Err() != nil && errors.Is(cerr, ctx.Err()) {
-			fut.Fail(ctxAttemptErr(cerr, lastErr))
+			fail(ctxAttemptErr(cerr, lastErr))
 			return
 		}
 		body, done, backoff, serr := g.settle(rp, r, cerr)
 		if done {
 			finishFuture(fut, body, serr)
+			root.SetErr(serr)
+			root.End()
 			return
 		}
 		lastErr, needBackoff = serr, backoff
 	}
-	fut.Fail(g.giveUp(method, lastErr))
+	fail(g.giveUp(method, lastErr))
 }
 
 func finishFuture(f *future.Future, body []byte, err error) {

@@ -12,6 +12,7 @@ import (
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/health"
 	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/stats"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/transport/nexus"
@@ -57,6 +58,7 @@ type Runtime struct {
 	process string
 	clock   clock.Clock
 	metrics *stats.Registry
+	tracer  *obs.Tracer
 	events  *eventLog
 
 	defaultPool *ProtoPool
@@ -78,6 +80,7 @@ func NewRuntime(network *netsim.Network, process string) *Runtime {
 		process:     process,
 		clock:       clock.Real{},
 		metrics:     stats.New(),
+		tracer:      obs.NewTracer(nil),
 		events:      newEventLog(),
 		defaultPool: NewProtoPool(),
 		ifaces:      make(map[string]Activator),
@@ -91,8 +94,24 @@ func NewRuntime(network *netsim.Network, process string) *Runtime {
 	return rt
 }
 
-// SetClock installs a clock (tests use clock.Fake for determinism).
-func (rt *Runtime) SetClock(c clock.Clock) { rt.clock = c }
+// SetClock installs a clock (tests use clock.Fake for determinism). The
+// tracer follows the runtime clock, so spans recorded under a fake
+// clock carry simulated durations.
+func (rt *Runtime) SetClock(c clock.Clock) {
+	rt.clock = c
+	rt.tracer.SetClock(c)
+}
+
+// Tracer returns the runtime's invocation tracer. With no recorder
+// installed (the default) tracing costs one atomic load per invocation;
+// install an obs.Ring (or an obstest.Collector in tests) to capture
+// end-to-end spans:
+//
+//	ring := obs.NewRing(0)
+//	rt.Tracer().SetRecorder(ring)
+//	... traffic ...
+//	ring.WriteJSON(os.Stdout)
+func (rt *Runtime) Tracer() *obs.Tracer { return rt.tracer }
 
 // Health returns the runtime's endpoint-health tracker. Global pointers
 // report per-endpoint successes and failures into it and consult it
@@ -142,6 +161,17 @@ func (rt *Runtime) Clock() clock.Clock { return rt.clock }
 // per-protocol calls, faults, payload bytes, and round-trip latencies
 // under "rpc.<protocol>.*"; server-side dispatch under "srv.*".
 func (rt *Runtime) Metrics() *stats.Registry { return rt.metrics }
+
+// MetricsSnapshot exports every runtime metric at a point in time —
+// the programmatic face of the registry, for experiment harnesses and
+// the cmd front-ends' JSON dumps.
+func (rt *Runtime) MetricsSnapshot() stats.RegistrySnapshot { return rt.metrics.Snapshot() }
+
+// WriteMetrics dumps the runtime's metrics as indented JSON.
+func (rt *Runtime) WriteMetrics(w io.Writer) error {
+	_, err := rt.metrics.WriteTo(w)
+	return err
+}
 
 // Process returns the runtime's process tag.
 func (rt *Runtime) Process() string { return rt.process }
@@ -339,6 +369,7 @@ func (c *Context) BindSHM() error {
 		return err
 	}
 	srv := transport.Serve(l, c.dispatch)
+	srv.SetTracer(c.rt.Tracer())
 	c.addServer(ProtoSHM, "shm:"+name, srv)
 	return nil
 }
@@ -352,6 +383,7 @@ func (c *Context) BindSim(port int) error {
 	}
 	a := l.Addr().(netsim.Addr)
 	srv := transport.Serve(l, c.dispatch)
+	srv.SetTracer(c.rt.Tracer())
 	c.addServer(ProtoStream, fmt.Sprintf("sim://%s:%d", a.Machine, a.Port), srv)
 	return nil
 }
@@ -364,6 +396,7 @@ func (c *Context) BindTCP(hostport string) error {
 		return err
 	}
 	srv := transport.Serve(l, c.dispatch)
+	srv.SetTracer(c.rt.Tracer())
 	c.addServer(ProtoStream, "tcp://"+l.Addr().String(), srv)
 	return nil
 }

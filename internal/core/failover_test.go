@@ -10,6 +10,7 @@ import (
 
 	"openhpcxx/internal/health"
 	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/obs/obstest"
 	"openhpcxx/internal/wire"
 )
 
@@ -230,15 +231,27 @@ func mustServant(t *testing.T, ctx *Context, id ObjectID) *Servant {
 // TestDrainTripsBreakerAndFailsOver covers the deliberate-refusal path:
 // a draining context answers FaultUnavailable, which trips the breaker
 // outright, and the retry lands on the backup without losing the call.
+// The failover itself is asserted on the invocation's trace: one trace,
+// a retry span caused by "unavailable", and the backup's server spans
+// joined to it.
 func TestDrainTripsBreakerAndFailsOver(t *testing.T) {
 	_, rt, primary, backup, _, gp := failoverWorld(t)
 	if _, err := gp.Invoke("echo", []byte("warm")); err != nil {
 		t.Fatal(err)
 	}
+	col := obstest.Attach(t, rt.Tracer())
 	primary.Drain()
 	if _, err := gp.Invoke("echo", []byte("lame-duck")); err != nil {
 		t.Fatalf("call against a draining primary was lost: %v", err)
 	}
+	tr := col.TraceOf(t, obstest.Root("echo"))
+	obstest.AssertRetried(t, tr, "unavailable")
+	obstest.AssertConnected(t, tr)
+	// The primary's refusal and the backup's service are the same trace.
+	// The refusal shows as a transport-level decode with no dispatch (the
+	// draining transport rejects before the handler), then retry,
+	// re-select, and a served dispatch on the backup.
+	obstest.AssertPath(t, tr, "invoke→select→decode→retry→select→decode→dispatch→servant")
 	if got := mustServant(t, backup, "shared/echo").Calls(); got == 0 {
 		t.Fatal("backup never served the failed-over call")
 	}

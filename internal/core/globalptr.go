@@ -10,6 +10,7 @@ import (
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/health"
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/stats"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
@@ -506,27 +507,69 @@ func ctxAttemptErr(ctxErr, lastErr error) error {
 // endpoint demoted — when the deadline fires while the reply is
 // overdue. The returned error wraps ctx.Err() when the context ended
 // the invocation.
+//
+// With a span recorder installed (Runtime.Tracer) the invocation is
+// traced end to end: a root "invoke" span, per-attempt "select", "retry"
+// (carrying the failure cause) and per-protocol send spans, and — via
+// the trace IDs stamped into the wire header — the server's dispatch
+// spans, all under one trace ID.
 func (g *GlobalPtr) InvokeCtx(ctx context.Context, method string, args []byte) ([]byte, error) {
+	root := g.host.rt.Tracer().StartRoot(obs.KindClient, "invoke")
+	if root != nil {
+		root.SetRPC(string(g.Object()), method)
+		root.SetBytes(len(args))
+	}
+	body, err := g.invokeAttempts(ctx, root, method, args)
+	root.SetErr(err)
+	root.End()
+	return body, err
+}
+
+// invokeAttempts runs the bounded retry loop under an (optional, nil
+// when untraced) root span.
+func (g *GlobalPtr) invokeAttempts(ctx context.Context, root *obs.Active, method string, args []byte) ([]byte, error) {
 	var lastErr error
 	needBackoff := false
 	for attempt := 0; attempt < maxInvokeAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, ctxAttemptErr(err, lastErr)
 		}
-		if attempt > 0 && needBackoff {
-			if err := clock.SleepCtx(ctx, g.host.rt.Clock(), retryBackoff(attempt)); err != nil {
-				return nil, ctxAttemptErr(err, lastErr)
+		if attempt > 0 {
+			// The retry span covers the backoff wait and records why the
+			// previous attempt failed.
+			rs := root.Child("retry")
+			rs.SetCause(retryCause(lastErr))
+			if needBackoff {
+				if err := clock.SleepCtx(ctx, g.host.rt.Clock(), retryBackoff(attempt)); err != nil {
+					rs.End()
+					return nil, ctxAttemptErr(err, lastErr)
+				}
 			}
+			rs.End()
 		}
+		sel := root.Child("select")
 		p, err := g.prepare(ctx, wire.TRequest, method, args)
 		if err != nil {
+			sel.SetErr(err)
+			sel.End()
 			return nil, err
+		}
+		var send *obs.Active
+		if root != nil {
+			sel.SetProto(string(p.proto.ID()), p.key)
+			sel.End()
+			stampTrace(p.req, root)
+			send = root.Child(string(p.proto.ID()))
+			send.SetProto(string(p.proto.ID()), p.key)
+			send.SetBytes(len(args))
 		}
 		p.pm.calls.Inc()
 		p.pm.reqBytes.Add(uint64(len(args)))
 		start := time.Now()
 		reply, err := g.callWithCtx(ctx, p)
 		p.pm.latency.ObserveDuration(time.Since(start))
+		send.SetErr(err)
+		send.End()
 		if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			// The context ended the attempt; callWithCtx already demoted
 			// the endpoint if the deadline fired mid-flight.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/wire"
 )
 
@@ -28,31 +29,59 @@ var ErrOneWayUnsupported = errors.New("core: selected protocol does not support 
 // capability chain, so one-way calls are metered and protected exactly
 // like two-way ones.
 func (g *GlobalPtr) Post(method string, args []byte) error {
+	root := g.host.rt.Tracer().StartRoot(obs.KindClient, "post")
+	if root != nil {
+		root.SetRPC(string(g.Object()), method)
+		root.SetBytes(len(args))
+	}
+	err := g.post(root, method, args)
+	root.SetErr(err)
+	root.End()
+	return err
+}
+
+func (g *GlobalPtr) post(root *obs.Active, method string, args []byte) error {
+	sel := root.Child("select")
 	p, err := g.prepare(context.Background(), wire.TControl, method, args)
 	if err != nil {
+		sel.SetErr(err)
+		sel.End()
 		return err
 	}
 	ow, ok := p.proto.(OneWayProtocol)
 	if !ok {
+		sel.End()
 		return ErrOneWayUnsupported
+	}
+	var send *obs.Active
+	if root != nil {
+		sel.SetProto(string(p.proto.ID()), p.key)
+		sel.End()
+		stampTrace(p.req, root)
+		send = root.Child(string(p.proto.ID()))
+		send.SetProto(string(p.proto.ID()), p.key)
+		send.SetBytes(len(args))
 	}
 	p.pm.oneway.Inc()
 	p.pm.reqBytes.Add(uint64(len(args)))
 	if err := ow.Post(p.req); err != nil {
+		send.SetErr(err)
+		send.End()
 		p.pm.transportErrors.Inc()
 		g.Invalidate()
 		return err
 	}
+	send.End()
 	return nil
 }
 
 // handleOneWay executes a one-way request: same path as handleRequest
 // but all results and errors are discarded and no frame travels back.
-func (c *Context) handleOneWay(m *wire.Message) {
+func (c *Context) handleOneWay(m *wire.Message, ds *obs.Active) {
 	c.rt.Metrics().Counter("srv.oneway").Inc()
 	req := *m
 	req.Type = wire.TRequest
-	if _, err := c.handleRequest(&req); err != nil {
+	if _, err := c.handleRequest(&req, ds); err != nil {
 		c.rt.Metrics().Counter("srv.oneway_faults").Inc()
 	}
 }

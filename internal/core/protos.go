@@ -170,6 +170,7 @@ func (p *streamProto) SetBatching(policy transport.BatchPolicy) {
 		p.coal = transport.NewCoalescer(func(m *wire.Message) (transport.Pending, error) {
 			return p.begin(m)
 		}, policy)
+		p.coal.SetTracer(p.host.rt.Tracer())
 	}
 	p.mu.Unlock()
 	if old != nil {

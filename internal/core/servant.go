@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
 )
@@ -151,10 +152,19 @@ func (s *Servant) SnapshotLocked() ([]byte, error) {
 // frames the reply (Figure 1's path C -> server object, plus Figure 2's
 // GC un-processing step).
 func (c *Context) dispatch(m *wire.Message) *wire.Message {
+	// Continue the caller's trace when its header carries one (wire v3)
+	// and a recorder is installed. Untraced frames — old-format or from
+	// a caller whose tracer is off — cost one nil-check here.
+	ds := c.rt.Tracer().StartChild(obs.TraceID(m.TraceID), obs.SpanID(m.SpanID), obs.KindServer, "dispatch")
+	if ds != nil {
+		ds.SetRPC(m.Object, m.Method)
+		ds.SetBytes(len(m.Body))
+		defer ds.End()
+	}
 	if m.Type == wire.TControl {
 		// One-way invocation: execute, never reply.
 		if m.Object != "" && m.Method != "" {
-			c.handleOneWay(m)
+			c.handleOneWay(m, ds)
 		}
 		return nil
 	}
@@ -180,11 +190,14 @@ func (c *Context) dispatch(m *wire.Message) *wire.Message {
 		c.mu.RUnlock()
 		var rej error
 		if !live && tomb != nil {
+			ds.SetCause("moved")
 			rej = movedFault(tomb)
 		} else {
+			ds.SetCause("draining")
 			c.rt.Metrics().Counter("srv.drained").Inc()
 			rej = wire.Faultf(wire.FaultUnavailable, "context %s draining", c.name)
 		}
+		ds.SetErr(rej)
 		f, ferr := wire.FaultMessage(m, rej)
 		if ferr != nil {
 			return nil
@@ -192,8 +205,9 @@ func (c *Context) dispatch(m *wire.Message) *wire.Message {
 		return f
 	}
 	c.rt.Metrics().Counter("srv.requests").Inc()
-	reply, err := c.handleRequest(m)
+	reply, err := c.handleRequest(m, ds)
 	if err != nil {
+		ds.SetErr(err)
 		c.rt.Metrics().Counter("srv.faults").Inc()
 		f, ferr := wire.FaultMessage(m, err)
 		if ferr != nil {
@@ -204,7 +218,7 @@ func (c *Context) dispatch(m *wire.Message) *wire.Message {
 	return reply
 }
 
-func (c *Context) handleRequest(m *wire.Message) (*wire.Message, error) {
+func (c *Context) handleRequest(m *wire.Message, ds *obs.Active) (*wire.Message, error) {
 	c.mu.RLock()
 	s, ok := c.servants[ObjectID(m.Object)]
 	var tomb *ObjectRef
@@ -231,8 +245,14 @@ func (c *Context) handleRequest(m *wire.Message) (*wire.Message, error) {
 		if !found {
 			return nil, wire.Faultf(wire.FaultCapability, "no glue %q registered in context %s", tag, c.name)
 		}
+		gu := ds.Child("glue.unprocess")
 		var err error
 		body, err = gs.UnwrapRequest(m)
+		if gu != nil {
+			gu.SetCaps(envCaps(m.Envelopes))
+			gu.SetErr(err)
+			gu.End()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -244,11 +264,15 @@ func (c *Context) handleRequest(m *wire.Message) (*wire.Message, error) {
 	// the expensive part is skipped. FaultExpired is terminal on the
 	// client: the caller's deadline has passed, retrying cannot help.
 	if m.Expired(c.rt.Clock().Now().UnixNano()) {
+		ds.SetCause("expired")
 		c.rt.Metrics().Counter("srv.expired").Inc()
 		return nil, wire.Faultf(wire.FaultExpired, "deadline expired before %s.%s executed", m.Object, m.Method)
 	}
 
+	sv := ds.Child("servant")
 	out, err := s.invoke(m.Method, body)
+	sv.SetErr(err)
+	sv.End()
 	if err != nil {
 		return nil, err
 	}

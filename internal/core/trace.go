@@ -1,0 +1,52 @@
+package core
+
+import (
+	"errors"
+
+	"openhpcxx/internal/obs"
+	"openhpcxx/internal/wire"
+)
+
+// stampTrace copies an open root span's identity into a request header
+// so server-side spans join the caller's trace (wire v3). A nil span —
+// the no-recorder fast path — leaves the header untraced (zero IDs),
+// which old and new peers alike treat as "don't trace".
+func stampTrace(m *wire.Message, root *obs.Active) {
+	if root != nil {
+		m.TraceID, m.SpanID = uint64(root.TraceID()), uint64(root.SpanID())
+	}
+}
+
+// retryCause renders the error that triggered a retry for span records:
+// wire faults by code name ("moved", "unavailable", ...), everything
+// else as "transport".
+func retryCause(err error) string {
+	if err == nil {
+		return ""
+	}
+	var f *wire.Fault
+	if errors.As(err, &f) {
+		return f.Code.String()
+	}
+	return "transport"
+}
+
+// envCaps joins an envelope chain's capability kinds (everything after
+// the leading glue entry) in processing order, for Span.Caps.
+func envCaps(envs []wire.Envelope) string {
+	if len(envs) <= 1 {
+		return ""
+	}
+	n := 0
+	for _, e := range envs[1:] {
+		n += len(e.ID) + 1
+	}
+	b := make([]byte, 0, n)
+	for i, e := range envs[1:] {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, e.ID...)
+	}
+	return string(b)
+}

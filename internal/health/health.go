@@ -267,12 +267,13 @@ func (t *Tracker) ProbeNow() {
 func (t *Tracker) runProbe(p Probe) error {
 	done := make(chan error, 1)
 	go func() { done <- p() }()
-	timer := time.NewTimer(t.opts.ProbeTimeout)
-	defer timer.Stop()
+	// The timeout runs on the injected clock, so tests drive a hung
+	// probe to its deadline by advancing a fake clock instead of
+	// sleeping on the wall clock.
 	select {
 	case err := <-done:
 		return err
-	case <-timer.C:
+	case <-clock.After(t.opts.Clock, t.opts.ProbeTimeout):
 		return fmt.Errorf("health: probe timed out after %v", t.opts.ProbeTimeout)
 	}
 }

@@ -2,9 +2,12 @@ package health
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
+
+	"openhpcxx/internal/clock"
 )
 
 func TestUnknownEndpointsAreClosed(t *testing.T) {
@@ -148,19 +151,35 @@ func TestLiveSuccessBeatsInFlightProbe(t *testing.T) {
 }
 
 func TestProbeTimeoutCountsAsFailure(t *testing.T) {
-	tr := NewTracker(Options{ProbeTimeout: 10 * time.Millisecond})
+	// The probe timeout runs on the injected clock: a hung probe is
+	// driven to its deadline by advancing a fake clock, so the test
+	// never sleeps and never depends on wall-clock scheduling.
+	fc := clock.NewFake(time.Unix(1000, 0))
+	tr := NewTracker(Options{ProbeTimeout: 10 * time.Millisecond, Clock: fc})
 	defer tr.Close()
 	release := make(chan struct{})
 	defer close(release)
 	tr.SetProbe("ep", func() error { <-release; return nil })
 	tr.Trip("ep")
-	start := time.Now()
-	tr.ProbeNow()
+
+	done := make(chan struct{})
+	go func() {
+		tr.ProbeNow()
+		close(done)
+	}()
+	// Advance only once ProbeNow has armed its timeout.
+	for fc.Waiters() == 0 {
+		select {
+		case <-done:
+			t.Fatal("ProbeNow returned before the hung probe timed out")
+		default:
+			runtime.Gosched()
+		}
+	}
+	fc.Advance(10 * time.Millisecond)
+	<-done
 	if tr.State("ep") != Open {
 		t.Fatal("hung probe did not leave the breaker Open")
-	}
-	if time.Since(start) > time.Second {
-		t.Fatal("ProbeNow blocked on the hung probe")
 	}
 }
 

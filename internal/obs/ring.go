@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultRingSize is the span capacity NewRing uses for n <= 0.
+const DefaultRingSize = 4096
+
+// Ring is a fixed-capacity span recorder: the newest spans win, the
+// oldest are overwritten. It is the per-runtime SpanRecorder behind
+// `ohpc-bench -trace=` and `ohpc-demo -trace=`: cheap enough to leave
+// on through a whole experiment, bounded so it cannot grow without
+// limit.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+var _ Recorder = (*Ring)(nil)
+
+// NewRing returns a ring recorder holding up to n spans (n <= 0 uses
+// DefaultRingSize).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]Span, n)}
+}
+
+// Record implements Recorder.
+func (r *Ring) Record(s Span) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total reports how many spans were recorded over the ring's lifetime
+// (including any that were since overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *Ring) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Span, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Trace returns the retained spans of one trace, in start (Seq) order.
+func (r *Ring) Trace(id TraceID) []Span {
+	var out []Span
+	for _, s := range r.Spans() {
+		if s.Trace == id {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Reset discards every retained span.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	for i := range r.buf {
+		r.buf[i] = Span{}
+	}
+	r.next, r.wrapped, r.total = 0, false, 0
+	r.mu.Unlock()
+}
+
+// Export is the JSON shape WriteJSON emits.
+type Export struct {
+	// Total counts spans recorded over the ring's lifetime; Retained
+	// is how many survive in the buffer (== len(Spans)).
+	Total    uint64 `json:"total"`
+	Retained int    `json:"retained"`
+	Spans    []Span `json:"spans"`
+}
+
+// WriteJSON dumps the retained spans as one indented JSON document.
+func (r *Ring) WriteJSON(w io.Writer) error {
+	spans := r.Spans()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Export{Total: r.Total(), Retained: len(spans), Spans: spans})
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func recordN(r *Ring, trace TraceID, n int) {
+	for i := 0; i < n; i++ {
+		r.Record(Span{Trace: trace, ID: SpanID(i + 1), Seq: uint64(i + 1), Name: "s"})
+	}
+}
+
+func TestRingRetainsNewestSpans(t *testing.T) {
+	r := NewRing(4)
+	recordN(r, 1, 6) // spans seq 1..6; ring keeps 3..6
+	spans := r.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d, want 4", len(spans))
+	}
+	if spans[0].Seq != 3 || spans[3].Seq != 6 {
+		t.Fatalf("retained window [%d..%d], want [3..6]", spans[0].Seq, spans[3].Seq)
+	}
+	if r.Total() != 6 {
+		t.Fatalf("total %d, want 6", r.Total())
+	}
+}
+
+func TestRingUnwrappedAndReset(t *testing.T) {
+	r := NewRing(8)
+	recordN(r, 1, 3)
+	if got := r.Spans(); len(got) != 3 {
+		t.Fatalf("retained %d, want 3", len(got))
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 || r.Total() != 0 {
+		t.Fatal("reset did not clear the ring")
+	}
+}
+
+func TestRingTraceFiltersAndSorts(t *testing.T) {
+	r := NewRing(16)
+	// Interleave two traces, out of start order.
+	r.Record(Span{Trace: 7, ID: 1, Seq: 5})
+	r.Record(Span{Trace: 9, ID: 2, Seq: 1})
+	r.Record(Span{Trace: 7, ID: 3, Seq: 2})
+	tr := r.Trace(7)
+	if len(tr) != 2 || tr[0].Seq != 2 || tr[1].Seq != 5 {
+		t.Fatalf("trace filter/sort wrong: %+v", tr)
+	}
+}
+
+func TestRingDefaultSize(t *testing.T) {
+	r := NewRing(0)
+	if len(r.buf) != DefaultRingSize {
+		t.Fatalf("default capacity %d, want %d", len(r.buf), DefaultRingSize)
+	}
+}
+
+func TestRingWriteJSON(t *testing.T) {
+	r := NewRing(4)
+	recordN(r, 3, 6)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var exp Export
+	if err := json.Unmarshal(buf.Bytes(), &exp); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if exp.Total != 6 || exp.Retained != 4 || len(exp.Spans) != 4 {
+		t.Fatalf("export total=%d retained=%d spans=%d", exp.Total, exp.Retained, len(exp.Spans))
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestRegistrySnapshotAndWriteTo(t *testing.T) {
+	r := New()
+	r.Counter("rpc.shm.calls").Add(5)
+	r.Counter("srv.requests").Add(7)
+	r.Histogram("rpc.shm.latency_us").Observe(100)
+	r.Histogram("rpc.shm.latency_us").Observe(900)
+
+	snap := r.Snapshot()
+	if snap.Counters["rpc.shm.calls"] != 5 || snap.Counters["srv.requests"] != 7 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	h := snap.Histograms["rpc.shm.latency_us"]
+	if h.Count != 2 || h.Sum != 1000 {
+		t.Fatalf("histogram: %+v", h)
+	}
+
+	var buf bytes.Buffer
+	n, err := r.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	var round RegistrySnapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if round.Counters["rpc.shm.calls"] != 5 || round.Histograms["rpc.shm.latency_us"].Count != 2 {
+		t.Fatalf("JSON round trip lost data: %+v", round)
+	}
+}
+
+// Property: for random observation sets, Percentile(p) is an upper
+// bound on the exact percentile and within the documented 2x bound
+// (exact <= Percentile(p) < 2*exact for exact > 0).
+func TestHistogramPercentileWithinTwoX(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(400)
+		obs := make([]int64, n)
+		h := &Histogram{}
+		for i := range obs {
+			// Mix of magnitudes, including zero.
+			v := int64(0)
+			switch rng.Intn(4) {
+			case 0:
+				v = int64(rng.Intn(10))
+			case 1:
+				v = int64(rng.Intn(1000))
+			case 2:
+				v = int64(rng.Intn(1_000_000))
+			default:
+				v = rng.Int63n(int64(1) << 40)
+			}
+			obs[i] = v
+			h.Observe(v)
+		}
+		sort.Slice(obs, func(i, j int) bool { return obs[i] < obs[j] })
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 1.0} {
+			// Same rank definition Percentile documents: the
+			// ceil(p*n)-th smallest observation.
+			idx := int(math.Ceil(float64(n)*p)) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= n {
+				idx = n - 1
+			}
+			exact := obs[idx]
+			got := h.Percentile(p)
+			if got < exact {
+				t.Fatalf("round %d p=%v: Percentile=%d below exact=%d", round, p, got, exact)
+			}
+			if exact > 0 && got >= 2*exact {
+				t.Fatalf("round %d p=%v: Percentile=%d not within 2x of exact=%d", round, p, got, exact)
+			}
+			if exact == 0 && got != 0 {
+				t.Fatalf("round %d p=%v: exact is 0 but Percentile=%d", round, p, got)
+			}
+		}
+	}
+}
+
+func TestHistogramPercentileEdges(t *testing.T) {
+	h := &Histogram{}
+	if h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram percentile must be 0")
+	}
+	h.Observe(10)
+	if h.Percentile(0) != 0 {
+		t.Fatal("p<=0 must be 0")
+	}
+	if got := h.Percentile(2.0); got < 10 || got >= 20 {
+		t.Fatalf("p>1 clamps to max: got %d", got)
+	}
+}
+
+// Property: concurrent Observe never loses counts (run under -race in
+// ci; the per-bucket atomics must neither tear nor drop).
+func TestHistogramConcurrentObserveLosesNothing(t *testing.T) {
+	h := &Histogram{}
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		seed := int64(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*per)
+	}
+	var inBuckets uint64
+	for i := range h.buckets {
+		inBuckets += h.buckets[i].Load()
+	}
+	if inBuckets != goroutines*per {
+		t.Fatalf("bucket sum %d, want %d", inBuckets, goroutines*per)
+	}
+}

@@ -7,7 +7,9 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"math/bits"
 	"sort"
@@ -59,13 +61,48 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 
 // Snapshot is a consistent-enough view of a histogram.
 type Snapshot struct {
-	Count uint64
-	Sum   int64
-	Mean  float64
-	P50   int64
-	P90   int64
-	P99   int64
-	Max   int64 // upper bound of the highest non-empty bucket
+	Count uint64  `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"` // upper bound of the highest non-empty bucket
+}
+
+// Percentile returns an upper bound for the p-th percentile (p in
+// (0,1]). Because observations land in power-of-two buckets, the bound
+// is within 2x of the exact percentile value: for an exact percentile
+// v > 0, v <= Percentile(p) < 2*v. p <= 0 returns 0; an empty
+// histogram returns 0.
+func (h *Histogram) Percentile(p float64) int64 {
+	if p <= 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	var counts [65]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(64)
 }
 
 // Snapshot summarizes the histogram.
@@ -169,6 +206,64 @@ func (r *Registry) CounterNames() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// RegistrySnapshot is a point-in-time export of every registered
+// metric — the JSON shape WriteTo emits and Runtime.MetricsSnapshot
+// returns.
+type RegistrySnapshot struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Histograms map[string]Snapshot `json:"histograms"`
+}
+
+// Snapshot captures every counter value and histogram summary. Each
+// metric is read atomically; the set as a whole is as consistent as a
+// live system allows.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	cs := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		cs[n] = c
+	}
+	hs := make(map[string]*Histogram, len(r.histograms))
+	for n, h := range r.histograms {
+		hs[n] = h
+	}
+	r.mu.Unlock()
+
+	out := RegistrySnapshot{
+		Counters:   make(map[string]uint64, len(cs)),
+		Histograms: make(map[string]Snapshot, len(hs)),
+	}
+	for n, c := range cs {
+		out.Counters[n] = c.Value()
+	}
+	for n, h := range hs {
+		out.Histograms[n] = h.Snapshot()
+	}
+	return out
+}
+
+// WriteTo writes the registry snapshot as one indented JSON document —
+// the export behind `ohpc-demo`'s metrics dump and Runtime metrics
+// files.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	enc.SetIndent("", "  ")
+	err := enc.Encode(r.Snapshot())
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Dump renders every metric as one line each, sorted by name.

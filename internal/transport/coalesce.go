@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/wire"
 )
 
@@ -105,6 +106,7 @@ func (p *pendingItem) resolve(reply *wire.Message, err error) {
 type Coalescer struct {
 	send   func(*wire.Message) (Pending, error)
 	policy BatchPolicy
+	tracer *obs.Tracer // optional: records per-request "batch" spans
 
 	mu     sync.Mutex
 	queue  []batchItem
@@ -120,6 +122,11 @@ func NewCoalescer(send func(*wire.Message) (Pending, error), policy BatchPolicy)
 
 // Policy returns the effective (defaulted) policy.
 func (c *Coalescer) Policy() BatchPolicy { return c.policy }
+
+// SetTracer installs the tracer used to record, for every traced
+// request riding in a real batch, a "batch" span carrying the coalesced
+// frame's size. Call before traffic; nil disables.
+func (c *Coalescer) SetTracer(tr *obs.Tracer) { c.tracer = tr }
 
 // Begin queues msg for the next batch and returns its completion
 // handle. Only two-way requests belong in batches; callers keep
@@ -216,6 +223,16 @@ func (c *Coalescer) dispatch(items []batchItem) {
 	msgs := make([]*wire.Message, len(items))
 	for i, it := range items {
 		msgs[i] = it.msg
+	}
+	if tr := c.tracer; tr.Enabled() {
+		// Every traced rider gets a "batch" span: the trace shows not just
+		// that the request was coalesced but with how much company.
+		for _, m := range msgs {
+			sp := tr.StartChild(obs.TraceID(m.TraceID), obs.SpanID(m.SpanID), obs.KindClient, "batch")
+			sp.SetBatch(len(msgs))
+			sp.SetBytes(len(m.Body))
+			sp.End()
+		}
 	}
 	frame, err := wire.EncodeBatch(msgs)
 	if err != nil {

@@ -3,10 +3,13 @@ package transport
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"openhpcxx/internal/obs"
+	"openhpcxx/internal/obs/obstest"
 	"openhpcxx/internal/wire"
 )
 
@@ -42,6 +45,11 @@ func TestServerDrainRejectsNewFinishesInFlight(t *testing.T) {
 		return echoHandler(m)
 	})
 	defer srv.Close()
+	// Trace the server so the test can observe frames arriving instead
+	// of guessing with wall-clock sleeps.
+	tr := obs.NewTracer(nil)
+	col := obstest.Attach(t, tr)
+	srv.SetTracer(tr)
 
 	c, err := shm.Dial("drain")
 	if err != nil {
@@ -51,7 +59,7 @@ func TestServerDrainRejectsNewFinishesInFlight(t *testing.T) {
 	defer mx.Close()
 
 	// One request in flight when the drain begins.
-	slow, err := mx.Begin(&wire.Message{Type: wire.TRequest, Method: "m", Body: []byte("slow")})
+	slow, err := mx.Begin(&wire.Message{Type: wire.TRequest, Method: "m", Body: []byte("slow"), TraceID: 1, SpanID: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,24 +70,38 @@ func TestServerDrainRejectsNewFinishesInFlight(t *testing.T) {
 		srv.Drain()
 		close(drained)
 	}()
-	// Drain must not return while the slow handler runs.
-	select {
-	case <-drained:
-		t.Fatal("Drain returned with a handler in flight")
-	case <-time.After(20 * time.Millisecond):
-	}
-	if !srv.Draining() {
-		t.Fatal("server not draining")
+	// Wait for the drain to take effect; Drain returning here would mean
+	// it abandoned the in-flight handler.
+	for !srv.Draining() {
+		select {
+		case <-drained:
+			t.Fatal("Drain returned with a handler in flight")
+		default:
+			runtime.Gosched()
+		}
 	}
 
 	// A new request on the existing connection is rejected, not dropped
 	// and not executed.
-	reply, err := mx.Call(&wire.Message{Type: wire.TRequest, Method: "m", Body: []byte("new")})
+	reply, err := mx.Call(&wire.Message{Type: wire.TRequest, Method: "m", Body: []byte("new"), TraceID: 2, SpanID: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if code := faultCodeOf(t, reply); code != wire.FaultUnavailable {
 		t.Fatalf("drained request got fault %v, want FaultUnavailable", code)
+	}
+	// The server demonstrably read both frames (their decode spans carry
+	// the wire trace IDs) yet Drain is still blocked on the slow handler
+	// — a deterministic replacement for the old "sleep 20ms and hope"
+	// negative check.
+	decodes := col.WaitForSpans(t, "decode", 2, 2*time.Second)
+	if decodes[0].Trace != 1 || decodes[1].Trace != 2 {
+		t.Fatalf("decode spans carry traces %x,%x, want 1,2", uint64(decodes[0].Trace), uint64(decodes[1].Trace))
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while the slow handler was still running")
+	default:
 	}
 
 	// The in-flight request still completes.

@@ -3,7 +3,9 @@ package transport
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 
+	"openhpcxx/internal/obs"
 	"openhpcxx/internal/wire"
 )
 
@@ -29,6 +31,10 @@ type Server struct {
 	// connections open to carry "go elsewhere" faults.
 	hwg     sync.WaitGroup
 	maxPerC int
+
+	// tracer, when set, records a server-side "decode" span for every
+	// traced inbound frame (atomic so SetTracer may race with traffic).
+	tracer atomic.Pointer[obs.Tracer]
 }
 
 // Serve starts accepting on l, dispatching frames to h.
@@ -38,6 +44,11 @@ func Serve(l net.Listener, h Handler) *Server {
 	go s.acceptLoop()
 	return s
 }
+
+// SetTracer installs (or with nil removes) the tracer used for
+// server-side "decode" spans: one per traced inbound frame, recording
+// the decoded frame's body size before it enters the dispatcher.
+func (s *Server) SetTracer(tr *obs.Tracer) { s.tracer.Store(tr) }
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -73,6 +84,11 @@ func (s *Server) connLoop(c net.Conn) {
 		msg, err := wire.Read(c)
 		if err != nil {
 			return
+		}
+		if tr := s.tracer.Load(); tr.Enabled() && msg.TraceID != 0 {
+			sp := tr.StartChild(obs.TraceID(msg.TraceID), obs.SpanID(msg.SpanID), obs.KindServer, "decode")
+			sp.SetBytes(len(msg.Body))
+			sp.End()
 		}
 		sem <- struct{}{}
 		s.wg.Add(1)

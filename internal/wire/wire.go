@@ -22,9 +22,11 @@ import (
 const Magic uint32 = 0x48504358
 
 // Version is the wire protocol version. Version 2 added the absolute
-// invocation deadline to the header; version-1 frames (no deadline
-// field) are still accepted, decoding with Deadline == 0.
-const Version uint32 = 2
+// invocation deadline to the header; version 3 added the optional trace
+// and span IDs so a server can continue the caller's trace. Frames from
+// older versions are still accepted, decoding with the missing fields
+// zero (no deadline, untraced).
+const Version uint32 = 3
 
 // minVersion is the oldest wire version the decoder accepts.
 const minVersion uint32 = 1
@@ -79,6 +81,12 @@ type Message struct {
 	// the caller no longer wants the result; 0 means no deadline.
 	// Servers shed already-expired requests instead of doing dead work.
 	Deadline int64
+	// TraceID and SpanID (wire v3) carry the caller's end-to-end trace
+	// identity so server-side spans join the client's trace. Both zero
+	// means the caller was not tracing; servers must treat them as
+	// opaque and never allocate based on their values.
+	TraceID   uint64
+	SpanID    uint64
 	Envelopes []Envelope
 	Body      []byte
 }
@@ -99,6 +107,8 @@ func (m *Message) MarshalXDR(e *xdr.Encoder) error {
 	e.PutString(m.Method)
 	e.PutUint64(m.Epoch)
 	e.PutInt64(m.Deadline)
+	e.PutUint64(m.TraceID)
+	e.PutUint64(m.SpanID)
 	e.PutUint32(uint32(len(m.Envelopes)))
 	for _, env := range m.Envelopes {
 		e.PutString(env.ID)
@@ -151,6 +161,15 @@ func (m *Message) UnmarshalXDR(d *xdr.Decoder) error {
 	m.Deadline = 0
 	if ver >= 2 {
 		if m.Deadline, err = d.Int64(); err != nil {
+			return err
+		}
+	}
+	m.TraceID, m.SpanID = 0, 0
+	if ver >= 3 {
+		if m.TraceID, err = d.Uint64(); err != nil {
+			return err
+		}
+		if m.SpanID, err = d.Uint64(); err != nil {
 			return err
 		}
 	}

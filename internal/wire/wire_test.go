@@ -235,6 +235,80 @@ func TestQuickReadRobust(t *testing.T) {
 	}
 }
 
+// encodeVersion hand-rolls a frame in an older wire version so decoder
+// back-compat can be checked against real layouts.
+func encodeVersion(ver uint32, m *Message) []byte {
+	e := xdr.NewEncoder(64 + len(m.Body))
+	e.PutUint32(0) // length placeholder
+	e.PutUint32(Magic)
+	e.PutUint32(ver)
+	e.PutUint32(uint32(m.Type))
+	e.PutUint64(m.RequestID)
+	e.PutString(m.Object)
+	e.PutString(m.Method)
+	e.PutUint64(m.Epoch)
+	if ver >= 2 {
+		e.PutInt64(m.Deadline)
+	}
+	if ver >= 3 {
+		e.PutUint64(m.TraceID)
+		e.PutUint64(m.SpanID)
+	}
+	e.PutUint32(uint32(len(m.Envelopes)))
+	for _, env := range m.Envelopes {
+		e.PutString(env.ID)
+		e.PutOpaque(env.Data)
+	}
+	e.PutOpaque(m.Body)
+	buf := e.Bytes()
+	n := len(buf) - 4
+	buf[0], buf[1], buf[2], buf[3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	return buf
+}
+
+func TestOldVersionFramesDecode(t *testing.T) {
+	for _, ver := range []uint32{1, 2} {
+		in := sample()
+		in.Deadline = 123456789
+		in.TraceID, in.SpanID = 7, 8 // must NOT survive in old formats
+		out, err := Read(bytes.NewReader(encodeVersion(ver, in)))
+		if err != nil {
+			t.Fatalf("v%d: %v", ver, err)
+		}
+		if out.Object != in.Object || out.Method != in.Method || !bytes.Equal(out.Body, in.Body) {
+			t.Fatalf("v%d: header/body mismatch: %+v", ver, out)
+		}
+		if ver < 2 && out.Deadline != 0 {
+			t.Fatalf("v%d frame decoded with deadline %d", ver, out.Deadline)
+		}
+		if ver >= 2 && out.Deadline != in.Deadline {
+			t.Fatalf("v%d frame lost deadline: %d", ver, out.Deadline)
+		}
+		if out.TraceID != 0 || out.SpanID != 0 {
+			t.Fatalf("v%d frame decoded with trace ids %d/%d, want 0/0", ver, out.TraceID, out.SpanID)
+		}
+	}
+}
+
+func TestTraceIDsRoundTrip(t *testing.T) {
+	in := sample()
+	in.TraceID, in.SpanID = 0xdeadbeefcafe, 0x1234
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID || out.SpanID != in.SpanID {
+		t.Fatalf("trace ids %d/%d, want %d/%d", out.TraceID, out.SpanID, in.TraceID, in.SpanID)
+	}
+	if out.Deadline != in.Deadline {
+		t.Fatalf("deadline %d want %d", out.Deadline, in.Deadline)
+	}
+}
+
 func TestWriteOverPipe(t *testing.T) {
 	c1, c2 := net.Pipe()
 	defer c1.Close()
