@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: ci vet build test race determinism cover faults fuzz bench-async bench-faults
+.PHONY: ci vet lint build test race determinism cover faults fuzz bench-async bench-faults
 
-ci: vet build test race determinism cover
+ci: vet lint build test race determinism cover
 
 vet:
 	$(GO) vet ./...
+
+# Project-invariant analyzers (internal/analysis, stdlib go/types only).
+# The suite first proves itself against its golden corpora (-short skips
+# the whole-module self-check, which the repo run below repeats anyway),
+# then sweeps ./internal/... and ./cmd/... and fails on any finding.
+lint:
+	$(GO) test -short ./internal/analysis/
+	$(GO) run ./cmd/ohpc-lint ./internal/... ./cmd/...
 
 build:
 	$(GO) build ./...
@@ -25,10 +33,11 @@ determinism:
 		./internal/netsim/ ./internal/transport/ ./internal/health/ \
 		./internal/core/ ./internal/capability/
 
-# Coverage floor: the wire format, the metrics registry, and the tracing
-# subsystem are load-bearing for every protocol — hold them at >= 70%.
+# Coverage floor: the wire format, the metrics registry, the tracing
+# subsystem, and the analyzer suite are load-bearing for every protocol
+# (and for CI itself) — hold them at >= 70%.
 cover:
-	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/; do \
+	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/; do \
 		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i ~ /%/) {gsub("%","",$$i); print $$i}}'); \
 		echo "coverage $$pkg: $$pct%"; \
 		ok=$$(echo "$$pct" | awk '{print ($$1 >= 70.0) ? "yes" : "no"}'); \

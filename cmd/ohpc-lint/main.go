@@ -1,0 +1,100 @@
+// ohpc-lint runs the project's invariant analyzers (internal/analysis)
+// over the tree and fails on any finding.
+//
+// Usage:
+//
+//	ohpc-lint [-only a,b] [-skip a,b] [-list] [packages...]
+//
+// Packages default to ./internal/... ./cmd/... relative to the module
+// root (found by walking up from the working directory). Diagnostics
+// print as "file:line:col: [analyzer] message"; the exit status is 1
+// when anything was reported, 2 on usage or load errors. Suppress a
+// deliberate violation with
+//
+//	//lint:ignore <analyzer>[,<analyzer>|all] <reason>
+//
+// on, or directly above, the offending line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"openhpcxx/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("ohpc-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzers to skip")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := analysis.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(analyzers) == 0 {
+		fmt.Fprintln(stderr, "ohpc-lint: no analyzers selected")
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/...", "./cmd/..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(stderr, "ohpc-lint:", err)
+		return 2
+	}
+	units, err := analysis.Load(root, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "ohpc-lint:", err)
+		return 2
+	}
+	diags := analysis.Run(units, analyzers)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "ohpc-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

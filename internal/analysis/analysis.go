@@ -1,0 +1,359 @@
+// Package analysis is the project's own static-analyzer suite: a small,
+// dependency-free driver (go/parser + go/types with the source importer)
+// plus the analyzers that machine-check the contracts the runtime's
+// correctness arguments rest on.
+//
+// The paper's position is that opening the ORB's internals is safe only
+// while the open parts obey strict contracts — ordered protocol tables,
+// capability chains that always un-process, instrumentation that costs
+// nothing when off. The codebase grew the same kind of contracts:
+// injected clocks so fault suites are deterministic, span begin/end
+// pairing so traces stay connected, quota refunds on failure, no
+// blocking while a mutex is held on mux/pool paths. All of them regress
+// silently in review; each analyzer here encodes one of them so `make
+// lint` catches the regression instead.
+//
+// The analyzers:
+//
+//   - nosleep:     time.Sleep/time.After/time.NewTimer outside
+//     internal/clock (tests included) — use the injected clock.
+//   - lockedblock: no channel operation, Invoke*, net.Conn write/read,
+//     or clock wait between an explicit mu.Lock() and its Unlock().
+//   - spanend:     every obs span started in a function ends on all
+//     return paths (or is deferred, or ownership escapes).
+//   - checkederr:  wire encode/decode, transport send/close, and
+//     capability process/unprocess errors may not be discarded.
+//   - ctxflow:     exported *Ctx functions must thread their context
+//     into callees — no context.Background(), no dropping into a
+//     non-Ctx sibling.
+//   - wirever:     wire-format version constants are compared/branched
+//     only inside internal/wire.
+//
+// Deliberate violations are suppressed per line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>|all] <reason>
+//
+// on, or immediately above, the offending line. The reason is
+// mandatory.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, formatted by the driver as
+// "file:line:col: [analyzer] message".
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one project-invariant check.
+type Analyzer struct {
+	// Name keys -only/-skip selection and //lint:ignore suppression.
+	Name string
+	// Doc is a one-line description for the driver's -list output.
+	Doc string
+	// Run inspects one type-checked unit and reports through the pass.
+	Run func(*Pass)
+}
+
+// Pass hands one analyzer one type-checked unit.
+type Pass struct {
+	Analyzer *Analyzer
+	Unit     *Unit
+	report   func(Diagnostic)
+}
+
+// Fset returns the unit's file set.
+func (p *Pass) Fset() *token.FileSet { return p.Unit.Fset }
+
+// Files returns the unit's syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Unit.Files }
+
+// Pkg returns the unit's type-checked package.
+func (p *Pass) Pkg() *types.Package { return p.Unit.Pkg }
+
+// Info returns the unit's type information.
+func (p *Pass) Info() *types.Info { return p.Unit.Info }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Unit.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All lists every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoSleep, LockedBlock, SpanEnd, CheckedErr, CtxFlow, WireVer}
+}
+
+// ByName resolves a comma-separated analyzer list ("nosleep,spanend").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}
+
+// Select filters All() down by -only / -skip expressions (either may be
+// empty; -only wins over -skip).
+func Select(only, skip string) ([]*Analyzer, error) {
+	if only != "" {
+		return ByName(only)
+	}
+	skipped, err := ByName(skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		drop := false
+		for _, s := range skipped {
+			if s == a {
+				drop = true
+			}
+		}
+		if !drop {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the units, applies //lint:ignore
+// suppressions, and returns the surviving findings sorted by position.
+func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, u := range units {
+		sup := suppressions(u)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Unit: u}
+			pass.report = func(d Diagnostic) {
+				if !sup.covers(d) {
+					diags = append(diags, d)
+				}
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ---- shared type/AST helpers ----
+
+// pathHasSuffix reports whether an import path is, or ends with, the
+// given slash-separated suffix ("internal/clock" matches both
+// "openhpcxx/internal/clock" and a golden-corpus "x/internal/clock").
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// calleeFunc resolves the *types.Func a call statically invokes
+// (package function, method, or interface method); nil for builtins,
+// type conversions, and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	case *ast.IndexExpr: // generic instantiation F[T](...)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	case *ast.IndexListExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if f, ok := info.Uses[id].(*types.Func); ok {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// funcPkgPath returns the declaring package path of f ("" for builtins).
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// returnsError reports whether any of f's results is the error type.
+func returnsError(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// walkStack traverses root calling f with each node and the stack of
+// its ancestors (outermost first, not including n itself). Returning
+// false prunes the subtree.
+func walkStack(root ast.Node, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !f(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// funcScopes yields every function body in the file — declarations and
+// literals — exactly once, with a printable name.
+func funcScopes(file *ast.File) []funcScope {
+	var out []funcScope
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcScope{name: fn.Name.Name, decl: fn, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcScope{name: "func literal", lit: fn, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+type funcScope struct {
+	name string
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit
+	body *ast.BlockStmt
+}
+
+// node returns the function node itself.
+func (s funcScope) node() ast.Node {
+	if s.decl != nil {
+		return s.decl
+	}
+	return s.lit
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+\S`)
+
+// suppressionIndex records, per file line, which analyzers are muted.
+type suppressionIndex map[string]map[int]map[string]bool
+
+func (s suppressionIndex) covers(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	names := byLine[d.Pos.Line]
+	return names != nil && (names["all"] || names[d.Analyzer])
+}
+
+// suppressions scans a unit's comments for //lint:ignore directives. A
+// directive mutes the named analyzers on its own line and on the line
+// directly below it (so it can trail the offending statement or sit
+// above it).
+func suppressions(u *Unit) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					idx[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					names := byLine[line]
+					if names == nil {
+						names = map[string]bool{}
+						byLine[line] = names
+					}
+					for _, n := range strings.Split(m[1], ",") {
+						names[strings.TrimSpace(n)] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CheckedErr is the project's errcheck: errors from the load-bearing
+// codec and teardown paths may not be silently discarded. Scope is
+// deliberately narrow — three families whose dropped errors have bitten
+// before:
+//
+//   - internal/wire Encode*/Decode*/Read/Write: a dropped codec error
+//     means a frame silently never went out (or a fault silently became
+//     a success).
+//   - transport/net.Conn send & close (Send*, Post, Close): teardown
+//     paths that eat errors hide the leaks and double-closes the PR-2
+//     pool fixes were about.
+//   - capability Process/Unprocess: a capability chain that drops a
+//     transform error breaks the "always un-process, always refund"
+//     contract the audit trail depends on.
+//
+// An explicit `_ =` assignment is an acknowledged discard and passes;
+// a bare call statement (incl. defer/go) does not. Deliberate bare
+// discards take a //lint:ignore checkederr <reason>.
+//
+// The transport/net.Conn family is scoped to non-test files: `defer
+// c.Close()` in a test's teardown is conventional and harmless, and
+// flagging fifty of those would bury the real findings. The codec and
+// capability families stay active in tests — a test that drops an
+// Encode or Process error is asserting nothing.
+var CheckedErr = &Analyzer{
+	Name: "checkederr",
+	Doc:  "wire encode/decode, transport send/close, capability process/unprocess errors must be handled",
+	Run:  runCheckedErr,
+}
+
+func runCheckedErr(pass *Pass) {
+	netConn := lookupNetConn(pass.Pkg())
+	for _, file := range pass.Files() {
+		testFile := strings.HasSuffix(pass.Fset().Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			default:
+				return true
+			}
+			if why := watchedErrCall(pass.Info(), netConn, call, testFile); why != "" {
+				pass.Reportf(call.Pos(), "%s: handle the error (or assign to _ / add a lint:ignore with the reason)", why)
+			}
+			return true
+		})
+	}
+}
+
+// lookupNetConn finds the net.Conn interface through the package's
+// import graph (nil when the package never pulls in net).
+func lookupNetConn(pkg *types.Package) *types.Interface {
+	seen := map[*types.Package]bool{}
+	var find func(p *types.Package) *types.Interface
+	find = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if p.Path() == "net" {
+			if obj, ok := p.Scope().Lookup("Conn").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+			return nil
+		}
+		for _, imp := range p.Imports() {
+			if iface := find(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return find(pkg)
+}
+
+// watchedErrCall classifies a discarded call; non-empty means flag it.
+// testFile disables the transport/net.Conn close family (teardown
+// convention) while keeping codec and capability checks live.
+func watchedErrCall(info *types.Info, netConn *types.Interface, call *ast.CallExpr, testFile bool) string {
+	f := calleeFunc(info, call)
+	if f == nil || !returnsError(f) {
+		return ""
+	}
+	name := f.Name()
+	pkgPath := funcPkgPath(f)
+	sig, _ := f.Type().(*types.Signature)
+	recv := sig.Recv()
+
+	// Family 1: wire codec entry points.
+	if recv == nil && pathHasSuffix(pkgPath, "internal/wire") &&
+		(strings.HasPrefix(name, "Encode") || strings.HasPrefix(name, "Decode") || name == "Read" || name == "Write") {
+		return "unchecked error from wire." + name
+	}
+
+	if recv == nil {
+		return ""
+	}
+
+	// Family 2: transport send/close — methods on transport/nexus types,
+	// plus Close on anything satisfying net.Conn. Off in test files.
+	if !testFile {
+		if pathHasSuffix(pkgPath, "internal/transport") || pathHasSuffix(pkgPath, "transport/nexus") {
+			if name == "Close" || name == "Post" || strings.HasPrefix(name, "Send") {
+				return "unchecked error from transport " + recvString(recv) + "." + name
+			}
+		}
+		if name == "Close" && netConn != nil {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && types.Implements(tv.Type, netConn) {
+					return "unchecked error from net.Conn Close on " + tv.Type.String()
+				}
+			}
+		}
+	}
+
+	// Family 3: capability transforms.
+	if pathHasSuffix(pkgPath, "internal/capability") && (name == "Process" || name == "Unprocess") {
+		return "unchecked error from capability " + recvString(recv) + "." + name
+	}
+	return ""
+}
+
+// recvString renders a method's receiver type compactly (Mux, Conn, ...).
+func recvString(recv *types.Var) string {
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow guards the deadline plumbing: an exported *Ctx function
+// (InvokeCtx, CallCtx, InvokeAsyncCtx, ...) exists precisely so the
+// caller's context — deadline, cancellation — reaches the wire header
+// and the retry loop. Inside such a function, minting a fresh
+// context.Background()/TODO() or calling the non-Ctx sibling of a
+// callee that has one severs that chain: the call still "works" but the
+// deadline silently stops traveling, which is exactly the bug the PR-2
+// fault suites exist to prevent.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported *Ctx functions must thread their context, not context.Background()",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			name := fn.Name.Name
+			if !ast.IsExported(name) || !strings.HasSuffix(name, "Ctx") || len(name) <= len("Ctx") {
+				continue
+			}
+			if !hasContextParam(pass.Info(), fn) {
+				continue
+			}
+			checkCtxBody(pass, fn)
+		}
+	}
+}
+
+// hasContextParam reports whether fn takes a context.Context.
+func hasContextParam(info *types.Info, fn *ast.FuncDecl) bool {
+	for _, field := range fn.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && tv.Type != nil && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkCtxBody(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info()
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil {
+			return true
+		}
+		// Rule 1: no fresh root contexts — the caller already gave us one.
+		if funcPkgPath(f) == "context" && (f.Name() == "Background" || f.Name() == "TODO") {
+			pass.Reportf(call.Pos(), "%s drops the caller's context with context.%s(): thread the ctx parameter instead", fn.Name.Name, f.Name())
+			return true
+		}
+		// Rule 2: don't fall back to a non-Ctx sibling. A call to Foo
+		// that passes no context, on a receiver (or in a package) that
+		// also offers FooCtx, silently strips the deadline.
+		if strings.HasSuffix(f.Name(), "Ctx") || passesContext(info, call) {
+			return true
+		}
+		if sibling := ctxSibling(info, call, f); sibling != "" {
+			pass.Reportf(call.Pos(), "%s calls %s without the context: use %s so the deadline keeps traveling", fn.Name.Name, f.Name(), sibling)
+		}
+		return true
+	})
+}
+
+// passesContext reports whether any argument of the call is a
+// context.Context.
+func passesContext(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && tv.Type != nil && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSibling returns the name of the FooCtx twin of the callee, when
+// one exists on the same receiver type or in the same package.
+func ctxSibling(info *types.Info, call *ast.CallExpr, f *types.Func) string {
+	want := f.Name() + "Ctx"
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		// Method: look the sibling up in the receiver's method set.
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		tv, ok := info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return ""
+		}
+		obj, _, _ := types.LookupFieldOrMethod(tv.Type, true, f.Pkg(), want)
+		if m, ok := obj.(*types.Func); ok {
+			return recvString(sig.Recv()) + "." + m.Name()
+		}
+		return ""
+	}
+	// Package function: look for a package-scope twin.
+	if f.Pkg() == nil {
+		return ""
+	}
+	if _, ok := f.Pkg().Scope().Lookup(want).(*types.Func); ok {
+		return f.Pkg().Name() + "." + want
+	}
+	return ""
+}

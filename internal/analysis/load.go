@@ -1,0 +1,238 @@
+// The loader: enumerate packages under ./...-style patterns, parse them
+// (tests included), and type-check against the stdlib source importer —
+// no external tooling, no network, no go.sum entries.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one type-checked body of code: a package together with its
+// in-package test files, or a package's external (_test) test package.
+type Unit struct {
+	// Path is the unit's import path. Real packages get
+	// module-path-qualified paths; golden-corpus packages are keyed by
+	// their directory below testdata/src.
+	Path string
+	// Dir is the absolute directory the files came from.
+	Dir string
+	// Test marks an external test package (package foo_test).
+	Test bool
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks every package matched by the patterns
+// ("./internal/...", "./cmd/ohpc-lint", ...) relative to root, which
+// must be the module root (the directory holding go.mod). Each matched
+// directory yields up to two units: the package including its
+// in-package test files, and — when present — its external test
+// package.
+func Load(root string, patterns []string) ([]*Unit, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := matchDirs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// One source importer shared by every unit: it type-checks imported
+	// packages (stdlib and this module alike) from source and caches
+	// them across Import calls.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var units []*Unit
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		us, err := loadDir(fset, imp, dir, importPath)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// LoadDir loads one directory outside the normal pattern walk — the
+// golden-test harness uses it to type-check a corpus package under
+// testdata with a synthetic import path.
+func LoadDir(dir, importPath string) ([]*Unit, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return loadDir(fset, imp, dir, importPath)
+}
+
+// modulePath reads the module path out of root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// matchDirs expands the patterns into package directories, skipping
+// testdata and hidden directories.
+func matchDirs(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		base := filepath.Join(root, filepath.FromSlash(pat))
+		info, err := os.Stat(base)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q: not a directory", pat)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			}
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses one directory and type-checks its units.
+func loadDir(fset *token.FileSet, imp types.Importer, dir, importPath string) ([]*Unit, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	bctx := build.Default
+	var pkgFiles, extFiles []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		// Honor build constraints with the default tag set, so files
+		// like race_on_test.go (//go:build race) don't double-declare
+		// symbols against their !race twin.
+		if ok, err := bctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		if strings.HasSuffix(file.Name.Name, "_test") {
+			extFiles = append(extFiles, file)
+		} else {
+			pkgFiles = append(pkgFiles, file)
+		}
+	}
+	var units []*Unit
+	if len(pkgFiles) > 0 {
+		u, err := check(fset, imp, dir, importPath, pkgFiles, false)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	if len(extFiles) > 0 {
+		u, err := check(fset, imp, dir, importPath+"_test", extFiles, true)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// check type-checks one unit's files.
+func check(fset *token.FileSet, imp types.Importer, dir, path string, files []*ast.File, test bool) (*Unit, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var tcErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if len(tcErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, errors.Join(tcErrs...))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Unit{Path: path, Dir: dir, Test: test, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockedBlock forbids blocking while a mutex is explicitly held: between
+// an `x.Lock()` (or RLock) statement and its matching `x.Unlock()` in
+// the same statement list, there may be no channel send or receive, no
+// Invoke* call, no net.Conn Read/Write, and no clock wait. The mux and
+// pool deadlocks PR 2 fixed were exactly this shape — a send into a
+// full channel, or a shaped netsim write, while holding the mutex the
+// read loop needed to make progress.
+//
+// Scope is the analyzable case: an explicit Lock/Unlock pair as sibling
+// statements. `defer x.Unlock()` regions span the whole function and
+// routinely contain condition waits (which release the lock), so they
+// are left to review. Function literals between the pair run later
+// (goroutines, defers) and are skipped.
+var LockedBlock = &Analyzer{
+	Name: "lockedblock",
+	Doc:  "no channel ops, Invoke*, net.Conn I/O, or clock waits between an explicit Lock() and its Unlock()",
+	Run:  runLockedBlock,
+}
+
+func runLockedBlock(pass *Pass) {
+	netConn := lookupNetConn(pass.Pkg())
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkLockRegions(pass, netConn, block.List)
+			return true
+		})
+	}
+}
+
+// checkLockRegions finds Lock/Unlock sibling pairs in one statement
+// list and inspects the statements between them.
+func checkLockRegions(pass *Pass, netConn *types.Interface, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		recv, locking := lockCall(s, "Lock", "RLock")
+		if !locking {
+			continue
+		}
+		for j := i + 1; j < len(stmts); j++ {
+			unlockRecv, unlocking := lockCall(stmts[j], "Unlock", "RUnlock")
+			if !unlocking || unlockRecv != recv {
+				continue
+			}
+			region := stmts[i+1 : j]
+			lockPos := pass.Fset().Position(s.Pos())
+			for _, rs := range region {
+				walkStack(rs, func(n ast.Node, stack []ast.Node) bool {
+					if _, ok := n.(*ast.FuncLit); ok {
+						return false // runs later, not under the lock
+					}
+					if what := blockingOp(pass, netConn, n, stack); what != "" {
+						pass.Reportf(n.Pos(), "%s while %s is locked (Lock at line %d): move it outside the critical section", what, recv, lockPos.Line)
+					}
+					return true
+				})
+			}
+			break
+		}
+	}
+}
+
+// lockCall matches an ExprStmt of the form X.Lock() / X.Unlock() and
+// returns the printed receiver expression.
+func lockCall(s ast.Stmt, names ...string) (string, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	for _, name := range names {
+		if sel.Sel.Name == name {
+			return types.ExprString(sel.X), true
+		}
+	}
+	return "", false
+}
+
+// blockingOp classifies a node inside a critical region; non-empty
+// means it can block the lock holder.
+func blockingOp(pass *Pass, netConn *types.Interface, n ast.Node, stack []ast.Node) string {
+	info := pass.Info()
+	switch op := n.(type) {
+	case *ast.SendStmt:
+		if insideNonBlockingSelect(stack) {
+			return ""
+		}
+		return "channel send"
+	case *ast.UnaryExpr:
+		if op.Op.String() != "<-" {
+			return ""
+		}
+		if insideNonBlockingSelect(stack) {
+			return ""
+		}
+		return "channel receive"
+	case *ast.CallExpr:
+		f := calleeFunc(info, op)
+		if f == nil {
+			return ""
+		}
+		name := f.Name()
+		if len(name) >= len("Invoke") && name[:len("Invoke")] == "Invoke" {
+			return name + " call"
+		}
+		// Clock waits: package-level clock.Sleep/SleepCtx/After or
+		// Sleeper/Afterer methods on a clock type.
+		if pathHasSuffix(funcPkgPath(f), "internal/clock") {
+			switch name {
+			case "Sleep", "SleepCtx", "After":
+				return "clock wait (" + name + ")"
+			}
+		}
+		// net.Conn I/O.
+		if (name == "Read" || name == "Write") && netConn != nil {
+			if sel, ok := ast.Unparen(op.Fun).(*ast.SelectorExpr); ok {
+				if tv, ok := info.Types[sel.X]; ok && tv.Type != nil && types.Implements(tv.Type, netConn) {
+					return "net.Conn " + name
+				}
+			}
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// insideNonBlockingSelect reports whether the innermost enclosing
+// select has a default clause (making its channel ops non-blocking).
+func insideNonBlockingSelect(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if sel, ok := stack[i].(*ast.SelectStmt); ok {
+			return hasDefaultComm(sel.Body)
+		}
+	}
+	return false
+}
+
+func hasDefaultComm(body *ast.BlockStmt) bool {
+	for _, s := range body.List {
+		if cc, ok := s.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoSleep flags direct waits on the wall clock — time.Sleep,
+// time.After, time.NewTimer — everywhere outside internal/clock, test
+// files included. The PR-3 determinism sweep (make determinism: -count=3
+// -shuffle=on -race over the fault suites) only holds because waits go
+// through the injected clock.Clock/Afterer, where a clock.Fake turns
+// them into simulated time; one raw time.Sleep reintroduces run-order
+// and wall-clock luck.
+var NoSleep = &Analyzer{
+	Name: "nosleep",
+	Doc:  "time.Sleep/time.After/time.NewTimer outside internal/clock; use the injected clock.Clock",
+	Run:  runNoSleep,
+}
+
+// noSleepFuncs are the time package entry points that wait on (or arm
+// waits on) the wall clock. time.AfterFunc/NewTicker drive callbacks
+// rather than blocking the caller and stay out of scope for now.
+var noSleepFuncs = map[string]string{
+	"Sleep":    "clock.Sleep / clock.SleepCtx",
+	"After":    "clock.After",
+	"NewTimer": "clock.After",
+}
+
+func runNoSleep(pass *Pass) {
+	if pathHasSuffix(pass.Pkg().Path(), "internal/clock") {
+		// internal/clock is the one audited home for real waits: every
+		// other package reaches them through its injectable interfaces.
+		return
+	}
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f, ok := pass.Info().Uses[sel.Sel].(*types.Func)
+			if !ok || funcPkgPath(f) != "time" {
+				return true
+			}
+			// Package functions only: time.Now().After(t) is the
+			// Time.After *method* — a pure comparison, not a wait.
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			repl, hit := noSleepFuncs[f.Name()]
+			if !hit {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s outside internal/clock: use %s with an injected clock so tests stay deterministic", f.Name(), repl)
+			return true
+		})
+	}
+}

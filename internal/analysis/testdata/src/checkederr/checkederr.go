@@ -1,0 +1,42 @@
+// Golden corpus for the checkederr analyzer: discarded errors from the
+// wire codec, transport/net.Conn send & close, and capability
+// transforms are flagged; an explicit `_ =` is an acknowledged discard.
+package checkederr
+
+import (
+	"bytes"
+	"net"
+
+	"openhpcxx/internal/capability"
+	"openhpcxx/internal/transport"
+	"openhpcxx/internal/wire"
+)
+
+func codec(buf *bytes.Buffer, msg *wire.Message) {
+	wire.Write(buf, msg) // want "unchecked error from wire.Write"
+	_ = wire.Write(buf, msg)
+	if err := wire.Write(buf, msg); err != nil {
+		panic(err)
+	}
+}
+
+func teardown(m *transport.Mux, c net.Conn, msg *wire.Message) {
+	m.Close()       // want "unchecked error from transport Mux.Close"
+	defer m.Close() // want "unchecked error from transport Mux.Close"
+	go m.Post(msg)  // want "unchecked error from transport Mux.Post"
+	c.Close()       // want "unchecked error from net.Conn Close"
+	_ = m.Close()
+	_ = c.Close()
+}
+
+func caps(a *capability.Audit, f *capability.Frame) {
+	a.Process(f, nil) // want "unchecked error from capability Audit.Process"
+	if _, _, err := a.Process(f, nil); err != nil {
+		panic(err)
+	}
+}
+
+func suppressed(c net.Conn) {
+	//lint:ignore checkederr corpus example: close error deliberately dropped
+	c.Close()
+}

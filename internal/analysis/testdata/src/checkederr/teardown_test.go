@@ -1,0 +1,19 @@
+// In-package test file of the checkederr corpus: the transport and
+// net.Conn close family is OFF in _test.go files (deferred closes in
+// test teardown are conventional), but codec and capability errors stay
+// flagged — a test that drops an Encode error asserts nothing.
+package checkederr
+
+import (
+	"bytes"
+	"net"
+
+	"openhpcxx/internal/transport"
+	"openhpcxx/internal/wire"
+)
+
+func testishTeardown(m *transport.Mux, c net.Conn, msg *wire.Message) {
+	m.Close()                        // no finding: transport close family is off in test files
+	defer c.Close()                  // no finding: conventional teardown
+	wire.Write(&bytes.Buffer{}, msg) // want "unchecked error from wire.Write"
+}

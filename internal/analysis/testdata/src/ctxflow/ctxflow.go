@@ -1,0 +1,41 @@
+// Golden corpus for the ctxflow analyzer: an exported *Ctx function
+// exists to thread its caller's deadline. Minting context.Background()
+// inside one, or calling the non-Ctx sibling of a callee that has one,
+// silently severs the chain.
+package ctxflow
+
+import "context"
+
+// Store offers both plain and context-threading accessors.
+type Store struct{}
+
+func (s *Store) Get(key string) error                         { return nil }
+func (s *Store) GetCtx(ctx context.Context, key string) error { return nil }
+func (s *Store) Drop(key string) error                        { return nil }
+
+// FetchCtx is the shape under test: exported, Ctx-suffixed, takes a
+// context.
+func FetchCtx(ctx context.Context, s *Store, key string) error {
+	bg := context.Background() // want "FetchCtx drops the caller's context"
+	_ = bg
+	if err := s.Get(key); err != nil { // want "FetchCtx calls Get without the context: use Store.GetCtx"
+		return err
+	}
+	if err := s.Drop(key); err != nil { // no Ctx sibling exists: fine
+		return err
+	}
+	return s.GetCtx(ctx, key)
+}
+
+// GoodCtx threads properly: derived contexts and Ctx siblings only.
+func GoodCtx(ctx context.Context, s *Store, key string) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return s.GetCtx(ctx, key)
+}
+
+// Fetch is not Ctx-suffixed, so a root context inside it is its own
+// business (it is the documented non-Ctx delegator shape).
+func Fetch(s *Store, key string) error {
+	return s.GetCtx(context.Background(), key)
+}

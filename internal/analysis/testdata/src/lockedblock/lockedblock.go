@@ -1,0 +1,64 @@
+// Golden corpus for the lockedblock analyzer: between an explicit
+// Lock() and its sibling Unlock() there may be no channel op, Invoke*
+// call, net.Conn I/O, or clock wait. Function literals run later;
+// selects with a default are non-blocking; defer-unlock regions are
+// left to review by design.
+package lockedblock
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/clock"
+)
+
+// InvokeEcho stands in for the ORB's Invoke* entry points.
+func InvokeEcho() {}
+
+func bad(mu *sync.Mutex, ch chan int, clk clock.Clock, c net.Conn) {
+	mu.Lock()
+	ch <- 1                            // want "channel send while mu is locked"
+	<-ch                               // want "channel receive while mu is locked"
+	InvokeEcho()                       // want "InvokeEcho call while mu is locked"
+	clock.Sleep(clk, time.Millisecond) // want "clock wait .Sleep. while mu is locked"
+	c.Write(nil)                       // want "net.Conn Write while mu is locked"
+	mu.Unlock()
+}
+
+func badRead(mu *sync.RWMutex, ch chan int) {
+	mu.RLock()
+	<-ch // want "channel receive while mu is locked"
+	mu.RUnlock()
+}
+
+func okNonBlocking(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	select {
+	case ch <- 1: // non-blocking: the select has a default
+	default:
+	}
+	mu.Unlock()
+}
+
+func okFuncLit(mu *sync.Mutex, ch chan int) func() {
+	mu.Lock()
+	f := func() { ch <- 1 } // runs after the unlock
+	mu.Unlock()
+	return f
+}
+
+func okDeferred(mu *sync.Mutex, ch chan int) {
+	// Deferred-unlock regions span the whole function and routinely
+	// hold condition waits; they are out of scope by design.
+	mu.Lock()
+	defer mu.Unlock()
+	ch <- 1
+}
+
+func suppressed(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	//lint:ignore lockedblock corpus example: buffered channel with reserved capacity
+	ch <- 1
+	mu.Unlock()
+}

@@ -1,0 +1,31 @@
+// Golden corpus for the nosleep analyzer: raw waits on the wall clock
+// are flagged everywhere outside internal/clock; waits routed through
+// the injectable clock, and mere time *comparisons*, are not.
+package nosleep
+
+import (
+	"time"
+
+	"openhpcxx/internal/clock"
+)
+
+func bad() {
+	time.Sleep(time.Millisecond)    // want "time.Sleep outside internal/clock"
+	<-time.After(time.Second)       // want "time.After outside internal/clock"
+	t := time.NewTimer(time.Second) // want "time.NewTimer outside internal/clock"
+	t.Stop()
+}
+
+func good(clk clock.Clock) {
+	clock.Sleep(clk, time.Millisecond)
+	<-clock.After(clk, time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for !time.Now().After(deadline) { // Time.After method: a comparison, not a wait
+		break
+	}
+}
+
+func suppressed() {
+	//lint:ignore nosleep corpus example of a deliberate, annotated real sleep
+	time.Sleep(time.Millisecond)
+}

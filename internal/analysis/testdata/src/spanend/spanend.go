@@ -1,0 +1,89 @@
+// Golden corpus for the spanend analyzer: every *obs.Active must reach
+// End() on every path, unless ownership demonstrably leaves the
+// function (return, argument, closure) or the path is vacuous under a
+// nil guard (Active methods are nil-safe).
+package spanend
+
+import (
+	"errors"
+
+	"openhpcxx/internal/obs"
+)
+
+func discarded(tr *obs.Tracer) {
+	tr.StartRoot(obs.KindClient, "op") // want "span started and discarded"
+}
+
+func leakyReturn(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartRoot(obs.KindClient, "op")
+	if fail {
+		return errors.New("boom") // want "span sp is still open on this return path"
+	}
+	sp.End()
+	return nil
+}
+
+func fallsOff(tr *obs.Tracer, n int) {
+	sp := tr.StartRoot(obs.KindClient, "op") // want "span sp is still open when fallsOff falls off the end"
+	sp.SetBytes(n)
+}
+
+func loopLeak(tr *obs.Tracer, n int) {
+	for i := 0; i < n; i++ {
+		sp := tr.StartRoot(obs.KindClient, "op") // want "span sp started inside the loop body is still open"
+		sp.SetBytes(i)
+	}
+}
+
+func ended(tr *obs.Tracer, err error) {
+	sp := tr.StartRoot(obs.KindClient, "op")
+	sp.SetErr(err)
+	sp.End()
+}
+
+func deferred(tr *obs.Tracer, work func()) {
+	sp := tr.StartRoot(obs.KindServer, "op")
+	defer sp.End()
+	work()
+}
+
+func nilGuarded(tr *obs.Tracer, fail bool) error {
+	sp := tr.StartRoot(obs.KindClient, "op")
+	if sp == nil {
+		// Vacuous: a nil span has nothing to End.
+		return errors.New("tracing disabled")
+	}
+	if fail {
+		sp.End()
+		return errors.New("boom")
+	}
+	sp.End()
+	return nil
+}
+
+func originGuarded(tr *obs.Tracer, root *obs.Active) {
+	child := root.Child("sub")
+	// Child is nil-safe off a nil root, so guarding on the origin
+	// covers the span too.
+	if root != nil {
+		child.End()
+	}
+}
+
+func handoff(tr *obs.Tracer) *obs.Active {
+	sp := tr.StartRoot(obs.KindClient, "op")
+	return sp // ownership moves to the caller
+}
+
+func escapesIntoClosure(tr *obs.Tracer, spawn func(func())) {
+	sp := tr.StartRoot(obs.KindClient, "op")
+	spawn(func() { sp.End() }) // ends later, on the closure's schedule
+}
+
+func terminal(tr *obs.Tracer, bad bool) {
+	sp := tr.StartRoot(obs.KindClient, "op")
+	if bad {
+		panic("boom") // terminal: the process is gone, not the span
+	}
+	sp.End()
+}

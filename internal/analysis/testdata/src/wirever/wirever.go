@@ -1,0 +1,32 @@
+// Golden corpus for the wirever analyzer: comparing or branching on a
+// wire version constant outside internal/wire leaks back-compat logic
+// out of the codec. Referencing the constant (stamping, printing) is
+// fine.
+package wirever
+
+import (
+	"fmt"
+
+	"openhpcxx/internal/wire"
+)
+
+func bad(v uint32) string {
+	if v < wire.Version { // want "wire version constant Version"
+		return "old"
+	}
+	switch v {
+	case wire.Version: // want "wire version constant Version"
+		return "current"
+	}
+	switch wire.Version { // want "wire version constant Version"
+	default:
+		return "?"
+	}
+}
+
+func good() string {
+	// Plain references: stamping a header or printing the version does
+	// not branch on it.
+	hdr := struct{ Ver uint32 }{Ver: wire.Version}
+	return fmt.Sprint(hdr.Ver, wire.Version)
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// WireVer keeps wire-format version knowledge inside the codec. The
+// header decoder accepts v1..v3 frames and fills missing fields with
+// zeroes; that back-compat contract lives in internal/wire and nowhere
+// else. The moment a protocol, transport, or capability branches on a
+// wire version constant, v1/v2/v3 semantics leak out of the codec and
+// every future version bump has to chase them down. Referencing a
+// version constant (stamping it into a header, printing it) is fine;
+// comparing or switching on one outside internal/wire is not.
+var WireVer = &Analyzer{
+	Name: "wirever",
+	Doc:  "wire version constants compared/branched only inside internal/wire",
+	Run:  runWireVer,
+}
+
+var wireVerName = regexp.MustCompile(`^(V[0-9]+|[Vv]ersion|[Mm]inVersion)$`)
+
+func runWireVer(pass *Pass) {
+	if pathHasSuffix(pass.Pkg().Path(), "internal/wire") {
+		return
+	}
+	for _, file := range pass.Files() {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			c, ok := pass.Info().Uses[id].(*types.Const)
+			if !ok || c.Pkg() == nil || !pathHasSuffix(c.Pkg().Path(), "internal/wire") || !wireVerName.MatchString(c.Name()) {
+				return true
+			}
+			if ctx := versionBranchContext(n, stack); ctx != "" {
+				pass.Reportf(id.Pos(), "wire version constant %s %s outside internal/wire: version back-compat logic belongs in the wire codec", c.Name(), ctx)
+			}
+			return true
+		})
+	}
+}
+
+// versionBranchContext reports how the identifier participates in a
+// branch: as a comparison operand, a switch tag, or a case value.
+// Returns "" when the use is a plain reference.
+func versionBranchContext(n ast.Node, stack []ast.Node) string {
+	// Climb through the selector/parens wrapping the identifier.
+	node := n
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.SelectorExpr, *ast.ParenExpr:
+			node = stack[i]
+			continue
+		case *ast.BinaryExpr:
+			switch parent.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				return "compared"
+			}
+			return ""
+		case *ast.SwitchStmt:
+			if parent.Tag == node {
+				return "switched on"
+			}
+			return ""
+		case *ast.CaseClause:
+			for _, v := range parent.List {
+				if v == node {
+					return "used as a case value"
+				}
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+	return ""
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/health"
 	"openhpcxx/internal/netsim"
@@ -54,6 +55,10 @@ type R1Config struct {
 	Pace time.Duration
 	// Ints is the array length exchanged per call (default 16).
 	Ints int
+	// Clock paces the call loop (default the real clock, matching the
+	// real-time netsim shaping). Tests inject a fake to make pacing
+	// cost simulated time only.
+	Clock clock.Clock
 }
 
 func (c *R1Config) fill() {
@@ -71,6 +76,9 @@ func (c *R1Config) fill() {
 	}
 	if c.Ints <= 0 {
 		c.Ints = 16
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
 	}
 }
 
@@ -249,7 +257,7 @@ func runR1Mode(cfg R1Config, failover bool) (R1Point, []string, error) {
 		default:
 			pt.Failed++
 		}
-		time.Sleep(cfg.Pace)
+		clock.Sleep(cfg.Clock, cfg.Pace)
 	}
 	run.Wait()
 

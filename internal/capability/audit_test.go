@@ -43,7 +43,9 @@ func TestAuditNilSinkDiscards(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	a.AttachSink(&buf)
-	a.Process(f, nil)
+	if _, _, err := a.Process(f, nil); err != nil {
+		t.Fatal(err)
+	}
 	if a.Seq() != 1 || buf.Len() == 0 {
 		t.Fatal("attached sink not used")
 	}

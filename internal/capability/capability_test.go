@@ -407,10 +407,16 @@ func TestChecksum(t *testing.T) {
 func TestTraceCounters(t *testing.T) {
 	tr := NewTrace()
 	f := reqFrame()
-	tr.Process(f, make([]byte, 10))
-	tr.Unprocess(f, nil, make([]byte, 20))
+	if _, _, err := tr.Process(f, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Unprocess(f, nil, make([]byte, 20)); err != nil {
+		t.Fatal(err)
+	}
 	rf := &Frame{Dir: Reply}
-	tr.Process(rf, make([]byte, 5))
+	if _, _, err := tr.Process(rf, make([]byte, 5)); err != nil {
+		t.Fatal(err)
+	}
 	s := tr.Stats()
 	if s.Requests != 2 || s.Replies != 1 || s.ReqBytes != 30 || s.RepBytes != 5 ||
 		s.Processed != 2 || s.Reversed != 1 {

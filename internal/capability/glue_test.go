@@ -481,7 +481,7 @@ func TestGlueOneWayPost(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		select {
 		case <-hits:
-		case <-time.After(2 * time.Second):
+		case <-clock.After(clock.Real{}, 2*time.Second):
 			t.Fatalf("one-way %d never arrived", i)
 		}
 	}

@@ -134,6 +134,7 @@ func (f *Fake) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
 	f.mu.Lock()
 	if d <= 0 {
+		//lint:ignore lockedblock ch is freshly made with capacity 1 and has no other sender; the send can never block
 		ch <- f.now
 	} else {
 		f.waiters = append(f.waiters, fakeWaiter{at: f.now.Add(d), ch: ch})

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/future"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
@@ -70,7 +71,7 @@ func (ct *concurrencyTracker) methods() map[string]Method {
 				ct.maxSeen = ct.cur
 			}
 			ct.mu.Unlock()
-			time.Sleep(ct.hold)
+			clock.Sleep(clock.Real{}, ct.hold)
 			ct.mu.Lock()
 			ct.cur--
 			ct.mu.Unlock()
@@ -171,7 +172,7 @@ func TestInvokeAsyncCancel(t *testing.T) {
 	go func() { admitted <- gp.InvokeAsync("echo2", nil) }()
 	select {
 	case <-admitted:
-	case <-time.After(2 * time.Second):
+	case <-clock.After(clock.Real{}, 2*time.Second):
 		t.Fatal("limiter slot was not released by Cancel")
 	}
 	close(release)
@@ -350,7 +351,7 @@ func TestOneWayPostDuringAsync(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		select {
 		case <-done:
-		case <-time.After(2 * time.Second):
+		case <-clock.After(clock.Real{}, 2*time.Second):
 			t.Fatalf("one-way %d never executed (saw %d)", i, oneways.Load())
 		}
 	}
@@ -395,7 +396,7 @@ func TestSharedGlobalPtrStress(t *testing.T) {
 		cur, other := ctx1, ctx2
 		s := s1
 		for i := 0; i < migrates; i++ {
-			time.Sleep(3 * time.Millisecond)
+			clock.Sleep(clock.Real{}, 3*time.Millisecond)
 			ns, err := other.ExportAs(s.ID(), s.Iface(), nil, echoMethods(), s.Epoch()+1)
 			if err != nil {
 				t.Errorf("migrate %d: %v", i, err)
@@ -418,7 +419,7 @@ func TestSharedGlobalPtrStress(t *testing.T) {
 				return
 			default:
 				gp.Invalidate()
-				time.Sleep(time.Millisecond)
+				clock.Sleep(clock.Real{}, time.Millisecond)
 			}
 		}
 	}()

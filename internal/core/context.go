@@ -483,7 +483,9 @@ func (c *Context) Close() {
 	c.muxes.Close()
 	c.nexusMu.Lock()
 	if c.nexusNode != nil {
-		c.nexusNode.Close()
+		// Best-effort teardown: the node's sockets are going away with
+		// the context either way.
+		_ = c.nexusNode.Close()
 	}
 	c.nexusMu.Unlock()
 }

@@ -10,6 +10,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -667,7 +668,7 @@ func TestOneWayPost(t *testing.T) {
 		if string(got) != "fire-and-forget" {
 			t.Fatalf("got %q", got)
 		}
-	case <-time.After(2 * time.Second):
+	case <-clock.After(clock.Real{}, 2*time.Second):
 		t.Fatal("one-way request never arrived")
 	}
 	if got := rt.Metrics().Counter("rpc.hpcx-tcp.oneway").Value(); got != 1 {
@@ -696,7 +697,7 @@ func TestOneWayPostOverNexus(t *testing.T) {
 	}
 	select {
 	case <-hits:
-	case <-time.After(2 * time.Second):
+	case <-clock.After(clock.Real{}, 2*time.Second):
 		t.Fatal("nexus one-way never arrived")
 	}
 }
@@ -726,7 +727,7 @@ func waitCounter(rt *Runtime, name string, want uint64) uint64 {
 		if v >= want || time.Now().After(deadline) {
 			return v
 		}
-		time.Sleep(time.Millisecond)
+		clock.Sleep(clock.Real{}, time.Millisecond)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/health"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/obs/obstest"
@@ -308,7 +309,7 @@ func TestSharedGlobalPtrCrashRestartStress(t *testing.T) {
 					t.Errorf("worker %d call %d lost: %v", w, i, err)
 					return
 				}
-				time.Sleep(time.Millisecond)
+				clock.Sleep(clock.Real{}, time.Millisecond)
 			}
 		}(w)
 	}
@@ -318,9 +319,9 @@ func TestSharedGlobalPtrCrashRestartStress(t *testing.T) {
 	go func() {
 		defer chaosWG.Done()
 		for c := 0; c < cycles; c++ {
-			time.Sleep(8 * time.Millisecond)
+			clock.Sleep(clock.Real{}, 8*time.Millisecond)
 			n.Crash("mA")
-			time.Sleep(8 * time.Millisecond)
+			clock.Sleep(clock.Real{}, 8*time.Millisecond)
 			n.Restart("mA")
 			_ = primary.BindSim(failoverPrimaryPort)
 		}

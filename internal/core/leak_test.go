@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"openhpcxx/internal/clock"
 )
 
 // leakCheck asserts the goroutine count returns to (near) its starting
@@ -26,7 +28,7 @@ func leakCheck(t *testing.T, fn func()) {
 			n := runtime.Stack(buf, true)
 			t.Fatalf("goroutines leaked: %d -> %d\n%s", before, after, buf[:n])
 		}
-		time.Sleep(20 * time.Millisecond)
+		clock.Sleep(clock.Real{}, 20*time.Millisecond)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/xdr"
 )
 
@@ -93,7 +94,7 @@ func TestWaitAll(t *testing.T) {
 	a, b, c := New(), New(), New()
 	errB := errors.New("b failed")
 	go func() {
-		time.Sleep(time.Millisecond)
+		clock.Sleep(clock.Real{}, time.Millisecond)
 		a.Complete(nil)
 		b.Fail(errB)
 		c.Fail(errors.New("c failed"))
@@ -112,7 +113,7 @@ func TestWaitAny(t *testing.T) {
 	}
 	a, b := New(), New()
 	go func() {
-		time.Sleep(time.Millisecond)
+		clock.Sleep(clock.Real{}, time.Millisecond)
 		b.Complete([]byte("b"))
 	}()
 	if got := WaitAny(a, b); got != 1 {

@@ -193,7 +193,7 @@ func TestBackgroundProberRecloses(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("background prober never re-closed the breaker")
 		}
-		time.Sleep(2 * time.Millisecond)
+		clock.Sleep(clock.Real{}, 2*time.Millisecond)
 	}
 }
 

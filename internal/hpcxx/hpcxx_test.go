@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/migrate"
 	"openhpcxx/internal/netsim"
@@ -167,7 +168,7 @@ func TestGroupPost(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("posts handled: %d", rt.Metrics().Counter("srv.oneway").Value())
 		}
-		time.Sleep(time.Millisecond)
+		clock.Sleep(clock.Real{}, time.Millisecond)
 	}
 }
 
@@ -251,14 +252,14 @@ func TestBarrierBlocksUntilFull(t *testing.T) {
 	select {
 	case <-released:
 		t.Fatal("barrier released with one party")
-	case <-time.After(50 * time.Millisecond):
+	case <-clock.After(clock.Real{}, 50*time.Millisecond):
 	}
 	if _, err := NewBarrier(c2, ref).Await(); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case <-released:
-	case <-time.After(2 * time.Second):
+	case <-clock.After(clock.Real{}, 2*time.Second):
 		t.Fatal("first party never released")
 	}
 }

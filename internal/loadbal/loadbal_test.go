@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/migrate"
 	"openhpcxx/internal/netsim"
@@ -338,7 +339,7 @@ func TestDaemonRebalances(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("daemon never moved the object")
 		}
-		time.Sleep(time.Millisecond)
+		clock.Sleep(clock.Real{}, time.Millisecond)
 	}
 	d.Stop()
 	d.Stop() // idempotent
@@ -347,7 +348,7 @@ func TestDaemonRebalances(t *testing.T) {
 		t.Fatal("no passes recorded")
 	}
 	// After Stop, no further passes run.
-	time.Sleep(20 * time.Millisecond)
+	clock.Sleep(clock.Real{}, 20*time.Millisecond)
 	if d.Passes() != passes {
 		t.Fatal("daemon still running after Stop")
 	}

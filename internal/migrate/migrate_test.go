@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"openhpcxx/internal/capability"
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/registry"
@@ -429,7 +430,7 @@ func TestConcurrentInvokesDuringMove(t *testing.T) {
 		}(w)
 	}
 	// Migrate mid-storm.
-	time.Sleep(2 * time.Millisecond)
+	clock.Sleep(clock.Real{}, 2*time.Millisecond)
 	newRef, err := MoveLocal(src, ref, dst)
 	if err != nil {
 		t.Fatal(err)
@@ -584,7 +585,7 @@ func TestChaoticMigrationUnderLoad(t *testing.T) {
 	cur := ref
 	at := 0
 	for hop := 0; hop < 6; hop++ {
-		time.Sleep(3 * time.Millisecond)
+		clock.Sleep(clock.Real{}, 3*time.Millisecond)
 		next := (at + 1) % len(hosts)
 		moved, err := MoveLocal(hosts[at], cur, hosts[next])
 		if err != nil {

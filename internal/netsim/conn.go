@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"openhpcxx/internal/clock"
 )
 
 // ErrClosed is returned by operations on a closed simulated connection.
@@ -79,10 +81,14 @@ type halfPipe struct {
 	// the link (injected delay, blackhole); shared with the Network so
 	// faults apply to established connections, not just new dials.
 	dir *DirFault
+	// clk paces the in-flight waits (shaping delays, blackhole polls).
+	// Real by default; tests inject a fake via Conn.SetClock so shaped
+	// reads advance simulated time instead of wall-clock time.
+	clk clock.Clock
 }
 
 func newHalfPipe(p LinkProfile) *halfPipe {
-	h := &halfPipe{profile: p, window: 1 << 20}
+	h := &halfPipe{profile: p, window: 1 << 20, clk: clock.Real{}}
 	h.cond = sync.NewCond(&h.mu)
 	return h
 }
@@ -179,19 +185,20 @@ func (h *halfPipe) read(p []byte) (int, error) {
 	}
 }
 
-// sleepOrDeadline sleeps for d unless the read deadline fires first; it
-// reports false when the deadline fired.
+// sleepOrDeadline sleeps for d on the pipe's clock unless the read
+// deadline fires first; it reports false when the deadline fired.
 func (h *halfPipe) sleepOrDeadline(d time.Duration) bool {
 	h.mu.Lock()
 	dead := h.rdDead
+	clk := h.clk
 	h.mu.Unlock()
 	if !dead.IsZero() {
 		if until := time.Until(dead); until < d {
-			time.Sleep(maxDuration(until, 0))
+			clock.Sleep(clk, maxDuration(until, 0))
 			return false
 		}
 	}
-	time.Sleep(d)
+	clock.Sleep(clk, d)
 	return true
 }
 
@@ -324,6 +331,17 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 
 // SetWriteDeadline implements net.Conn as a no-op; see SetDeadline.
 func (c *Conn) SetWriteDeadline(time.Time) error { return nil }
+
+// SetClock injects the clock pacing this connection's shaped waits
+// (both directions). The default is the real clock; tests inject a
+// fake so latency simulation costs simulated time only.
+func (c *Conn) SetClock(clk clock.Clock) {
+	for _, h := range []*halfPipe{c.recv, c.send} {
+		h.mu.Lock()
+		h.clk = clk
+		h.mu.Unlock()
+	}
+}
 
 // Profile returns the link profile shaping this connection.
 func (c *Conn) Profile() LinkProfile { return c.send.profile }

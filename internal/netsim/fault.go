@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"openhpcxx/internal/clock"
 )
 
 // ErrConnReset is the error observed on connections torn down by a
@@ -138,6 +140,17 @@ type FaultEvent struct {
 // 800ms to 1s" and replay the schedule deterministically.
 type FaultPlan struct {
 	events []FaultEvent
+	// clk paces the schedule when Run executes it. Nil means the real
+	// clock (the netsim shapes traffic in real time); SetClock injects a
+	// fake for tests that drive the schedule manually.
+	clk clock.Clock
+}
+
+// SetClock injects the clock that paces Run's event schedule; the
+// default is the real clock.
+func (p *FaultPlan) SetClock(clk clock.Clock) *FaultPlan {
+	p.clk = clk
+	return p
 }
 
 // Add appends an arbitrary event.
@@ -204,17 +217,19 @@ func (p *FaultPlan) Run(n *Network) *FaultRun {
 	copy(evs, p.events)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
 	r := &FaultRun{done: make(chan struct{}), stop: make(chan struct{})}
-	start := time.Now()
+	clk := p.clk
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	start := clk.Now()
 	go func() {
 		defer close(r.done)
 		for _, ev := range evs {
-			wait := ev.At - time.Since(start)
+			wait := ev.At - clk.Now().Sub(start)
 			if wait > 0 {
-				t := time.NewTimer(wait)
 				select {
-				case <-t.C:
+				case <-clock.After(clk, wait):
 				case <-r.stop:
-					t.Stop()
 					return
 				}
 			} else {

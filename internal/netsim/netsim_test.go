@@ -8,6 +8,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"openhpcxx/internal/clock"
 )
 
 func TestLocalityRelations(t *testing.T) {
@@ -319,7 +321,7 @@ func TestListenerCloseUnblocksAccept(t *testing.T) {
 		_, err := l.Accept()
 		done <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	clock.Sleep(clock.Real{}, 10*time.Millisecond)
 	l.Close()
 	if err := <-done; err != ErrClosed {
 		t.Fatalf("Accept after close: %v", err)

@@ -282,8 +282,10 @@ func (n *Network) Dial(from MachineID, to Addr) (*Conn, error) {
 	client.send.dir, server.send.dir = fwd, rev
 	n.registerConn(client, from, to.Machine)
 	if err := l.deliver(server); err != nil {
-		client.Close()
-		server.Close()
+		// Failed handoff: tear both ends down; their Close never errors
+		// and the deliver error is what the caller needs.
+		_ = client.Close()
+		_ = server.Close()
 		return nil, err
 	}
 	return client, nil

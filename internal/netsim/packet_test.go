@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"testing"
 	"time"
+
+	"openhpcxx/internal/clock"
 )
 
 func packetWorld(t *testing.T) *Network {
@@ -182,7 +184,7 @@ func TestPacketCloseUnblocksRead(t *testing.T) {
 		_, _, err := pa.ReadFrom(make([]byte, 8))
 		done <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	clock.Sleep(clock.Real{}, 10*time.Millisecond)
 	pa.Close()
 	if err := <-done; err != ErrClosed {
 		t.Fatalf("read after close: %v", err)

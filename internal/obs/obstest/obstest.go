@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/obs"
 )
 
@@ -83,8 +84,7 @@ func (c *Collector) Reset() {
 // polling sleeps — and returns the snapshot that satisfied pred.
 func (c *Collector) WaitFor(t testing.TB, timeout time.Duration, desc string, pred func([]obs.Span) bool) []obs.Span {
 	t.Helper()
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
+	deadline := clock.After(clock.Real{}, timeout)
 	for {
 		c.mu.Lock()
 		snap := make([]obs.Span, len(c.spans))
@@ -96,7 +96,7 @@ func (c *Collector) WaitFor(t testing.TB, timeout time.Duration, desc string, pr
 		}
 		select {
 		case <-ch:
-		case <-deadline.C:
+		case <-deadline:
 			t.Fatalf("obstest: timed out after %v waiting for %s; have %d spans:\n%s",
 				timeout, desc, len(snap), Format(snap))
 			return nil

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/obs"
 	"openhpcxx/internal/obs/obstest"
 )
@@ -46,7 +47,7 @@ func TestWaitForSpansWakesWithoutPolling(t *testing.T) {
 	tr := obs.NewTracer(nil)
 	col := obstest.Attach(t, tr)
 	go func() {
-		time.Sleep(5 * time.Millisecond)
+		clock.Sleep(clock.Real{}, 5*time.Millisecond)
 		fakeTrace(tr)
 	}()
 	spans := col.WaitForSpans(t, "servant", 1, 2*time.Second)

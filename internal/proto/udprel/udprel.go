@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/xdr"
 )
@@ -48,6 +49,10 @@ type Config struct {
 	FragSize int
 	// Window is the number of unacknowledged fragments in flight.
 	Window int
+	// Clock drives the RTO and reply-deadline timers (default the real
+	// clock). Tests inject a fake to exercise retransmission without
+	// wall-clock waits.
+	Clock clock.Clock
 }
 
 // DefaultConfig returns production-ish defaults.
@@ -68,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Window <= 0 {
 		c.Window = d.Window
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
 	}
 	return c
 }
@@ -192,7 +200,7 @@ func (n *Node) Request(peer netsim.Addr, req []byte) ([]byte, error) {
 			return nil, ErrClosed
 		}
 		return reply, nil
-	case <-time.After(deadline):
+	case <-clock.After(n.cfg.Clock, deadline):
 		return nil, fmt.Errorf("%w: no reply within %v", ErrTimeout, deadline)
 	}
 }
@@ -255,7 +263,7 @@ func (n *Node) sendFragment(peer netsim.Addr, msgID uint64, idx, count uint32, p
 		select {
 		case <-ackCh:
 			return nil
-		case <-time.After(n.cfg.RTO):
+		case <-clock.After(n.cfg.Clock, n.cfg.RTO):
 		}
 	}
 	return fmt.Errorf("%w: fragment %d/%d of message %d to %v", ErrTimeout, idx+1, count, msgID, peer)

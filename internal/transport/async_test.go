@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/wire"
 )
 
@@ -70,7 +71,7 @@ func TestMuxAbandonRace(t *testing.T) {
 	shm := NewSHM()
 	l, _ := shm.Listen("race")
 	srv := Serve(l, func(m *wire.Message) *wire.Message {
-		time.Sleep(time.Millisecond)
+		clock.Sleep(clock.Real{}, time.Millisecond)
 		return echoHandler(m)
 	})
 	defer srv.Close()
@@ -111,7 +112,7 @@ func TestMuxBeginPipelines(t *testing.T) {
 			maxInFlight = cur
 		}
 		mu.Unlock()
-		time.Sleep(2 * time.Millisecond)
+		clock.Sleep(clock.Real{}, 2*time.Millisecond)
 		mu.Lock()
 		cur--
 		mu.Unlock()

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/obs"
 	"openhpcxx/internal/obs/obstest"
 	"openhpcxx/internal/wire"
@@ -201,7 +202,7 @@ func TestPoolReplacesUnhealthyMux(t *testing.T) {
 		if _, err := pend.Reply(); err == nil {
 			t.Fatal("straggler on closed mux succeeded")
 		}
-	case <-time.After(time.Second):
+	case <-clock.After(clock.Real{}, time.Second):
 		t.Fatal("straggler still pending after the mux was superseded")
 	}
 	if _, err := m2.Call(&wire.Message{Type: wire.TRequest, Method: "m"}); err != nil {
@@ -262,7 +263,7 @@ func TestPendingAbandonStopsTimer(t *testing.T) {
 	pend.Abandon()
 	// After the timeout would have fired, the pending is resolved by the
 	// abandonment (not by the watchdog), and the mux is still healthy.
-	time.Sleep(60 * time.Millisecond)
+	clock.Sleep(clock.Real{}, 60*time.Millisecond)
 	if _, err := pend.Reply(); err == nil {
 		t.Fatal("abandoned call returned a reply")
 	}

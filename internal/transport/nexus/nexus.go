@@ -280,9 +280,12 @@ func (n *Node) Close() error {
 	servers := n.servers
 	n.servers = nil
 	n.mu.Unlock()
+	var errs []error
 	for _, s := range servers {
-		s.Close()
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	n.pool.Close()
-	return nil
+	return errors.Join(errs...)
 }

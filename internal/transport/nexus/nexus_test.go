@@ -11,6 +11,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
@@ -95,7 +96,7 @@ func TestPostOneWay(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("posts handled: %d", hits.Load())
 		}
-		time.Sleep(time.Millisecond)
+		clock.Sleep(clock.Real{}, time.Millisecond)
 	}
 	// Posts to unknown endpoints are silently dropped, not faulted.
 	if err := client.Post(Startpoint{Addr: addr, Endpoint: "ghost"}, 3, nil); err != nil {

@@ -31,8 +31,9 @@ func (p *Pool) Get(key string) (*Mux, error) {
 		}
 		// Close the superseded mux before re-dialing: its read loop and
 		// file descriptor would otherwise leak for the life of the pool,
-		// and its stragglers should fail now rather than dangle.
-		m.Close()
+		// and its stragglers should fail now rather than dangle. Its
+		// close error is uninteresting — the mux is already unhealthy.
+		_ = m.Close()
 		delete(p.muxes, key)
 	}
 	c, err := p.dial(key)
@@ -51,7 +52,8 @@ func (p *Pool) Drop(key string) {
 	delete(p.muxes, key)
 	p.mu.Unlock()
 	if ok {
-		m.Close()
+		// Best-effort: Drop is called to discard a bad mux.
+		_ = m.Close()
 	}
 }
 
@@ -62,6 +64,8 @@ func (p *Pool) Close() {
 	p.muxes = make(map[string]*Mux)
 	p.mu.Unlock()
 	for _, m := range muxes {
-		m.Close()
+		// Pool teardown is best-effort by contract (Close returns
+		// nothing); each mux's stragglers observe ErrMuxClosed.
+		_ = m.Close()
 	}
 }

@@ -60,7 +60,8 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			c.Close()
+			// Raced with Close: shed the late accept, nothing to report.
+			_ = c.Close()
 			return
 		}
 		s.conns[c] = struct{}{}
@@ -76,7 +77,9 @@ func (s *Server) connLoop(c net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
-		c.Close()
+		// The loop exits only on read error or server close; the
+		// connection is already dead either way.
+		_ = c.Close()
 	}()
 	var wmu sync.Mutex
 	sem := make(chan struct{}, s.maxPerC)
@@ -104,7 +107,10 @@ func (s *Server) connLoop(c net.Conn) {
 			werr := wire.Write(c, reply)
 			wmu.Unlock()
 			if werr != nil {
-				c.Close()
+				// A failed reply write poisons the stream; kill the
+				// connection so the read loop unblocks. Its close error
+				// adds nothing to werr.
+				_ = c.Close()
 			}
 		}(msg)
 	}
@@ -177,7 +183,9 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	err := s.l.Close()
 	for _, c := range conns {
-		c.Close()
+		// The listener close error is the one worth surfacing; per-conn
+		// closes race with connLoop's own deferred close.
+		_ = c.Close()
 	}
 	s.wg.Wait()
 	return err

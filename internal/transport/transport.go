@@ -104,8 +104,10 @@ func (s *SHM) Dial(name string) (net.Conn, error) {
 	b := netsim.Addr{Machine: netsim.MachineID("shm:" + name), Port: 0}
 	client, server := netsim.Pipe(netsim.ProfileUnshaped, a, b)
 	if err := l.deliver(server); err != nil {
-		client.Close()
-		server.Close()
+		// Failed handoff: discard both ends; the deliver error is what
+		// the caller needs and netsim closes never fail.
+		_ = client.Close()
+		_ = server.Close()
 		return nil, err
 	}
 	return client, nil

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/wire"
 )
 
@@ -77,7 +78,7 @@ func TestMuxConcurrentCalls(t *testing.T) {
 	srv := Serve(l, func(m *wire.Message) *wire.Message {
 		// Scramble completion order.
 		if len(m.Body) > 0 && m.Body[0]%2 == 0 {
-			time.Sleep(5 * time.Millisecond)
+			clock.Sleep(clock.Real{}, 5*time.Millisecond)
 		}
 		return echoHandler(m)
 	})
@@ -137,12 +138,12 @@ func TestMuxServerDisappears(t *testing.T) {
 		_, err := m.Call(&wire.Message{Type: wire.TRequest, Method: "hang"})
 		errCh <- err
 	}()
-	time.Sleep(20 * time.Millisecond)
+	clock.Sleep(clock.Real{}, 20*time.Millisecond)
 	// Close drains in-flight handlers, so release the stuck one
 	// concurrently; the connection is already torn down by then and the
 	// client call must fail.
 	go func() {
-		time.Sleep(30 * time.Millisecond)
+		clock.Sleep(clock.Real{}, 30*time.Millisecond)
 		close(block)
 	}()
 	srv.Close()
@@ -204,7 +205,7 @@ func TestServerOneWayControl(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatalf("control frames seen: %d", got.Load())
 		}
-		time.Sleep(time.Millisecond)
+		clock.Sleep(clock.Real{}, time.Millisecond)
 	}
 }
 
@@ -356,12 +357,12 @@ func TestServerCloseDrainsInFlight(t *testing.T) {
 	select {
 	case <-done:
 		t.Fatal("Close returned while a handler was running")
-	case <-time.After(30 * time.Millisecond):
+	case <-clock.After(clock.Real{}, 30*time.Millisecond):
 	}
 	close(release)
 	select {
 	case <-done:
-	case <-time.After(2 * time.Second):
+	case <-clock.After(clock.Real{}, 2*time.Second):
 		t.Fatal("Close never returned")
 	}
 	if served.Load() != 1 {

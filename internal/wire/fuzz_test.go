@@ -12,7 +12,7 @@ import (
 // panic, and any frame it accepts must re-encode and re-decode stably.
 func FuzzRead(f *testing.F) {
 	var seed bytes.Buffer
-	Write(&seed, &Message{
+	seedErr := Write(&seed, &Message{
 		Type:      TRequest,
 		Object:    "ctx/obj-1",
 		Method:    "exchange",
@@ -20,6 +20,9 @@ func FuzzRead(f *testing.F) {
 		Envelopes: []Envelope{{ID: "glue", Data: []byte("tag")}, {ID: "encrypt", Data: []byte{1, 2}}},
 		Body:      []byte("body"),
 	})
+	if seedErr != nil {
+		f.Fatal(seedErr)
+	}
 	f.Add(seed.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
@@ -35,7 +38,9 @@ func FuzzRead(f *testing.F) {
 		f.Fatal(err)
 	}
 	var batchSeed bytes.Buffer
-	Write(&batchSeed, batch)
+	if err := Write(&batchSeed, batch); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(batchSeed.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
