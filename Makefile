@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race determinism cover faults fuzz bench-async bench-faults
+.PHONY: ci vet lint build test race determinism cover faults fuzz bench-async bench-faults top
 
 ci: vet lint build test race determinism cover
 
@@ -34,10 +34,11 @@ determinism:
 		./internal/core/ ./internal/capability/
 
 # Coverage floor: the wire format, the metrics registry, the tracing
-# subsystem, and the analyzer suite are load-bearing for every protocol
-# (and for CI itself) — hold them at >= 70%.
+# subsystem, the analyzer suite, and the introspection plane are
+# load-bearing for every protocol (and for CI and operations) — hold
+# them at >= 70%.
 cover:
-	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/; do \
+	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/ ./internal/introspect/; do \
 		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i ~ /%/) {gsub("%","",$$i); print $$i}}'); \
 		echo "coverage $$pkg: $$pct%"; \
 		ok=$$(echo "$$pct" | awk '{print ($$1 >= 70.0) ? "yes" : "no"}'); \
@@ -67,3 +68,15 @@ bench-async:
 # Regenerate the availability-under-faults figure quickly and emit JSON.
 bench-faults:
 	$(GO) run ./cmd/ohpc-bench -fig=r1 -quick -json=-
+
+# Live-introspection demo: run the demo tour with the plane attached and
+# watch it through four ohpc-top frames.
+top:
+	@mkdir -p bin
+	$(GO) build -o bin/ohpc-demo ./cmd/ohpc-demo
+	$(GO) build -o bin/ohpc-top ./cmd/ohpc-top
+	./bin/ohpc-demo -introspect=127.0.0.1:8090 -linger=6s & \
+	demo=$$!; \
+	sleep 1; \
+	./bin/ohpc-top -addr=127.0.0.1:8090 -interval=1s -frames=4; \
+	wait $$demo

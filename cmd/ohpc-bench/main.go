@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"openhpcxx/internal/bench"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/introspect"
 	"openhpcxx/internal/netsim"
 )
 
@@ -37,6 +39,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the a1/r1 figure data as JSON to this file ('-' for stdout)")
 	calls := flag.Int("calls", 0, "calls per mode for the async figure (0 = default)")
 	tracePath := flag.String("trace", "", "write the o1 figure's recorded spans as JSON to this file ('-' for stdout)")
+	introspectAddr := flag.String("introspect", "", "serve the introspection plane on this address while the r1 figure runs (curl /statusz or run ohpc-top mid-failover)")
 	flag.Parse()
 
 	var csvOut *os.File
@@ -207,6 +210,22 @@ func main() {
 		cfg := bench.R1Config{}
 		if *quick {
 			cfg.Duration = 600 * time.Millisecond
+		}
+		if *introspectAddr != "" {
+			// Each mode gets its own runtime; re-attach the plane to the
+			// current one so /statusz and /varz track the live failover.
+			cfg.OnRuntime = func(mode string, rt *core.Runtime) func() {
+				insp, err := introspect.Attach(rt, introspect.Options{Addr: *introspectAddr})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ohpc-bench: introspect (%s): %v\n", mode, err)
+					return nil
+				}
+				fmt.Printf("introspection plane for mode %s on http://%s\n", mode, insp.Addr())
+				return func() {
+					// Teardown between modes; the next mode re-binds the addr.
+					_ = insp.Close()
+				}
+			}
 		}
 		res, err := bench.RunFigureR1(cfg)
 		if err != nil {

@@ -17,7 +17,9 @@ import (
 
 	"openhpcxx/internal/bench"
 	"openhpcxx/internal/capability"
+	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/introspect"
 	"openhpcxx/internal/loadbal"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/obs"
@@ -28,6 +30,8 @@ func main() {
 	passes := flag.Int("passes", 3, "load-balancing passes to run")
 	tracePath := flag.String("trace", "", "record invocation spans and write them as JSON to this file ('-' for stdout)")
 	metricsPath := flag.String("metrics", "", "write the runtime metrics snapshot as JSON to this file ('-' for stdout)")
+	introspectAddr := flag.String("introspect", "", "serve the introspection plane (/metrics /statusz /tracez /varz) on this address, e.g. 127.0.0.1:8090")
+	linger := flag.Duration("linger", 0, "after the demo completes, keep serving background traffic for this long (for ohpc-top / curl against -introspect)")
 	flag.Parse()
 
 	n := netsim.New()
@@ -55,6 +59,17 @@ func main() {
 		if err != nil {
 			log.Fatalf("ohpc-demo: %v", err)
 		}
+	}
+
+	// -introspect attaches the live telemetry plane; it reuses the
+	// -trace ring when one is installed, else installs its own.
+	var insp *introspect.Server
+	if *introspectAddr != "" {
+		var err error
+		insp, err = introspect.Attach(rt, introspect.Options{Addr: *introspectAddr})
+		must(err)
+		defer insp.Close()
+		fmt.Printf("introspection plane on http://%s (try /metrics, /statusz, /tracez, /varz)\n", insp.Addr())
 	}
 
 	// Registry on lab-1.
@@ -152,6 +167,23 @@ func main() {
 	fmt.Println("\nphase 2: after migration both clients keep calling the same GP; selection adapts")
 	show("after ")
 	fmt.Println("\ndone: no client code changed across the migration.")
+
+	if *linger > 0 {
+		// Keep a light request load flowing so the introspection plane
+		// has live rates to show (ohpc-top, curl /varz). The loop runs
+		// in the foreground: the demo exits when the linger expires.
+		fmt.Printf("\nlingering %v with background traffic (introspect: %s)\n", *linger, insp.Addr())
+		clk := rt.Clock()
+		deadline := clk.Now().Add(*linger)
+		for clk.Now().Before(deadline) {
+			for _, gp := range []*core.GlobalPtr{gpLab, gpDesk} {
+				if _, err := bench.MeasureExchange(gp, 1024, 2, 5*time.Millisecond); err != nil {
+					must(err)
+				}
+			}
+			clock.Sleep(clk, 20*time.Millisecond)
+		}
+	}
 
 	fmt.Println("\nadaptivity event log:")
 	for _, ev := range rt.Events() {

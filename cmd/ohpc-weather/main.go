@@ -26,6 +26,7 @@ import (
 
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/introspect"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/registry"
 	"openhpcxx/internal/wire"
@@ -86,9 +87,17 @@ func localRuntime(process string) *core.Runtime {
 	return rt
 }
 
-func serve(regAddr string) error {
+func serve(regAddr, introspectAddr string) error {
 	rt := localRuntime("ohpc-weather-server")
 	defer rt.Close()
+	if introspectAddr != "" {
+		insp, err := introspect.Attach(rt, introspect.Options{Addr: introspectAddr})
+		if err != nil {
+			return err
+		}
+		defer insp.Close()
+		fmt.Printf("ohpc-weather: introspection plane on http://%s\n", insp.Addr())
+	}
 	ctx, err := rt.NewContext("weather", "host")
 	if err != nil {
 		return err
@@ -169,12 +178,13 @@ func main() {
 	regAddr := flag.String("registry", "tcp://127.0.0.1:7777", "registry address")
 	grant := flag.String("grant", "collab", "grant to use in client mode: collab or paid")
 	calls := flag.Int("calls", 7, "requests to make in client mode")
+	introspectAddr := flag.String("introspect", "", "serve mode: expose the introspection plane (/metrics /statusz /tracez /varz) on this address")
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "serve":
-		err = serve(*regAddr)
+		err = serve(*regAddr, *introspectAddr)
 	case "client":
 		err = client(*regAddr, *grant, *calls)
 	default:

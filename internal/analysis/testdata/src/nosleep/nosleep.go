@@ -25,6 +25,33 @@ func good(clk clock.Clock) {
 	}
 }
 
+// samplerLoop is the flight-recorder shape (internal/introspect): a
+// background loop pacing itself on the *injected* clock is clean —
+// a fake clock drives it deterministically in tests.
+func samplerLoop(clk clock.Clock, stop chan struct{}, sample func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-clock.After(clk, time.Second):
+			sample()
+		}
+	}
+}
+
+// samplerLoopRaw is the same loop pacing itself on the wall clock:
+// the exact bug the analyzer exists to catch in background samplers.
+func samplerLoopRaw(stop chan struct{}, sample func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second): // want "time.After outside internal/clock"
+			sample()
+		}
+	}
+}
+
 func suppressed() {
 	//lint:ignore nosleep corpus example of a deliberate, annotated real sleep
 	time.Sleep(time.Millisecond)

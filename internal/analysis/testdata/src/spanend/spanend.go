@@ -80,6 +80,38 @@ func escapesIntoClosure(tr *obs.Tracer, spawn func(func())) {
 	spawn(func() { sp.End() }) // ends later, on the closure's schedule
 }
 
+// samplerTicks is the background-sampler shape (a loop waiting on a
+// stop channel and a tick source): a span opened and closed inside one
+// select branch is clean.
+func samplerTicks(tr *obs.Tracer, stop, ticks chan struct{}, sample func(*obs.Active)) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticks:
+			sp := tr.StartRoot(obs.KindClient, "sample")
+			sample(sp)
+			sp.End()
+		}
+	}
+}
+
+// samplerTicksLeak returns out of the loop with the tick's span open.
+func samplerTicksLeak(tr *obs.Tracer, stop, ticks chan struct{}, bad func() bool) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticks:
+			sp := tr.StartRoot(obs.KindClient, "sample")
+			if bad() {
+				return // want "span sp is still open on this return path"
+			}
+			sp.End()
+		}
+	}
+}
+
 func terminal(tr *obs.Tracer, bad bool) {
 	sp := tr.StartRoot(obs.KindClient, "op")
 	if bad {

@@ -59,6 +59,12 @@ type R1Config struct {
 	// real-time netsim shaping). Tests inject a fake to make pacing
 	// cost simulated time only.
 	Clock clock.Clock
+	// OnRuntime, when set, is invoked with each mode's runtime right
+	// after its deployment is built — the hook ohpc-bench uses to
+	// attach the -introspect telemetry plane so /statusz and /varz can
+	// be watched live through the fault schedule. The returned cleanup
+	// (may be nil) runs before that mode's runtime shuts down.
+	OnRuntime func(mode string, rt *core.Runtime) func()
 }
 
 func (c *R1Config) fill() {
@@ -222,6 +228,11 @@ func runR1Mode(cfg R1Config, failover bool) (R1Point, []string, error) {
 	mode := ModeNoFailover
 	if failover {
 		mode = ModeFailover
+	}
+	if cfg.OnRuntime != nil {
+		if done := cfg.OnRuntime(mode, d.Runtime); done != nil {
+			defer done()
+		}
 	}
 	gp := d.Client.NewGlobalPtr(d.ref)
 	gp.SetDefaultDeadline(cfg.Deadline)

@@ -69,8 +69,15 @@ func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []by
 	} else {
 		sem <- struct{}{}
 	}
+	ifg := g.host.rt.inflightGauge
+	ifg.Inc()
 	var relOnce sync.Once
-	release := func() { relOnce.Do(func() { <-sem }) }
+	release := func() {
+		relOnce.Do(func() {
+			<-sem
+			ifg.Dec()
+		})
+	}
 	fut.OnCancel(release)
 
 	sel := root.Child("select")

@@ -63,6 +63,14 @@ type Runtime struct {
 
 	defaultPool *ProtoPool
 
+	// Introspection gauges, cached at construction so hot paths touch
+	// atomics, not the registry lock: rpc.inflight counts invocations
+	// currently running (sync and async), core.contexts live contexts,
+	// core.gps live global pointers.
+	inflightGauge *stats.Gauge
+	ctxGauge      *stats.Gauge
+	gpGauge       *stats.Gauge
+
 	mu       sync.RWMutex
 	ifaces   map[string]Activator
 	contexts map[string]*Context
@@ -74,19 +82,23 @@ type Runtime struct {
 // simulated network. The default pool is pre-loaded with the built-in
 // protocols in the order shm, hpcx-tcp, nexus-tcp.
 func NewRuntime(network *netsim.Network, process string) *Runtime {
+	metrics := stats.New()
 	rt := &Runtime{
-		network:     network,
-		shm:         transport.NewSHM(),
-		process:     process,
-		clock:       clock.Real{},
-		metrics:     stats.New(),
-		tracer:      obs.NewTracer(nil),
-		events:      newEventLog(),
-		defaultPool: NewProtoPool(),
-		ifaces:      make(map[string]Activator),
-		contexts:    make(map[string]*Context),
-		htracker:    health.NewTracker(health.Options{}),
-		failover:    true,
+		network:       network,
+		shm:           transport.NewSHM(),
+		process:       process,
+		clock:         clock.Real{},
+		metrics:       metrics,
+		tracer:        obs.NewTracer(nil),
+		events:        newEventLog(),
+		defaultPool:   NewProtoPool(),
+		inflightGauge: metrics.Gauge("rpc.inflight"),
+		ctxGauge:      metrics.Gauge("core.contexts"),
+		gpGauge:       metrics.Gauge("core.gps"),
+		ifaces:        make(map[string]Activator),
+		contexts:      make(map[string]*Context),
+		htracker:      health.NewTracker(health.Options{Metrics: metrics}),
+		failover:      true,
 	}
 	rt.defaultPool.Register(shmFactory{})
 	rt.defaultPool.Register(streamFactory{})
@@ -125,8 +137,12 @@ func (rt *Runtime) Health() *health.Tracker {
 
 // SetHealthOptions replaces the health tracker with one using the given
 // options (failure threshold, probe interval, clock). Existing breaker
-// state is discarded; call before issuing traffic.
+// state is discarded; call before issuing traffic. The runtime's metrics
+// registry is wired in unless the options carry their own.
 func (rt *Runtime) SetHealthOptions(opts health.Options) {
+	if opts.Metrics == nil {
+		opts.Metrics = rt.metrics
+	}
 	t := health.NewTracker(opts)
 	rt.mu.Lock()
 	old := rt.htracker
@@ -218,17 +234,22 @@ func (rt *Runtime) NewContext(name string, machine netsim.MachineID) (*Context, 
 		return nil, fmt.Errorf("core: context %q exists", name)
 	}
 	c := &Context{
-		rt:         rt,
-		name:       name,
-		loc:        loc,
-		pool:       rt.defaultPool.Clone(),
-		servants:   make(map[ObjectID]*Servant),
-		tombstones: make(map[ObjectID]*ObjectRef),
-		glues:      make(map[string]GlueServer),
-		bindings:   make(map[ProtoID]string),
+		rt:          rt,
+		name:        name,
+		loc:         loc,
+		pool:        rt.defaultPool.Clone(),
+		servants:    make(map[ObjectID]*Servant),
+		tombstones:  make(map[ObjectID]*ObjectRef),
+		glues:       make(map[string]GlueServer),
+		bindings:    make(map[ProtoID]string),
+		gps:         make(map[*GlobalPtr]struct{}),
+		srvConns:    rt.metrics.GaugeWith("srv.conns", stats.Labels{"context": name}),
+		srvInflight: rt.metrics.GaugeWith("srv.inflight", stats.Labels{"context": name}),
 	}
 	c.muxes = transport.NewPool(c.dialAddr)
+	c.muxes.SetSizeGauge(rt.metrics.GaugeWith("transport.muxes", stats.Labels{"context": name}))
 	rt.contexts[name] = c
+	rt.ctxGauge.Inc()
 	return c, nil
 }
 
@@ -279,9 +300,15 @@ type Context struct {
 	glues      map[string]GlueServer
 	bindings   map[ProtoID]string
 	servers    []io.Closer
+	gps        map[*GlobalPtr]struct{} // live GPs, for /statusz
 	nextObj    uint64
 	closed     bool
 	draining   bool
+
+	// srvConns / srvInflight are shared by every transport server this
+	// context binds (additive: each server Inc/Decs deltas only).
+	srvConns    *stats.Gauge
+	srvInflight *stats.Gauge
 }
 
 // Name returns the context's name.
@@ -370,6 +397,7 @@ func (c *Context) BindSHM() error {
 	}
 	srv := transport.Serve(l, c.dispatch)
 	srv.SetTracer(c.rt.Tracer())
+	srv.SetGauges(c.srvConns, c.srvInflight)
 	c.addServer(ProtoSHM, "shm:"+name, srv)
 	return nil
 }
@@ -384,6 +412,7 @@ func (c *Context) BindSim(port int) error {
 	a := l.Addr().(netsim.Addr)
 	srv := transport.Serve(l, c.dispatch)
 	srv.SetTracer(c.rt.Tracer())
+	srv.SetGauges(c.srvConns, c.srvInflight)
 	c.addServer(ProtoStream, fmt.Sprintf("sim://%s:%d", a.Machine, a.Port), srv)
 	return nil
 }
@@ -397,6 +426,7 @@ func (c *Context) BindTCP(hostport string) error {
 	}
 	srv := transport.Serve(l, c.dispatch)
 	srv.SetTracer(c.rt.Tracer())
+	srv.SetGauges(c.srvConns, c.srvInflight)
 	c.addServer(ProtoStream, "tcp://"+l.Addr().String(), srv)
 	return nil
 }
@@ -477,6 +507,7 @@ func (c *Context) Close() {
 	servers := c.servers
 	c.servers = nil
 	c.mu.Unlock()
+	c.rt.ctxGauge.Dec()
 	for _, s := range servers {
 		s.Close()
 	}

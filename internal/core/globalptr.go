@@ -69,13 +69,37 @@ func newProtoMetrics(r *stats.Registry, pid string) *protoMetrics {
 const DefaultMaxInFlight = 32
 
 // NewGlobalPtr binds a reference to a client context. The reference is
-// cloned, so callers may keep mutating their copy.
+// cloned, so callers may keep mutating their copy. The GP is registered
+// with the context for the introspection plane (/statusz lists every
+// live GP with its protocol table and selection); call Release when
+// done with a short-lived GP so the listing does not grow unboundedly.
 func (c *Context) NewGlobalPtr(ref *ObjectRef) *GlobalPtr {
-	return &GlobalPtr{
+	g := &GlobalPtr{
 		host:     c,
 		ref:      ref.Clone(),
 		entry:    -1,
 		inflight: make(chan struct{}, DefaultMaxInFlight),
+	}
+	c.mu.Lock()
+	c.gps[g] = struct{}{}
+	c.mu.Unlock()
+	c.rt.gpGauge.Inc()
+	return g
+}
+
+// Release drops the GP's protocol binding and unregisters it from its
+// context's introspection listing. The GP remains usable — a later
+// Invoke re-selects — but a released GP no longer appears in /statusz.
+// Releasing twice is harmless.
+func (g *GlobalPtr) Release() {
+	g.Invalidate()
+	c := g.host
+	c.mu.Lock()
+	_, live := c.gps[g]
+	delete(c.gps, g)
+	c.mu.Unlock()
+	if live {
+		c.rt.gpGauge.Dec()
 	}
 }
 
@@ -514,6 +538,9 @@ func ctxAttemptErr(ctxErr, lastErr error) error {
 // the trace IDs stamped into the wire header — the server's dispatch
 // spans, all under one trace ID.
 func (g *GlobalPtr) InvokeCtx(ctx context.Context, method string, args []byte) ([]byte, error) {
+	ifg := g.host.rt.inflightGauge
+	ifg.Inc()
+	defer ifg.Dec()
 	root := g.host.rt.Tracer().StartRoot(obs.KindClient, "invoke")
 	if root != nil {
 		root.SetRPC(string(g.Object()), method)

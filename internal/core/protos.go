@@ -178,6 +178,19 @@ func (p *streamProto) SetBatching(policy transport.BatchPolicy) {
 	}
 }
 
+// BatchStats reports the coalescer's current residency for the
+// introspection plane: on is false when batching is disabled.
+func (p *streamProto) BatchStats() (queued, queuedBytes int, on bool) {
+	p.mu.Lock()
+	coal := p.coal
+	p.mu.Unlock()
+	if coal == nil {
+		return 0, 0, false
+	}
+	q, b := coal.Stats()
+	return q, b, true
+}
+
 func (p *streamProto) Call(m *wire.Message) (*wire.Message, error) {
 	pending, err := p.Begin(m)
 	if err != nil {

@@ -17,7 +17,18 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
+
+// outstanding counts futures created but not yet resolved, across the
+// whole process. The introspection plane's /statusz reports it as the
+// live async depth; a steadily climbing value with flat traffic is the
+// classic leaked-future signature.
+var outstanding atomic.Int64
+
+// Outstanding reports how many futures are currently unresolved
+// process-wide.
+func Outstanding() int64 { return outstanding.Load() }
 
 // ErrCanceled is the resolution error of a future abandoned with
 // Cancel. The underlying request is not recalled from the wire — the
@@ -42,6 +53,7 @@ type Future struct {
 // New returns an unresolved future. The producer side (the ORB's
 // completion path, or tests) resolves it with Complete or Fail.
 func New() *Future {
+	outstanding.Add(1)
 	return &Future{done: make(chan struct{})}
 }
 
@@ -84,6 +96,7 @@ func (f *Future) resolve(body []byte, err error) bool {
 	f.resolved = true
 	f.body, f.err = body, err
 	f.mu.Unlock()
+	outstanding.Add(-1)
 	close(f.done)
 	return true
 }

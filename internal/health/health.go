@@ -21,11 +21,13 @@ package health
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/stats"
 )
 
 // State is a breaker state.
@@ -73,6 +75,13 @@ type Options struct {
 	ProbeTimeout time.Duration
 	// Clock timestamps transitions. Default clock.Real.
 	Clock clock.Clock
+	// Metrics, when set, receives per-endpoint breaker-state gauges
+	// (health.breaker_state{endpoint="..."}: 0 closed, 1 open, 2
+	// half-open), an open-endpoint count gauge (health.open_endpoints),
+	// and a transition counter (health.transitions) — the signals the
+	// introspection plane's flight recorder tracks across failovers.
+	// Nil disables the instrumentation entirely.
+	Metrics *stats.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -98,14 +107,33 @@ type endpoint struct {
 	changed time.Time
 }
 
+// EndpointStatus is the public view of one endpoint's breaker — the
+// /statusz row the introspection plane renders per protocol-table
+// entry. Times read from the tracker's injected clock.
+type EndpointStatus struct {
+	// Key is the endpoint's tracker key ("proto|address").
+	Key string `json:"key"`
+	// State is the breaker state name: closed, open, or half-open.
+	State string `json:"state"`
+	// ConsecutiveFailures is the current failure streak.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastTransition is when the breaker last changed state.
+	LastTransition time.Time `json:"last_transition"`
+	// NextProbe is when the background prober will next test the
+	// endpoint — zero unless the breaker is Open/HalfOpen and a probe
+	// is registered.
+	NextProbe time.Time `json:"next_probe,omitempty"`
+}
+
 // Tracker holds one breaker per endpoint key. Unknown keys are Closed:
 // endpoints are innocent until proven failing. Safe for concurrent use.
 type Tracker struct {
 	opts Options
 	gen  atomic.Uint64
 
-	mu  sync.Mutex
-	eps map[string]*endpoint
+	mu        sync.Mutex
+	eps       map[string]*endpoint
+	lastProbe time.Time // when ProbeNow last started a pass
 
 	startProber sync.Once
 	stop        chan struct{}
@@ -131,13 +159,24 @@ func (t *Tracker) get(key string) *endpoint {
 	return ep
 }
 
-func (t *Tracker) transition(ep *endpoint, to State) {
+func (t *Tracker) transition(key string, ep *endpoint, to State) {
 	if ep.state == to {
 		return
 	}
+	from := ep.state
 	ep.state = to
 	ep.changed = t.opts.Clock.Now()
 	t.gen.Add(1)
+	if m := t.opts.Metrics; m != nil {
+		m.Counter("health.transitions").Inc()
+		m.GaugeWith("health.breaker_state", stats.Labels{"endpoint": key}).Set(int64(to))
+		switch {
+		case from == Closed && to != Closed:
+			m.Gauge("health.open_endpoints").Inc()
+		case from != Closed && to == Closed:
+			m.Gauge("health.open_endpoints").Dec()
+		}
+	}
 }
 
 // Allow reports whether live traffic should use the endpoint: true for
@@ -170,7 +209,7 @@ func (t *Tracker) ReportSuccess(key string) {
 	t.mu.Lock()
 	ep := t.get(key)
 	ep.fails = 0
-	t.transition(ep, Closed)
+	t.transition(key, ep, Closed)
 	t.mu.Unlock()
 }
 
@@ -181,7 +220,7 @@ func (t *Tracker) ReportFailure(key string) {
 	ep := t.get(key)
 	ep.fails++
 	if ep.fails >= t.opts.FailureThreshold {
-		t.transition(ep, Open)
+		t.transition(key, ep, Open)
 	}
 	t.mu.Unlock()
 }
@@ -192,7 +231,7 @@ func (t *Tracker) Trip(key string) {
 	t.mu.Lock()
 	ep := t.get(key)
 	ep.fails = t.opts.FailureThreshold
-	t.transition(ep, Open)
+	t.transition(key, ep, Open)
 	t.mu.Unlock()
 }
 
@@ -237,10 +276,11 @@ func (t *Tracker) ProbeNow() {
 		probe Probe
 	}
 	t.mu.Lock()
+	t.lastProbe = t.opts.Clock.Now()
 	var jobs []job
 	for key, ep := range t.eps {
 		if ep.state == Open && ep.probe != nil {
-			t.transition(ep, HalfOpen)
+			t.transition(key, ep, HalfOpen)
 			jobs = append(jobs, job{key, ep.probe})
 		}
 	}
@@ -252,9 +292,9 @@ func (t *Tracker) ProbeNow() {
 		if ep.state == HalfOpen {
 			if err == nil {
 				ep.fails = 0
-				t.transition(ep, Closed)
+				t.transition(j.key, ep, Closed)
 			} else {
-				t.transition(ep, Open)
+				t.transition(j.key, ep, Open)
 			}
 		}
 		t.mu.Unlock()
@@ -276,6 +316,37 @@ func (t *Tracker) runProbe(p Probe) error {
 	case <-clock.After(t.opts.Clock, t.opts.ProbeTimeout):
 		return fmt.Errorf("health: probe timed out after %v", t.opts.ProbeTimeout)
 	}
+}
+
+// Snapshot exports every endpoint's breaker state, sorted by key — the
+// public face of the tracker for the introspection plane's /statusz and
+// for operational tooling. NextProbe estimates the prober's next pass
+// (last pass + ProbeInterval on the injected clock) for endpoints that
+// are out of rotation and have a probe registered; before the first
+// pass it is one interval from now.
+func (t *Tracker) Snapshot() []EndpointStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next := t.lastProbe
+	if next.IsZero() {
+		next = t.opts.Clock.Now()
+	}
+	next = next.Add(t.opts.ProbeInterval)
+	out := make([]EndpointStatus, 0, len(t.eps))
+	for key, ep := range t.eps {
+		st := EndpointStatus{
+			Key:                 key,
+			State:               ep.state.String(),
+			ConsecutiveFailures: ep.fails,
+			LastTransition:      ep.changed,
+		}
+		if ep.state != Closed && ep.probe != nil {
+			st.NextProbe = next
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
 }
 
 // Close stops the background prober and waits for it to exit.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/stats"
 )
 
 func TestUnknownEndpointsAreClosed(t *testing.T) {
@@ -221,4 +222,85 @@ func TestCloseIdempotent(t *testing.T) {
 	tr.Close()
 	// SetProbe after Close must not start a prober.
 	tr.SetProbe("late", func() error { return nil })
+}
+
+func TestSnapshotExportsBreakerState(t *testing.T) {
+	fc := clock.NewFake(time.Unix(100, 0))
+	tr := NewTracker(Options{FailureThreshold: 1, ProbeInterval: 40 * time.Millisecond, Clock: fc})
+	defer tr.Close()
+	tr.ReportSuccess("b|ok")
+	tr.Trip("a|bad")
+	tr.ReportFailure("c|shaky") // threshold 1: trips
+
+	snap := tr.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d endpoints, want 3", len(snap))
+	}
+	// Sorted by key.
+	if snap[0].Key != "a|bad" || snap[1].Key != "b|ok" || snap[2].Key != "c|shaky" {
+		t.Fatalf("snapshot not sorted by key: %+v", snap)
+	}
+	if snap[0].State != "open" || snap[1].State != "closed" || snap[2].State != "open" {
+		t.Fatalf("states wrong: %+v", snap)
+	}
+	if snap[2].ConsecutiveFailures != 1 {
+		t.Fatalf("consecutive failures = %d, want 1", snap[2].ConsecutiveFailures)
+	}
+	if !snap[0].LastTransition.Equal(fc.Now()) {
+		t.Fatalf("last transition = %v, want fake now %v", snap[0].LastTransition, fc.Now())
+	}
+	// No probe registered: no NextProbe even while open.
+	if !snap[0].NextProbe.IsZero() {
+		t.Fatalf("NextProbe set without a registered probe: %+v", snap[0])
+	}
+}
+
+func TestSnapshotNextProbeEstimate(t *testing.T) {
+	fc := clock.NewFake(time.Unix(100, 0))
+	tr := NewTracker(Options{FailureThreshold: 1, ProbeInterval: 40 * time.Millisecond, Clock: fc})
+	defer tr.Close()
+	tr.Trip("a|bad")
+	tr.SetProbe("a|bad", func() error { return errors.New("still down") })
+
+	// Before the first pass: one interval from now.
+	want := fc.Now().Add(40 * time.Millisecond)
+	snap := tr.Snapshot()
+	if !snap[0].NextProbe.Equal(want) {
+		t.Fatalf("NextProbe before first pass = %v, want %v", snap[0].NextProbe, want)
+	}
+
+	fc.Advance(time.Second)
+	tr.ProbeNow() // pass runs (and fails); lastProbe = now
+	want = fc.Now().Add(40 * time.Millisecond)
+	snap = tr.Snapshot()
+	if !snap[0].NextProbe.Equal(want) {
+		t.Fatalf("NextProbe after a pass = %v, want lastProbe+interval %v", snap[0].NextProbe, want)
+	}
+	if snap[0].State != "open" {
+		t.Fatalf("failed probe should leave the breaker open, got %s", snap[0].State)
+	}
+}
+
+func TestMetricsGauges(t *testing.T) {
+	reg := stats.New()
+	tr := NewTracker(Options{FailureThreshold: 1, Metrics: reg})
+	defer tr.Close()
+	tr.Trip("a")
+	tr.Trip("b")
+	tr.ReportSuccess("a")
+
+	s := reg.Snapshot()
+	if got := s.Gauges["health.open_endpoints"]; got != 1 {
+		t.Fatalf("open_endpoints = %d, want 1", got)
+	}
+	if got := s.Gauges[`health.breaker_state{endpoint="a"}`]; got != int64(Closed) {
+		t.Fatalf("breaker_state{a} = %d, want closed(0)", got)
+	}
+	if got := s.Gauges[`health.breaker_state{endpoint="b"}`]; got != int64(Open) {
+		t.Fatalf("breaker_state{b} = %d, want open(1)", got)
+	}
+	// a: closed->open->closed, b: closed->open = 3 transitions.
+	if got := s.Counters["health.transitions"]; got != 3 {
+		t.Fatalf("transitions = %d, want 3", got)
+	}
 }

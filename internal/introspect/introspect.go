@@ -1,0 +1,221 @@
+// Package introspect is the runtime introspection plane: an embedded,
+// stdlib-only debug HTTP server attachable to a core.Runtime. It is
+// the operational face of the paper's Open Implementation principle —
+// every critical internal decision the ORB makes (protocol selection,
+// breaker state, drain, batching) is observable over plain HTTP while
+// an experiment runs:
+//
+//	/metrics  Prometheus text exposition of the runtime registry
+//	/statusz  JSON: contexts, GPs with health-annotated protocol
+//	          tables, endpoint breakers, async depth, recent events
+//	/tracez   recent spans from the trace ring, grouped into trace
+//	          trees, filterable by kind / error / min-latency
+//	/varz     flight-recorder rate windows (1s/10s/60s)
+//	/healthz  liveness probe
+//	/debug/pprof/…  the stdlib profiler
+//
+// Attachment is strictly additive: a runtime without an attached server
+// pays nothing (the gauges it feeds are nil-safe atomics), and every
+// method on a nil *Server is a no-op, so call sites need no guards.
+package introspect
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/obs"
+)
+
+// Options configures Attach. The zero value works: loopback listener on
+// an ephemeral port, default flight-recorder cadence, and a trace ring
+// installed if the runtime has no recorder yet.
+type Options struct {
+	// Addr is the listen address (default "127.0.0.1:0"). The plane is
+	// a debug surface: bind loopback unless you mean to expose it.
+	Addr string
+	// FlightInterval is the flight-recorder sampling period (default
+	// DefaultFlightInterval).
+	FlightInterval time.Duration
+	// FlightDepth is how many snapshots the recorder retains (default
+	// DefaultFlightDepth).
+	FlightDepth int
+	// RingSize sizes the trace ring Attach installs when the runtime's
+	// tracer has no recorder yet (default obs.DefaultRingSize). When a
+	// *obs.Ring is already installed — e.g. by a -trace flag — /tracez
+	// reads that ring and no new one is created.
+	RingSize int
+	// Clock drives the flight recorder (default: the runtime's clock).
+	Clock clock.Clock
+}
+
+// Server is one attached introspection plane. All methods are safe on
+// a nil receiver, so "introspection off" is a nil handle, not a branch
+// at every call site.
+type Server struct {
+	rt     *core.Runtime
+	flight *Flight
+	ring   *obs.Ring
+	mux    *http.ServeMux
+	l      net.Listener
+	hs     *http.Server
+}
+
+// Attach builds the introspection plane for rt and starts serving it.
+// It installs a trace ring on the runtime's tracer when none is
+// present, starts the flight recorder, and listens on opts.Addr.
+func Attach(rt *core.Runtime, opts Options) (*Server, error) {
+	if opts.Addr == "" {
+		opts.Addr = "127.0.0.1:0"
+	}
+	if opts.Clock == nil {
+		opts.Clock = rt.Clock()
+	}
+	s := &Server{rt: rt}
+
+	// /tracez source: reuse an installed ring, else install one.
+	switch rec := rt.Tracer().Recorder().(type) {
+	case *obs.Ring:
+		s.ring = rec
+	case nil:
+		s.ring = obs.NewRing(opts.RingSize)
+		rt.Tracer().SetRecorder(s.ring)
+	default:
+		// A foreign recorder (e.g. a test collector) stays installed;
+		// /tracez reports unavailable rather than hijacking it.
+	}
+
+	s.flight = NewFlight(rt.MetricsSnapshot, opts.Clock, opts.FlightInterval, opts.FlightDepth)
+	s.flight.Start()
+
+	s.mux = http.NewServeMux()
+	s.routes()
+
+	l, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		s.flight.Close()
+		return nil, fmt.Errorf("introspect: listen %s: %w", opts.Addr, err)
+	}
+	s.l = l
+	s.hs = &http.Server{Handler: s.mux}
+	go func() {
+		// ErrServerClosed (and listener teardown races) are the normal
+		// end of life for a debug server; nothing to surface.
+		_ = s.hs.Serve(l)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("" on a nil server).
+func (s *Server) Addr() string {
+	if s == nil || s.l == nil {
+		return ""
+	}
+	return s.l.Addr().String()
+}
+
+// Flight returns the flight recorder (nil on a nil server; *Flight is
+// itself nil-safe).
+func (s *Server) Flight() *Flight {
+	if s == nil {
+		return nil
+	}
+	return s.flight
+}
+
+// Ring returns the trace ring /tracez reads (nil when a foreign
+// recorder was already installed, or on a nil server).
+func (s *Server) Ring() *obs.Ring {
+	if s == nil {
+		return nil
+	}
+	return s.ring
+}
+
+// Handler exposes the plane's routes without the listener — tests mount
+// it on httptest servers.
+func (s *Server) Handler() http.Handler {
+	if s == nil {
+		return http.NotFoundHandler()
+	}
+	return s.mux
+}
+
+// Close stops the HTTP server and the flight recorder. Nil-safe and
+// idempotent.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.flight.Close()
+	if s.hs == nil {
+		return nil
+	}
+	// Hard close: a debug plane has no in-flight work worth draining.
+	return s.hs.Close()
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/varz", s.handleVarz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/tracez", s.handleTracez)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "openhpcxx introspection plane (process %s)\n\n", s.rt.Process())
+	fmt.Fprint(w, "/metrics   Prometheus text exposition\n")
+	fmt.Fprint(w, "/statusz   contexts, GPs, protocol tables, breakers (JSON)\n")
+	fmt.Fprint(w, "/tracez    recent trace trees (JSON; ?kind= ?error=1 ?min_us= ?limit= ?cursor=)\n")
+	fmt.Fprint(w, "/varz      flight-recorder rate windows (JSON)\n")
+	fmt.Fprint(w, "/healthz   liveness\n")
+	fmt.Fprint(w, "/debug/pprof/  profiler\n")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok %s\n", s.rt.Process())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.rt.MetricsSnapshot().WriteProm(w); err != nil {
+		// The header is already out; all we can do is log nothing and
+		// let the scraper see the truncated body.
+		return
+	}
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.flight.Varz())
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.rt.Status())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A failed write means the client went away mid-response; there is
+	// no one left to report it to.
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,171 @@
+// /tracez: the trace ring rendered as trees. Spans arrive flat (the
+// ring records them in end order, client and server sides interleaved);
+// the handler groups them by trace ID, wires children to parents by
+// span ID, and emits the newest traces first — the live counterpart of
+// the obstest assertions PR 3 introduced.
+package introspect
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+
+	"openhpcxx/internal/obs"
+)
+
+// TraceNode is one span with its children nested, in start (Seq) order.
+type TraceNode struct {
+	obs.Span
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// TraceTree is one reconstructed trace: its roots (normally one —
+// the client "invoke" span), plus rollups the list view sorts and
+// filters on.
+type TraceTree struct {
+	Trace obs.TraceID `json:"trace"`
+	// Spans counts every retained span of the trace; DurNS is the root
+	// span's duration (the longest root's, if several); Err is the
+	// first error recorded anywhere in the trace.
+	Spans int          `json:"spans"`
+	DurNS int64        `json:"dur_ns"`
+	Err   string       `json:"err,omitempty"`
+	Roots []*TraceNode `json:"roots"`
+}
+
+// TracezPayload is the /tracez response body.
+type TracezPayload struct {
+	// Total and Dropped mirror the ring's lifetime accounting; Cursor
+	// is what the next poll passes as ?cursor= to see only new spans
+	// (and how many the ring evicted in between).
+	Total   uint64      `json:"total"`
+	Dropped uint64      `json:"dropped"`
+	Cursor  uint64      `json:"cursor"`
+	Traces  []TraceTree `json:"traces"`
+}
+
+// tracezDefaultLimit bounds how many traces one response carries unless
+// ?limit= asks otherwise.
+const tracezDefaultLimit = 64
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	if s.ring == nil {
+		http.Error(w, "tracez unavailable: a non-ring span recorder is installed", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	cursor, _ := strconv.ParseUint(q.Get("cursor"), 10, 64)
+	spans, dropped, next := s.ring.SnapshotSince(cursor)
+
+	// Span-level filter: kind restricts which spans appear at all.
+	if kind := q.Get("kind"); kind != "" {
+		spans = filterSpans(spans, func(sp obs.Span) bool { return sp.Kind.String() == kind })
+	}
+
+	trees := buildTraceTrees(spans)
+
+	// Trace-level filters: error and minimum latency.
+	if q.Get("error") == "1" {
+		trees = filterTrees(trees, func(t TraceTree) bool { return t.Err != "" })
+	}
+	if minUS, err := strconv.ParseInt(q.Get("min_us"), 10, 64); err == nil && minUS > 0 {
+		trees = filterTrees(trees, func(t TraceTree) bool { return t.DurNS >= minUS*1000 })
+	}
+
+	limit := tracezDefaultLimit
+	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
+		limit = n
+	}
+	if len(trees) > limit {
+		trees = trees[:limit]
+	}
+	writeJSON(w, TracezPayload{Total: s.ring.Total(), Dropped: dropped, Cursor: next, Traces: trees})
+}
+
+func filterSpans(spans []obs.Span, keep func(obs.Span) bool) []obs.Span {
+	out := spans[:0:0]
+	for _, sp := range spans {
+		if keep(sp) {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func filterTrees(trees []TraceTree, keep func(TraceTree) bool) []TraceTree {
+	out := trees[:0:0]
+	for _, t := range trees {
+		if keep(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// buildTraceTrees groups spans by trace, nests children under parents,
+// and returns the traces newest first (by the highest Seq each trace
+// retains). A span whose parent was evicted from the ring is promoted
+// to a root — a truncated trace still renders.
+func buildTraceTrees(spans []obs.Span) []TraceTree {
+	byTrace := make(map[obs.TraceID][]obs.Span)
+	var order []obs.TraceID
+	for _, sp := range spans {
+		if _, seen := byTrace[sp.Trace]; !seen {
+			order = append(order, sp.Trace)
+		}
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+	trees := make([]TraceTree, 0, len(order))
+	for _, id := range order {
+		trees = append(trees, buildTree(id, byTrace[id]))
+	}
+	// Newest first: sort by the trace's highest Seq, descending.
+	sort.Slice(trees, func(i, j int) bool {
+		return maxSeq(trees[i].Roots) > maxSeq(trees[j].Roots)
+	})
+	return trees
+}
+
+func buildTree(id obs.TraceID, spans []obs.Span) TraceTree {
+	nodes := make(map[obs.SpanID]*TraceNode, len(spans))
+	ordered := make([]*TraceNode, 0, len(spans))
+	for _, sp := range spans {
+		n := &TraceNode{Span: sp}
+		nodes[sp.ID] = n
+		ordered = append(ordered, n)
+	}
+	t := TraceTree{Trace: id, Spans: len(spans)}
+	for _, n := range ordered {
+		if t.Err == "" && n.Err != "" {
+			t.Err = n.Err
+		}
+		if parent, ok := nodes[n.Parent]; ok && n.Parent != 0 && parent != n {
+			parent.Children = append(parent.Children, n)
+			continue
+		}
+		t.Roots = append(t.Roots, n)
+	}
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Seq < n.Children[j].Seq })
+	}
+	sort.Slice(t.Roots, func(i, j int) bool { return t.Roots[i].Seq < t.Roots[j].Seq })
+	for _, root := range t.Roots {
+		if d := int64(root.Dur); d > t.DurNS {
+			t.DurNS = d
+		}
+	}
+	return t
+}
+
+func maxSeq(roots []*TraceNode) uint64 {
+	var m uint64
+	for _, r := range roots {
+		if r.Seq > m {
+			m = r.Seq
+		}
+		if c := maxSeq(r.Children); c > m {
+			m = c
+		}
+	}
+	return m
+}

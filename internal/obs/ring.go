@@ -55,10 +55,24 @@ func (r *Ring) Total() uint64 {
 	return r.total
 }
 
-// Spans returns the retained spans, oldest first.
-func (r *Ring) Spans() []Span {
+// Dropped reports how many spans the bounded buffer has evicted over
+// the ring's lifetime (Total minus what is retained).
+func (r *Ring) Dropped() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.total - uint64(r.retainedLocked())
+}
+
+// retainedLocked is how many spans survive in the buffer. Caller holds mu.
+func (r *Ring) retainedLocked() int {
+	if r.wrapped {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// spansLocked assembles the retained spans, oldest first. Caller holds mu.
+func (r *Ring) spansLocked() []Span {
 	if !r.wrapped {
 		out := make([]Span, r.next)
 		copy(out, r.buf[:r.next])
@@ -68,6 +82,40 @@ func (r *Ring) Spans() []Span {
 	out = append(out, r.buf[r.next:]...)
 	out = append(out, r.buf[:r.next]...)
 	return out
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *Ring) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spansLocked()
+}
+
+// SnapshotSince returns every span recorded after the given cursor that
+// the bounded buffer still retains (oldest first), how many spans
+// recorded after the cursor were already evicted before this call
+// (dropped), and the cursor to pass next time. Cursors are lifetime
+// record counts: pass 0 for "everything", then thread the returned next
+// through subsequent polls. /tracez uses the dropped count to tell the
+// operator how much of the trace stream the poll interval lost.
+func (r *Ring) SnapshotSince(cursor uint64) (spans []Span, dropped uint64, next uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next = r.total
+	if cursor > r.total {
+		// A cursor from a previous ring lifetime (Reset); start over.
+		cursor = 0
+	}
+	oldest := r.total - uint64(r.retainedLocked()) // seq of the oldest retained span, minus one
+	if cursor < oldest {
+		dropped = oldest - cursor
+		cursor = oldest
+	}
+	if want := r.total - cursor; want > 0 {
+		all := r.spansLocked()
+		spans = all[uint64(len(all))-want:]
+	}
+	return spans, dropped, next
 }
 
 // Trace returns the retained spans of one trace, in start (Seq) order.
@@ -95,16 +143,18 @@ func (r *Ring) Reset() {
 // Export is the JSON shape WriteJSON emits.
 type Export struct {
 	// Total counts spans recorded over the ring's lifetime; Retained
-	// is how many survive in the buffer (== len(Spans)).
+	// is how many survive in the buffer (== len(Spans)); Dropped is
+	// how many the bounded buffer evicted (Total - Retained).
 	Total    uint64 `json:"total"`
 	Retained int    `json:"retained"`
+	Dropped  uint64 `json:"dropped"`
 	Spans    []Span `json:"spans"`
 }
 
 // WriteJSON dumps the retained spans as one indented JSON document.
 func (r *Ring) WriteJSON(w io.Writer) error {
-	spans := r.Spans()
+	spans, dropped, total := r.SnapshotSince(0)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(Export{Total: r.Total(), Retained: len(spans), Spans: spans})
+	return enc.Encode(Export{Total: total, Retained: len(spans), Dropped: dropped, Spans: spans})
 }

@@ -58,6 +58,82 @@ func TestRingDefaultSize(t *testing.T) {
 	}
 }
 
+func TestRingSnapshotSinceCursorThreading(t *testing.T) {
+	r := NewRing(8)
+	recordN(r, 1, 3)
+	spans, dropped, next := r.SnapshotSince(0)
+	if len(spans) != 3 || dropped != 0 || next != 3 {
+		t.Fatalf("first poll: spans=%d dropped=%d next=%d, want 3/0/3", len(spans), dropped, next)
+	}
+	// Nothing new: empty incremental poll.
+	spans, dropped, next = r.SnapshotSince(next)
+	if len(spans) != 0 || dropped != 0 || next != 3 {
+		t.Fatalf("idle poll: spans=%d dropped=%d next=%d, want 0/0/3", len(spans), dropped, next)
+	}
+	// Two more spans: only the new ones come back.
+	r.Record(Span{Trace: 1, ID: 10, Seq: 10})
+	r.Record(Span{Trace: 1, ID: 11, Seq: 11})
+	spans, dropped, next = r.SnapshotSince(next)
+	if len(spans) != 2 || dropped != 0 || next != 5 {
+		t.Fatalf("incremental poll: spans=%d dropped=%d next=%d, want 2/0/5", len(spans), dropped, next)
+	}
+	if spans[0].Seq != 10 || spans[1].Seq != 11 {
+		t.Fatalf("incremental poll returned wrong spans: %+v", spans)
+	}
+}
+
+func TestRingSnapshotSinceReportsEvictions(t *testing.T) {
+	r := NewRing(4)
+	recordN(r, 1, 2)
+	_, _, next := r.SnapshotSince(0)
+	// Overrun the buffer: 6 more spans into a 4-slot ring evicts the
+	// two we already saw plus two we never will.
+	recordN(r, 2, 6)
+	spans, dropped, next2 := r.SnapshotSince(next)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (spans recorded after the cursor but evicted)", dropped)
+	}
+	if len(spans) != 4 || next2 != 8 {
+		t.Fatalf("spans=%d next=%d, want 4/8", len(spans), next2)
+	}
+	if spans[0].Seq != 3 || spans[3].Seq != 6 {
+		t.Fatalf("retained window [%d..%d], want [3..6]", spans[0].Seq, spans[3].Seq)
+	}
+	if got := r.Dropped(); got != 4 {
+		t.Fatalf("lifetime Dropped = %d, want 4 (total 8 - retained 4)", got)
+	}
+}
+
+func TestRingSnapshotSinceStaleCursorRestarts(t *testing.T) {
+	r := NewRing(8)
+	recordN(r, 1, 5)
+	_, _, next := r.SnapshotSince(0)
+	r.Reset()
+	recordN(r, 2, 2)
+	// The old cursor (5) exceeds the reborn ring's total (2): the poll
+	// must restart from zero instead of waiting forever.
+	spans, dropped, next2 := r.SnapshotSince(next)
+	if len(spans) != 2 || dropped != 0 || next2 != 2 {
+		t.Fatalf("post-reset poll: spans=%d dropped=%d next=%d, want 2/0/2", len(spans), dropped, next2)
+	}
+}
+
+func TestRingWriteJSONReportsDropped(t *testing.T) {
+	r := NewRing(4)
+	recordN(r, 3, 6)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var exp Export
+	if err := json.Unmarshal(buf.Bytes(), &exp); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Dropped != 2 {
+		t.Fatalf("export dropped = %d, want 2", exp.Dropped)
+	}
+}
+
 func TestRingWriteJSON(t *testing.T) {
 	r := NewRing(4)
 	recordN(r, 3, 6)

@@ -1,0 +1,115 @@
+// Prometheus-style text exposition (text format 0.0.4, the subset any
+// scraper accepts): counters, gauges, and the log-scale histograms
+// rendered as summaries with approximate quantiles. This is the body
+// behind the introspection plane's /metrics endpoint.
+//
+// Metric keys translate as follows: dots and other non-identifier
+// characters in the name become underscores ("rpc.shm.calls" ->
+// "rpc_shm_calls"), and a canonical label block produced by
+// KeyWithLabels ("name{k=\"v\"}") passes through verbatim. Output is in
+// sorted key order, so consecutive scrapes of an unchanged registry are
+// byte-identical.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promSeries is one exposition line: the sanitized family name, the
+// (possibly empty) canonical label block, and the original registry key
+// to look the value up under.
+type promSeries struct {
+	fam    string
+	labels string
+	key    string
+}
+
+// promFamilies groups registry keys into exposition families, each
+// family and each series within it sorted.
+func promFamilies(keys []string) ([]string, map[string][]promSeries) {
+	fams := make(map[string][]promSeries)
+	var order []string
+	for _, key := range keys { // keys arrive sorted
+		name, labels := key, ""
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			name, labels = key[:i], key[i:]
+		}
+		fam := sanitizePromName(name)
+		if _, seen := fams[fam]; !seen {
+			order = append(order, fam)
+		}
+		fams[fam] = append(fams[fam], promSeries{fam: fam, labels: labels, key: key})
+	}
+	sort.Strings(order)
+	return order, fams
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format.
+func (s RegistrySnapshot) WriteProm(w io.Writer) error {
+	var b strings.Builder
+
+	order, fams := promFamilies(s.CounterNames())
+	for _, fam := range order {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", fam)
+		for _, sr := range fams[fam] {
+			fmt.Fprintf(&b, "%s%s %d\n", sr.fam, sr.labels, s.Counters[sr.key])
+		}
+	}
+
+	order, fams = promFamilies(s.GaugeNames())
+	for _, fam := range order {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+		for _, sr := range fams[fam] {
+			fmt.Fprintf(&b, "%s%s %d\n", sr.fam, sr.labels, s.Gauges[sr.key])
+		}
+	}
+
+	// Histograms render as summaries: quantile series plus _sum/_count.
+	order, fams = promFamilies(s.HistogramNames())
+	for _, fam := range order {
+		fmt.Fprintf(&b, "# TYPE %s summary\n", fam)
+		for _, sr := range fams[fam] {
+			h := s.Histograms[sr.key]
+			for _, q := range []struct {
+				q string
+				v int64
+			}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+				fmt.Fprintf(&b, "%s%s %d\n", sr.fam, mergeLabels(sr.labels, `quantile="`+q.q+`"`), q.v)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %d\n", sr.fam, sr.labels, h.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", sr.fam, sr.labels, h.Count)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizePromName rewrites a registry name into the exposition
+// alphabet [a-zA-Z0-9_:], mapping everything else to '_'.
+func sanitizePromName(n string) string {
+	var b strings.Builder
+	b.Grow(len(n))
+	for i, r := range n {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// mergeLabels merges an extra label into an existing (possibly empty)
+// canonical label block.
+func mergeLabels(block, extra string) string {
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(block, "}") + "," + extra + "}"
+}

@@ -33,6 +33,85 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value reads the counter.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Gauge is an instantaneous value that can move both ways — in-flight
+// invocations, pool occupancy, breaker states. All methods are atomic
+// and nil-safe: a nil *Gauge is a no-op, so optional instrumentation
+// costs one nil check when unwired.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores an absolute value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Inc moves the gauge up by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec moves the gauge down by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value reads the gauge (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Labels decorate a metric name with dimensions (endpoint, protocol,
+// state ...). They canonicalize into the metric key as
+// name{k1="v1",k2="v2"} with keys sorted, so the same label set always
+// names the same metric and text exposition diffs cleanly.
+type Labels map[string]string
+
+// KeyWithLabels renders the canonical registry key for a labeled
+// metric: name{k="v",...} with label keys sorted. Empty labels return
+// the bare name. Exporters split the key at the first '{' to recover
+// name and label block.
+func KeyWithLabels(name string, labels Labels) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies the text-exposition escapes (backslash,
+// quote, newline) so label values survive round trips through scrapes.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
 // Histogram accumulates int64 observations into power-of-two buckets:
 // bucket i counts observations with bit length i (0 counts zero and
 // negative values). Percentiles are therefore approximate within 2x,
@@ -161,6 +240,7 @@ func bucketUpper(i int) int64 {
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -168,6 +248,7 @@ type Registry struct {
 func New() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -184,6 +265,30 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
+// CounterWith returns the counter for name decorated with labels: each
+// distinct label set is its own counter under the canonical
+// name{k="v",...} key.
+func (r *Registry) CounterWith(name string, labels Labels) *Counter {
+	return r.Counter(KeyWithLabels(name, labels))
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeWith returns the gauge for name decorated with labels.
+func (r *Registry) GaugeWith(name string, labels Labels) *Gauge {
+	return r.Gauge(KeyWithLabels(name, labels))
+}
+
 // Histogram returns (creating if needed) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
@@ -194,6 +299,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// HistogramWith returns the histogram for name decorated with labels.
+func (r *Registry) HistogramWith(name string, labels Labels) *Histogram {
+	return r.Histogram(KeyWithLabels(name, labels))
 }
 
 // CounterNames lists registered counters, sorted.
@@ -208,22 +318,39 @@ func (r *Registry) CounterNames() []string {
 	return out
 }
 
+// GaugeNames lists registered gauges, sorted.
+func (r *Registry) GaugeNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RegistrySnapshot is a point-in-time export of every registered
 // metric — the JSON shape WriteTo emits and Runtime.MetricsSnapshot
 // returns.
 type RegistrySnapshot struct {
 	Counters   map[string]uint64   `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
 	Histograms map[string]Snapshot `json:"histograms"`
 }
 
-// Snapshot captures every counter value and histogram summary. Each
-// metric is read atomically; the set as a whole is as consistent as a
-// live system allows.
+// Snapshot captures every counter and gauge value and histogram
+// summary. Each metric is read atomically; the set as a whole is as
+// consistent as a live system allows.
 func (r *Registry) Snapshot() RegistrySnapshot {
 	r.mu.Lock()
 	cs := make(map[string]*Counter, len(r.counters))
 	for n, c := range r.counters {
 		cs[n] = c
+	}
+	gs := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gs[n] = g
 	}
 	hs := make(map[string]*Histogram, len(r.histograms))
 	for n, h := range r.histograms {
@@ -233,10 +360,14 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 
 	out := RegistrySnapshot{
 		Counters:   make(map[string]uint64, len(cs)),
+		Gauges:     make(map[string]int64, len(gs)),
 		Histograms: make(map[string]Snapshot, len(hs)),
 	}
 	for n, c := range cs {
 		out.Counters[n] = c.Value()
+	}
+	for n, g := range gs {
+		out.Gauges[n] = g.Value()
 	}
 	for n, h := range hs {
 		out.Histograms[n] = h.Snapshot()
@@ -244,15 +375,73 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	return out
 }
 
+// CounterNames lists the snapshot's counter keys, sorted — the
+// deterministic iteration order every exporter should use.
+func (s RegistrySnapshot) CounterNames() []string { return sortedKeys(s.Counters) }
+
+// GaugeNames lists the snapshot's gauge keys, sorted.
+func (s RegistrySnapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// HistogramNames lists the snapshot's histogram keys, sorted.
+func (s RegistrySnapshot) HistogramNames() []string { return sortedKeys(s.Histograms) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // WriteTo writes the registry snapshot as one indented JSON document —
 // the export behind `ohpc-demo`'s metrics dump and Runtime metrics
-// files.
+// files. Metrics are emitted in sorted name order by construction (not
+// by relying on the encoder), so two scrapes of an unchanged registry
+// are byte-identical and diff cleanly.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
-	enc := json.NewEncoder(cw)
-	enc.SetIndent("", "  ")
-	err := enc.Encode(r.Snapshot())
+	err := r.Snapshot().WriteJSON(cw)
 	return cw.n, err
+}
+
+// WriteJSON emits the snapshot as one indented JSON document with every
+// section in sorted name order.
+func (s RegistrySnapshot) WriteJSON(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": {")
+	writeSortedJSON(&b, s.CounterNames(), func(n string) string {
+		return fmt.Sprintf("%d", s.Counters[n])
+	})
+	b.WriteString("},\n  \"gauges\": {")
+	writeSortedJSON(&b, s.GaugeNames(), func(n string) string {
+		return fmt.Sprintf("%d", s.Gauges[n])
+	})
+	b.WriteString("},\n  \"histograms\": {")
+	writeSortedJSON(&b, s.HistogramNames(), func(n string) string {
+		j, _ := json.Marshal(s.Histograms[n])
+		return string(j)
+	})
+	b.WriteString("}\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSortedJSON renders one `"name": value` object body, indented.
+func writeSortedJSON(b *strings.Builder, names []string, value func(string) string) {
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n    ")
+		key, _ := json.Marshal(n)
+		b.Write(key)
+		b.WriteString(": ")
+		b.WriteString(value(n))
+	}
+	if len(names) > 0 {
+		b.WriteString("\n  ")
+	}
 }
 
 type countingWriter struct {
@@ -268,35 +457,18 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 
 // Dump renders every metric as one line each, sorted by name.
 func (r *Registry) Dump() string {
-	r.mu.Lock()
-	type namedC struct {
-		name string
-		c    *Counter
-	}
-	type namedH struct {
-		name string
-		h    *Histogram
-	}
-	cs := make([]namedC, 0, len(r.counters))
-	for n, c := range r.counters {
-		cs = append(cs, namedC{n, c})
-	}
-	hs := make([]namedH, 0, len(r.histograms))
-	for n, h := range r.histograms {
-		hs = append(hs, namedH{n, h})
-	}
-	r.mu.Unlock()
-
-	sort.Slice(cs, func(i, j int) bool { return cs[i].name < cs[j].name })
-	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	s := r.Snapshot()
 	var b strings.Builder
-	for _, nc := range cs {
-		fmt.Fprintf(&b, "%s %d\n", nc.name, nc.c.Value())
+	for _, n := range s.CounterNames() {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Counters[n])
 	}
-	for _, nh := range hs {
-		s := nh.h.Snapshot()
+	for _, n := range s.GaugeNames() {
+		fmt.Fprintf(&b, "%s %d\n", n, s.Gauges[n])
+	}
+	for _, n := range s.HistogramNames() {
+		h := s.Histograms[n]
 		fmt.Fprintf(&b, "%s count=%d mean=%.1f p50<=%d p90<=%d p99<=%d\n",
-			nh.name, s.Count, s.Mean, s.P50, s.P90, s.P99)
+			n, h.Count, h.Mean, h.P50, h.P90, h.P99)
 	}
 	return b.String()
 }

@@ -123,6 +123,15 @@ func NewCoalescer(send func(*wire.Message) (Pending, error), policy BatchPolicy)
 // Policy returns the effective (defaulted) policy.
 func (c *Coalescer) Policy() BatchPolicy { return c.policy }
 
+// Stats reports the coalescer's current residency: how many requests
+// are waiting for a flush watermark and their queued payload bytes.
+// Introspection only — the numbers are stale the moment the lock drops.
+func (c *Coalescer) Stats() (queued, queuedBytes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue), c.bytes
+}
+
 // SetTracer installs the tracer used to record, for every traced
 // request riding in a real batch, a "batch" span carrying the coalesced
 // frame's size. Call before traffic; nil disables.

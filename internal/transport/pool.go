@@ -3,6 +3,8 @@ package transport
 import (
 	"net"
 	"sync"
+
+	"openhpcxx/internal/stats"
 )
 
 // Pool caches one Mux per destination key, re-dialing transparently when
@@ -14,11 +16,28 @@ type Pool struct {
 	dial  func(key string) (net.Conn, error)
 	mu    sync.Mutex
 	muxes map[string]*Mux
+	gauge *stats.Gauge // optional: tracks occupancy (a nil Gauge is a no-op)
 }
 
 // NewPool returns a Pool dialing through the given function.
 func NewPool(dial func(key string) (net.Conn, error)) *Pool {
 	return &Pool{dial: dial, muxes: make(map[string]*Mux)}
+}
+
+// SetSizeGauge installs a gauge mirroring the pool's occupancy (cached
+// muxes), for the introspection plane. Call before traffic.
+func (p *Pool) SetSizeGauge(g *stats.Gauge) {
+	p.mu.Lock()
+	p.gauge = g
+	p.gauge.Set(int64(len(p.muxes)))
+	p.mu.Unlock()
+}
+
+// Size reports how many muxes the pool currently caches.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.muxes)
 }
 
 // Get returns a healthy Mux for key, dialing if necessary.
@@ -35,6 +54,7 @@ func (p *Pool) Get(key string) (*Mux, error) {
 		// close error is uninteresting — the mux is already unhealthy.
 		_ = m.Close()
 		delete(p.muxes, key)
+		p.gauge.Dec()
 	}
 	c, err := p.dial(key)
 	if err != nil {
@@ -42,6 +62,7 @@ func (p *Pool) Get(key string) (*Mux, error) {
 	}
 	m := NewMux(c)
 	p.muxes[key] = m
+	p.gauge.Inc()
 	return m, nil
 }
 
@@ -50,6 +71,9 @@ func (p *Pool) Drop(key string) {
 	p.mu.Lock()
 	m, ok := p.muxes[key]
 	delete(p.muxes, key)
+	if ok {
+		p.gauge.Dec()
+	}
 	p.mu.Unlock()
 	if ok {
 		// Best-effort: Drop is called to discard a bad mux.
@@ -62,6 +86,7 @@ func (p *Pool) Close() {
 	p.mu.Lock()
 	muxes := p.muxes
 	p.muxes = make(map[string]*Mux)
+	p.gauge.Add(-int64(len(muxes)))
 	p.mu.Unlock()
 	for _, m := range muxes {
 		// Pool teardown is best-effort by contract (Close returns

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"openhpcxx/internal/obs"
+	"openhpcxx/internal/stats"
 	"openhpcxx/internal/wire"
 )
 
@@ -35,6 +36,13 @@ type Server struct {
 	// tracer, when set, records a server-side "decode" span for every
 	// traced inbound frame (atomic so SetTracer may race with traffic).
 	tracer atomic.Pointer[obs.Tracer]
+
+	// connsGauge / inflightGauge mirror live-connection and in-flight
+	// handler counts for the introspection plane (a nil Gauge is a
+	// no-op, so unwired servers pay nothing). Atomic pointers because
+	// SetGauges may race with accept/handle traffic.
+	connsGauge    atomic.Pointer[stats.Gauge]
+	inflightGauge atomic.Pointer[stats.Gauge]
 }
 
 // Serve starts accepting on l, dispatching frames to h.
@@ -49,6 +57,22 @@ func Serve(l net.Listener, h Handler) *Server {
 // server-side "decode" spans: one per traced inbound frame, recording
 // the decoded frame's body size before it enters the dispatcher.
 func (s *Server) SetTracer(tr *obs.Tracer) { s.tracer.Store(tr) }
+
+// SetGauges installs introspection gauges: conns mirrors the live
+// connection count, inflight the handler invocations currently running.
+// Either may be nil (skipped). Call before traffic for exact counts;
+// installing mid-traffic only tracks deltas from that point.
+func (s *Server) SetGauges(conns, inflight *stats.Gauge) {
+	if conns != nil {
+		s.connsGauge.Store(conns)
+		s.mu.Lock()
+		conns.Set(int64(len(s.conns)))
+		s.mu.Unlock()
+	}
+	if inflight != nil {
+		s.inflightGauge.Store(inflight)
+	}
+}
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -66,6 +90,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
+		s.connsGauge.Load().Inc()
 		s.wg.Add(1)
 		go s.connLoop(c)
 	}
@@ -77,6 +102,7 @@ func (s *Server) connLoop(c net.Conn) {
 		s.mu.Lock()
 		delete(s.conns, c)
 		s.mu.Unlock()
+		s.connsGauge.Load().Dec()
 		// The loop exits only on read error or server close; the
 		// connection is already dead either way.
 		_ = c.Close()
@@ -135,6 +161,9 @@ func (s *Server) handle(msg *wire.Message) *wire.Message {
 	s.hwg.Add(1)
 	s.mu.Unlock()
 	defer s.hwg.Done()
+	g := s.inflightGauge.Load()
+	g.Inc()
+	defer g.Dec()
 	return s.h(msg)
 }
 
