@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race determinism cover faults fuzz bench-async bench-faults top
+.PHONY: ci vet lint build test race determinism cover faults fuzz bench-async bench-faults bench-directory top registry
 
 ci: vet lint build test race determinism cover
 
@@ -34,11 +34,11 @@ determinism:
 		./internal/core/ ./internal/capability/
 
 # Coverage floor: the wire format, the metrics registry, the tracing
-# subsystem, the analyzer suite, and the introspection plane are
-# load-bearing for every protocol (and for CI and operations) — hold
-# them at >= 70%.
+# subsystem, the analyzer suite, the introspection plane, and the
+# directory plane are load-bearing for every protocol (and for CI and
+# operations) — hold them at >= 70%.
 cover:
-	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/ ./internal/introspect/; do \
+	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/ ./internal/introspect/ ./internal/directory/; do \
 		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i ~ /%/) {gsub("%","",$$i); print $$i}}'); \
 		echo "coverage $$pkg: $$pct%"; \
 		ok=$$(echo "$$pct" | awk '{print ($$1 >= 70.0) ? "yes" : "no"}'); \
@@ -68,6 +68,22 @@ bench-async:
 # Regenerate the availability-under-faults figure quickly and emit JSON.
 bench-faults:
 	$(GO) run ./cmd/ohpc-bench -fig=r1 -quick -json=-
+
+# Regenerate the directory-plane figure (scale sweep + crash schedule)
+# quickly and emit JSON.
+bench-directory:
+	$(GO) run ./cmd/ohpc-bench -fig=d1 -quick -json=-
+
+# Directory demo: serve the sharded name service (3 shards x 2 replicas)
+# on real TCP for a few seconds and print the client bootstrap blob.
+registry:
+	@mkdir -p bin
+	$(GO) build -o bin/ohpc-registry ./cmd/ohpc-registry
+	./bin/ohpc-registry -listen 127.0.0.1:7777 -shards 3 -replicas 2 & \
+	reg=$$!; \
+	sleep 3; \
+	kill -INT $$reg; \
+	wait $$reg || true
 
 # Live-introspection demo: run the demo tour with the plane attached and
 # watch it through four ohpc-top frames.

@@ -9,6 +9,7 @@
 //	ohpc-bench -fig=4
 //	ohpc-bench -fig=a1 -json=async.json   # async throughput figure
 //	ohpc-bench -fig=o1 -trace=spans.json  # tracing overhead + span dump
+//	ohpc-bench -fig=d1 -json=dir.json     # directory plane: scale + crash
 //
 // Absolute numbers depend on the host and the simulated link rates; the
 // shapes — which protocol wins, by roughly what factor, and where the
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), e1 (extension), r1 (robustness), o1 (tracing overhead), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), e1 (extension), r1 (robustness), o1 (tracing overhead), d1 (directory), or all")
 	profile := flag.String("profile", "both", "network for figure 5: atm, ethernet, or both")
 	quick := flag.Bool("quick", false, "time-scale the links 16x and shorten averaging")
 	plot := flag.Bool("plot", true, "also render figure 5 as an ASCII log-log plot")
@@ -251,6 +252,51 @@ func main() {
 		return nil
 	})
 
+	run("d1", func() error {
+		cfg := bench.D1Config{}
+		if *quick {
+			cfg.Sizes = []int{1_000, 100_000}
+			cfg.Ops = 400
+			cfg.CrashDuration = 700 * time.Millisecond
+		}
+		if *reps > 0 {
+			cfg.Ops = *reps
+		}
+		if *introspectAddr != "" {
+			cfg.OnRuntime = func(mode string, rt *core.Runtime) func() {
+				insp, err := introspect.Attach(rt, introspect.Options{Addr: *introspectAddr})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ohpc-bench: introspect (%s): %v\n", mode, err)
+					return nil
+				}
+				fmt.Printf("introspection plane for mode %s on http://%s\n", mode, insp.Addr())
+				return func() { _ = insp.Close() }
+			}
+		}
+		res, err := bench.RunFigureD1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigureD1(res))
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
 	run("o1", func() error {
 		cfg := bench.O1Config{}
 		if *quick {
@@ -301,7 +347,7 @@ func main() {
 		return nil
 	})
 
-	if !strings.Contains("1 2 3 4 5 a1 e1 r1 o1 all", *fig) {
+	if !strings.Contains("1 2 3 4 5 a1 e1 r1 o1 d1 all", *fig) {
 		fmt.Fprintf(os.Stderr, "ohpc-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}

@@ -3,25 +3,40 @@
 // and exchange object references — including their capability sets —
 // by name.
 //
+// With -shards > 1 (or -replicas > 1) it serves the sharded directory
+// plane instead: shard i's context listens on port+i, names partition
+// across shards by consistent hashing, and each shard keeps -replicas
+// copies with the replicas' endpoints merged into one failover table.
+// The printed base64 bootstrap blob is what clients feed to
+// directory.NewResolver / directory.NewPublisher.
+//
 // Usage:
 //
 //	ohpc-registry -listen 127.0.0.1:7777
+//	ohpc-registry -listen 127.0.0.1:7777 -shards 3 -replicas 2
 package main
 
 import (
+	"encoding/base64"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
+	"strconv"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/directory"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/registry"
+	"openhpcxx/internal/xdr"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:7777", "TCP host:port to serve on")
+	listen := flag.String("listen", "127.0.0.1:7777", "TCP host:port to serve on (shard i listens on port+i)")
+	shards := flag.Int("shards", 1, "directory shard count; 1 with -replicas 1 serves the classic single registry")
+	replicas := flag.Int("replicas", 1, "replicas per shard (directory mode)")
 	flag.Parse()
 
 	// A standalone registry still needs a locality; model the host as a
@@ -32,12 +47,27 @@ func main() {
 
 	rt := core.NewRuntime(n, "ohpc-registry")
 	defer rt.Close()
+
+	if *shards > 1 || *replicas > 1 {
+		serveDirectory(rt, *listen, *shards, *replicas)
+	} else {
+		serveSingle(rt, *listen)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("ohpc-registry: shutting down")
+}
+
+// serveSingle is the classic mode: one registry servant, one listener.
+func serveSingle(rt *core.Runtime, listen string) {
 	ctx, err := rt.NewContext("registry", "host")
 	if err != nil {
 		log.Fatalf("ohpc-registry: %v", err)
 	}
-	if err := ctx.BindTCP(*listen); err != nil {
-		log.Fatalf("ohpc-registry: listen %s: %v", *listen, err)
+	if err := ctx.BindTCP(listen); err != nil {
+		log.Fatalf("ohpc-registry: listen %s: %v", listen, err)
 	}
 	if _, _, err := registry.Serve(ctx); err != nil {
 		log.Fatalf("ohpc-registry: %v", err)
@@ -45,9 +75,49 @@ func main() {
 	addr, _ := ctx.Binding(core.ProtoStream)
 	fmt.Printf("ohpc-registry serving on %s\n", addr)
 	fmt.Printf("bootstrap clients with registry.RefAt(%q)\n", addr)
+}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	fmt.Println("ohpc-registry: shutting down")
+// serveDirectory is the sharded mode: one context (and listener) per
+// shard, the plane spread across them.
+func serveDirectory(rt *core.Runtime, listen string, shards, replicas int) {
+	host, portStr, err := net.SplitHostPort(listen)
+	if err != nil {
+		log.Fatalf("ohpc-registry: -listen %s: %v", listen, err)
+	}
+	base, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatalf("ohpc-registry: -listen port %q: %v", portStr, err)
+	}
+	var ctxs []*core.Context
+	for i := 0; i < shards; i++ {
+		ctx, err := rt.NewContext(fmt.Sprintf("dir%d", i), "host")
+		if err != nil {
+			log.Fatalf("ohpc-registry: %v", err)
+		}
+		addr := net.JoinHostPort(host, strconv.Itoa(base+i))
+		if err := ctx.BindTCP(addr); err != nil {
+			log.Fatalf("ohpc-registry: listen %s: %v", addr, err)
+		}
+		ctxs = append(ctxs, ctx)
+	}
+	plane, err := directory.ServePlane(ctxs, directory.Topology{Shards: shards, Replicas: replicas})
+	if err != nil {
+		log.Fatalf("ohpc-registry: %v", err)
+	}
+	topo := plane.Topology()
+	fmt.Printf("ohpc-registry directory plane: %d shards x %d replicas\n", topo.Shards, topo.Replicas)
+	for i, ctx := range ctxs {
+		addr, _ := ctx.Binding(core.ProtoStream)
+		fmt.Printf("  shard %d primary on %s\n", i, addr)
+	}
+	boot, err := plane.Bootstrap()
+	if err != nil {
+		log.Fatalf("ohpc-registry: %v", err)
+	}
+	blob, err := xdr.Marshal(boot)
+	if err != nil {
+		log.Fatalf("ohpc-registry: %v", err)
+	}
+	fmt.Printf("bootstrap (base64 XDR, feed to directory.NewResolver):\n%s\n",
+		base64.StdEncoding.EncodeToString(blob))
 }

@@ -39,3 +39,20 @@ func GoodCtx(ctx context.Context, s *Store, key string) error {
 func Fetch(s *Store, key string) error {
 	return s.GetCtx(context.Background(), key)
 }
+
+// Dir is the directory-resolver shape: lookup comes in plain and
+// context-threading flavors.
+type Dir struct{}
+
+func (d *Dir) Lookup(name string) error                         { return nil }
+func (d *Dir) LookupCtx(ctx context.Context, name string) error { return nil }
+
+// ResolveCtx is the resolver's deadline-threading entry point: falling
+// back to the plain Lookup mid-chain severs the caller's deadline right
+// where a slow shard needs it most.
+func ResolveCtx(ctx context.Context, d *Dir, name string) error {
+	if err := d.Lookup(name); err != nil { // want "ResolveCtx calls Lookup without the context: use Dir.LookupCtx"
+		return err
+	}
+	return d.LookupCtx(ctx, name)
+}

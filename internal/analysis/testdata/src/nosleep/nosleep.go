@@ -52,6 +52,34 @@ func samplerLoopRaw(stop chan struct{}, sample func()) {
 	}
 }
 
+// sweeperLoop is the directory-plane lease-sweeper shape
+// (internal/registry.StartSweeper): a background pruner pacing itself on
+// the injected clock, stoppable via Close, is clean.
+func sweeperLoop(clk clock.Clock, stop chan struct{}, prune func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-clock.After(clk, 250*time.Millisecond):
+			prune()
+		}
+	}
+}
+
+// heartbeatLoopRaw is a publisher heartbeat pacing itself on the wall
+// clock — under a fake test clock the leases would expire while the
+// heartbeat never fires, exactly the nondeterminism the analyzer bans.
+func heartbeatLoopRaw(stop chan struct{}, rebind func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second): // want "time.After outside internal/clock"
+			rebind()
+		}
+	}
+}
+
 func suppressed() {
 	//lint:ignore nosleep corpus example of a deliberate, annotated real sleep
 	time.Sleep(time.Millisecond)

@@ -112,6 +112,39 @@ func samplerTicksLeak(tr *obs.Tracer, stop, ticks chan struct{}, bad func() bool
 	}
 }
 
+// heartbeatRound is the directory publisher's per-round shape: one span
+// covering a fan-out over many names, the last error recorded, ended on
+// every path — clean.
+func heartbeatRound(tr *obs.Tracer, names []string, rebind func(string) error) {
+	sp := tr.StartRoot(obs.KindClient, "dir.heartbeat")
+	sp.SetBytes(len(names))
+	var lastErr error
+	for _, n := range names {
+		if err := rebind(n); err != nil {
+			lastErr = err
+		}
+	}
+	sp.SetErr(lastErr)
+	sp.End()
+}
+
+// watchSubscribeLeak is the watch-subscription shape gone wrong: the
+// per-shard span skips End when every replica refuses.
+func watchSubscribeLeak(tr *obs.Tracer, replicas []func() error) error {
+	sp := tr.StartRoot(obs.KindClient, "dir.watch")
+	ok := 0
+	for _, sub := range replicas {
+		if sub() == nil {
+			ok++
+		}
+	}
+	if ok == 0 {
+		return errors.New("no replica reachable") // want "span sp is still open on this return path"
+	}
+	sp.End()
+	return nil
+}
+
 func terminal(tr *obs.Tracer, bad bool) {
 	sp := tr.StartRoot(obs.KindClient, "op")
 	if bad {

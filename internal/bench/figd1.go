@@ -1,0 +1,498 @@
+// Figure D1: the sharded directory plane under load and under faults.
+//
+// Part one is the scale sweep: resolve+invoke throughput and latency
+// percentiles as the registered-object count grows 1e3 -> 1e6, with the
+// resolver's watch-fed cache on versus off. The claim is that the cached
+// resolver's p99 stays flat (within 2x) across three orders of magnitude
+// of table size, because a hot name costs one local cache probe plus the
+// invocation itself, while the uncached resolver pays a directory round
+// trip on every call.
+//
+// Part two is the crash schedule: an uncached resolver streams lookups
+// across every shard while the machine hosting shard 0's primary crashes
+// and later restarts. With K=2 replication the merged read reference
+// (every replica's protocol entries in one ordered table — the paper's
+// §3.1 table as a failover chain) keeps resolution available through the
+// outage; with a single replica the names owned by the crashed shard go
+// dark until the restart.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/directory"
+	"openhpcxx/internal/health"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/stats"
+)
+
+// D1 figure mode names.
+const (
+	D1ModeCached     = "cached"
+	D1ModeUncached   = "uncached"
+	D1ModeReplicated = "replicated"
+	D1ModeSingle     = "single"
+	D1FigureTitle    = "Figure D1: directory plane — resolve+invoke at scale and through shard crashes"
+)
+
+// d1DirPort is the base sim port for the shard-hosting contexts; fixed so
+// the crash schedule's restart hook can re-bind the advertised address.
+const d1DirPort = 7111
+
+// D1Config parameterizes the directory experiment.
+type D1Config struct {
+	// Profile shapes the LAN joining client, servers, and shard hosts
+	// (default ProfileEthernet).
+	Profile netsim.LinkProfile
+	// Sizes are the registered-object counts of the scale sweep
+	// (default 1e3, 1e4, 1e5, 1e6).
+	Sizes []int
+	// Ops is how many resolve+invoke operations each scale cell
+	// measures (default 1500).
+	Ops int
+	// HotNames is the client's working-set size — the names the op loop
+	// cycles through (default 128, well inside the resolve cache).
+	HotNames int
+	// Shards is the partition count (default 3).
+	Shards int
+	// CrashDuration is the crash-schedule run length (default 1.2s);
+	// the primary's host crashes at 1/4 and restarts at 1/2.
+	CrashDuration time.Duration
+	// Pace is the gap between crash-schedule resolves (default 1ms).
+	Pace time.Duration
+	// Clock paces the crash loop (default real, matching the real-time
+	// fault plan).
+	Clock clock.Clock
+	// OnRuntime, when set, is invoked with each part's runtime right
+	// after its deployment is built, mirroring R1Config.OnRuntime: the
+	// hook ohpc-bench uses to attach the -introspect plane. The mode
+	// string is one of the D1Mode* constants.
+	OnRuntime func(mode string, rt *core.Runtime) func()
+}
+
+func (c *D1Config) fill() {
+	if c.Profile.Name == "" {
+		c.Profile = netsim.ProfileEthernet
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1_000, 10_000, 100_000, 1_000_000}
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1500
+	}
+	if c.HotNames <= 0 {
+		c.HotNames = 128
+	}
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.CrashDuration <= 0 {
+		c.CrashDuration = 1200 * time.Millisecond
+	}
+	if c.Pace <= 0 {
+		c.Pace = time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+}
+
+// D1ScalePoint is one cell of the scale sweep.
+type D1ScalePoint struct {
+	Mode       string  `json:"mode"`
+	Registered int     `json:"registered"`
+	Ops        int     `json:"ops"`
+	Failed     int     `json:"failed"`
+	Throughput float64 `json:"ops_per_sec"`
+	// P50/P99 are resolve+invoke latency percentiles.
+	P50 time.Duration `json:"p50_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	// HitRate is resolve-cache hits over cache-consulting resolves.
+	HitRate float64 `json:"hit_rate"`
+}
+
+// D1CrashPoint is one replication mode through the crash schedule.
+type D1CrashPoint struct {
+	Mode         string        `json:"mode"`
+	Replicas     int           `json:"replicas"`
+	Total        int           `json:"total"`
+	OK           int           `json:"ok"`
+	Failed       int           `json:"failed"`
+	Availability float64       `json:"availability"`
+	P50          time.Duration `json:"p50_ns"`
+	P99          time.Duration `json:"p99_ns"`
+}
+
+// D1Result is the whole figure.
+type D1Result struct {
+	Profile  string         `json:"profile"`
+	Shards   int            `json:"shards"`
+	Scale    []D1ScalePoint `json:"scale"`
+	Schedule []string       `json:"schedule"`
+	Crash    []D1CrashPoint `json:"crash"`
+}
+
+// d1Deployment is one directory testbed: shard hosts on their own
+// machines, an echo server, and a client.
+type d1Deployment struct {
+	Deployment
+	dirCtxs []*core.Context
+	plane   *directory.Plane
+	boot    *directory.Bootstrap
+	echoRef []byte // encoded reference of the echo servant
+}
+
+const d1Object = core.ObjectID("d1/exchange")
+
+// newD1Deployment builds a plane of cfg.Shards shards with the given
+// replication across three shard-hosting machines.
+func newD1Deployment(cfg D1Config, replicas int) (*d1Deployment, error) {
+	n := netsim.New()
+	n.AddLAN("lan", "campus", cfg.Profile)
+	const hosts = 3
+	for i := 0; i < hosts; i++ {
+		n.MustAddMachine(netsim.MachineID(fmt.Sprintf("dir-m%d", i)), "lan")
+	}
+	n.MustAddMachine("server-m", "lan")
+	n.MustAddMachine("client-m", "lan")
+	rt := newRuntime(n, "bench-d1")
+	rt.SetHealthOptions(health.Options{
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  150 * time.Millisecond,
+	})
+	fail := func(err error) (*d1Deployment, error) {
+		rt.Close()
+		return nil, err
+	}
+	d := &d1Deployment{Deployment: Deployment{Net: n, Runtime: rt}}
+	for i := 0; i < hosts; i++ {
+		ctx, err := rt.NewContext(fmt.Sprintf("dir%d", i), netsim.MachineID(fmt.Sprintf("dir-m%d", i)))
+		if err != nil {
+			return fail(err)
+		}
+		if err := ctx.BindSim(d1DirPort + i); err != nil {
+			return fail(err)
+		}
+		d.dirCtxs = append(d.dirCtxs, ctx)
+	}
+	srv, err := rt.NewContext("server", "server-m")
+	if err != nil {
+		return fail(err)
+	}
+	if err := srv.BindSim(7200); err != nil {
+		return fail(err)
+	}
+	impl, methods := ExchangeActivator()
+	sv, err := srv.ExportAs(d1Object, ExchangeIface, impl, methods, 0)
+	if err != nil {
+		return fail(err)
+	}
+	se, err := srv.EntryStream()
+	if err != nil {
+		return fail(err)
+	}
+	d.echoRef, err = core.EncodeRef(srv.NewRef(sv, se))
+	if err != nil {
+		return fail(err)
+	}
+	cli, err := rt.NewContext("client", "client-m")
+	if err != nil {
+		return fail(err)
+	}
+	if err := cli.BindSim(7300); err != nil {
+		return fail(err)
+	}
+	d.Client = cli
+	d.plane, err = directory.ServePlane(d.dirCtxs, directory.Topology{
+		Shards:   cfg.Shards,
+		Replicas: replicas,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	d.boot, err = d.plane.Bootstrap()
+	if err != nil {
+		return fail(err)
+	}
+	return d, nil
+}
+
+// d1Name is the i-th registered name.
+func d1Name(i int) string { return fmt.Sprintf("d1/obj-%07d", i) }
+
+// counterDelta samples a counter before a run and reports the increment
+// after it — the runtime's metrics registry is shared across modes.
+type counterDelta struct {
+	c     *stats.Counter
+	start uint64
+}
+
+func sampleCounter(rt *core.Runtime, name string) counterDelta {
+	c := rt.Metrics().Counter(name)
+	return counterDelta{c: c, start: c.Value()}
+}
+
+func (d counterDelta) delta() uint64 { return d.c.Value() - d.start }
+
+// runD1ScaleCell measures one (size, mode) cell against an already
+// preloaded deployment.
+func runD1ScaleCell(cfg D1Config, d *d1Deployment, size int, cached bool) (D1ScalePoint, error) {
+	mode := D1ModeUncached
+	cacheSize := -1
+	if cached {
+		mode = D1ModeCached
+		cacheSize = 0 // default bound
+	}
+	pt := D1ScalePoint{Mode: mode, Registered: size}
+	res, err := directory.NewResolver(d.Client, d.boot, directory.ResolverOptions{CacheSize: cacheSize})
+	if err != nil {
+		return pt, err
+	}
+	defer res.Close()
+
+	hot := make([]string, cfg.HotNames)
+	for i := range hot {
+		// Spread the working set across the whole table, not just its
+		// front, so every cell exercises arbitrary positions.
+		hot[i] = d1Name(i * (size / cfg.HotNames))
+	}
+	arr := &core.Int32Slice{V: make([]int32, 16)}
+	op := func(name string) error {
+		ref, err := res.Resolve(name)
+		if err != nil {
+			return err
+		}
+		gp := d.Client.NewGlobalPtr(ref)
+		_, err = core.Call[*core.Int32Slice, core.Int32Slice](gp, "exchange", arr)
+		gp.Release()
+		return err
+	}
+	// Warm-up: populate the cache (cached mode) and set up connections.
+	for _, name := range hot {
+		if err := op(name); err != nil {
+			return pt, fmt.Errorf("bench: d1 %s warm-up: %w", mode, err)
+		}
+	}
+	hits := sampleCounter(d.Runtime, "dir.cache.hits")
+	misses := sampleCounter(d.Runtime, "dir.cache.misses")
+	var latencies []time.Duration
+	start := time.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		t0 := time.Now()
+		if err := op(hot[i%len(hot)]); err != nil {
+			pt.Failed++
+			continue
+		}
+		latencies = append(latencies, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	pt.Ops = cfg.Ops
+	if elapsed > 0 {
+		pt.Throughput = float64(cfg.Ops) / elapsed.Seconds()
+	}
+	pt.P50, pt.P99 = percentiles(latencies)
+	if consulted := hits.delta() + misses.delta(); consulted > 0 {
+		pt.HitRate = float64(hits.delta()) / float64(consulted)
+	}
+	return pt, nil
+}
+
+// runD1Scale runs the sweep: per size, one preloaded plane serves the
+// cached and uncached cells back to back.
+func runD1Scale(cfg D1Config) ([]D1ScalePoint, error) {
+	var points []D1ScalePoint
+	for _, size := range cfg.Sizes {
+		d, err := newD1Deployment(cfg, 1)
+		if err != nil {
+			return nil, err
+		}
+		var done func()
+		if cfg.OnRuntime != nil {
+			done = cfg.OnRuntime(D1ModeCached, d.Runtime)
+		}
+		closeAll := func() {
+			if done != nil {
+				done()
+			}
+			d.Close()
+		}
+		// Preload through BindDirect: a million names through the wire
+		// handlers would measure the preloader, not the resolver. No
+		// lease — nothing heartbeats these.
+		for i := 0; i < size; i++ {
+			d.plane.Preload(d1Name(i), d.echoRef, 0)
+		}
+		// Quiesce after the bulk build so the cells measure resolution,
+		// not the collector digesting a freshly allocated table.
+		runtime.GC()
+		for _, cached := range []bool{true, false} {
+			pt, err := runD1ScaleCell(cfg, d, size, cached)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			points = append(points, pt)
+		}
+		closeAll()
+	}
+	return points, nil
+}
+
+// d1CrashPlan crashes shard 0's primary host a quarter in and restarts
+// it (re-binding the advertised port) at the halfway mark.
+func d1CrashPlan(cfg D1Config, d *d1Deployment) (*netsim.FaultPlan, []string) {
+	crashAt := cfg.CrashDuration / 4
+	restartAt := cfg.CrashDuration / 2
+	plan := new(netsim.FaultPlan)
+	plan.CrashAt(crashAt, "dir-m0")
+	plan.RestartAt(restartAt, "dir-m0", func() {
+		_ = d.dirCtxs[0].BindSim(d1DirPort)
+	})
+	return plan, []string{
+		fmt.Sprintf("%6v  crash dir-m0 (hosts shard 0's primary)", crashAt.Round(time.Millisecond)),
+		fmt.Sprintf("%6v  restart dir-m0 (re-bind sim port %d)", restartAt.Round(time.Millisecond), d1DirPort),
+	}
+}
+
+// runD1CrashMode streams uncached resolves across every shard through
+// the crash schedule under one replication setting.
+func runD1CrashMode(cfg D1Config, replicas int) (D1CrashPoint, []string, error) {
+	mode := D1ModeSingle
+	if replicas > 1 {
+		mode = D1ModeReplicated
+	}
+	pt := D1CrashPoint{Mode: mode, Replicas: replicas}
+	d, err := newD1Deployment(cfg, replicas)
+	if err != nil {
+		return pt, nil, err
+	}
+	defer d.Close()
+	if cfg.OnRuntime != nil {
+		if done := cfg.OnRuntime(mode, d.Runtime); done != nil {
+			defer done()
+		}
+	}
+	// A small table is enough — the crash part measures availability,
+	// not scale. Uncached resolver: every resolve must reach a shard.
+	const names = 64
+	for i := 0; i < names; i++ {
+		d.plane.Preload(d1Name(i), d.echoRef, 0)
+	}
+	res, err := directory.NewResolver(d.Client, d.boot, directory.ResolverOptions{CacheSize: -1})
+	if err != nil {
+		return pt, nil, err
+	}
+	defer res.Close()
+	// Warm-up across all shards before the schedule starts.
+	for i := 0; i < cfg.Shards; i++ {
+		if _, err := res.Resolve(d1Name(i)); err != nil {
+			return pt, nil, fmt.Errorf("bench: d1 %s warm-up: %w", mode, err)
+		}
+	}
+
+	plan, schedule := d1CrashPlan(cfg, d)
+	run := plan.Run(d.Net)
+	defer run.Stop()
+
+	var latencies []time.Duration
+	start := time.Now()
+	for i := 0; time.Since(start) < cfg.CrashDuration; i++ {
+		name := d1Name(i % names)
+		t0 := time.Now()
+		_, err := res.Resolve(name)
+		lat := time.Since(t0)
+		pt.Total++
+		if err == nil {
+			pt.OK++
+			latencies = append(latencies, lat)
+		} else {
+			pt.Failed++
+		}
+		clock.Sleep(cfg.Clock, cfg.Pace)
+	}
+	run.Wait()
+
+	if pt.Total > 0 {
+		pt.Availability = float64(pt.OK) / float64(pt.Total)
+	}
+	pt.P50, pt.P99 = percentiles(latencies)
+	return pt, schedule, nil
+}
+
+// RunFigureD1 produces the directory figure: the scale sweep, then the
+// crash schedule with and without replication.
+func RunFigureD1(cfg D1Config) (*D1Result, error) {
+	cfg.fill()
+	if cfg.HotNames > cfg.Sizes[0] {
+		return nil, errors.New("bench: d1 hot set larger than the smallest table")
+	}
+	res := &D1Result{Profile: cfg.Profile.Name, Shards: cfg.Shards}
+	var err error
+	if res.Scale, err = runD1Scale(cfg); err != nil {
+		return nil, err
+	}
+	for _, replicas := range []int{2, 1} {
+		pt, schedule, err := runD1CrashMode(cfg, replicas)
+		if err != nil {
+			return nil, err
+		}
+		if res.Schedule == nil {
+			res.Schedule = schedule
+		}
+		res.Crash = append(res.Crash, pt)
+	}
+	return res, nil
+}
+
+// FormatFigureD1 renders the figure as text tables.
+func FormatFigureD1(r *D1Result) string {
+	out := fmt.Sprintf("%s\n  profile %s, %d shards\n\n  scale sweep (resolve+invoke, hot working set):\n",
+		D1FigureTitle, r.Profile, r.Shards)
+	out += fmt.Sprintf("  %-10s %10s %7s %7s %12s %10s %10s %9s\n",
+		"mode", "registered", "ops", "failed", "ops/sec", "p50", "p99", "hit-rate")
+	for _, p := range r.Scale {
+		out += fmt.Sprintf("  %-10s %10d %7d %7d %12.0f %10v %10v %8.1f%%\n",
+			p.Mode, p.Registered, p.Ops, p.Failed, p.Throughput,
+			p.P50.Round(10*time.Microsecond), p.P99.Round(10*time.Microsecond), 100*p.HitRate)
+	}
+	var first, last time.Duration
+	for _, p := range r.Scale {
+		if p.Mode != D1ModeCached {
+			continue
+		}
+		if first == 0 {
+			first = p.P99
+		}
+		last = p.P99
+	}
+	if first > 0 {
+		out += fmt.Sprintf("\n  cached p99 moves %.2fx from the smallest to the largest table\n", float64(last)/float64(first))
+	}
+	out += "\n  crash schedule (uncached resolves across all shards):\n"
+	for _, ev := range r.Schedule {
+		out += "    " + ev + "\n"
+	}
+	out += fmt.Sprintf("\n  %-12s %9s %7s %6s %7s %13s %10s %10s\n",
+		"mode", "replicas", "total", "ok", "failed", "availability", "p50", "p99")
+	for _, p := range r.Crash {
+		out += fmt.Sprintf("  %-12s %9d %7d %6d %7d %12.2f%% %10v %10v\n",
+			p.Mode, p.Replicas, p.Total, p.OK, p.Failed, 100*p.Availability,
+			p.P50.Round(10*time.Microsecond), p.P99.Round(10*time.Microsecond))
+	}
+	var rep, single float64
+	for _, p := range r.Crash {
+		if p.Mode == D1ModeReplicated {
+			rep = p.Availability
+		} else {
+			single = p.Availability
+		}
+	}
+	out += fmt.Sprintf("\n  replication keeps resolution at %.1f%% availability through the crash; a single replica leaves %.1f%%\n",
+		100*rep, 100*single)
+	return out
+}

@@ -76,6 +76,8 @@ type Runtime struct {
 	contexts map[string]*Context
 	htracker *health.Tracker
 	failover bool
+	// sections are subsystem status contributors (RegisterStatusSection).
+	sections map[string]func() any
 }
 
 // NewRuntime creates a runtime for one OS process attached to a
@@ -369,6 +371,28 @@ func (c *Context) addServer(id ProtoID, addr string, closer io.Closer) {
 // context. Built-in Bind* methods use the same path internally.
 func (c *Context) RegisterBinding(id ProtoID, addr string, closer io.Closer) {
 	c.addServer(id, addr, closer)
+}
+
+// OnClose ties a resource's lifetime to the context: its Close runs when
+// the context closes (after the transport servers). Services that start
+// background work on behalf of a context — the registry's lease sweeper,
+// the directory's watch fanout — register here so tearing down the
+// context never leaks their goroutines. If the context is already
+// closed, the closer runs immediately.
+func (c *Context) OnClose(cl io.Closer) {
+	if cl == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		// Best-effort: the context is gone; the resource just needs to
+		// stop.
+		_ = cl.Close()
+		return
+	}
+	c.servers = append(c.servers, cl)
+	c.mu.Unlock()
 }
 
 // Dispatch runs the context's server-side request path on one frame and

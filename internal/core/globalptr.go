@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -36,6 +37,10 @@ type GlobalPtr struct {
 	// tripped or recovered), the next prepare re-runs selection and
 	// re-promotes a recovered, more preferred entry.
 	healthGen uint64
+	// refresh, when set, re-resolves the reference after a FaultNoObject
+	// (SetRefresh) — directory resolvers chase stale cached bindings with
+	// it the way FaultMoved chases tombstones.
+	refresh func() (*ObjectRef, error)
 	// deadline, when non-zero, bounds every invocation that does not
 	// carry a sooner context deadline.
 	deadline time.Duration
@@ -216,6 +221,19 @@ func (g *GlobalPtr) SelectedEntry() (int, ProtoID, error) {
 		return -1, "", err
 	}
 	return g.entry, g.ref.Protocols[g.entry].ID, nil
+}
+
+// SetRefresh installs a reference-refresh hook consulted when an
+// invocation faults with FaultNoObject: the hook re-resolves the name
+// authoritatively (bypassing any cache), and if the resolved reference
+// differs from the current one the GP adopts it and retries — the
+// directory plane's answer to a cached binding going stale between a
+// tombstone being lost and the lease backstop firing. A nil hook (the
+// default) leaves FaultNoObject terminal.
+func (g *GlobalPtr) SetRefresh(fn func() (*ObjectRef, error)) {
+	g.mu.Lock()
+	g.refresh = fn
+	g.mu.Unlock()
 }
 
 // SetDefaultDeadline bounds every invocation on this GP that does not
@@ -475,6 +493,28 @@ func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []b
 				"context %s chased tombstone to %s (epoch %d)", g.host.name, newRef.Server, newRef.Epoch)
 			g.SetRef(newRef)
 			return nil, false, false, f
+		case wire.FaultNoObject:
+			// The endpoint answered authoritatively: no such object there.
+			// With a refresh hook installed, re-resolve and — if the name
+			// now points somewhere else — chase it like a migration; with
+			// no hook, or when re-resolution agrees with what we tried,
+			// the fault is terminal.
+			report(true)
+			g.mu.Lock()
+			refresh := g.refresh
+			cur := g.ref
+			g.mu.Unlock()
+			if refresh == nil {
+				return nil, true, false, f
+			}
+			newRef, rerr := refresh()
+			if rerr != nil || newRef == nil || sameRef(cur, newRef) {
+				return nil, true, false, f
+			}
+			g.host.rt.recordEvent("refresh", newRef.Object,
+				"context %s re-resolved after no-object (server now %s)", g.host.name, newRef.Server)
+			g.SetRef(newRef)
+			return nil, false, false, f
 		case wire.FaultNotApplicable:
 			report(true)
 			g.Invalidate()
@@ -498,6 +538,15 @@ func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []b
 	default:
 		return nil, true, false, fmt.Errorf("core: unexpected reply type %v", reply.Type)
 	}
+}
+
+// sameRef reports whether two references are wire-identical (same
+// object, epoch, server, and protocol table). Encoding failures count as
+// "different" — the bounded retry loop makes an extra chase harmless.
+func sameRef(a, b *ObjectRef) bool {
+	ab, aerr := EncodeRef(a)
+	bb, berr := EncodeRef(b)
+	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
 }
 
 // giveUp builds the terminal error after maxInvokeAttempts retries.

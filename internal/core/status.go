@@ -80,10 +80,32 @@ type RuntimeStatus struct {
 	Endpoints          []health.EndpointStatus `json:"endpoints"`
 	// RecentEvents is the tail of the adaptivity event log, newest last.
 	RecentEvents []string `json:"recent_events"`
+	// Sections carries subsystem-contributed status (RegisterStatusSection)
+	// — e.g. the directory plane's shard/cache tables — keyed by section
+	// name. Absent when no subsystem registered one.
+	Sections map[string]any `json:"sections,omitempty"`
 }
 
 // statusRecentEvents bounds how much of the event log Status carries.
 const statusRecentEvents = 32
+
+// RegisterStatusSection lets a subsystem contribute a named section to
+// Status()/statusz without core importing it (Open Implementation cuts
+// both ways: planes plug their state into the scrape rather than core
+// knowing every plane). fn runs on every Status call and must return
+// JSON-serializable data; nil fn removes the section.
+func (rt *Runtime) RegisterStatusSection(name string, fn func() any) {
+	rt.mu.Lock()
+	if rt.sections == nil {
+		rt.sections = make(map[string]func() any)
+	}
+	if fn == nil {
+		delete(rt.sections, name)
+	} else {
+		rt.sections[name] = fn
+	}
+	rt.mu.Unlock()
+}
 
 // Status assembles a point-in-time snapshot of the runtime: every
 // context with its bindings, pools, and live GPs (protocol tables
@@ -97,6 +119,10 @@ func (rt *Runtime) Status() RuntimeStatus {
 	}
 	failover := rt.failover
 	ht := rt.htracker
+	sections := make(map[string]func() any, len(rt.sections))
+	for n, fn := range rt.sections {
+		sections[n] = fn
+	}
 	rt.mu.RUnlock()
 
 	st := RuntimeStatus{
@@ -119,6 +145,12 @@ func (rt *Runtime) Status() RuntimeStatus {
 	}
 	for _, e := range events {
 		st.RecentEvents = append(st.RecentEvents, e.String())
+	}
+	if len(sections) > 0 {
+		st.Sections = make(map[string]any, len(sections))
+		for n, fn := range sections {
+			st.Sections[n] = fn()
+		}
 	}
 	return st
 }

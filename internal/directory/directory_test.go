@@ -1,0 +1,502 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/netsim"
+	"openhpcxx/internal/wire"
+)
+
+// fixture is one directory deployment on a simulated network: three
+// machines hosting the plane, one server machine publishing objects,
+// one client machine resolving them.
+type fixture struct {
+	t      *testing.T
+	n      *netsim.Network
+	rt     *core.Runtime
+	clk    clock.Clock
+	dirs   []*core.Context
+	srvCtx *core.Context
+	cliCtx *core.Context
+	plane  *Plane
+	bs     *Bootstrap
+}
+
+// dirPort is the fixed base port of the plane's contexts, so a test
+// restarting a crashed machine can re-bind the same address.
+const dirPort = 7100
+
+func newFixture(t *testing.T, topo Topology, clk clock.Clock) *fixture {
+	t.Helper()
+	n := netsim.New()
+	n.AddLAN("lan", "campus", netsim.ProfileUnshaped)
+	for i := 0; i < 3; i++ {
+		n.MustAddMachine(netsim.MachineID(fmt.Sprintf("md%d", i)), "lan")
+	}
+	n.MustAddMachine("msrv", "lan")
+	n.MustAddMachine("mcli", "lan")
+	rt := core.NewRuntime(n, "proc")
+	if clk != nil {
+		rt.SetClock(clk)
+	} else {
+		clk = clock.Real{}
+	}
+	t.Cleanup(rt.Close)
+
+	f := &fixture{t: t, n: n, rt: rt, clk: clk}
+	for i := 0; i < 3; i++ {
+		ctx, err := rt.NewContext(fmt.Sprintf("dir%d", i), netsim.MachineID(fmt.Sprintf("md%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.BindSim(dirPort + i); err != nil {
+			t.Fatal(err)
+		}
+		f.dirs = append(f.dirs, ctx)
+	}
+	plane, err := ServePlane(f.dirs, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.plane = plane
+	if f.bs, err = plane.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+
+	if f.srvCtx, err = rt.NewContext("server", "msrv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.srvCtx.BindSim(7200); err != nil {
+		t.Fatal(err)
+	}
+	if f.cliCtx, err = rt.NewContext("client", "mcli"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.cliCtx.BindSim(7300); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// exportEcho exports an echo servant on ctx and returns its reference.
+func exportEcho(t *testing.T, ctx *core.Context, reply string) (*core.Servant, *core.ObjectRef) {
+	t.Helper()
+	sv, err := ctx.Export("test.Echo", nil, map[string]core.Method{
+		"echo": core.Handler(func(a *core.StringValue) (*core.StringValue, error) {
+			return &core.StringValue{V: reply + ":" + a.V}, nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ctx.EntryStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv, ctx.NewRef(sv, e)
+}
+
+// waitFor polls cond on the real clock until it holds or the deadline
+// passes — async watch delivery needs a grace window even on an
+// unshaped network.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		clock.Sleep(clock.Real{}, time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestResolveInvokeAndCacheHit(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 3}, nil)
+	_, ref := exportEcho(t, f.srvCtx, "srv")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("svc/echo", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	got, err := res.Resolve("svc/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Object != ref.Object {
+		t.Fatalf("resolved %s, want %s", got.Object, ref.Object)
+	}
+	gp, err := res.GP("svc/echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gp.Release()
+	out, err := core.Call[*core.StringValue, core.StringValue](gp, "echo", &core.StringValue{V: "hi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.V != "srv:hi" {
+		t.Fatalf("echo = %q", out.V)
+	}
+
+	hitsBefore := f.rt.Metrics().Counter("dir.cache.hits").Value()
+	if _, err := res.Resolve("svc/echo"); err != nil {
+		t.Fatal(err)
+	}
+	if hits := f.rt.Metrics().Counter("dir.cache.hits").Value(); hits != hitsBefore+1 {
+		t.Fatalf("second resolve not served from cache: hits %d -> %d", hitsBefore, hits)
+	}
+	if f.rt.Metrics().Gauge("dir.shards").Value() != 3 {
+		t.Fatalf("dir.shards gauge = %d", f.rt.Metrics().Gauge("dir.shards").Value())
+	}
+}
+
+func TestWatchInvalidationOnRebind(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 3}, nil)
+	_, refA := exportEcho(t, f.srvCtx, "a")
+	_, refB := exportEcho(t, f.srvCtx, "b")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("svc/moving", refA); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	got, err := res.Resolve("svc/moving")
+	if err != nil || got.Object != refA.Object {
+		t.Fatalf("initial resolve: %v %v", got, err)
+	}
+
+	// Rebinding to a different reference must push a tombstone that
+	// evicts the cached entry; the next resolve sees the new target.
+	if err := pub.Publish("svc/moving", refB); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		r, err := res.Resolve("svc/moving")
+		return err == nil && r.Object == refB.Object
+	}, "cache invalidation after rebind")
+	if f.rt.Metrics().Counter("dir.cache.invalidations").Value() == 0 {
+		t.Fatal("no invalidation counted")
+	}
+}
+
+func TestWatchStreamUnderChurn(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 2}, nil)
+	_, refA := exportEcho(t, f.srvCtx, "a")
+	_, refB := exportEcho(t, f.srvCtx, "b")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	// Migration churn: the name flips between two targets while the
+	// resolver keeps resolving. After the churn quiesces the resolver
+	// must converge on the final binding — no stale cache survives.
+	refs := []*core.ObjectRef{refA, refB}
+	for i := 0; i < 20; i++ {
+		if err := pub.Publish("svc/churn", refs[i%2]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := res.Resolve("svc/churn"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pub.Publish("svc/churn", refB); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		r, err := res.Resolve("svc/churn")
+		return err == nil && r.Object == refB.Object
+	}, "convergence after churn")
+}
+
+func TestLeaseExpiryEvictsAndTombstones(t *testing.T) {
+	fc := clock.NewFake(time.Unix(10_000, 0))
+	f := newFixture(t, Topology{Shards: 2}, fc)
+	_, ref := exportEcho(t, f.srvCtx, "x")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{TTL: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish("svc/leased", ref); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if _, err := res.Resolve("svc/leased"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The publisher dies: heartbeats stop, and within one TTL the
+	// sweeper must evict the binding and fan the expiry tombstone out.
+	if err := pub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Drive simulated time past the lease in sweeper-interval steps;
+		// each step lets the re-armed sweeper timer fire.
+		for i := 0; i < 40; i++ {
+			fc.Advance(250 * time.Millisecond)
+			clock.Sleep(clock.Real{}, time.Millisecond)
+		}
+	}()
+	waitFor(t, 5*time.Second, func() bool { return res.CacheLen() == 0 }, "expiry tombstone to evict the cache")
+
+	_, err = res.Resolve("svc/leased")
+	var wf *wire.Fault
+	if !errors.As(err, &wf) || wf.Code != wire.FaultNoObject {
+		t.Fatalf("resolve after expiry: %v, want FaultNoObject", err)
+	}
+}
+
+func TestShardCrashFailoverWithReplication(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 3, Replicas: 2}, nil)
+	_, ref := exportEcho(t, f.srvCtx, "r")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+
+	// Publish a handful of names so at least one lands on each shard.
+	names := make([]string, 6)
+	for i := range names {
+		names[i] = fmt.Sprintf("svc/ha-%d", i)
+		if err := pub.Publish(names[i], ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name := names[0]
+	shard := f.plane.Ring().Shard(name)
+	primary := netsim.MachineID(fmt.Sprintf("md%d", shard%3))
+
+	// Crash the primary replica's machine on a fault schedule, then
+	// resolve with a cold cache: the lookup must fail over to the
+	// second entry of the shard's replica table.
+	plan := new(netsim.FaultPlan).CrashAt(0, primary)
+	plan.Run(f.n).Wait()
+
+	coldRes, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coldRes.Close()
+	got, err := coldRes.Resolve(name)
+	if err != nil {
+		t.Fatalf("resolve with primary down: %v", err)
+	}
+	if got.Object != ref.Object {
+		t.Fatalf("resolved %s, want %s", got.Object, ref.Object)
+	}
+}
+
+func TestCacheServesDuringPartitionAndTombstoneAfterHeal(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 1}, nil)
+	_, refA := exportEcho(t, f.srvCtx, "a")
+	_, refB := exportEcho(t, f.srvCtx, "b")
+	_, refC := exportEcho(t, f.srvCtx, "c")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("svc/part", refA); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if _, err := res.Resolve("svc/part"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition the client from the whole plane: cached resolution must
+	// keep working without touching the network.
+	for i := 0; i < 3; i++ {
+		f.n.SetPartition("mcli", netsim.MachineID(fmt.Sprintf("md%d", i)), true)
+	}
+	got, err := res.Resolve("svc/part")
+	if err != nil || got.Object != refA.Object {
+		t.Fatalf("cached resolve during partition: %v %v", got, err)
+	}
+
+	// Rebind while partitioned: the tombstone may never reach the client
+	// (the shard's one-way post cannot cross the partition), so the
+	// client keeps serving refA from cache.
+	if err := pub.Publish("svc/part", refB); err != nil {
+		t.Fatal(err)
+	}
+	// Heal; the next ref-changing rebind re-fires the event and the
+	// client converges. (A tombstone lost for good is the GP refresh
+	// hook's job — see TestGPRefreshChasesSilentRebind.)
+	for i := 0; i < 3; i++ {
+		f.n.SetPartition("mcli", netsim.MachineID(fmt.Sprintf("md%d", i)), false)
+	}
+	if err := pub.Publish("svc/part", refC); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		r, err := res.Resolve("svc/part")
+		return err == nil && r.Object == refC.Object
+	}, "tombstone after heal")
+}
+
+func TestGPRefreshChasesSilentRebind(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 2}, nil)
+	svA, refA := exportEcho(t, f.srvCtx, "a")
+	_, refB := exportEcho(t, f.srvCtx, "b")
+	blobA, err := core.EncodeRef(refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobB, err := core.EncodeRef(refB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preload writes server-side without firing watch events — the
+	// "lost tombstone" scenario the GP refresh hook exists for.
+	f.plane.Preload("svc/silent", blobA, 0)
+
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	gp, err := res.GP("svc/silent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gp.Release()
+	if _, err := core.Call[*core.StringValue, core.StringValue](gp, "echo", &core.StringValue{V: "1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The object moves and the directory is updated silently: the old
+	// servant answers FaultNoObject, the refresh hook re-resolves, and
+	// the invocation lands on the new target.
+	f.srvCtx.Unexport(svA.ID(), nil)
+	f.plane.Preload("svc/silent", blobB, 0)
+	out, err := core.Call[*core.StringValue, core.StringValue](gp, "echo", &core.StringValue{V: "2"})
+	if err != nil {
+		t.Fatalf("invoke after silent rebind: %v", err)
+	}
+	if out.V != "b:2" {
+		t.Fatalf("echo = %q, want routed to new target", out.V)
+	}
+}
+
+func TestStatusSectionAndWatchGauges(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 2, Replicas: 2}, nil)
+	_, ref := exportEcho(t, f.srvCtx, "s")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("svc/status", ref); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if _, err := res.Resolve("svc/status"); err != nil {
+		t.Fatal(err)
+	}
+
+	st := f.rt.Status()
+	sec, ok := st.Sections["directory"]
+	if !ok {
+		t.Fatal("no directory section in runtime status")
+	}
+	ps, ok := sec.(planeStatus)
+	if !ok {
+		t.Fatalf("directory section has type %T", sec)
+	}
+	if ps.Shards != 2 || ps.Replicas != 2 || len(ps.Table) != 4 {
+		t.Fatalf("section = %+v", ps)
+	}
+	var entries, watchers int
+	for _, row := range ps.Table {
+		entries += row.Entries
+		watchers += row.Watchers
+	}
+	if entries < 2 {
+		t.Fatalf("published binding not visible in section: %+v", ps.Table)
+	}
+	if watchers == 0 {
+		t.Fatal("resolver subscription not visible in section")
+	}
+	if f.rt.Metrics().Gauge("dir.watch.streams").Value() == 0 {
+		t.Fatal("dir.watch.streams gauge not set")
+	}
+}
+
+func TestResolverUncachedMode(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 2}, nil)
+	_, ref := exportEcho(t, f.srvCtx, "u")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("svc/uncached", ref); err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := res.Resolve("svc/uncached"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.CacheLen() != 0 {
+		t.Fatalf("uncached resolver cached %d entries", res.CacheLen())
+	}
+	if f.rt.Metrics().Counter("dir.cache.hits").Value() != 0 {
+		t.Fatal("uncached resolver recorded cache hits")
+	}
+}

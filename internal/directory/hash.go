@@ -1,0 +1,72 @@
+package directory
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is the consistent-hash partitioner mapping object names onto
+// directory shards. Each shard owns VNodes points on a 64-bit ring; a
+// name belongs to the shard owning the first point at or after the
+// name's hash. Virtual nodes smooth the partition (with enough of them
+// every shard owns ~1/N of the namespace), and consistency keeps
+// rebalancing local: growing N shards to N+1 moves only the names the
+// new shard's points capture, leaving the rest where they were.
+type Ring struct {
+	shards int
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVNodes is the virtual-node count per shard when a topology
+// does not choose one.
+const DefaultVNodes = 64
+
+// NewRing builds a ring of `shards` shards with `vnodes` virtual nodes
+// each (<= 0 uses DefaultVNodes). Shards < 1 is clamped to 1.
+func NewRing(shards, vnodes int) *Ring {
+	if shards < 1 {
+		shards = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{shards: shards, points: make([]ringPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  hashString(fmt.Sprintf("shard-%d/vn-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard maps a name to its owning shard.
+func (r *Ring) Shard(name string) int {
+	h := hashString(name)
+	// First point at or after h; wrap to the first point past the top.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hashString is FNV-1a 64 — stable across runs and processes, which a
+// partitioner shared by publishers and resolvers requires.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,77 @@
+package directory
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a := NewRing(5, 32)
+	b := NewRing(5, 32)
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("svc/obj-%d", i)
+		if a.Shard(name) != b.Shard(name) {
+			t.Fatalf("ring not deterministic for %q: %d vs %d", name, a.Shard(name), b.Shard(name))
+		}
+	}
+}
+
+func TestRingCoversAllShards(t *testing.T) {
+	r := NewRing(8, 64)
+	counts := make([]int, 8)
+	const names = 20000
+	for i := 0; i < names; i++ {
+		counts[r.Shard(fmt.Sprintf("svc/obj-%d", i))]++
+	}
+	for s, c := range counts {
+		// With 64 vnodes the partition is rough but no shard should be
+		// starved or hog the ring.
+		if c < names/80 {
+			t.Fatalf("shard %d starved: %d of %d names", s, c, names)
+		}
+		if c > names/2 {
+			t.Fatalf("shard %d hogs the ring: %d of %d names", s, c, names)
+		}
+	}
+}
+
+// TestRingRebalanceProperty is the consistent-hashing contract: growing
+// N shards to N+1 may move a name only TO the new shard — no name
+// shuffles between surviving shards.
+func TestRingRebalanceProperty(t *testing.T) {
+	const names = 20000
+	for _, n := range []int{1, 3, 7} {
+		before := NewRing(n, 64)
+		after := NewRing(n+1, 64)
+		moved := 0
+		for i := 0; i < names; i++ {
+			name := fmt.Sprintf("svc/obj-%d", i)
+			b, a := before.Shard(name), after.Shard(name)
+			if b == a {
+				continue
+			}
+			moved++
+			if a != n {
+				t.Fatalf("grow %d->%d: %q moved %d->%d, not to the new shard", n, n+1, name, b, a)
+			}
+		}
+		if moved == 0 {
+			t.Fatalf("grow %d->%d moved nothing — the new shard owns no names", n, n+1)
+		}
+		// The new shard should capture roughly 1/(n+1) of the namespace;
+		// allow a generous band.
+		if moved > names*3/(n+1) {
+			t.Fatalf("grow %d->%d moved %d of %d names — far more than its share", n, n+1, moved, names)
+		}
+	}
+}
+
+func TestRingClampsDegenerateInputs(t *testing.T) {
+	r := NewRing(0, -1)
+	if r.Shards() != 1 {
+		t.Fatalf("shards = %d, want 1", r.Shards())
+	}
+	if s := r.Shard("anything"); s != 0 {
+		t.Fatalf("single-shard ring mapped to %d", s)
+	}
+}

@@ -1,0 +1,150 @@
+package directory
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/xdr"
+)
+
+// TestBootstrapXDRRoundTrip is the cross-process handoff: a plane's
+// bootstrap survives encode/decode byte-for-byte, and the rebuilt ring
+// partitions identically.
+func TestBootstrapXDRRoundTrip(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 3, Replicas: 2, VNodes: 16}, nil)
+	blob, err := xdr.Marshal(f.bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Bootstrap
+	if err := xdr.Unmarshal(blob, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, f.bs) {
+		t.Fatalf("bootstrap round trip diverged:\n got %+v\nwant %+v", &got, f.bs)
+	}
+	a, b := f.bs.Ring(), got.Ring()
+	for _, name := range []string{"x", "svc/a", "svc/b", "d1/obj-42"} {
+		if a.Shard(name) != b.Shard(name) {
+			t.Fatalf("rebuilt ring disagrees on %q", name)
+		}
+	}
+}
+
+// TestPlaneAccessorsAndTopologyClamp exercises the plane's read surface:
+// the clamped topology, merged shard refs (one protocol entry per
+// replica), and the replica handles.
+func TestPlaneAccessorsAndTopologyClamp(t *testing.T) {
+	// Ask for more replicas than hosting contexts; the plane clamps to 3.
+	f := newFixture(t, Topology{Shards: 2, Replicas: 5}, nil)
+	topo := f.plane.Topology()
+	if topo.Replicas != 3 {
+		t.Fatalf("replicas = %d, want clamp to 3 hosts", topo.Replicas)
+	}
+	if f.plane.Ring().Shards() != 2 {
+		t.Fatalf("ring shards = %d, want 2", f.plane.Ring().Shards())
+	}
+	for s := 0; s < topo.Shards; s++ {
+		reps := f.plane.Replicas(s)
+		if len(reps) != 3 {
+			t.Fatalf("shard %d has %d replicas, want 3", s, len(reps))
+		}
+		for _, sh := range reps {
+			if sh.Index() != s {
+				t.Fatalf("replica reports shard %d, want %d", sh.Index(), s)
+			}
+		}
+		ref := f.plane.ShardRef(s)
+		if len(ref.Protocols) != 3 {
+			t.Fatalf("shard %d merged ref has %d entries, want 3", s, len(ref.Protocols))
+		}
+		if ref.Object != ShardObjectID(s) {
+			t.Fatalf("shard %d ref object = %s", s, ref.Object)
+		}
+	}
+}
+
+// TestHeartbeatKeepsLeaseAliveAndUnpublishTombstones drives the
+// publisher's background loop on a fake clock: heartbeated names outlive
+// many TTLs, Names reports them, and Unpublish drops the binding
+// immediately rather than waiting for expiry.
+func TestHeartbeatKeepsLeaseAliveAndUnpublishTombstones(t *testing.T) {
+	fc := clock.NewFake(time.Unix(20_000, 0))
+	f := newFixture(t, Topology{Shards: 1}, fc)
+	_, ref := exportEcho(t, f.srvCtx, "srv")
+	pub, err := NewPublisher(f.srvCtx, f.bs, PublisherOptions{
+		TTL:               2 * time.Second,
+		HeartbeatInterval: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Publish("svc/hb", ref); err != nil {
+		t.Fatal(err)
+	}
+	if names := pub.Names(); len(names) != 1 || names[0] != "svc/hb" {
+		t.Fatalf("Names() = %v", names)
+	}
+
+	svc := f.plane.Replicas(0)[0].Service()
+	// Walk simulated time far past the TTL in heartbeat-interval steps.
+	// Each Advance releases one heartbeat (plus the sweeper); the real
+	// sleep lets those goroutines run before the next step.
+	for i := 0; i < 16; i++ {
+		fc.Advance(500 * time.Millisecond)
+		clock.Sleep(clock.Real{}, 2*time.Millisecond)
+		svc.Prune()
+	}
+	if total, _ := svc.Counts(); total != 1 {
+		t.Fatalf("heartbeated binding evicted: %d entries", total)
+	}
+
+	if err := pub.Unpublish("svc/hb"); err != nil {
+		t.Fatal(err)
+	}
+	if names := pub.Names(); len(names) != 0 {
+		t.Fatalf("Names() after unpublish = %v", names)
+	}
+	if total, _ := svc.Counts(); total != 0 {
+		t.Fatalf("unpublished binding still present: %d entries", total)
+	}
+}
+
+// TestResolverRingAndUncachedRefresh covers the resolver's remaining
+// read surface: the ring accessor and Refresh against a live plane.
+func TestResolverRingAndUncachedRefresh(t *testing.T) {
+	f := newFixture(t, Topology{Shards: 2}, nil)
+	_, ref := exportEcho(t, f.srvCtx, "srv")
+	blob, err := core.EncodeRef(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.plane.Preload("svc/r", blob, 0)
+
+	res, err := NewResolver(f.cliCtx, f.bs, ResolverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Ring().Shards() != 2 {
+		t.Fatalf("resolver ring shards = %d", res.Ring().Shards())
+	}
+	got, err := res.Refresh("svc/r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Object != ref.Object {
+		t.Fatalf("refreshed object = %s, want %s", got.Object, ref.Object)
+	}
+	// Refresh repaired the cache: the next Resolve is a hit.
+	if _, err := res.Resolve("svc/r"); err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheLen() != 1 {
+		t.Fatalf("cache len = %d, want 1", res.CacheLen())
+	}
+}

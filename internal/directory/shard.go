@@ -1,0 +1,238 @@
+package directory
+
+import (
+	"sync"
+	"time"
+
+	"openhpcxx/internal/core"
+	"openhpcxx/internal/registry"
+	"openhpcxx/internal/stats"
+	"openhpcxx/internal/wire"
+	"openhpcxx/internal/xdr"
+)
+
+// watchEventBuffer bounds the shard's event queue between the registry
+// notify hook (which must never block a bind) and the fanout goroutine.
+// Overflow drops events — watchers are backstopped by lease expiry and
+// the resolver's FaultNoObject refresh, so a dropped tombstone costs
+// latency, not correctness — and is counted in dir.watch.dropped.
+const watchEventBuffer = 1024
+
+// watcherMaxFails is how many consecutive failed posts a watcher
+// survives before the shard drops it (its machine crashed, or its sink
+// is gone).
+const watcherMaxFails = 3
+
+// Shard is one replica of one directory shard: a registry.Service (the
+// name table, with leases and the background sweeper) plus the watch
+// fanout pushing the table's mutations to subscribed resolver sinks
+// over the one-way plane.
+type Shard struct {
+	index int
+	ctx   *core.Context
+	svc   *registry.Service
+
+	events chan registry.Event
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	mu       sync.Mutex
+	watchers map[core.ObjectID]*watcher
+
+	streams *stats.Gauge   // dir.watch.streams
+	leases  *stats.Gauge   // dir.leases.active
+	dropped *stats.Counter // dir.watch.dropped
+	posted  *stats.Counter // dir.watch.events
+}
+
+// watcher is one subscribed sink: a GP to post events through and its
+// consecutive-failure count.
+type watcher struct {
+	gp    *core.GlobalPtr
+	fails int
+}
+
+// ServeShard exports shard `index`'s servant on ctx: the registry
+// method set over a fresh Service, plus watch/unwatch. The lease
+// sweeper and the event fanout start immediately and stop when the
+// context closes (or on Close). sweep <= 0 uses the registry default.
+func ServeShard(ctx *core.Context, index int, sweep time.Duration) (*Shard, *core.Servant, error) {
+	rt := ctx.Runtime()
+	s := &Shard{
+		index:    index,
+		ctx:      ctx,
+		svc:      registry.NewServiceWithClock(rt.Clock()),
+		events:   make(chan registry.Event, watchEventBuffer),
+		stop:     make(chan struct{}),
+		watchers: make(map[core.ObjectID]*watcher),
+		streams:  rt.Metrics().Gauge("dir.watch.streams"),
+		leases:   rt.Metrics().Gauge("dir.leases.active"),
+		dropped:  rt.Metrics().Counter("dir.watch.dropped"),
+		posted:   rt.Metrics().Counter("dir.watch.events"),
+	}
+	s.svc.SetNotify(s.enqueue)
+	methods := registry.Methods(s.svc)
+	methods["watch"] = core.Handler(s.handleWatch)
+	methods["unwatch"] = core.Handler(s.handleUnwatch)
+	sv, err := ctx.ExportAs(ShardObjectID(index), Iface, s.svc, methods, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.svc.StartSweeper(sweep)
+	s.wg.Add(1)
+	go s.fanout()
+	ctx.OnClose(s)
+	return s, sv, nil
+}
+
+// Index returns which shard of the ring this replica serves.
+func (s *Shard) Index() int { return s.index }
+
+// Service exposes the underlying name table (experiments preload it
+// directly; the status section reads its counts).
+func (s *Shard) Service() *registry.Service { return s.svc }
+
+// Watchers reports how many sinks are currently subscribed.
+func (s *Shard) Watchers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.watchers)
+}
+
+// enqueue is the registry notify hook: hand the event to the fanout
+// without ever blocking the mutating request.
+func (s *Shard) enqueue(ev registry.Event) {
+	select {
+	case s.events <- ev:
+	default:
+		s.dropped.Inc()
+	}
+}
+
+// handleWatch subscribes a sink. The GP is created up front (no I/O —
+// binding happens on first post) and replaces any previous subscription
+// from the same sink object.
+func (s *Shard) handleWatch(a *watchArgs) (*core.Empty, error) {
+	ref, err := core.DecodeRef(a.Sink)
+	if err != nil {
+		return nil, wire.Faultf(wire.FaultBadRequest, "directory: bad sink reference: %v", err)
+	}
+	gp := s.ctx.NewGlobalPtr(ref)
+	var old *core.GlobalPtr
+	s.mu.Lock()
+	if prev, ok := s.watchers[ref.Object]; ok {
+		old = prev.gp
+	}
+	s.watchers[ref.Object] = &watcher{gp: gp}
+	n := len(s.watchers)
+	s.mu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+	s.streams.Set(int64(n))
+	return &core.Empty{}, nil
+}
+
+// handleUnwatch removes a sink's subscription.
+func (s *Shard) handleUnwatch(a *watchArgs) (*core.Empty, error) {
+	ref, err := core.DecodeRef(a.Sink)
+	if err != nil {
+		return nil, wire.Faultf(wire.FaultBadRequest, "directory: bad sink reference: %v", err)
+	}
+	var old *core.GlobalPtr
+	s.mu.Lock()
+	if prev, ok := s.watchers[ref.Object]; ok {
+		old = prev.gp
+		delete(s.watchers, ref.Object)
+	}
+	n := len(s.watchers)
+	s.mu.Unlock()
+	if old != nil {
+		old.Release()
+	}
+	s.streams.Set(int64(n))
+	return &core.Empty{}, nil
+}
+
+// fanout drains the event queue and posts each event to every watcher.
+// Posts happen outside the shard lock; a watcher that fails
+// watcherMaxFails posts in a row is dropped (best-effort delivery — the
+// lease TTL and the resolvers' refresh hook backstop lost tombstones).
+func (s *Shard) fanout() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case ev := <-s.events:
+			s.deliver(ev)
+			_, leased := s.svc.Counts()
+			s.leases.Set(int64(leased))
+		}
+	}
+}
+
+// deliver posts one event to the current watcher set.
+func (s *Shard) deliver(ev registry.Event) {
+	msg := &eventMsg{Shard: uint32(s.index), Kind: uint32(ev.Kind), Name: ev.Name, Ref: ev.Ref}
+	body, err := xdr.Marshal(msg)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	ids := make([]core.ObjectID, 0, len(s.watchers))
+	gps := make([]*core.GlobalPtr, 0, len(s.watchers))
+	for id, w := range s.watchers {
+		ids = append(ids, id)
+		gps = append(gps, w.gp)
+	}
+	s.mu.Unlock()
+	for i, gp := range gps {
+		err := gp.Post(EventMethod, body)
+		var doomed *core.GlobalPtr
+		s.mu.Lock()
+		w, ok := s.watchers[ids[i]]
+		if ok && w.gp == gp { // not replaced concurrently
+			if err != nil {
+				w.fails++
+				if w.fails >= watcherMaxFails {
+					doomed = w.gp
+					delete(s.watchers, ids[i])
+				}
+			} else {
+				w.fails = 0
+			}
+		}
+		n := len(s.watchers)
+		s.mu.Unlock()
+		if err == nil {
+			s.posted.Inc()
+		}
+		if doomed != nil {
+			doomed.Release()
+			s.streams.Set(int64(n))
+		}
+	}
+}
+
+// Close stops the fanout and the lease sweeper and releases the watcher
+// GPs. Idempotent; also run by the hosting context's Close.
+func (s *Shard) Close() error {
+	s.once.Do(func() {
+		close(s.stop)
+	})
+	s.wg.Wait()
+	_ = s.svc.Close()
+	s.mu.Lock()
+	gps := make([]*core.GlobalPtr, 0, len(s.watchers))
+	for _, w := range s.watchers {
+		gps = append(gps, w.gp)
+	}
+	s.watchers = make(map[core.ObjectID]*watcher)
+	s.mu.Unlock()
+	for _, gp := range gps {
+		gp.Release()
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 package registry
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -30,15 +31,60 @@ const Iface = "openhpcxx.Registry"
 // address.
 const WellKnownObject core.ObjectID = "registry/_registry"
 
+// EventKind classifies one name-table mutation for observers.
+type EventKind uint8
+
+// Event kinds. A bind that merely refreshes an existing binding's lease
+// without changing its reference fires nothing — heartbeats are not
+// churn.
+const (
+	// EventBind is a new or changed binding (the ref differs).
+	EventBind EventKind = iota
+	// EventUnbind is an explicit removal.
+	EventUnbind
+	// EventExpire is a lease lapsing (lazy lookup eviction or the
+	// background sweeper).
+	EventExpire
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventBind:
+		return "bind"
+	case EventUnbind:
+		return "unbind"
+	case EventExpire:
+		return "expire"
+	}
+	return "unknown"
+}
+
+// Event is one observable name-table mutation: the directory plane's
+// watch streams are fed from these.
+type Event struct {
+	Kind EventKind
+	Name string
+	// Ref is the encoded ObjectRef now bound (EventBind only).
+	Ref []byte
+}
+
 // Service is the name server state. Bindings may carry a lease: an
-// expired binding behaves as absent and is lazily pruned, so crashed
-// services disappear from the namespace once they stop renewing —
-// useful in the paper's dynamic deployments where objects migrate and
-// hosts come and go.
+// expired binding behaves as absent and is pruned — lazily on touch,
+// and in the background by the clock-driven sweeper (StartSweeper) — so
+// crashed services disappear from the namespace once they stop
+// renewing, useful in the paper's dynamic deployments where objects
+// migrate and hosts come and go.
 type Service struct {
 	clk     clock.Clock
 	mu      sync.RWMutex
 	entries map[string]binding
+	leased  int // bindings with a non-zero lease
+	notify  func(Event)
+
+	sweepOnce sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closed    bool
 }
 
 // binding is one name-table row.
@@ -52,7 +98,34 @@ func NewService() *Service { return NewServiceWithClock(clock.Real{}) }
 
 // NewServiceWithClock returns an empty name table on the given clock.
 func NewServiceWithClock(c clock.Clock) *Service {
-	return &Service{clk: c, entries: make(map[string]binding)}
+	return &Service{clk: c, entries: make(map[string]binding), stop: make(chan struct{})}
+}
+
+// SetNotify installs the mutation observer. It is invoked after the
+// mutation, outside the service lock, from whichever goroutine mutated
+// the table (including the sweeper) — observers must be concurrency-safe
+// and must not block (the directory shard hands events to a buffered
+// fanout channel). Pass nil to remove.
+func (s *Service) SetNotify(fn func(Event)) {
+	s.mu.Lock()
+	s.notify = fn
+	s.mu.Unlock()
+}
+
+// emit fires the observer for each event, outside the lock.
+func (s *Service) emit(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	s.mu.RLock()
+	fn := s.notify
+	s.mu.RUnlock()
+	if fn == nil {
+		return
+	}
+	for _, ev := range evs {
+		fn(ev)
+	}
 }
 
 // expired reports whether b's lease has lapsed.
@@ -60,18 +133,112 @@ func (s *Service) expired(b binding) bool {
 	return b.expires != 0 && s.clk.Now().UnixNano() > b.expires
 }
 
-// Prune removes every expired binding and reports how many went.
+// dropLocked removes name (caller holds s.mu and has checked presence).
+func (s *Service) dropLocked(name string, b binding) {
+	delete(s.entries, name)
+	if b.expires != 0 {
+		s.leased--
+	}
+}
+
+// Prune removes every expired binding, fires an EventExpire per removal,
+// and reports how many went. Only leased bindings can expire, so a
+// table with none (the bulk-preloaded case — possibly millions of
+// permanent entries) is skipped without the full scan.
 func (s *Service) Prune() int {
+	s.mu.RLock()
+	idle := s.leased == 0
+	s.mu.RUnlock()
+	if idle {
+		return 0
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
+	var evs []Event
 	for name, b := range s.entries {
 		if s.expired(b) {
-			delete(s.entries, name)
-			n++
+			s.dropLocked(name, b)
+			evs = append(evs, Event{Kind: EventExpire, Name: name})
 		}
 	}
-	return n
+	s.mu.Unlock()
+	s.emit(evs)
+	return len(evs)
+}
+
+// DefaultSweepInterval paces the background sweeper when StartSweeper is
+// given no interval.
+const DefaultSweepInterval = 250 * time.Millisecond
+
+// StartSweeper begins background lease pruning on the service's clock:
+// every interval the sweeper prunes expired bindings, so a crashed
+// publisher's names vanish (and expiry tombstones reach watchers) even
+// when nobody touches them. Idempotent — only the first call starts the
+// loop; Close stops it. interval <= 0 uses DefaultSweepInterval.
+func (s *Service) StartSweeper(interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultSweepInterval
+	}
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	s.sweepOnce.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.stop:
+					return
+				case <-clock.After(s.clk, interval):
+					s.Prune()
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the background sweeper (if running) and waits for it to
+// exit. The table remains readable; Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Counts reports the table size and how many bindings carry a lease —
+// the directory plane's dir.leases.active gauge reads the latter.
+func (s *Service) Counts() (total, leased int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries), s.leased
+}
+
+// BindDirect installs a binding in-process, without wire marshaling,
+// validation, or a notify event — the bulk-preload path experiments use
+// to seed million-entry tables server-side. ttl <= 0 means no lease.
+func (s *Service) BindDirect(name string, ref []byte, ttl time.Duration) {
+	var expires int64
+	if ttl > 0 {
+		expires = s.clk.Now().UnixNano() + int64(ttl)
+	}
+	s.mu.Lock()
+	if prev, ok := s.entries[name]; ok && prev.expires != 0 {
+		s.leased--
+	}
+	s.entries[name] = binding{ref: ref, expires: expires}
+	if expires != 0 {
+		s.leased++
+	}
+	s.mu.Unlock()
 }
 
 // Snapshot implements core.Migratable so even the registry can move.
@@ -116,8 +283,15 @@ func (s *Service) Restore(state []byte) error {
 		}
 		entries[name] = binding{ref: blob, expires: expires}
 	}
+	leased := 0
+	for _, b := range entries {
+		if b.expires != 0 {
+			leased++
+		}
+	}
 	s.mu.Lock()
 	s.entries = entries
+	s.leased = leased
 	s.mu.Unlock()
 	return nil
 }
@@ -218,22 +392,42 @@ func Methods(s *Service) map[string]core.Method {
 			if a.TTLNanos > 0 {
 				expires = s.clk.Now().UnixNano() + a.TTLNanos
 			}
+			var evs []Event
 			s.mu.Lock()
-			defer s.mu.Unlock()
-			if b, exists := s.entries[a.Name]; exists && !a.Overwrite && !s.expired(b) {
+			prev, exists := s.entries[a.Name]
+			live := exists && !s.expired(prev)
+			if live && !a.Overwrite {
+				s.mu.Unlock()
 				return nil, wire.Faultf(wire.FaultBadRequest, "registry: %q already bound", a.Name)
 			}
+			if exists && prev.expires != 0 {
+				s.leased--
+			}
 			s.entries[a.Name] = binding{ref: a.Ref, expires: expires}
+			if expires != 0 {
+				s.leased++
+			}
+			// Heartbeat rebinds (same ref, still live) refresh the lease
+			// silently; anything that changes what the name resolves to is
+			// churn watchers must see.
+			if !live || !bytes.Equal(prev.ref, a.Ref) {
+				evs = append(evs, Event{Kind: EventBind, Name: a.Name, Ref: a.Ref})
+			}
+			s.mu.Unlock()
+			s.emit(evs)
 			return &core.Empty{}, nil
 		}),
 		"lookup": core.Handler(func(a *core.StringValue) (*refReply, error) {
+			var evs []Event
 			s.mu.Lock()
 			b, ok := s.entries[a.V]
 			if ok && s.expired(b) {
-				delete(s.entries, a.V)
+				s.dropLocked(a.V, b)
+				evs = append(evs, Event{Kind: EventExpire, Name: a.V})
 				ok = false
 			}
 			s.mu.Unlock()
+			s.emit(evs)
 			if !ok {
 				return nil, wire.Faultf(wire.FaultNoObject, "registry: no binding %q", a.V)
 			}
@@ -243,42 +437,72 @@ func Methods(s *Service) map[string]core.Method {
 			if a.TTLNanos <= 0 {
 				return nil, wire.Faultf(wire.FaultBadRequest, "registry: renew needs a positive TTL")
 			}
+			var evs []Event
 			s.mu.Lock()
-			defer s.mu.Unlock()
 			b, ok := s.entries[a.Name]
-			if !ok || s.expired(b) {
-				delete(s.entries, a.Name)
+			if ok && s.expired(b) {
+				s.dropLocked(a.Name, b)
+				evs = append(evs, Event{Kind: EventExpire, Name: a.Name})
+				ok = false
+			}
+			if ok {
+				if b.expires == 0 {
+					s.leased++
+				}
+				b.expires = s.clk.Now().UnixNano() + a.TTLNanos
+				s.entries[a.Name] = b
+			}
+			s.mu.Unlock()
+			s.emit(evs)
+			if !ok {
 				return nil, wire.Faultf(wire.FaultNoObject, "registry: no binding %q", a.Name)
 			}
-			b.expires = s.clk.Now().UnixNano() + a.TTLNanos
-			s.entries[a.Name] = b
 			return &core.Empty{}, nil
 		}),
 		"unbind": core.Handler(func(a *core.StringValue) (*core.Empty, error) {
+			var evs []Event
 			s.mu.Lock()
 			b, ok := s.entries[a.V]
-			if ok && s.expired(b) {
-				ok = false
+			if ok {
+				wasLive := !s.expired(b)
+				s.dropLocked(a.V, b)
+				if wasLive {
+					evs = append(evs, Event{Kind: EventUnbind, Name: a.V})
+				} else {
+					evs = append(evs, Event{Kind: EventExpire, Name: a.V})
+					ok = false
+				}
 			}
-			delete(s.entries, a.V)
 			s.mu.Unlock()
+			s.emit(evs)
 			if !ok {
 				return nil, wire.Faultf(wire.FaultNoObject, "registry: no binding %q", a.V)
 			}
 			return &core.Empty{}, nil
 		}),
 		"list": core.Handler(func(a *core.StringValue) (*listReply, error) {
-			s.mu.Lock()
-			names := make([]string, 0, len(s.entries))
+			// Snapshot under the read lock, filter outside it: a List over
+			// a large table must not stall binds for the whole scan.
+			type row struct {
+				name    string
+				expires int64
+			}
+			s.mu.RLock()
+			rows := make([]row, 0, len(s.entries))
 			for n, b := range s.entries {
-				if s.expired(b) {
-					continue
-				}
 				if strings.HasPrefix(n, a.V) {
-					names = append(names, n)
+					rows = append(rows, row{name: n, expires: b.expires})
 				}
 			}
-			s.mu.Unlock()
+			s.mu.RUnlock()
+			now := s.clk.Now().UnixNano()
+			names := make([]string, 0, len(rows))
+			for _, r := range rows {
+				if r.expires != 0 && now > r.expires {
+					continue
+				}
+				names = append(names, r.name)
+			}
 			sort.Strings(names)
 			return &listReply{Names: names}, nil
 		}),
@@ -287,13 +511,22 @@ func Methods(s *Service) map[string]core.Method {
 
 // Serve exports a registry servant on ctx under the well-known id and
 // returns the servant plus a reference assembled from every binding the
-// context currently has. Leases use the runtime's clock.
+// context currently has. Leases use the runtime's clock and are pruned
+// by a background sweeper that stops when the context closes.
 func Serve(ctx *core.Context) (*core.Servant, *core.ObjectRef, error) {
-	svc := NewServiceWithClock(ctx.Runtime().Clock())
+	return ServeService(ctx, NewServiceWithClock(ctx.Runtime().Clock()))
+}
+
+// ServeService exports a caller-built Service (the directory plane uses
+// this to wire a notify hook before the servant goes live) under the
+// well-known id, starting its lease sweeper.
+func ServeService(ctx *core.Context, svc *Service) (*core.Servant, *core.ObjectRef, error) {
 	s, err := ctx.ExportAs(WellKnownObject, Iface, svc, Methods(svc), 0)
 	if err != nil {
 		return nil, nil, err
 	}
+	svc.StartSweeper(0)
+	ctx.OnClose(svc)
 	var entries []core.ProtoEntry
 	if e, err := ctx.EntrySHM(); err == nil {
 		entries = append(entries, e)
@@ -347,6 +580,18 @@ func (c *Client) BindWithTTL(name string, ref *core.ObjectRef, ttl time.Duration
 func (c *Client) Rebind(name string, ref *core.ObjectRef) error {
 	return c.bind(name, ref, true, 0)
 }
+
+// RebindWithTTL publishes ref under name with a fresh lease, replacing
+// any existing binding — the directory plane's heartbeat primitive: a
+// publisher that re-issues the full binding converges even against a
+// replica that restarted empty, which a bare Renew cannot.
+func (c *Client) RebindWithTTL(name string, ref *core.ObjectRef, ttl time.Duration) error {
+	return c.bind(name, ref, true, ttl)
+}
+
+// GP exposes the underlying global pointer so callers can tune policy
+// (deadlines, failover tables) on the registry channel itself.
+func (c *Client) GP() *core.GlobalPtr { return c.gp }
 
 // Renew extends a leased binding by ttl from now.
 func (c *Client) Renew(name string, ttl time.Duration) error {

@@ -284,6 +284,7 @@ func TestServicePrune(t *testing.T) {
 	blob, _ := core.EncodeRef(sampleRef("a/1"))
 	s.entries["keep"] = binding{ref: blob}
 	s.entries["drop"] = binding{ref: blob, expires: fc.Now().Add(time.Second).UnixNano()}
+	s.leased = 1 // every mutation path keeps leased in step with entries
 	fc.Advance(time.Minute)
 	if n := s.Prune(); n != 1 {
 		t.Fatalf("pruned %d", n)
