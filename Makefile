@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race determinism cover faults fuzz bench-async bench-faults bench-directory top registry
+.PHONY: ci vet lint build test race determinism cover faults fuzz bench-async bench-faults bench-directory bench-errors top registry
 
 ci: vet lint build test race determinism cover
 
@@ -34,11 +34,11 @@ determinism:
 		./internal/core/ ./internal/capability/
 
 # Coverage floor: the wire format, the metrics registry, the tracing
-# subsystem, the analyzer suite, the introspection plane, and the
-# directory plane are load-bearing for every protocol (and for CI and
-# operations) — hold them at >= 70%.
+# subsystem, the analyzer suite, the introspection plane, the directory
+# plane, and the error taxonomy are load-bearing for every protocol (and
+# for CI and operations) — hold them at >= 70%.
 cover:
-	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/ ./internal/introspect/ ./internal/directory/; do \
+	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/ ./internal/introspect/ ./internal/directory/ ./internal/errs/; do \
 		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i ~ /%/) {gsub("%","",$$i); print $$i}}'); \
 		echo "coverage $$pkg: $$pct%"; \
 		ok=$$(echo "$$pct" | awk '{print ($$1 >= 70.0) ? "yes" : "no"}'); \
@@ -73,6 +73,11 @@ bench-faults:
 # quickly and emit JSON.
 bench-directory:
 	$(GO) run ./cmd/ohpc-bench -fig=d1 -quick -json=-
+
+# Regenerate the retry-budget figure (goodput + amplification through an
+# overload + crash schedule, budgets on vs off) quickly and emit JSON.
+bench-errors:
+	$(GO) run ./cmd/ohpc-bench -fig=e1 -quick -json=-
 
 # Directory demo: serve the sharded name service (3 shards x 2 replicas)
 # on real TCP for a few seconds and print the client bootstrap blob.

@@ -26,12 +26,13 @@ import (
 
 	"openhpcxx/internal/bench"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/introspect"
 	"openhpcxx/internal/netsim"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), e1 (extension), r1 (robustness), o1 (tracing overhead), d1 (directory), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), l1 (loss sweep), e1 (retry budgets), r1 (robustness), o1 (tracing overhead), d1 (directory), or all")
 	profile := flag.String("profile", "both", "network for figure 5: atm, ethernet, or both")
 	quick := flag.Bool("quick", false, "time-scale the links 16x and shorten averaging")
 	plot := flag.Bool("plot", true, "also render figure 5 as an ASCII log-log plot")
@@ -113,7 +114,7 @@ func main() {
 		fmt.Printf("selection sequence matches the paper: %v\n\n", ok)
 		return nil
 	})
-	run("e1", func() error {
+	run("l1", func() error {
 		cfg := bench.LossSweepConfig{}
 		if *quick {
 			cfg.MinDuration = 30 * time.Millisecond
@@ -125,6 +126,45 @@ func main() {
 		fmt.Println(bench.FormatLossSweep(points))
 		return nil
 	})
+	run("e1", func() error {
+		cfg := bench.E1Config{}
+		if *quick {
+			cfg.Duration = 600 * time.Millisecond
+		}
+		if *introspectAddr != "" {
+			cfg.OnRuntime = func(mode string, rt *core.Runtime) func() {
+				insp, err := introspect.Attach(rt, introspect.Options{Addr: *introspectAddr})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "ohpc-bench: introspect (%s): %v\n", mode, err)
+					return nil
+				}
+				fmt.Printf("introspection plane for mode %s on http://%s\n", mode, insp.Addr())
+				return func() { _ = insp.Close() }
+			}
+		}
+		res, err := bench.RunFigureE1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigureE1(res))
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	run("5", func() error {
 		profiles := map[string]netsim.LinkProfile{
 			"atm":      netsim.ProfileATM155,
@@ -133,7 +173,7 @@ func main() {
 		names := []string{"atm", "ethernet"}
 		if *profile != "both" {
 			if _, ok := profiles[*profile]; !ok {
-				return fmt.Errorf("unknown profile %q", *profile)
+				return errs.Newf(errs.Config, "unknown profile %q", *profile)
 			}
 			names = []string{*profile}
 		}
@@ -347,7 +387,7 @@ func main() {
 		return nil
 	})
 
-	if !strings.Contains("1 2 3 4 5 a1 e1 r1 o1 d1 all", *fig) {
+	if !strings.Contains("1 2 3 4 5 a1 l1 e1 r1 o1 d1 all", *fig) {
 		fmt.Fprintf(os.Stderr, "ohpc-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}

@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 
 	"openhpcxx/internal/analysis"
+	"openhpcxx/internal/errs"
 )
 
 func main() {
@@ -93,7 +94,7 @@ func moduleRoot() (string, error) {
 		}
 		parent := filepath.Dir(dir)
 		if parent == dir {
-			return "", fmt.Errorf("no go.mod above %s", dir)
+			return "", errs.Newf(errs.Config, "no go.mod above %s", dir)
 		}
 		dir = parent
 	}

@@ -26,6 +26,7 @@ import (
 
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/introspect"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/registry"
@@ -188,7 +189,7 @@ func main() {
 	case "client":
 		err = client(*regAddr, *grant, *calls)
 	default:
-		err = fmt.Errorf("unknown mode %q", *mode)
+		err = errs.Newf(errs.Config, "unknown mode %q", *mode)
 	}
 	if err != nil {
 		log.Fatalf("ohpc-weather: %v", err)

@@ -28,6 +28,9 @@
 //     non-Ctx sibling.
 //   - wirever:     wire-format version constants are compared/branched
 //     only inside internal/wire.
+//   - codederr:    errors are built with the errs constructors so they
+//     carry a taxonomy code — no naked fmt.Errorf outside internal/errs
+//     (test files exempt).
 //
 // Deliberate violations are suppressed per line with
 //
@@ -45,6 +48,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"openhpcxx/internal/errs"
 )
 
 // Diagnostic is one finding, formatted by the driver as
@@ -99,7 +104,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All lists every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoSleep, LockedBlock, SpanEnd, CheckedErr, CtxFlow, WireVer}
+	return []*Analyzer{NoSleep, LockedBlock, SpanEnd, CheckedErr, CtxFlow, WireVer, CodedErr}
 }
 
 // ByName resolves a comma-separated analyzer list ("nosleep,spanend").
@@ -119,7 +124,7 @@ func ByName(names string) ([]*Analyzer, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+			return nil, errs.Newf(errs.Config, "analysis: unknown analyzer %q", n)
 		}
 	}
 	return out, nil

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// CodedErr enforces the error-taxonomy contract from PR 7: every error
+// the runtime constructs carries a code, because the retry budget's
+// class switch is only as good as the codes reaching it. A naked
+// fmt.Errorf produces an Unknown-coded error — the settle path has to
+// guess (it wraps transport-looking failures as errs.Transport, and
+// everything else classifies permanent), per-code counters lump it
+// under "unknown", and /statusz can't say why a budget drained. So
+// outside internal/errs (where the constructors live) non-test code
+// must build errors with errs.New/Newf/Wrap/Wrapf.
+//
+// Test files are exempt: tests fabricate foreign errors on purpose to
+// check exactly how the taxonomy treats code it doesn't own, and a
+// test's error text asserts nothing about production classification.
+// The rare deliberate production use takes a
+// //lint:ignore codederr <reason>.
+var CodedErr = &Analyzer{
+	Name: "codederr",
+	Doc:  "errors must carry a taxonomy code: use errs.New/Wrap, not fmt.Errorf, outside internal/errs",
+	Run:  runCodedErr,
+}
+
+func runCodedErr(pass *Pass) {
+	// The constructor package itself is the one place allowed to touch
+	// raw formatting.
+	if pathHasSuffix(pass.Pkg().Path(), "internal/errs") {
+		return
+	}
+	for _, file := range pass.Files() {
+		if strings.HasSuffix(pass.Fset().Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(pass.Info(), call)
+			if f == nil || f.Name() != "Errorf" || funcPkgPath(f) != "fmt" {
+				return true
+			}
+			pass.Reportf(call.Pos(), "naked fmt.Errorf: build coded errors with errs.New/Newf/Wrap/Wrapf (or lint:ignore with the reason)")
+			return true
+		})
+	}
+}

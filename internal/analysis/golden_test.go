@@ -20,6 +20,7 @@ var goldenCorpora = []string{
 	"checkederr",
 	"ctxflow",
 	"wirever",
+	"codederr",
 }
 
 // wantRe extracts the expectation regex from a trailing comment.

@@ -5,7 +5,6 @@ package analysis
 
 import (
 	"errors"
-	"fmt"
 	"go/ast"
 	"go/build"
 	"go/importer"
@@ -16,6 +15,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"openhpcxx/internal/errs"
 )
 
 // Unit is one type-checked body of code: a package together with its
@@ -88,7 +89,7 @@ func LoadDir(dir, importPath string) ([]*Unit, error) {
 func modulePath(root string) (string, error) {
 	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
 	if err != nil {
-		return "", fmt.Errorf("analysis: reading go.mod: %w", err)
+		return "", errs.Wrap(errs.Config, err, "analysis: reading go.mod")
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
@@ -96,7 +97,7 @@ func modulePath(root string) (string, error) {
 			return strings.TrimSpace(rest), nil
 		}
 	}
-	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	return "", errs.Newf(errs.Config, "analysis: no module line in %s/go.mod", root)
 }
 
 // matchDirs expands the patterns into package directories, skipping
@@ -119,7 +120,7 @@ func matchDirs(root string, patterns []string) ([]string, error) {
 		base := filepath.Join(root, filepath.FromSlash(pat))
 		info, err := os.Stat(base)
 		if err != nil || !info.IsDir() {
-			return nil, fmt.Errorf("analysis: pattern %q: not a directory", pat)
+			return nil, errs.Newf(errs.Config, "analysis: pattern %q: not a directory", pat)
 		}
 		if !recursive {
 			if hasGoFiles(base) {
@@ -186,7 +187,7 @@ func loadDir(fset *token.FileSet, imp types.Importer, dir, importPath string) ([
 		}
 		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: %w", err)
+			return nil, errs.Wrap(errs.Config, err, "analysis")
 		}
 		if strings.HasSuffix(file.Name.Name, "_test") {
 			extFiles = append(extFiles, file)
@@ -229,10 +230,10 @@ func check(fset *token.FileSet, imp types.Importer, dir, path string, files []*a
 	}
 	pkg, err := conf.Check(path, fset, files, info)
 	if len(tcErrs) > 0 {
-		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, errors.Join(tcErrs...))
+		return nil, errs.Wrapf(errs.Config, errors.Join(tcErrs...), "analysis: type-checking %s", path)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+		return nil, errs.Wrapf(errs.Config, err, "analysis: type-checking %s", path)
 	}
 	return &Unit{Path: path, Dir: dir, Test: test, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
 }

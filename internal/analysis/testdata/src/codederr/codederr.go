@@ -1,0 +1,51 @@
+// Golden corpus for the codederr analyzer: fmt.Errorf outside
+// internal/errs is flagged — errors must carry a taxonomy code — while
+// the errs constructors, other fmt verbs, and suppressed lines pass.
+package codederr
+
+import (
+	"errors"
+	"fmt"
+
+	"openhpcxx/internal/errs"
+)
+
+func naked(id string) error {
+	return fmt.Errorf("object %s not found", id) // want "naked fmt.Errorf"
+}
+
+func nakedWrap(err error) error {
+	if err != nil {
+		err = fmt.Errorf("lookup: %w", err) // want "naked fmt.Errorf"
+	}
+	return err
+}
+
+func nestedInLiteral() func() error {
+	return func() error {
+		return fmt.Errorf("deferred failure") // want "naked fmt.Errorf"
+	}
+}
+
+func coded(id string, err error) error {
+	if err != nil {
+		return errs.Wrapf(errs.Transport, err, "dialing %s", id)
+	}
+	return errs.Newf(errs.NoObject, "object %s not found", id)
+}
+
+func otherFmtVerbsPass(id string) string {
+	fmt.Println("resolving", id)
+	return fmt.Sprintf("object %s", id)
+}
+
+func plainErrorsPass() error {
+	// errors.New sentinels are fine: they become causes inside coded
+	// wrappers, and the analyzer only polices the formatting entry point.
+	return errors.New("sentinel")
+}
+
+func suppressed() error {
+	//lint:ignore codederr corpus example: foreign error fabricated on purpose
+	return fmt.Errorf("deliberately uncoded")
+}

@@ -1,0 +1,10 @@
+// In-package test file of the codederr corpus: test files are exempt —
+// tests fabricate foreign (uncoded) errors on purpose to check how the
+// taxonomy classifies code it doesn't own.
+package codederr
+
+import "fmt"
+
+func fabricateForeign(step int) error {
+	return fmt.Errorf("synthetic test failure at step %d", step) // no finding: test files are exempt
+}

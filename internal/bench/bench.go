@@ -9,11 +9,11 @@
 package bench
 
 import (
-	"fmt"
 	"time"
 
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 )
 
@@ -86,7 +86,7 @@ func MeasureExchange(gp *core.GlobalPtr, n int, minReps int, minDuration time.Du
 			return Measurement{}, err
 		}
 		if len(out.V) != n {
-			return Measurement{}, fmt.Errorf("bench: exchange returned %d ints, want %d", len(out.V), n)
+			return Measurement{}, errs.Newf(errs.Internal, "bench: exchange returned %d ints, want %d", len(out.V), n)
 		}
 		reps++
 		if reps >= minReps && time.Since(start) >= minDuration {

@@ -7,6 +7,7 @@ import (
 
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -137,7 +138,7 @@ func RunFigure2() (*PathReport, error) {
 
 	baseFactory, ok := client.Pool().Lookup(core.ProtoStream)
 	if !ok {
-		return nil, fmt.Errorf("bench: stream factory missing")
+		return nil, errs.New(errs.Config, "bench: stream factory missing")
 	}
 	ref := server.NewRef(servant, streamE)
 	base, err := baseFactory.New(streamE, ref, client)
@@ -157,7 +158,7 @@ func RunFigure2() (*PathReport, error) {
 		return nil, err
 	}
 	if reply.Type != wire.TReply {
-		return nil, fmt.Errorf("bench: fig2 got %v", reply.Type)
+		return nil, errs.Newf(errs.Internal, "bench: fig2 got %v", reply.Type)
 	}
 
 	r := &PathReport{Title: "Figure 2: a remote request using capabilities"}

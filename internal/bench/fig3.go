@@ -1,10 +1,9 @@
 package bench
 
 import (
-	"fmt"
-
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/migrate"
 	"openhpcxx/internal/netsim"
 )
@@ -97,7 +96,7 @@ func RunFigure3() ([]Fig3Phase, error) {
 		}{{"P1", p1, gp1}, {"P2", p2, gp2}} {
 			// Exercise the path (and chase any tombstone).
 			if _, err := MeasureExchange(c.gp, 64, 1, 0); err != nil {
-				return phase, fmt.Errorf("bench: %s exchange: %w", c.name, err)
+				return phase, errs.Wrapf(errs.CodeOf(err), err, "bench: %s exchange", c.name)
 			}
 			id, err := c.gp.SelectedProtocol()
 			if err != nil {

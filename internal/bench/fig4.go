@@ -1,11 +1,11 @@
 package bench
 
 import (
-	"fmt"
 	"time"
 
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/migrate"
 	"openhpcxx/internal/netsim"
 )
@@ -141,7 +141,7 @@ func RunFigure4(cfg Fig4Config) ([]Fig4Step, error) {
 		if hop != curCtx {
 			cur, err = migrate.MoveLocal(curCtx, cur, hop)
 			if err != nil {
-				return nil, fmt.Errorf("bench: migrating to %s: %w", hop.Name(), err)
+				return nil, errs.Wrapf(errs.CodeOf(err), err, "bench: migrating to %s", hop.Name())
 			}
 			curCtx = hop
 		}
@@ -149,11 +149,11 @@ func RunFigure4(cfg Fig4Config) ([]Fig4Step, error) {
 		// reference, this chases the tombstone so selection reflects
 		// the object's new locality.
 		if _, err := MeasureExchange(gp, 1, 1, 0); err != nil {
-			return nil, fmt.Errorf("bench: step %d warm-up: %w", i, err)
+			return nil, errs.Wrapf(errs.CodeOf(err), err, "bench: step %d warm-up", i)
 		}
 		m, err := MeasureExchange(gp, cfg.SampleInts, cfg.MinReps, cfg.MinDuration)
 		if err != nil {
-			return nil, fmt.Errorf("bench: step %d measurement: %w", i, err)
+			return nil, errs.Wrapf(errs.CodeOf(err), err, "bench: step %d measurement", i)
 		}
 		idx, selected, err := gp.SelectedEntry()
 		if err != nil {

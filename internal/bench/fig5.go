@@ -1,11 +1,11 @@
 package bench
 
 import (
-	"fmt"
 	"time"
 
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 )
 
@@ -135,7 +135,7 @@ func SeriesNames() []string {
 func (d *Fig5Deployment) GlobalPtr(series string) (*core.GlobalPtr, error) {
 	ref, ok := d.refs[series]
 	if !ok {
-		return nil, fmt.Errorf("bench: unknown series %q", series)
+		return nil, errs.Newf(errs.Config, "bench: unknown series %q", series)
 	}
 	return d.Client.NewGlobalPtr(ref), nil
 }
@@ -165,15 +165,15 @@ func RunFigure5(cfg Fig5Config) ([]Series, error) {
 		}
 		// Confirm the series exercises the protocol it claims to.
 		if id, err := gp.SelectedProtocol(); err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", name, err)
+			return nil, errs.Wrapf(errs.CodeOf(err), err, "bench: %s", name)
 		} else if wantProto(name) != id {
-			return nil, fmt.Errorf("bench: %s selected %s, want %s", name, id, wantProto(name))
+			return nil, errs.Newf(errs.Internal, "bench: %s selected %s, want %s", name, id, wantProto(name))
 		}
 		s := Series{Name: name}
 		for _, n := range cfg.Sizes {
 			m, err := MeasureExchange(gp, n, cfg.MinReps, cfg.MinDuration)
 			if err != nil {
-				return nil, fmt.Errorf("bench: %s size %d: %w", name, n, err)
+				return nil, errs.Wrapf(errs.CodeOf(err), err, "bench: %s size %d", name, n)
 			}
 			s.Points = append(s.Points, m)
 		}

@@ -8,11 +8,11 @@
 package bench
 
 import (
-	"fmt"
 	"time"
 
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/future"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/transport"
@@ -160,7 +160,7 @@ func runAsyncMode(d *asyncDeployment, cfg AsyncConfig, mode string) (AsyncPoint,
 
 	// Warm-up: selection, connection setup, one full exchange.
 	if _, err := core.Call[*core.Int32Slice, core.Int32Slice](gp, "exchange", arr); err != nil {
-		return AsyncPoint{}, fmt.Errorf("bench: %s warm-up: %w", mode, err)
+		return AsyncPoint{}, errs.Wrapf(errs.CodeOf(err), err, "bench: %s warm-up", mode)
 	}
 
 	args, err := xdr.Marshal(arr)
@@ -173,10 +173,10 @@ func runAsyncMode(d *asyncDeployment, cfg AsyncConfig, mode string) (AsyncPoint,
 		for i := 0; i < cfg.Calls; i++ {
 			out, err := gp.Invoke("exchange", args)
 			if err != nil {
-				return AsyncPoint{}, fmt.Errorf("bench: %s call %d: %w", mode, i, err)
+				return AsyncPoint{}, errs.Wrapf(errs.CodeOf(err), err, "bench: %s call %d", mode, i)
 			}
 			if len(out) != len(args) {
-				return AsyncPoint{}, fmt.Errorf("bench: %s call %d: %d bytes back, want %d", mode, i, len(out), len(args))
+				return AsyncPoint{}, errs.Newf(errs.Internal, "bench: %s call %d: %d bytes back, want %d", mode, i, len(out), len(args))
 			}
 		}
 	default:
@@ -187,10 +187,10 @@ func runAsyncMode(d *asyncDeployment, cfg AsyncConfig, mode string) (AsyncPoint,
 		for i, f := range fs {
 			out, err := f.Wait()
 			if err != nil {
-				return AsyncPoint{}, fmt.Errorf("bench: %s call %d: %w", mode, i, err)
+				return AsyncPoint{}, errs.Wrapf(errs.CodeOf(err), err, "bench: %s call %d", mode, i)
 			}
 			if len(out) != len(args) {
-				return AsyncPoint{}, fmt.Errorf("bench: %s call %d: %d bytes back, want %d", mode, i, len(out), len(args))
+				return AsyncPoint{}, errs.Newf(errs.Internal, "bench: %s call %d: %d bytes back, want %d", mode, i, len(out), len(args))
 			}
 		}
 	}

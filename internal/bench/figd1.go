@@ -26,6 +26,7 @@ import (
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
 	"openhpcxx/internal/directory"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/health"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/stats"
@@ -275,7 +276,7 @@ func runD1ScaleCell(cfg D1Config, d *d1Deployment, size int, cached bool) (D1Sca
 	// Warm-up: populate the cache (cached mode) and set up connections.
 	for _, name := range hot {
 		if err := op(name); err != nil {
-			return pt, fmt.Errorf("bench: d1 %s warm-up: %w", mode, err)
+			return pt, errs.Wrapf(errs.CodeOf(err), err, "bench: d1 %s warm-up", mode)
 		}
 	}
 	hits := sampleCounter(d.Runtime, "dir.cache.hits")
@@ -391,7 +392,7 @@ func runD1CrashMode(cfg D1Config, replicas int) (D1CrashPoint, []string, error) 
 	// Warm-up across all shards before the schedule starts.
 	for i := 0; i < cfg.Shards; i++ {
 		if _, err := res.Resolve(d1Name(i)); err != nil {
-			return pt, nil, fmt.Errorf("bench: d1 %s warm-up: %w", mode, err)
+			return pt, nil, errs.Wrapf(errs.CodeOf(err), err, "bench: d1 %s warm-up", mode)
 		}
 	}
 

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/netsim"
+)
+
+// TestFigureE1BudgetsWin pins the figure's headline claim: through an
+// identical overload + crash schedule, class-keyed retry budgets bound
+// retry amplification and keep the steady dependency's goodput up —
+// unbudgeted workers spend the outage waiting out retry backoffs
+// against the dead endpoint, budgeted workers drain their buckets, fail
+// fast with typed exhaustion, and keep serving the path that works.
+func TestFigureE1BudgetsWin(t *testing.T) {
+	cfg := E1Config{
+		Profile:  netsim.ProfileEthernet,
+		Duration: 900 * time.Millisecond,
+	}
+	res, err := RunFigureE1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	byMode := map[string]E1Point{}
+	for _, p := range res.Points {
+		if p.Total <= 0 || p.OK <= 0 || p.SteadyOK <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+		if p.Attempts < uint64(p.Total) {
+			t.Fatalf("%s: %d attempts for %d tasks — every task sends at least once", p.Mode, p.Attempts, p.Total)
+		}
+		byMode[p.Mode] = p
+	}
+	on, off := byMode[ModeBudgeted], byMode[ModeUnbudgeted]
+
+	// The brake: budgets bound attempts-per-task well below the
+	// unbudgeted storm.
+	if on.Amplification+0.05 >= off.Amplification {
+		t.Errorf("budgeted amplification %.3fx not measurably below unbudgeted %.3fx",
+			on.Amplification, off.Amplification)
+	}
+	// The payoff: the steady dependency completes more work because the
+	// workers are not stuck in backoffs against the dead one.
+	if on.SteadyOK <= off.SteadyOK {
+		t.Errorf("budgeted steady-path completions %d not above unbudgeted %d — the storm cost nothing",
+			on.SteadyOK, off.SteadyOK)
+	}
+	// The mechanism is visible: budgeted mode surfaces typed exhaustion,
+	// unbudgeted mode never can.
+	if on.Exhausted == 0 {
+		t.Error("budgeted mode surfaced no BudgetExhausted through a crash window — the bucket never drained")
+	}
+	if off.Exhausted != 0 {
+		t.Errorf("unbudgeted mode surfaced %d BudgetExhausted errors, want 0", off.Exhausted)
+	}
+	// The outage is real in both modes: doomed flaky-path tasks failed.
+	if off.Failed == 0 {
+		t.Error("unbudgeted mode survived the crash unscathed — the schedule injected nothing")
+	}
+	if len(on.ErrorsByCode) == 0 {
+		t.Error("budgeted mode recorded no per-code error counters through an outage")
+	}
+}
+
+// TestFigureE1JSONRoundTrip keeps the ohpc-bench JSON emission stable:
+// the result must marshal, unmarshal, and format with both modes and
+// the fault schedule present.
+func TestFigureE1JSONRoundTrip(t *testing.T) {
+	res := &E1Result{
+		Profile:  "ethernet",
+		Duration: time.Second,
+		Deadline: 50 * time.Millisecond,
+		Workers:  4,
+		Mix:      2,
+		Cap:      2,
+		Schedule: []string{"200ms crash flaky-m"},
+		Points: []E1Point{
+			{Mode: ModeBudgeted, Total: 10, OK: 9, SteadyOK: 6, FlakyOK: 3, Exhausted: 1, Attempts: 11, Amplification: 1.1, Goodput: 9},
+			{Mode: ModeUnbudgeted, Total: 8, OK: 6, SteadyOK: 4, FlakyOK: 2, Failed: 2, Attempts: 14, Amplification: 1.75, Goodput: 6},
+		},
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back E1Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Profile != res.Profile || len(back.Points) != 2 || back.Points[0].Mode != ModeBudgeted {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	out := FormatFigureE1(res)
+	for _, want := range []string{ModeBudgeted, ModeUnbudgeted, "crash flaky-m", "amplification", "exhausted"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted figure missing %q:\n%s", want, out)
+		}
+	}
+}

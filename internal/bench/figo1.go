@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/obs"
 )
@@ -120,7 +121,7 @@ func RunFigureO1(cfg O1Config) (*O1Result, error) {
 	measure := func(mode string) (O1Point, error) {
 		m, err := MeasureExchange(gp, cfg.Ints, cfg.MinReps, cfg.MinDuration)
 		if err != nil {
-			return O1Point{}, fmt.Errorf("bench: o1 %s: %w", mode, err)
+			return O1Point{}, errs.Wrapf(errs.CodeOf(err), err, "bench: o1 %s", mode)
 		}
 		return O1Point{Mode: mode, Reps: m.Reps, AvgRTT: m.AvgRTT}, nil
 	}

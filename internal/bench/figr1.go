@@ -22,6 +22,7 @@ import (
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/health"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
@@ -242,7 +243,7 @@ func runR1Mode(cfg R1Config, failover bool) (R1Point, []string, error) {
 	}
 	// Warm-up before the schedule starts: selection + connection setup.
 	if _, err := core.Call[*core.Int32Slice, core.Int32Slice](gp, "exchange", arr); err != nil {
-		return R1Point{}, nil, fmt.Errorf("bench: %s warm-up: %w", mode, err)
+		return R1Point{}, nil, errs.Wrapf(errs.CodeOf(err), err, "bench: %s warm-up", mode)
 	}
 
 	plan, schedule := r1Plan(cfg, d)

@@ -5,18 +5,19 @@ import (
 	"time"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/proto/udprel"
 )
 
-// LossPoint is one cell of the extension experiment E1: goodput of the
+// LossPoint is one cell of the extension experiment L1: goodput of the
 // udprel custom protocol as a function of datagram loss.
 type LossPoint struct {
 	LossRate float64
 	Sample   Measurement
 }
 
-// LossSweepConfig parameterizes E1.
+// LossSweepConfig parameterizes L1.
 type LossSweepConfig struct {
 	// Rates are the loss probabilities to sweep (default 0..0.4).
 	Rates []float64
@@ -93,16 +94,16 @@ func RunLossSweep(cfg LossSweepConfig) ([]LossPoint, error) {
 		m, err := MeasureExchange(gp, cfg.Ints, cfg.MinReps, cfg.MinDuration)
 		rt.Close()
 		if err != nil {
-			return nil, fmt.Errorf("bench: loss %.0f%%: %w", rate*100, err)
+			return nil, errs.Wrapf(errs.CodeOf(err), err, "bench: loss %.0f%%", rate*100)
 		}
 		out = append(out, LossPoint{LossRate: rate, Sample: m})
 	}
 	return out, nil
 }
 
-// FormatLossSweep renders E1 as a table.
+// FormatLossSweep renders L1 as a table.
 func FormatLossSweep(points []LossPoint) string {
-	s := "E1 (extension): udprel custom protocol goodput vs. datagram loss\n"
+	s := "L1 (extension): udprel custom protocol goodput vs. datagram loss\n"
 	s += fmt.Sprintf("%-10s %-14s %-12s %s\n", "loss", "goodput", "avg rtt", "reps")
 	for _, p := range points {
 		s += fmt.Sprintf("%8.0f%%  %9.3f Mbps %-12v %d\n",

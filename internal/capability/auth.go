@@ -4,8 +4,8 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
-	"fmt"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -29,10 +29,10 @@ type Auth struct {
 // NewAuth builds an authentication capability for a principal.
 func NewAuth(principal string, secret []byte, scope Scope) (*Auth, error) {
 	if principal == "" {
-		return nil, fmt.Errorf("capability: auth requires a principal")
+		return nil, errs.New(errs.Config, "capability: auth requires a principal")
 	}
 	if len(secret) == 0 {
-		return nil, fmt.Errorf("capability: auth requires a secret")
+		return nil, errs.New(errs.Config, "capability: auth requires a secret")
 	}
 	return &Auth{principal: principal, secret: append([]byte(nil), secret...), scope: scope}, nil
 }
@@ -168,7 +168,7 @@ func init() {
 	RegisterKind(KindAuth, func(config []byte) (Capability, error) {
 		c := new(authConfig)
 		if err := xdr.Unmarshal(config, c); err != nil {
-			return nil, fmt.Errorf("capability: auth config: %w", err)
+			return nil, errs.Wrap(errs.Codec, err, "capability: auth config")
 		}
 		return NewAuth(c.Principal, c.Secret, c.Scope)
 	})

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/xdr"
 )
@@ -174,7 +175,7 @@ func New(kind string, config []byte) (Capability, error) {
 	ctor, ok := registry[kind]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("capability: unknown kind %q", kind)
+		return nil, errs.Newf(errs.Config, "capability: unknown kind %q", kind)
 	}
 	return ctor(config)
 }
@@ -233,7 +234,7 @@ func Specs(caps []Capability) ([]Spec, error) {
 	for i, c := range caps {
 		cfg, err := c.Config()
 		if err != nil {
-			return nil, fmt.Errorf("capability: serializing %s: %w", c.Kind(), err)
+			return nil, errs.Wrapf(errs.Codec, err, "capability: serializing %s", c.Kind())
 		}
 		out[i] = Spec{Kind: c.Kind(), Config: cfg}
 	}

@@ -3,9 +3,9 @@ package capability
 import (
 	"bytes"
 	"compress/flate"
-	"fmt"
 	"io"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -34,7 +34,7 @@ func NewCompress(level int, minSize uint32, scope Scope) (*Compress, error) {
 		level = flate.DefaultCompression
 	}
 	if level < flate.HuffmanOnly || level > flate.BestCompression {
-		return nil, fmt.Errorf("capability: bad compression level %d", level)
+		return nil, errs.Newf(errs.Config, "capability: bad compression level %d", level)
 	}
 	return &Compress{level: level, minSize: minSize, scope: scope}, nil
 }
@@ -154,7 +154,7 @@ func init() {
 	RegisterKind(KindCompress, func(config []byte) (Capability, error) {
 		c := new(compressConfig)
 		if err := xdr.Unmarshal(config, c); err != nil {
-			return nil, fmt.Errorf("capability: compress config: %w", err)
+			return nil, errs.Wrap(errs.Codec, err, "capability: compress config")
 		}
 		return NewCompress(int(c.Level), c.MinSize, c.Scope)
 	})

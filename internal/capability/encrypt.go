@@ -6,8 +6,8 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
-	"fmt"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -31,7 +31,7 @@ type Encrypt struct {
 // NewEncrypt builds an encryption capability with a 32-byte key.
 func NewEncrypt(key []byte, scope Scope) (*Encrypt, error) {
 	if len(key) != 32 {
-		return nil, fmt.Errorf("capability: encrypt key must be 32 bytes, got %d", len(key))
+		return nil, errs.Newf(errs.Config, "capability: encrypt key must be 32 bytes, got %d", len(key))
 	}
 	return &Encrypt{key: append([]byte(nil), key...), scope: scope}, nil
 }
@@ -146,7 +146,7 @@ func init() {
 	RegisterKind(KindEncrypt, func(config []byte) (Capability, error) {
 		c := new(encryptConfig)
 		if err := xdr.Unmarshal(config, c); err != nil {
-			return nil, fmt.Errorf("capability: encrypt config: %w", err)
+			return nil, errs.Wrap(errs.Codec, err, "capability: encrypt config")
 		}
 		return NewEncrypt(c.Key, c.Scope)
 	})

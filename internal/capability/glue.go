@@ -7,6 +7,7 @@ import (
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/obs"
 	"openhpcxx/internal/transport"
@@ -50,7 +51,7 @@ func (g *glueData) UnmarshalXDR(d *xdr.Decoder) error {
 		return err
 	}
 	if n > 32 {
-		return fmt.Errorf("capability: %d capabilities exceeds limit", n)
+		return errs.Newf(errs.Codec, "capability: %d capabilities exceeds limit", n)
 	}
 	g.Caps = make([]Spec, n)
 	for i := range g.Caps {
@@ -100,11 +101,11 @@ func GlueEntry(ctx *core.Context, tag string, base core.ProtoEntry, caps ...Capa
 // budget at the destination; see DESIGN.md.
 func ReanchorGlueEntry(dst *core.Context, entry core.ProtoEntry, rebase func(core.ProtoEntry) (core.ProtoEntry, bool)) (core.ProtoEntry, bool, error) {
 	if entry.ID != core.ProtoGlue {
-		return core.ProtoEntry{}, false, fmt.Errorf("capability: %q is not a glue entry", entry.ID)
+		return core.ProtoEntry{}, false, errs.Newf(errs.Config, "capability: %q is not a glue entry", entry.ID)
 	}
 	g := new(glueData)
 	if err := xdr.Unmarshal(entry.Data, g); err != nil {
-		return core.ProtoEntry{}, false, fmt.Errorf("capability: bad glue proto-data: %w", err)
+		return core.ProtoEntry{}, false, errs.Wrap(errs.Codec, err, "capability: bad glue proto-data")
 	}
 	newBase, ok := rebase(g.Base)
 	if !ok {
@@ -165,11 +166,11 @@ func (f *glueFactory) Applicable(entry core.ProtoEntry, client, server netsim.Lo
 func (f *glueFactory) New(entry core.ProtoEntry, ref *core.ObjectRef, host *core.Context) (core.Protocol, error) {
 	g := new(glueData)
 	if err := xdr.Unmarshal(entry.Data, g); err != nil {
-		return nil, fmt.Errorf("capability: bad glue proto-data: %w", err)
+		return nil, errs.Wrap(errs.Codec, err, "capability: bad glue proto-data")
 	}
 	baseFactory, ok := f.pool.Lookup(g.Base.ID)
 	if !ok {
-		return nil, fmt.Errorf("capability: glue base protocol %q not in pool", g.Base.ID)
+		return nil, errs.Newf(errs.Config, "capability: glue base protocol %q not in pool", g.Base.ID)
 	}
 	base, err := baseFactory.New(g.Base, ref, host)
 	if err != nil {
@@ -222,7 +223,7 @@ func (g *Glue) wrapRequest(m *wire.Message) (*wire.Message, error) {
 	for _, c := range g.caps {
 		nb, env, err := c.Process(frame, body)
 		if err != nil {
-			err = fmt.Errorf("capability %s: %w", c.Kind(), err)
+			err = errs.Wrapf(errs.Capability, err, "capability %s", c.Kind())
 			sp.SetErr(err)
 			sp.End()
 			return nil, err
@@ -411,7 +412,7 @@ func (g *Glue) unwrapReply(reply *wire.Message) (*wire.Message, error) {
 		}
 		nb, err := g.caps[i].Unprocess(frame, env.Data, body)
 		if err != nil {
-			return nil, fmt.Errorf("capability %s (reply): %w", g.caps[i].Kind(), err)
+			return nil, errs.Wrapf(errs.Capability, err, "capability %s (reply)", g.caps[i].Kind())
 		}
 		body = nb
 	}
@@ -499,7 +500,7 @@ func (s *GlueServer) WrapReply(req *wire.Message, body []byte) (*wire.Message, e
 	for _, c := range s.caps {
 		nb, env, err := c.Process(frame, body)
 		if err != nil {
-			return nil, fmt.Errorf("capability %s (reply): %w", c.Kind(), err)
+			return nil, errs.Wrapf(errs.Capability, err, "capability %s (reply)", c.Kind())
 		}
 		body = nb
 		envs = append(envs, wire.Envelope{ID: c.Kind(), Data: env})

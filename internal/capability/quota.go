@@ -1,10 +1,10 @@
 package capability
 
 import (
-	"fmt"
 	"sync/atomic"
 	"time"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -171,7 +171,7 @@ func init() {
 	RegisterKind(KindQuota, func(config []byte) (Capability, error) {
 		c := new(quotaConfig)
 		if err := xdr.Unmarshal(config, c); err != nil {
-			return nil, fmt.Errorf("capability: quota config: %w", err)
+			return nil, errs.Wrap(errs.Codec, err, "capability: quota config")
 		}
 		return &Quota{max: c.Max, deadline: c.Deadline, scope: c.Scope}, nil
 	})

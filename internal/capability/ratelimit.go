@@ -1,11 +1,11 @@
 package capability
 
 import (
-	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -35,7 +35,7 @@ type RateLimit struct {
 // second with bursts up to burst.
 func NewRateLimit(perSecond float64, burst float64) (*RateLimit, error) {
 	if perSecond <= 0 || burst < 1 {
-		return nil, fmt.Errorf("capability: ratelimit needs perSecond > 0 and burst >= 1 (got %g, %g)", perSecond, burst)
+		return nil, errs.Newf(errs.Config, "capability: ratelimit needs perSecond > 0 and burst >= 1 (got %g, %g)", perSecond, burst)
 	}
 	return &RateLimit{perSecond: perSecond, burst: burst, tokens: burst}, nil
 }
@@ -148,7 +148,7 @@ func init() {
 	RegisterKind(KindRateLimit, func(config []byte) (Capability, error) {
 		c := new(rateLimitConfig)
 		if err := xdr.Unmarshal(config, c); err != nil {
-			return nil, fmt.Errorf("capability: ratelimit config: %w", err)
+			return nil, errs.Wrap(errs.Codec, err, "capability: ratelimit config")
 		}
 		return NewRateLimit(c.PerSecond, c.Burst)
 	})

@@ -1,10 +1,10 @@
 package capability
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 )
 
@@ -55,7 +55,7 @@ func (t *Trace) Grant(owner string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.owner != "" {
-		return fmt.Errorf(
+		return errs.Newf(errs.Conflict,
 			"capability: trace already granted to glue %q; counters are per-instance, build a fresh NewTrace for %q",
 			t.owner, owner)
 	}

@@ -183,6 +183,12 @@ func (g *GlobalPtr) settleAsync(ctx context.Context, root *obs.Active, fut *futu
 		root.End()
 		return
 	}
+	// Budget gate, exactly as on the synchronous path: charged retries
+	// draw a token, permanent classes and a dry bucket stop the chase.
+	if stop, berr := g.retryAdmit(serr, backoff); stop {
+		fail(berr)
+		return
+	}
 	lastErr, needBackoff := serr, backoff
 	for attempt := 1; attempt < maxInvokeAttempts; attempt++ {
 		if _, _, resolved := fut.TryResult(); resolved {
@@ -237,6 +243,10 @@ func (g *GlobalPtr) settleAsync(ctx context.Context, root *obs.Active, fut *futu
 			finishFuture(fut, body, serr)
 			root.SetErr(serr)
 			root.End()
+			return
+		}
+		if stop, berr := g.retryAdmit(serr, backoff); stop {
+			fail(berr)
 			return
 		}
 		lastErr, needBackoff = serr, backoff

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/health"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/obs"
@@ -71,11 +72,20 @@ type Runtime struct {
 	ctxGauge      *stats.Gauge
 	gpGauge       *stats.Gauge
 
+	// Per-code error accounting (the taxonomy's whole point for SLOs):
+	// rpc.errors{code=...} handles pre-resolved for every known code so
+	// the settle path increments an atomic, plus the retry-budget
+	// counters. Unknown (forward-compat) codes fall through to the
+	// registry on demand.
+	errCounters   map[errs.Code]*stats.Counter
+	retryAttempts *stats.Counter
+
 	mu       sync.RWMutex
 	ifaces   map[string]Activator
 	contexts map[string]*Context
 	htracker *health.Tracker
 	failover bool
+	retryCfg RetryBudgetConfig
 	// sections are subsystem status contributors (RegisterStatusSection).
 	sections map[string]func() any
 }
@@ -97,10 +107,16 @@ func NewRuntime(network *netsim.Network, process string) *Runtime {
 		inflightGauge: metrics.Gauge("rpc.inflight"),
 		ctxGauge:      metrics.Gauge("core.contexts"),
 		gpGauge:       metrics.Gauge("core.gps"),
+		errCounters:   make(map[errs.Code]*stats.Counter),
+		retryAttempts: metrics.Counter("rpc.retry.attempts"),
 		ifaces:        make(map[string]Activator),
 		contexts:      make(map[string]*Context),
 		htracker:      health.NewTracker(health.Options{Metrics: metrics}),
 		failover:      true,
+		retryCfg:      DefaultRetryBudget,
+	}
+	for _, c := range errs.KnownCodes() {
+		rt.errCounters[c] = metrics.CounterWith("rpc.errors", stats.Labels{"code": c.String()})
 	}
 	rt.defaultPool.Register(shmFactory{})
 	rt.defaultPool.Register(streamFactory{})
@@ -172,6 +188,40 @@ func (rt *Runtime) FailoverEnabled() bool {
 	return rt.failover
 }
 
+// SetRetryBudget sets the retry-budget configuration GPs are created
+// with (DefaultRetryBudget unless changed; Disabled turns budgeting
+// off runtime-wide for new GPs — Figure E1's storm baseline). Existing
+// GPs keep their buckets; use GlobalPtr.SetRetryBudget to replace one.
+func (rt *Runtime) SetRetryBudget(cfg RetryBudgetConfig) {
+	rt.mu.Lock()
+	rt.retryCfg = cfg
+	rt.mu.Unlock()
+}
+
+// RetryBudget reports the runtime's GP-creation retry-budget config.
+func (rt *Runtime) RetryBudget() RetryBudgetConfig {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.retryCfg
+}
+
+// errCounter returns the per-code error counter (rpc.errors{code=...}),
+// pre-resolved for every code in the taxonomy; forward-compat codes
+// from newer peers resolve through the registry on first use.
+func (rt *Runtime) errCounter(c errs.Code) *stats.Counter {
+	if ctr, ok := rt.errCounters[c]; ok {
+		return ctr
+	}
+	return rt.metrics.CounterWith("rpc.errors", stats.Labels{"code": c.String()})
+}
+
+// exhaustedCounter returns the per-code retry-budget exhaustion counter
+// (rpc.retry.budget_exhausted{code=...}): how often a dry bucket
+// stopped a retry that a failure with this code asked for.
+func (rt *Runtime) exhaustedCounter(c errs.Code) *stats.Counter {
+	return rt.metrics.CounterWith("rpc.retry.budget_exhausted", stats.Labels{"code": c.String()})
+}
+
 // Clock returns the runtime clock.
 func (rt *Runtime) Clock() clock.Clock { return rt.clock }
 
@@ -218,7 +268,7 @@ func (rt *Runtime) Activate(name string) (any, map[string]Method, error) {
 	a, ok := rt.ifaces[name]
 	rt.mu.RUnlock()
 	if !ok {
-		return nil, nil, fmt.Errorf("core: no activator for interface %q", name)
+		return nil, nil, errs.Newf(errs.Config, "core: no activator for interface %q", name)
 	}
 	impl, methods := a()
 	return impl, methods, nil
@@ -233,7 +283,7 @@ func (rt *Runtime) NewContext(name string, machine netsim.MachineID) (*Context, 
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if _, dup := rt.contexts[name]; dup {
-		return nil, fmt.Errorf("core: context %q exists", name)
+		return nil, errs.Newf(errs.Conflict, "core: context %q exists", name)
 	}
 	c := &Context{
 		rt:          rt,
@@ -341,18 +391,18 @@ func (c *Context) dialAddr(addr string) (net.Conn, error) {
 	case strings.HasPrefix(addr, "tcp://"):
 		return net.Dial("tcp", strings.TrimPrefix(addr, "tcp://"))
 	}
-	return nil, fmt.Errorf("core: unsupported address %q", addr)
+	return nil, errs.Newf(errs.Config, "core: unsupported address %q", addr)
 }
 
 func parseSimAddr(addr string) (netsim.Addr, error) {
 	rest := strings.TrimPrefix(addr, "sim://")
 	host, portStr, ok := strings.Cut(rest, ":")
 	if !ok {
-		return netsim.Addr{}, fmt.Errorf("core: malformed sim address %q", addr)
+		return netsim.Addr{}, errs.Newf(errs.Config, "core: malformed sim address %q", addr)
 	}
 	port, err := strconv.Atoi(portStr)
 	if err != nil {
-		return netsim.Addr{}, fmt.Errorf("core: malformed sim port %q", portStr)
+		return netsim.Addr{}, errs.Newf(errs.Config, "core: malformed sim port %q", portStr)
 	}
 	return netsim.Addr{Machine: netsim.MachineID(host), Port: port}, nil
 }

@@ -4,12 +4,12 @@ import (
 	"bytes"
 	"context"
 	"errors"
-	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/health"
 	"openhpcxx/internal/obs"
 	"openhpcxx/internal/stats"
@@ -44,6 +44,10 @@ type GlobalPtr struct {
 	// deadline, when non-zero, bounds every invocation that does not
 	// carry a sooner context deadline.
 	deadline time.Duration
+
+	// budget is the retry token bucket (budget.go); nil when budgeting
+	// is disabled for this GP.
+	budget *retryBudget
 
 	inflight chan struct{} // per-GP async in-flight limiter
 }
@@ -83,6 +87,7 @@ func (c *Context) NewGlobalPtr(ref *ObjectRef) *GlobalPtr {
 		host:     c,
 		ref:      ref.Clone(),
 		entry:    -1,
+		budget:   newRetryBudget(c.rt.RetryBudget()),
 		inflight: make(chan struct{}, DefaultMaxInFlight),
 	}
 	c.mu.Lock()
@@ -309,7 +314,7 @@ func (g *GlobalPtr) selectLocked(ht *health.Tracker, failover bool) (ProtoFactor
 func (g *GlobalPtr) bindToLocked(f ProtoFactory, idx int, event string) error {
 	p, err := f.New(g.ref.Protocols[idx], g.ref, g.host)
 	if err != nil {
-		return fmt.Errorf("core: instantiating %s: %w", f.ID(), err)
+		return errs.Wrapf(errs.Transport, err, "core: instantiating %s", f.ID())
 	}
 	g.proto = p
 	g.entry = idx
@@ -350,7 +355,7 @@ func (g *GlobalPtr) registerProbesLocked() {
 func probeEntry(host *Context, ref *ObjectRef, entry ProtoEntry) error {
 	f, ok := host.pool.Lookup(entry.ID)
 	if !ok {
-		return fmt.Errorf("core: no factory for %s", entry.ID)
+		return errs.Newf(errs.Config, "core: no factory for %s", entry.ID)
 	}
 	p, err := f.New(entry, ref, host)
 	if err != nil {
@@ -463,23 +468,35 @@ func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []b
 		p.pm.transportErrors.Inc()
 		// Transport-level failure: demote the endpoint and drop the
 		// binding, so the retry re-selects — past the tripped breaker to
-		// the next entry in the reference's ordered protocol table.
+		// the next entry in the reference's ordered protocol table. An
+		// error with no taxonomy code yet (a raw dial/mux/conn failure)
+		// is stamped Transport (class retryable) so the retry-budget
+		// gate and the SLO counters see a kind, not a string; the
+		// original stays reachable through errors.Is/As.
+		serr := err
+		if errs.CodeOf(err) == errs.Unknown {
+			serr = errs.Wrap(errs.Transport, err, "core: transport failure")
+		}
+		g.host.rt.errCounter(errs.CodeOf(serr)).Inc()
 		report(false)
 		g.Invalidate()
-		return nil, false, true, err
+		return nil, false, true, serr
 	}
 	switch reply.Type {
 	case wire.TReply:
 		p.pm.respBytes.Add(uint64(len(reply.Body)))
 		report(true)
+		g.budgetRef().success()
 		return reply.Body, true, false, nil
 	case wire.TFault:
 		p.pm.faults.Inc()
 		ferr := wire.DecodeFault(reply.Body)
 		var f *wire.Fault
 		if !errors.As(ferr, &f) {
+			g.host.rt.errCounter(errs.Codec).Inc()
 			return nil, true, false, ferr
 		}
+		g.host.rt.errCounter(errs.Code(f.Code)).Inc()
 		switch f.Code {
 		case wire.FaultMoved:
 			// The endpoint answered authoritatively — it is healthy; the
@@ -487,7 +504,7 @@ func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []b
 			report(true)
 			newRef, derr := DecodeRef(f.Data)
 			if derr != nil {
-				return nil, true, false, fmt.Errorf("core: moved but reference undecodable: %w", derr)
+				return nil, true, false, errs.Wrap(errs.Codec, derr, "core: moved but reference undecodable")
 			}
 			g.host.rt.recordEvent("refresh", newRef.Object,
 				"context %s chased tombstone to %s (epoch %d)", g.host.name, newRef.Server, newRef.Epoch)
@@ -536,7 +553,8 @@ func (g *GlobalPtr) settle(p prepared, reply *wire.Message, err error) (body []b
 			return nil, true, false, f
 		}
 	default:
-		return nil, true, false, fmt.Errorf("core: unexpected reply type %v", reply.Type)
+		g.host.rt.errCounter(errs.Internal).Inc()
+		return nil, true, false, errs.Newf(errs.Internal, "core: unexpected reply type %v", reply.Type)
 	}
 }
 
@@ -549,10 +567,12 @@ func sameRef(a, b *ObjectRef) bool {
 	return aerr == nil && berr == nil && bytes.Equal(ab, bb)
 }
 
-// giveUp builds the terminal error after maxInvokeAttempts retries.
+// giveUp builds the terminal error after maxInvokeAttempts retries; it
+// keeps the last failure's taxonomy code so callers classify the
+// give-up the same way they would the failure itself.
 func (g *GlobalPtr) giveUp(method string, lastErr error) error {
-	return fmt.Errorf("core: invoke %s.%s gave up after %d attempts: %w",
-		g.Object(), method, maxInvokeAttempts, lastErr)
+	return errs.Wrapf(errs.CodeOf(lastErr), lastErr, "core: invoke %s.%s gave up after %d attempts",
+		g.Object(), method, maxInvokeAttempts)
 }
 
 // Invoke calls a method on the remote object: it selects a protocol,
@@ -566,12 +586,15 @@ func (g *GlobalPtr) Invoke(method string, args []byte) ([]byte, error) {
 }
 
 // ctxAttemptErr wraps a context expiry with the last attempt's error so
-// callers see both why the invocation stopped and what it last hit.
+// callers see both why the invocation stopped and what it last hit. The
+// expiry stays the unwrap target (errors.Is(err, ctx.Err()) holds) and
+// the taxonomy code follows it: Expired for deadlines, Canceled for
+// cancellation.
 func ctxAttemptErr(ctxErr, lastErr error) error {
 	if lastErr == nil {
 		return ctxErr
 	}
-	return fmt.Errorf("%w (last attempt: %v)", ctxErr, lastErr)
+	return errs.Wrapf(errs.CodeOf(ctxErr), ctxErr, "core: invocation stopped (last attempt: %v)", lastErr)
 }
 
 // InvokeCtx is Invoke bounded by a context: the deadline travels in the
@@ -655,6 +678,12 @@ func (g *GlobalPtr) invokeAttempts(ctx context.Context, root *obs.Active, method
 		body, done, backoff, serr := g.settle(p, reply, err)
 		if done {
 			return body, serr
+		}
+		// The settle loop wants a retry: the budget gate decides. A
+		// backoff-charged retry draws a token; permanent classes and a
+		// dry bucket end the invocation here instead of amplifying.
+		if stop, berr := g.retryAdmit(serr, backoff); stop {
+			return nil, berr
 		}
 		lastErr, needBackoff = serr, backoff
 	}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"openhpcxx/internal/errs"
 )
 
 // BeginMove freezes a servant and snapshots its implementation state.
@@ -11,7 +11,7 @@ import (
 func (c *Context) BeginMove(id ObjectID) (*Servant, []byte, error) {
 	s, ok := c.Servant(id)
 	if !ok {
-		return nil, nil, fmt.Errorf("core: no object %s to move", id)
+		return nil, nil, errs.Newf(errs.NoObject, "core: no object %s to move", id)
 	}
 	s.Freeze()
 	state, err := s.SnapshotLocked()

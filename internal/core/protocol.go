@@ -2,9 +2,9 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
@@ -239,6 +239,6 @@ func (p *ProtoPool) SelectWhere(ref *ObjectRef, client netsim.Locality, allow fu
 }
 
 func selectionError(ref *ObjectRef, p *ProtoPool, client netsim.Locality) error {
-	return fmt.Errorf("%w for %s: table=%v pool=%v client=%s server=%s",
-		ErrNoProtocol, ref.Object, ref.ProtoIDs(), p.IDs(), client, ref.Server)
+	return errs.Wrapf(errs.NotApplicable, ErrNoProtocol, "core: selecting for %s: table=%v pool=%v client=%s server=%s",
+		ref.Object, ref.ProtoIDs(), p.IDs(), client, ref.Server)
 }

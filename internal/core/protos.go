@@ -1,9 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"sync"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/transport/nexus"
@@ -62,7 +62,7 @@ func encodeAddrData(addr, endpoint string) []byte {
 func decodeAddrData(p []byte) (*addrData, error) {
 	a := new(addrData)
 	if err := xdr.Unmarshal(p, a); err != nil {
-		return nil, fmt.Errorf("core: bad address proto-data: %w", err)
+		return nil, errs.Wrap(errs.Codec, err, "core: bad address proto-data")
 	}
 	return a, nil
 }
@@ -72,7 +72,7 @@ func decodeAddrData(p []byte) (*addrData, error) {
 func (c *Context) EntrySHM() (ProtoEntry, error) {
 	addr, ok := c.Binding(ProtoSHM)
 	if !ok {
-		return ProtoEntry{}, fmt.Errorf("core: context %s has no shm binding", c.name)
+		return ProtoEntry{}, errs.Newf(errs.Config, "core: context %s has no shm binding", c.name)
 	}
 	return ProtoEntry{ID: ProtoSHM, Data: encodeAddrData(addr, "")}, nil
 }
@@ -82,7 +82,7 @@ func (c *Context) EntrySHM() (ProtoEntry, error) {
 func (c *Context) EntryStream() (ProtoEntry, error) {
 	addr, ok := c.Binding(ProtoStream)
 	if !ok {
-		return ProtoEntry{}, fmt.Errorf("core: context %s has no stream binding", c.name)
+		return ProtoEntry{}, errs.Newf(errs.Config, "core: context %s has no stream binding", c.name)
 	}
 	return ProtoEntry{ID: ProtoStream, Data: encodeAddrData(addr, "")}, nil
 }
@@ -92,7 +92,7 @@ func (c *Context) EntryStream() (ProtoEntry, error) {
 func (c *Context) EntryNexus() (ProtoEntry, error) {
 	addr, ok := c.Binding(ProtoNexus)
 	if !ok {
-		return ProtoEntry{}, fmt.Errorf("core: context %s has no nexus binding", c.name)
+		return ProtoEntry{}, errs.Newf(errs.Config, "core: context %s has no nexus binding", c.name)
 	}
 	return ProtoEntry{ID: ProtoNexus, Data: encodeAddrData(addr, orbEndpoint)}, nil
 }
@@ -279,7 +279,7 @@ func (p *nexusProto) Call(m *wire.Message) (*wire.Message, error) {
 	}
 	reply := new(wire.Message)
 	if err := xdr.Unmarshal(out, reply); err != nil {
-		return nil, fmt.Errorf("core: embedded reply: %w", err)
+		return nil, errs.Wrap(errs.Codec, err, "core: embedded reply")
 	}
 	return reply, nil
 }
@@ -304,7 +304,7 @@ func (n *nexusPending) Reply() (*wire.Message, error) {
 		}
 		reply := new(wire.Message)
 		if err := xdr.Unmarshal(out, reply); err != nil {
-			n.err = fmt.Errorf("core: embedded reply: %w", err)
+			n.err = errs.Wrap(errs.Codec, err, "core: embedded reply")
 			return
 		}
 		n.reply = reply

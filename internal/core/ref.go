@@ -12,8 +12,7 @@
 package core
 
 import (
-	"fmt"
-
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/xdr"
 )
@@ -105,7 +104,7 @@ func (r *ObjectRef) UnmarshalXDR(d *xdr.Decoder) error {
 		return err
 	}
 	if n > 64 {
-		return fmt.Errorf("core: protocol table of %d entries exceeds limit", n)
+		return errs.Newf(errs.Codec, "core: protocol table of %d entries exceeds limit", n)
 	}
 	r.Protocols = make([]ProtoEntry, n)
 	for i := range r.Protocols {

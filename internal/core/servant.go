@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/obs"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -93,7 +94,7 @@ func (c *Context) ExportAs(id ObjectID, iface string, impl any, methods map[stri
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, dup := c.servants[id]; dup {
-		return nil, fmt.Errorf("core: object %s already exported", id)
+		return nil, errs.Newf(errs.Conflict, "core: object %s already exported", id)
 	}
 	delete(c.tombstones, id) // an object returning home clears its tombstone
 	c.servants[id] = s
@@ -141,7 +142,7 @@ func (s *Servant) Unfreeze() { s.mu.Unlock() }
 func (s *Servant) SnapshotLocked() ([]byte, error) {
 	m, ok := s.impl.(Migratable)
 	if !ok {
-		return nil, fmt.Errorf("core: %s (%T) is not Migratable", s.id, s.impl)
+		return nil, errs.Newf(errs.Config, "core: %s (%T) is not Migratable", s.id, s.impl)
 	}
 	return m.Snapshot()
 }

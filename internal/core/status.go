@@ -38,6 +38,18 @@ type GPBatchStatus struct {
 	QueuedBytes int   `json:"queued_bytes"`
 }
 
+// GPRetryStatus reports a GP's retry-budget state: the live token
+// count against its configuration, and how many retries a dry bucket
+// has denied (each denial surfaced to the caller as a typed
+// errs.BudgetExhausted).
+type GPRetryStatus struct {
+	Enabled   bool    `json:"enabled"`
+	Tokens    float64 `json:"tokens"`
+	MaxTokens float64 `json:"max_tokens"`
+	Ratio     float64 `json:"ratio"`
+	Exhausted uint64  `json:"exhausted"`
+}
+
 // GPStatus is the public view of one live GlobalPtr: its target, its
 // protocol table annotated with health, and its current binding.
 type GPStatus struct {
@@ -53,6 +65,7 @@ type GPStatus struct {
 	SelectedEntry int             `json:"selected_entry"`
 	SelectedProto string          `json:"selected_proto,omitempty"`
 	Batching      *GPBatchStatus  `json:"batching,omitempty"`
+	Retry         GPRetryStatus   `json:"retry"`
 	Entries       []GPEntryStatus `json:"entries"`
 }
 
@@ -211,6 +224,15 @@ func (g *GlobalPtr) status(ht *health.Tracker) GPStatus {
 		Server:        string(g.ref.Server.Machine),
 		Bound:         g.proto != nil,
 		SelectedEntry: g.entry,
+	}
+	if tokens, cfg, exhausted := g.budget.snapshot(); !cfg.Disabled {
+		st.Retry = GPRetryStatus{
+			Enabled:   true,
+			Tokens:    tokens,
+			MaxTokens: cfg.MaxTokens,
+			Ratio:     cfg.Ratio,
+			Exhausted: exhausted,
+		}
 	}
 	if g.proto != nil {
 		st.SelectedProto = string(g.proto.ID())

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"errors"
-
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/obs"
 	"openhpcxx/internal/wire"
 )
@@ -17,16 +16,15 @@ func stampTrace(m *wire.Message, root *obs.Active) {
 	}
 }
 
-// retryCause renders the error that triggered a retry for span records:
-// wire faults by code name ("moved", "unavailable", ...), everything
-// else as "transport".
+// retryCause renders the error that triggered a retry for span records
+// by its taxonomy code name ("moved", "unavailable", "transport", ...):
+// wire faults and in-process coded errors classify identically.
 func retryCause(err error) string {
 	if err == nil {
 		return ""
 	}
-	var f *wire.Fault
-	if errors.As(err, &f) {
-		return f.Code.String()
+	if c := errs.CodeOf(err); c != errs.Unknown {
+		return c.String()
 	}
 	return "transport"
 }

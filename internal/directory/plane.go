@@ -1,10 +1,10 @@
 package directory
 
 import (
-	"fmt"
 	"time"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/xdr"
 )
 
@@ -62,7 +62,7 @@ type Plane struct {
 // runtime gets the dir.shards gauge and a "directory" /statusz section.
 func ServePlane(ctxs []*core.Context, topo Topology) (*Plane, error) {
 	if len(ctxs) == 0 {
-		return nil, fmt.Errorf("directory: no hosting contexts")
+		return nil, errs.New(errs.Config, "directory: no hosting contexts")
 	}
 	topo = topo.fill()
 	if topo.Replicas > len(ctxs) {
@@ -84,7 +84,7 @@ func ServePlane(ctxs []*core.Context, topo Topology) (*Plane, error) {
 			}
 			entries := contextEntries(host)
 			if len(entries) == 0 {
-				return nil, fmt.Errorf("directory: context %s has no bindings", host.Name())
+				return nil, errs.Newf(errs.Config, "directory: context %s has no bindings", host.Name())
 			}
 			p.replicas[s] = append(p.replicas[s], sh)
 			p.replicaRefs[s] = append(p.replicaRefs[s], host.NewRef(sv, entries...))
@@ -225,7 +225,7 @@ func (b *Bootstrap) UnmarshalXDR(d *xdr.Decoder) error {
 		return err
 	}
 	if n > 1<<16 {
-		return fmt.Errorf("directory: bootstrap of %d shards exceeds limit", n)
+		return errs.Newf(errs.Codec, "directory: bootstrap of %d shards exceeds limit", n)
 	}
 	b.Shards, b.VNodes = int(sh), int(vn)
 	b.Replicas = make([][][]byte, n)
@@ -235,7 +235,7 @@ func (b *Bootstrap) UnmarshalXDR(d *xdr.Decoder) error {
 			return err
 		}
 		if k > 64 {
-			return fmt.Errorf("directory: %d replicas exceeds limit", k)
+			return errs.Newf(errs.Codec, "directory: %d replicas exceeds limit", k)
 		}
 		for r := uint32(0); r < k; r++ {
 			blob, err := d.Opaque()
@@ -258,7 +258,7 @@ func (b *Bootstrap) shardRefs() (merged []*core.ObjectRef, replicas [][]*core.Ob
 	replicas = make([][]*core.ObjectRef, len(b.Replicas))
 	for s := range b.Replicas {
 		if len(b.Replicas[s]) == 0 {
-			return nil, nil, fmt.Errorf("directory: shard %d has no replicas", s)
+			return nil, nil, errs.Newf(errs.Config, "directory: shard %d has no replicas", s)
 		}
 		for _, blob := range b.Replicas[s] {
 			ref, err := core.DecodeRef(blob)

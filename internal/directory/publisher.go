@@ -1,12 +1,12 @@
 package directory
 
 import (
-	"fmt"
 	"sync"
 	"time"
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/obs"
 )
 
@@ -116,7 +116,7 @@ func (p *Publisher) Unpublish(name string) error {
 		}
 	}
 	if ok == 0 {
-		return fmt.Errorf("directory: unpublish %q: %w", name, lastErr)
+		return errs.Wrapf(errs.Unavailable, lastErr, "directory: unpublish %q", name)
 	}
 	return nil
 }
@@ -137,7 +137,7 @@ func (p *Publisher) fanBind(name string, blob []byte) error {
 		}
 	}
 	if ok == 0 {
-		return fmt.Errorf("directory: publish %q: %w", name, lastErr)
+		return errs.Wrapf(errs.Unavailable, lastErr, "directory: publish %q", name)
 	}
 	return nil
 }

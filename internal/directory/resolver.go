@@ -2,10 +2,10 @@ package directory
 
 import (
 	"container/list"
-	"fmt"
 	"sync"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/obs"
 	"openhpcxx/internal/stats"
 	"openhpcxx/internal/xdr"
@@ -76,7 +76,7 @@ func NewResolver(ctx *core.Context, bs *Bootstrap, opts ResolverOptions) (*Resol
 		r.cache = newLRUCache(size)
 		entries := contextEntries(ctx)
 		if len(entries) == 0 {
-			return nil, fmt.Errorf("directory: context %s has no bindings for the event sink", ctx.Name())
+			return nil, errs.Newf(errs.Config, "directory: context %s has no bindings for the event sink", ctx.Name())
 		}
 		sink, err := ctx.Export(SinkIface, r, map[string]core.Method{
 			EventMethod: core.Handler(r.handleEvent),
@@ -159,7 +159,7 @@ func (r *Resolver) Refresh(name string) (*core.ObjectRef, error) {
 func (r *Resolver) resolve(name string, useCache bool) (*core.ObjectRef, bool, error) {
 	shard := r.ring.Shard(name)
 	if shard >= len(r.readGPs) {
-		return nil, false, fmt.Errorf("directory: shard %d out of range", shard)
+		return nil, false, errs.Newf(errs.BadRequest, "directory: shard %d out of range", shard)
 	}
 	if useCache {
 		r.mu.Lock()
@@ -223,7 +223,7 @@ func (r *Resolver) ensureWatch(shard int) error {
 		span.End()
 	}
 	if ok == 0 {
-		return fmt.Errorf("directory: watch shard %d: %w", shard, lastErr)
+		return errs.Wrapf(errs.Unavailable, lastErr, "directory: watch shard %d", shard)
 	}
 	r.mu.Lock()
 	r.watched[shard] = true

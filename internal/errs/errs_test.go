@@ -1,0 +1,178 @@
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestNewWrapChain(t *testing.T) {
+	base := io.ErrUnexpectedEOF
+	e := Wrapf(Codec, base, "xdr: decoding field %s", "count")
+	if e.Code != Codec {
+		t.Fatalf("code = %v, want Codec", e.Code)
+	}
+	if !errors.Is(e, io.ErrUnexpectedEOF) {
+		t.Fatal("wrapped cause lost from the errors.Is chain")
+	}
+	var out *E
+	if !errors.As(e, &out) || out.Code != Codec {
+		t.Fatal("errors.As(*E) failed")
+	}
+	if got := CodeOf(e); got != Codec {
+		t.Fatalf("CodeOf = %v, want Codec", got)
+	}
+	if got := ClassOf(e); got != ClassPermanent {
+		t.Fatalf("ClassOf(codec) = %v, want permanent", got)
+	}
+}
+
+func TestOuterCodeWins(t *testing.T) {
+	inner := New(Unavailable, "draining")
+	outer := Wrap(Exhausted, inner, "gave up")
+	if got := CodeOf(outer); got != Exhausted {
+		t.Fatalf("CodeOf(outer) = %v, want Exhausted (outermost code wins)", got)
+	}
+	if !HasCode(outer, Exhausted) || HasCode(outer, Unavailable) {
+		t.Fatal("HasCode should see the outermost code only")
+	}
+}
+
+func TestErrorStringFormat(t *testing.T) {
+	e := Newf(NoObject, "registry: no binding for %q", "svc").
+		With("shard", 3).With("epoch", 7)
+	s := e.Error()
+	for _, want := range []string{`registry: no binding for "svc"`, "shard=3", "epoch=7", "[no-object]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Error() = %q, missing %q", s, want)
+		}
+	}
+	if !strings.HasPrefix(s, "registry:") {
+		t.Fatalf("Error() = %q: message prefix must survive (code rides at the end)", s)
+	}
+	// A wrap renders msg: cause.
+	w := Wrap(Transport, errors.New("connection refused"), "core: dial primary")
+	if got := w.Error(); !strings.Contains(got, "core: dial primary: connection refused") {
+		t.Fatalf("wrap Error() = %q", got)
+	}
+}
+
+func TestContextErrorMapping(t *testing.T) {
+	if got := CodeOf(context.DeadlineExceeded); got != Expired {
+		t.Fatalf("CodeOf(DeadlineExceeded) = %v, want Expired", got)
+	}
+	if got := CodeOf(context.Canceled); got != Canceled {
+		t.Fatalf("CodeOf(Canceled) = %v, want Canceled", got)
+	}
+	wrapped := fmt.Errorf("attempt: %w", context.DeadlineExceeded) //lint:ignore codederr exercising foreign fmt.Errorf chains on purpose
+	if got := CodeOf(wrapped); got != Expired {
+		t.Fatalf("CodeOf(wrapped deadline) = %v, want Expired", got)
+	}
+}
+
+func TestUnknownAndForeignErrors(t *testing.T) {
+	if got := CodeOf(errors.New("plain")); got != Unknown {
+		t.Fatalf("CodeOf(plain) = %v, want Unknown", got)
+	}
+	if got := ClassOf(errors.New("plain")); got != ClassPermanent {
+		t.Fatalf("ClassOf(plain) = %v, want permanent (never amplify the unnameable)", got)
+	}
+	if got := CodeOf(nil); got != Unknown {
+		t.Fatalf("CodeOf(nil) = %v, want Unknown", got)
+	}
+	// Forward compat: a code this build has no name for stays printable
+	// and classifies permanent.
+	fc := Code(999)
+	if got := fc.String(); got != "code(999)" {
+		t.Fatalf("Code(999).String() = %q", got)
+	}
+	if got := fc.Class(); got != ClassPermanent {
+		t.Fatalf("Code(999).Class() = %v, want permanent", got)
+	}
+}
+
+func TestClassTable(t *testing.T) {
+	cases := map[Code]Class{
+		Internal:      ClassPermanent,
+		NoObject:      ClassPermanent,
+		NoMethod:      ClassPermanent,
+		Moved:         ClassRetryable,
+		Auth:          ClassPermanent,
+		Quota:         ClassResource,
+		Capability:    ClassPermanent,
+		NotApplicable: ClassRetryable,
+		BadRequest:    ClassPermanent,
+		Expired:       ClassHedgeable,
+		Unavailable:   ClassRetryable,
+		Transport:     ClassRetryable,
+		Codec:         ClassPermanent,
+		Config:        ClassPermanent,
+		Canceled:      ClassPermanent,
+		Exhausted:     ClassResource,
+		Conflict:      ClassPermanent,
+	}
+	for code, want := range cases {
+		if got := code.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", code, got, want)
+		}
+	}
+	if len(cases) != len(KnownCodes()) {
+		t.Fatalf("class table covers %d codes, taxonomy has %d — keep this test exhaustive", len(cases), len(KnownCodes()))
+	}
+}
+
+func TestKnownCodesSortedUniqueNames(t *testing.T) {
+	codes := KnownCodes()
+	seen := map[string]Code{}
+	for i, c := range codes {
+		if i > 0 && codes[i-1] >= c {
+			t.Fatalf("KnownCodes not strictly ascending at %d: %v >= %v", i, codes[i-1], c)
+		}
+		name := c.String()
+		if strings.HasPrefix(name, "code(") || name == "unknown" {
+			t.Fatalf("known code %d has default name %q", uint32(c), name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("codes %v and %v share the name %q", prev, c, name)
+		}
+		seen[name] = c
+	}
+}
+
+func TestBudgetExhausted(t *testing.T) {
+	last := New(Unavailable, "primary draining")
+	be := &BudgetExhausted{Code: Unavailable, Err: last}
+	if got := CodeOf(be); got != Exhausted {
+		t.Fatalf("CodeOf(BudgetExhausted) = %v, want Exhausted", got)
+	}
+	if got := ClassOf(be); got != ClassResource {
+		t.Fatalf("ClassOf(BudgetExhausted) = %v, want resource", got)
+	}
+	var target *BudgetExhausted
+	if !errors.As(be, &target) || target.Code != Unavailable {
+		t.Fatal("errors.As(*BudgetExhausted) failed")
+	}
+	if !errors.Is(be, last) {
+		t.Fatal("the last attempt's error must stay reachable via Unwrap")
+	}
+	if s := be.Error(); !strings.Contains(s, "unavailable") || !strings.Contains(s, "retry-budget-exhausted") {
+		t.Fatalf("Error() = %q: should name both the denied code and the exhaustion", s)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for cl, want := range map[Class]string{
+		ClassPermanent: "permanent",
+		ClassRetryable: "retryable",
+		ClassHedgeable: "hedgeable",
+		ClassResource:  "resource",
+		Class(9):       "class(9)",
+	} {
+		if got := cl.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", uint8(cl), got, want)
+		}
+	}
+}

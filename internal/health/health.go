@@ -20,13 +20,13 @@
 package health
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/stats"
 )
 
@@ -314,7 +314,7 @@ func (t *Tracker) runProbe(p Probe) error {
 	case err := <-done:
 		return err
 	case <-clock.After(t.opts.Clock, t.opts.ProbeTimeout):
-		return fmt.Errorf("health: probe timed out after %v", t.opts.ProbeTimeout)
+		return errs.Newf(errs.Expired, "health: probe timed out after %v", t.opts.ProbeTimeout)
 	}
 }
 

@@ -1,10 +1,10 @@
 package hpcxx
 
 import (
-	"fmt"
 	"sync"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/xdr"
 )
 
@@ -96,7 +96,7 @@ func (r *barrierReply) UnmarshalXDR(d *xdr.Decoder) error {
 // reference (with every binding the context has).
 func ServeBarrier(ctx *core.Context, parties int) (*core.ObjectRef, error) {
 	if parties < 1 {
-		return nil, fmt.Errorf("hpcxx: barrier needs >= 1 parties")
+		return nil, errs.New(errs.Config, "hpcxx: barrier needs >= 1 parties")
 	}
 	st := newBarrierState(parties)
 	methods := map[string]core.Method{
@@ -119,7 +119,7 @@ func ServeBarrier(ctx *core.Context, parties int) (*core.ObjectRef, error) {
 		entries = append(entries, e)
 	}
 	if len(entries) == 0 {
-		return nil, fmt.Errorf("hpcxx: context %s has no bindings for a barrier", ctx.Name())
+		return nil, errs.Newf(errs.Config, "hpcxx: context %s has no bindings for a barrier", ctx.Name())
 	}
 	return ctx.NewRef(s, entries...), nil
 }
@@ -139,7 +139,7 @@ func NewBarrier(ctx *core.Context, ref *core.ObjectRef) *Barrier {
 func (b *Barrier) Await() (uint64, error) {
 	r, err := core.Call[*core.Empty, barrierReply](b.gp, "arrive", &core.Empty{})
 	if err != nil {
-		return 0, fmt.Errorf("hpcxx: barrier await: %w", err)
+		return 0, errs.Wrap(errs.CodeOf(err), err, "hpcxx: barrier await")
 	}
 	return r.Generation, nil
 }

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/future"
 	"openhpcxx/internal/xdr"
 )
@@ -58,7 +59,7 @@ func (e *MemberError) Unwrap() error { return e.Err }
 // args[i] to rank i, nil for empty bodies everywhere.
 func (g *Group) InvokeAsync(method string, args [][]byte) ([]*future.Future, error) {
 	if args != nil && len(args) != len(g.members) {
-		return nil, fmt.Errorf("hpcxx: %d argument bodies for %d members", len(args), len(g.members))
+		return nil, errs.Newf(errs.BadRequest, "hpcxx: %d argument bodies for %d members", len(args), len(g.members))
 	}
 	fs := make([]*future.Future, len(g.members))
 	for i, gp := range g.members {
@@ -178,7 +179,7 @@ func ScatterGather[Req xdr.Marshaler, Resp any, PResp interface {
 	xdr.Unmarshaler
 }](g *Group, method string, reqs []Req) ([]*Resp, error) {
 	if len(reqs) != g.Size() {
-		return nil, fmt.Errorf("hpcxx: %d requests for %d members", len(reqs), g.Size())
+		return nil, errs.Newf(errs.BadRequest, "hpcxx: %d requests for %d members", len(reqs), g.Size())
 	}
 	args := make([][]byte, len(reqs))
 	for i, r := range reqs {

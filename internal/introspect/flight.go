@@ -196,6 +196,11 @@ type Window struct {
 	// ErrorRatio is (faults + transport errors) / calls over the
 	// window, across every rpc.* family; 0 when no calls happened.
 	ErrorRatio float64 `json:"error_ratio"`
+	// ErrorRatioByCode splits the ratio by taxonomy code (the
+	// rpc.errors{code=...} counters the settle path keeps): errors with
+	// that code over the window / calls over the window. Only codes
+	// that actually erred during the window appear.
+	ErrorRatioByCode map[string]float64 `json:"error_ratio_by_code,omitempty"`
 }
 
 // Rates computes the rate view for the given look-back window. ok is
@@ -236,9 +241,16 @@ func computeWindow(base, newest sample, secs float64) Window {
 		Histograms: make(map[string]HistWindow, len(newest.snap.Histograms)),
 	}
 	var calls, errs uint64
+	byCode := map[string]uint64{}
 	for name, v := range newest.snap.Counters {
 		delta := v - base.snap.Counters[name] // missing old counter reads 0
 		w.Rates[name] = float64(delta) / secs
+		if code, ok := errCodeLabel(name); ok {
+			if delta > 0 {
+				byCode[code] += delta
+			}
+			continue
+		}
 		if strings.HasPrefix(name, "rpc.") {
 			switch {
 			case strings.HasSuffix(name, ".calls"):
@@ -250,6 +262,12 @@ func computeWindow(base, newest sample, secs float64) Window {
 	}
 	if calls > 0 {
 		w.ErrorRatio = float64(errs) / float64(calls)
+		if len(byCode) > 0 {
+			w.ErrorRatioByCode = make(map[string]float64, len(byCode))
+			for code, n := range byCode {
+				w.ErrorRatioByCode[code] = float64(n) / float64(calls)
+			}
+		}
 	}
 	for name, v := range newest.snap.Gauges {
 		w.Gauges[name] = v
@@ -266,6 +284,25 @@ func computeWindow(base, newest sample, secs float64) Window {
 		}
 	}
 	return w
+}
+
+// errCodeLabelPrefix matches the canonical key of the per-code error
+// counters the core settle path keeps (stats.KeyWithLabels renders
+// rpc.errors with its single code label exactly this way).
+const errCodeLabelPrefix = `rpc.errors{code="`
+
+// errCodeLabel extracts the taxonomy code from a per-code error
+// counter key; ok is false for every other counter.
+func errCodeLabel(name string) (string, bool) {
+	if !strings.HasPrefix(name, errCodeLabelPrefix) {
+		return "", false
+	}
+	rest := strings.TrimPrefix(name, errCodeLabelPrefix)
+	code, ok := strings.CutSuffix(rest, `"}`)
+	if !ok || strings.ContainsAny(code, `"{}`) {
+		return "", false
+	}
+	return code, true
 }
 
 // Varz is the /varz payload: the standard windows plus the newest raw

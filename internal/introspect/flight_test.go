@@ -54,6 +54,67 @@ func TestFlightRatesAreCounterDeltasOverElapsedTime(t *testing.T) {
 	}
 }
 
+func TestFlightPerCodeErrorRatio(t *testing.T) {
+	reg := stats.New()
+	fc := clock.NewFake(time.Unix(100, 0))
+	f := flightOver(reg, fc)
+
+	unavailable := reg.CounterWith("rpc.errors", stats.Labels{"code": "unavailable"})
+	quota := reg.CounterWith("rpc.errors", stats.Labels{"code": "quota"})
+	stale := reg.CounterWith("rpc.errors", stats.Labels{"code": "auth"})
+	stale.Add(7) // before the window: must not appear
+	f.SampleNow()
+	fc.Advance(2 * time.Second)
+	reg.Counter("rpc.sim.calls").Add(20)
+	unavailable.Add(4)
+	quota.Add(1)
+	f.SampleNow()
+
+	w, ok := f.Rates(2 * time.Second)
+	if !ok {
+		t.Fatal("Rates not ok")
+	}
+	if got := w.ErrorRatioByCode["unavailable"]; got != 0.2 {
+		t.Fatalf("unavailable ratio = %v, want 0.2 (4/20)", got)
+	}
+	if got := w.ErrorRatioByCode["quota"]; got != 0.05 {
+		t.Fatalf("quota ratio = %v, want 0.05 (1/20)", got)
+	}
+	if _, present := w.ErrorRatioByCode["auth"]; present {
+		t.Fatal("auth erred only before the window but appears in the per-code ratios")
+	}
+	// The labeled counters still get plain rates too.
+	if got := w.Rates[`rpc.errors{code="unavailable"}`]; got != 2 {
+		t.Fatalf("labeled counter rate = %v, want 2/s", got)
+	}
+	// And they must not double into the blanket ratio (no .faults/.calls
+	// suffix match): 0 faults recorded, so the blanket ratio stays 0.
+	if w.ErrorRatio != 0 {
+		t.Fatalf("blanket error ratio = %v, want 0 (per-code counters are a split, not an addition)", w.ErrorRatio)
+	}
+}
+
+func TestErrCodeLabelParsing(t *testing.T) {
+	cases := []struct {
+		key  string
+		code string
+		ok   bool
+	}{
+		{`rpc.errors{code="unavailable"}`, "unavailable", true},
+		{`rpc.errors{code="code(999)"}`, "code(999)", true},
+		{`rpc.errors{code="retry-budget-exhausted"}`, "retry-budget-exhausted", true},
+		{`rpc.sim.calls`, "", false},
+		{`rpc.errors{code="bad"`, "", false},
+		{`rpc.retry.budget_exhausted{code="transport"}`, "", false},
+	}
+	for _, c := range cases {
+		code, ok := errCodeLabel(c.key)
+		if ok != c.ok || code != c.code {
+			t.Errorf("errCodeLabel(%q) = (%q, %v), want (%q, %v)", c.key, code, ok, c.code, c.ok)
+		}
+	}
+}
+
 func TestFlightHistogramWindowTracksQuantileMovement(t *testing.T) {
 	reg := stats.New()
 	fc := clock.NewFake(time.Unix(100, 0))

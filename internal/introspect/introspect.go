@@ -29,6 +29,7 @@ import (
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/obs"
 )
 
@@ -99,7 +100,7 @@ func Attach(rt *core.Runtime, opts Options) (*Server, error) {
 	l, err := net.Listen("tcp", opts.Addr)
 	if err != nil {
 		s.flight.Close()
-		return nil, fmt.Errorf("introspect: listen %s: %w", opts.Addr, err)
+		return nil, errs.Wrapf(errs.CodeOf(err), err, "introspect: listen %s", opts.Addr)
 	}
 	s.l = l
 	s.hs = &http.Server{Handler: s.mux}

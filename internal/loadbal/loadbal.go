@@ -9,11 +9,11 @@
 package loadbal
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/migrate"
 	"openhpcxx/internal/registry"
 )
@@ -236,7 +236,7 @@ func (b *Balancer) Evacuate(ctx *core.Context) ([]Move, error) {
 	}
 	if !found || len(rest) == 0 {
 		b.mu.Unlock()
-		return nil, fmt.Errorf("loadbal: cannot evacuate %s: not a balanced host with a destination", ctx.Name())
+		return nil, errs.Newf(errs.Config, "loadbal: cannot evacuate %s: not a balanced host with a destination", ctx.Name())
 	}
 	b.hosts = rest
 	var victims []*managed
@@ -295,7 +295,7 @@ func (b *Balancer) pickVictim(host *Host) *managed {
 func (b *Balancer) moveObject(m *managed, dst *core.Context) (*Move, error) {
 	newRef, err := migrate.MoveAndPublish(m.host, m.ref, dst, b.reg, m.name)
 	if err != nil {
-		return nil, fmt.Errorf("loadbal: moving %s: %w", m.ref.Object, err)
+		return nil, errs.Wrapf(errs.CodeOf(err), err, "loadbal: moving %s", m.ref.Object)
 	}
 	mv := &Move{Object: m.ref.Object, From: m.host.Name(), To: dst.Name(), NewRef: newRef}
 	b.mu.Lock()

@@ -13,11 +13,11 @@
 package migrate
 
 import (
-	"fmt"
 	"sync"
 
 	"openhpcxx/internal/capability"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/registry"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -88,7 +88,7 @@ func ReanchorTable(dst *core.Context, old []core.ProtoEntry) ([]core.ProtoEntry,
 		}
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("migrate: destination %s supports none of the reference's protocols", dst.Name())
+		return nil, errs.Newf(errs.NotApplicable, "migrate: destination %s supports none of the reference's protocols", dst.Name())
 	}
 	return out, nil
 }
@@ -102,10 +102,10 @@ func adopt(dst *core.Context, id core.ObjectID, iface string, epoch uint64, stat
 	}
 	m, ok := impl.(core.Migratable)
 	if !ok {
-		return nil, fmt.Errorf("migrate: activator for %q built a non-Migratable %T", iface, impl)
+		return nil, errs.Newf(errs.Config, "migrate: activator for %q built a non-Migratable %T", iface, impl)
 	}
 	if err := m.Restore(state); err != nil {
-		return nil, fmt.Errorf("migrate: restoring %s: %w", id, err)
+		return nil, errs.Wrapf(errs.Internal, err, "migrate: restoring %s", id)
 	}
 	table, err := ReanchorTable(dst, oldTable)
 	if err != nil {
@@ -124,7 +124,7 @@ func adopt(dst *core.Context, id core.ObjectID, iface string, epoch uint64, stat
 // shape is preserved at the destination. It returns the new reference.
 func MoveLocal(src *core.Context, ref *core.ObjectRef, dst *core.Context) (*core.ObjectRef, error) {
 	if src.Runtime() != dst.Runtime() {
-		return nil, fmt.Errorf("migrate: MoveLocal across runtimes; use Move with a control reference")
+		return nil, errs.New(errs.Config, "migrate: MoveLocal across runtimes; use Move with a control reference")
 	}
 	s, state, err := src.BeginMove(ref.Object)
 	if err != nil {
@@ -186,7 +186,7 @@ func (a *adoptArgs) UnmarshalXDR(d *xdr.Decoder) error {
 		return err
 	}
 	if n > 64 {
-		return fmt.Errorf("migrate: table of %d entries exceeds limit", n)
+		return errs.Newf(errs.Codec, "migrate: table of %d entries exceeds limit", n)
 	}
 	a.Table = make([]core.ProtoEntry, n)
 	for i := range a.Table {
@@ -244,7 +244,7 @@ func EnableTarget(ctx *core.Context) (*core.ObjectRef, error) {
 		entries = append(entries, e)
 	}
 	if len(entries) == 0 {
-		return nil, fmt.Errorf("migrate: context %s has no bindings for a control servant", ctx.Name())
+		return nil, errs.Newf(errs.Config, "migrate: context %s has no bindings for a control servant", ctx.Name())
 	}
 	return ctx.NewRef(s, entries...), nil
 }
@@ -292,7 +292,7 @@ func Evacuate(src, dst *core.Context, refs ...*core.ObjectRef) ([]*core.ObjectRe
 	for _, ref := range refs {
 		nr, err := MoveLocal(src, ref, dst)
 		if err != nil {
-			return out, fmt.Errorf("migrate: evacuating %s: %w", ref.Object, err)
+			return out, errs.Wrapf(errs.CodeOf(err), err, "migrate: evacuating %s", ref.Object)
 		}
 		out = append(out, nr)
 	}
@@ -308,7 +308,7 @@ func MoveAndPublish(src *core.Context, ref *core.ObjectRef, dst *core.Context, r
 	}
 	if reg != nil && name != "" {
 		if err := reg.Rebind(name, newRef); err != nil {
-			return newRef, fmt.Errorf("migrate: moved but registry update failed: %w", err)
+			return newRef, errs.Wrap(errs.Internal, err, "migrate: moved but registry update failed")
 		}
 	}
 	return newRef, nil

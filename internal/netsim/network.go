@@ -2,10 +2,11 @@ package netsim
 
 import (
 	"errors"
-	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+
+	"openhpcxx/internal/errs"
 )
 
 // Machine is a simulated compute node (the paper's "node" abstraction).
@@ -78,7 +79,7 @@ func (n *Network) AddMachine(id MachineID, lan LANID) (*Machine, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.lans[lan]; !ok {
-		return nil, fmt.Errorf("netsim: unknown LAN %q", lan)
+		return nil, errs.Newf(errs.Config, "netsim: unknown LAN %q", lan)
 	}
 	m := &Machine{ID: id, LAN: lan, Loopback: ProfileLoopback}
 	n.machines[id] = m
@@ -101,7 +102,7 @@ func (n *Network) LocalityOf(m MachineID, process string) (Locality, error) {
 	defer n.mu.Unlock()
 	mach, ok := n.machines[m]
 	if !ok {
-		return Locality{}, fmt.Errorf("netsim: unknown machine %q", m)
+		return Locality{}, errs.Newf(errs.Config, "netsim: unknown machine %q", m)
 	}
 	lan := n.lans[mach.LAN]
 	return Locality{Machine: m, LAN: mach.LAN, Campus: lan.Campus, Process: process}, nil
@@ -119,11 +120,11 @@ func (n *Network) LinkBetween(a, b MachineID) (LinkProfile, error) {
 func (n *Network) linkBetweenLocked(a, b MachineID) (LinkProfile, error) {
 	ma, ok := n.machines[a]
 	if !ok {
-		return LinkProfile{}, fmt.Errorf("netsim: unknown machine %q", a)
+		return LinkProfile{}, errs.Newf(errs.Config, "netsim: unknown machine %q", a)
 	}
 	mb, ok := n.machines[b]
 	if !ok {
-		return LinkProfile{}, fmt.Errorf("netsim: unknown machine %q", b)
+		return LinkProfile{}, errs.Newf(errs.Config, "netsim: unknown machine %q", b)
 	}
 	if a == b {
 		return ma.Loopback, nil
@@ -193,10 +194,10 @@ func (n *Network) Listen(m MachineID, port int) (*Listener, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.machines[m]; !ok {
-		return nil, fmt.Errorf("netsim: unknown machine %q", m)
+		return nil, errs.Newf(errs.Config, "netsim: unknown machine %q", m)
 	}
 	if n.down[m] {
-		return nil, fmt.Errorf("netsim: machine %s is down", m)
+		return nil, errs.Newf(errs.Transport, "netsim: machine %s is down", m)
 	}
 	if port == 0 {
 		port = n.nextPort
@@ -204,7 +205,7 @@ func (n *Network) Listen(m MachineID, port int) (*Listener, error) {
 	}
 	addr := Addr{Machine: m, Port: port}
 	if _, busy := n.listeners[addr]; busy {
-		return nil, fmt.Errorf("netsim: address %v in use", addr)
+		return nil, errs.Newf(errs.Conflict, "netsim: address %v in use", addr)
 	}
 	l := &Listener{addr: addr, net: n, backlog: make(chan *Conn, 64)}
 	n.listeners[addr] = l
@@ -254,11 +255,11 @@ func (n *Network) Dial(from MachineID, to Addr) (*Conn, error) {
 			m = to.Machine
 		}
 		n.mu.Unlock()
-		return nil, fmt.Errorf("netsim: no route to %v: machine %s is down", to, m)
+		return nil, errs.Newf(errs.Transport, "netsim: no route to %v: machine %s is down", to, m)
 	}
 	if n.partitions[dgramKey{from, to.Machine}] {
 		n.mu.Unlock()
-		return nil, fmt.Errorf("netsim: no route from %s to %s (partitioned)", from, to.Machine)
+		return nil, errs.Newf(errs.Transport, "netsim: no route from %s to %s (partitioned)", from, to.Machine)
 	}
 	profile, err := n.linkBetweenLocked(from, to.Machine)
 	if err != nil {
@@ -272,7 +273,7 @@ func (n *Network) Dial(from MachineID, to Addr) (*Conn, error) {
 	rev := n.dirFaultLocked(to.Machine, from)
 	n.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("netsim: connection refused: %v", to)
+		return nil, errs.Newf(errs.Transport, "netsim: connection refused: %v", to)
 	}
 	clientAddr := Addr{Machine: from, Port: port}
 	client, server := Pipe(profile, clientAddr, to)

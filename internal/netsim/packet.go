@@ -1,10 +1,11 @@
 package netsim
 
 import (
-	"fmt"
 	"math/rand"
 	"sync"
 	"time"
+
+	"openhpcxx/internal/errs"
 )
 
 // Datagram support: unreliable, unordered message sockets with loss and
@@ -60,7 +61,7 @@ func (n *Network) ListenPacket(m MachineID, port int) (*PacketConn, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.machines[m]; !ok {
-		return nil, fmt.Errorf("netsim: unknown machine %q", m)
+		return nil, errs.Newf(errs.Config, "netsim: unknown machine %q", m)
 	}
 	if port == 0 {
 		port = n.nextPort
@@ -68,7 +69,7 @@ func (n *Network) ListenPacket(m MachineID, port int) (*PacketConn, error) {
 	}
 	addr := Addr{Machine: m, Port: port}
 	if _, busy := n.packetSocks[addr]; busy {
-		return nil, fmt.Errorf("netsim: packet address %v in use", addr)
+		return nil, errs.Newf(errs.Conflict, "netsim: packet address %v in use", addr)
 	}
 	pc := &PacketConn{net: n, local: addr}
 	pc.cond = sync.NewCond(&pc.mu)
@@ -120,7 +121,7 @@ func (pc *PacketConn) WriteTo(p []byte, to Addr) (int, error) {
 		mtu = DefaultMTU
 	}
 	if len(p) > mtu {
-		return 0, fmt.Errorf("netsim: datagram of %d bytes exceeds MTU %d", len(p), mtu)
+		return 0, errs.Newf(errs.BadRequest, "netsim: datagram of %d bytes exceeds MTU %d", len(p), mtu)
 	}
 
 	pc.net.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
@@ -55,7 +56,7 @@ func mustEncode(m *wire.Message) []byte {
 func Entry(ctx *core.Context) (core.ProtoEntry, error) {
 	addr, ok := ctx.Binding(ID)
 	if !ok {
-		return core.ProtoEntry{}, fmt.Errorf("udprel: context %s has no udprel binding", ctx.Name())
+		return core.ProtoEntry{}, errs.Newf(errs.Config, "udprel: context %s has no udprel binding", ctx.Name())
 	}
 	e := xdr.NewEncoder(32)
 	e.PutString(addr)
@@ -66,19 +67,19 @@ func parseEntry(entry core.ProtoEntry) (netsim.Addr, error) {
 	d := xdr.NewDecoder(entry.Data)
 	s, err := d.String()
 	if err != nil {
-		return netsim.Addr{}, fmt.Errorf("udprel: bad proto-data: %w", err)
+		return netsim.Addr{}, errs.Wrap(errs.Codec, err, "udprel: bad proto-data")
 	}
 	rest, ok := strings.CutPrefix(s, "udp://")
 	if !ok {
-		return netsim.Addr{}, fmt.Errorf("udprel: bad address %q", s)
+		return netsim.Addr{}, errs.Newf(errs.BadRequest, "udprel: bad address %q", s)
 	}
 	host, portStr, ok := strings.Cut(rest, ":")
 	if !ok {
-		return netsim.Addr{}, fmt.Errorf("udprel: bad address %q", s)
+		return netsim.Addr{}, errs.Newf(errs.BadRequest, "udprel: bad address %q", s)
 	}
 	port, err := strconv.Atoi(portStr)
 	if err != nil {
-		return netsim.Addr{}, fmt.Errorf("udprel: bad port %q", portStr)
+		return netsim.Addr{}, errs.Newf(errs.BadRequest, "udprel: bad port %q", portStr)
 	}
 	return netsim.Addr{Machine: netsim.MachineID(host), Port: port}, nil
 }
@@ -136,7 +137,7 @@ func (p *proto) Call(m *wire.Message) (*wire.Message, error) {
 	}
 	reply := new(wire.Message)
 	if err := xdr.Unmarshal(out, reply); err != nil {
-		return nil, fmt.Errorf("udprel: reply frame: %w", err)
+		return nil, errs.Wrap(errs.Codec, err, "udprel: reply frame")
 	}
 	return reply, nil
 }

@@ -14,11 +14,11 @@ package udprel
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
 	"openhpcxx/internal/clock"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 	"openhpcxx/internal/xdr"
 )
@@ -201,7 +201,7 @@ func (n *Node) Request(peer netsim.Addr, req []byte) ([]byte, error) {
 		}
 		return reply, nil
 	case <-clock.After(n.cfg.Clock, deadline):
-		return nil, fmt.Errorf("%w: no reply within %v", ErrTimeout, deadline)
+		return nil, errs.Wrapf(errs.Transport, ErrTimeout, "udprel: no reply within %v", deadline)
 	}
 }
 
@@ -266,7 +266,7 @@ func (n *Node) sendFragment(peer netsim.Addr, msgID uint64, idx, count uint32, p
 		case <-clock.After(n.cfg.Clock, n.cfg.RTO):
 		}
 	}
-	return fmt.Errorf("%w: fragment %d/%d of message %d to %v", ErrTimeout, idx+1, count, msgID, peer)
+	return errs.Wrapf(errs.Transport, ErrTimeout, "udprel: fragment %d/%d of message %d to %v", idx+1, count, msgID, peer)
 }
 
 func (n *Node) readLoop() {

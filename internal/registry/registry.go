@@ -11,7 +11,6 @@ package registry
 
 import (
 	"bytes"
-	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -19,6 +18,7 @@ import (
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/core"
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/wire"
 	"openhpcxx/internal/xdr"
 )
@@ -538,7 +538,7 @@ func ServeService(ctx *core.Context, svc *Service) (*core.Servant, *core.ObjectR
 		entries = append(entries, e)
 	}
 	if len(entries) == 0 {
-		return nil, nil, fmt.Errorf("registry: context %s has no bindings", ctx.Name())
+		return nil, nil, errs.Newf(errs.Config, "registry: context %s has no bindings", ctx.Name())
 	}
 	return s, ctx.NewRef(s, entries...), nil
 }

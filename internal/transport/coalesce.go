@@ -15,10 +15,10 @@ package transport
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/obs"
 	"openhpcxx/internal/wire"
 )
@@ -142,7 +142,7 @@ func (c *Coalescer) SetTracer(tr *obs.Tracer) { c.tracer = tr }
 // one-way traffic on the direct path.
 func (c *Coalescer) Begin(msg *wire.Message) (Pending, error) {
 	if msg.Type != wire.TRequest {
-		return nil, fmt.Errorf("transport: cannot batch %v frame", msg.Type)
+		return nil, errs.Newf(errs.BadRequest, "transport: cannot batch %v frame", msg.Type)
 	}
 	item := batchItem{msg: msg, p: newPendingItem()}
 
@@ -263,7 +263,7 @@ func (c *Coalescer) dispatch(items []batchItem) {
 			// A whole-batch fault (e.g. the peer predates TBatch)
 			// fans out to every item; per-call faults arrive inside
 			// the batch instead.
-			c.failAll(items, fmt.Errorf("transport: batch reply is %v frame", reply.Type))
+			c.failAll(items, errs.Newf(errs.Codec, "transport: batch reply is %v frame", reply.Type))
 			return
 		}
 		subs, derr := wire.DecodeBatch(reply)
@@ -272,7 +272,7 @@ func (c *Coalescer) dispatch(items []batchItem) {
 			return
 		}
 		if len(subs) != len(items) {
-			c.failAll(items, fmt.Errorf("transport: batch reply has %d entries, want %d", len(subs), len(items)))
+			c.failAll(items, errs.Newf(errs.Codec, "transport: batch reply has %d entries, want %d", len(subs), len(items)))
 			return
 		}
 		for i, it := range items {

@@ -2,13 +2,13 @@ package transport
 
 import (
 	"errors"
-	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/wire"
 )
 
@@ -78,7 +78,7 @@ func (m *Mux) SetTimeout(d time.Duration) {
 // even buffered-but-reused, channel would invite; see
 // TestMuxAbandonedCallDoesNotStallReader).
 type PendingCall struct {
-	m *Mux
+	m  *Mux
 	id uint64
 	// timer is the timeout watchdog; atomic because it is armed after
 	// the pending is already visible to the read loop, which may be
@@ -118,7 +118,7 @@ func (p *PendingCall) resolve(reply *wire.Message, err error) {
 // ErrMuxClosed-independent cancellation. Safe to call at any time.
 func (p *PendingCall) Abandon() {
 	p.m.forget(p.id)
-	p.resolve(nil, fmt.Errorf("transport: call abandoned"))
+	p.resolve(nil, errs.New(errs.Canceled, "transport: call abandoned"))
 }
 
 func (m *Mux) forget(id uint64) {
@@ -212,15 +212,16 @@ func (m *Mux) Begin(msg *wire.Message) (*PendingCall, error) {
 	if err != nil {
 		m.recordErr(err)
 		m.forget(id)
-		p.resolve(nil, fmt.Errorf("transport: write: %w", err))
-		return nil, fmt.Errorf("transport: write: %w", err)
+		werr := errs.Wrap(errs.Transport, err, "transport: write")
+		p.resolve(nil, werr)
+		return nil, werr
 	}
 
 	if timeout > 0 {
 		method := msg.Method
 		t := time.AfterFunc(timeout, func() {
 			m.forget(id)
-			p.resolve(nil, fmt.Errorf("transport: call %q timed out after %v", method, timeout))
+			p.resolve(nil, errs.Newf(errs.Expired, "transport: call %q timed out after %v", method, timeout))
 		})
 		p.timer.Store(t)
 		// The pending may already have resolved (fast reply, abandon,

@@ -13,12 +13,12 @@ package nexus
 
 import (
 	"errors"
-	"fmt"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/transport"
 	"openhpcxx/internal/wire"
 )
@@ -42,7 +42,7 @@ func (s Startpoint) String() string { return s.Addr + "!" + s.Endpoint }
 func ParseStartpoint(s string) (Startpoint, error) {
 	i := strings.LastIndexByte(s, '!')
 	if i < 0 {
-		return Startpoint{}, fmt.Errorf("nexus: malformed startpoint %q", s)
+		return Startpoint{}, errs.Newf(errs.BadRequest, "nexus: malformed startpoint %q", s)
 	}
 	return Startpoint{Addr: s[:i], Endpoint: s[i+1:]}, nil
 }
@@ -114,7 +114,7 @@ func (n *Node) CreateEndpoint(name string) (*Endpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, busy := n.endpoints[name]; busy {
-		return nil, fmt.Errorf("nexus: endpoint %q exists", name)
+		return nil, errs.Newf(errs.Conflict, "nexus: endpoint %q exists", name)
 	}
 	e := &Endpoint{name: name, tbl: make(map[uint32]Handler)}
 	n.endpoints[name] = e
@@ -142,11 +142,11 @@ func rsrMethod(id uint32) string { return "rsr:" + strconv.FormatUint(uint64(id)
 func parseRSRMethod(m string) (uint32, error) {
 	s, ok := strings.CutPrefix(m, "rsr:")
 	if !ok {
-		return 0, fmt.Errorf("nexus: not an rsr method %q", m)
+		return 0, errs.Newf(errs.NoMethod, "nexus: not an rsr method %q", m)
 	}
 	id, err := strconv.ParseUint(s, 10, 32)
 	if err != nil {
-		return 0, fmt.Errorf("nexus: bad handler id %q", s)
+		return 0, errs.Newf(errs.BadRequest, "nexus: bad handler id %q", s)
 	}
 	return uint32(id), nil
 }

@@ -8,10 +8,10 @@
 package transport
 
 import (
-	"fmt"
 	"net"
 	"sync"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/netsim"
 )
 
@@ -74,7 +74,7 @@ func (l *shmListener) deliver(c net.Conn) error {
 	case l.backlog <- c:
 		return nil
 	default:
-		return fmt.Errorf("transport: shm backlog full for %q", l.name)
+		return errs.Newf(errs.Unavailable, "transport: shm backlog full for %q", l.name)
 	}
 }
 
@@ -83,7 +83,7 @@ func (s *SHM) Listen(name string) (net.Listener, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, busy := s.listeners[name]; busy {
-		return nil, fmt.Errorf("transport: shm endpoint %q in use", name)
+		return nil, errs.Newf(errs.Conflict, "transport: shm endpoint %q in use", name)
 	}
 	l := &shmListener{name: name, fabric: s, backlog: make(chan net.Conn, 64)}
 	s.listeners[name] = l
@@ -98,7 +98,7 @@ func (s *SHM) Dial(name string) (net.Conn, error) {
 	s.nextPort++
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("transport: no shm endpoint %q", name)
+		return nil, errs.Newf(errs.Transport, "transport: no shm endpoint %q", name)
 	}
 	a := netsim.Addr{Machine: netsim.MachineID("shm-client"), Port: port}
 	b := netsim.Addr{Machine: netsim.MachineID("shm:" + name), Port: 0}

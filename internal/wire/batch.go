@@ -1,8 +1,7 @@
 package wire
 
 import (
-	"fmt"
-
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/xdr"
 )
 
@@ -27,10 +26,10 @@ const MaxBatchMessages = 4096
 // a batch is positional).
 func EncodeBatch(msgs []*Message) (*Message, error) {
 	if len(msgs) == 0 {
-		return nil, fmt.Errorf("wire: empty batch")
+		return nil, errs.New(errs.BadRequest, "wire: empty batch")
 	}
 	if len(msgs) > MaxBatchMessages {
-		return nil, fmt.Errorf("wire: batch of %d exceeds %d", len(msgs), MaxBatchMessages)
+		return nil, errs.Newf(errs.BadRequest, "wire: batch of %d exceeds %d", len(msgs), MaxBatchMessages)
 	}
 	size := 0
 	for _, m := range msgs {
@@ -41,7 +40,7 @@ func EncodeBatch(msgs []*Message) (*Message, error) {
 	sub := xdr.NewEncoder(0)
 	for _, m := range msgs {
 		if m.Type == TBatch {
-			return nil, fmt.Errorf("wire: nested batch")
+			return nil, errs.New(errs.BadRequest, "wire: nested batch")
 		}
 		sub.Reset()
 		if err := m.MarshalXDR(sub); err != nil {
@@ -60,7 +59,7 @@ func EncodeBatch(msgs []*Message) (*Message, error) {
 // batches are rejected, so dispatch recursion is bounded at one level.
 func DecodeBatch(m *Message) ([]*Message, error) {
 	if m.Type != TBatch {
-		return nil, fmt.Errorf("wire: DecodeBatch on %v frame", m.Type)
+		return nil, errs.Newf(errs.Codec, "wire: DecodeBatch on %v frame", m.Type)
 	}
 	d := xdr.NewDecoder(m.Body)
 	n, err := d.Uint32()
@@ -68,23 +67,23 @@ func DecodeBatch(m *Message) ([]*Message, error) {
 		return nil, err
 	}
 	if n == 0 {
-		return nil, fmt.Errorf("wire: empty batch")
+		return nil, errs.New(errs.Codec, "wire: empty batch")
 	}
 	if n > MaxBatchMessages {
-		return nil, fmt.Errorf("wire: batch of %d exceeds %d", n, MaxBatchMessages)
+		return nil, errs.Newf(errs.Codec, "wire: batch of %d exceeds %d", n, MaxBatchMessages)
 	}
 	out := make([]*Message, 0, n)
 	for i := uint32(0); i < n; i++ {
 		raw, err := d.Opaque()
 		if err != nil {
-			return nil, fmt.Errorf("wire: batch entry %d: %w", i, err)
+			return nil, errs.Wrapf(errs.Codec, err, "wire: batch entry %d", i)
 		}
 		sub := new(Message)
 		if err := xdr.Unmarshal(raw, sub); err != nil {
-			return nil, fmt.Errorf("wire: batch entry %d: %w", i, err)
+			return nil, errs.Wrapf(errs.Codec, err, "wire: batch entry %d", i)
 		}
 		if sub.Type == TBatch {
-			return nil, fmt.Errorf("wire: batch entry %d is a nested batch", i)
+			return nil, errs.Newf(errs.Codec, "wire: batch entry %d is a nested batch", i)
 		}
 		out = append(out, sub)
 	}

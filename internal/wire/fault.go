@@ -4,11 +4,16 @@ import (
 	"errors"
 	"fmt"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/xdr"
 )
 
 // FaultCode classifies remote errors so clients can react mechanically
 // (retry after a move, re-select a protocol, surface a quota violation).
+// The values are numerically identical to the wire-shared subset of the
+// in-process taxonomy (internal/errs.Code): a fault decoded off the
+// wire and an error minted locally carry the same code and class.
+// TestFaultErrsBijective pins the two tables together.
 type FaultCode uint32
 
 // Fault codes.
@@ -54,12 +59,19 @@ func (c FaultCode) String() string {
 	return fmt.Sprintf("fault(%d)", uint32(c))
 }
 
-// Retryable reports whether a fault of this code is worth retrying
-// against a different endpoint: the request never executed (a draining
-// server rejected it, or the protocol choice was stale), so re-issuing
-// it cannot double-execute anything.
+// Err returns the fault code's twin in the in-process taxonomy.
+func (c FaultCode) Err() errs.Code { return errs.Code(c) }
+
+// Class returns the reaction class of this fault code (the errs
+// taxonomy's, since the code spaces are shared).
+func (c FaultCode) Class() errs.Class { return errs.Code(c).Class() }
+
+// Retryable reports whether a fault of this code is safe to re-issue:
+// the request never executed (a draining server refused it, the
+// protocol choice was stale, or the object moved and handed over a
+// fresh reference), so retrying cannot double-execute anything.
 func (c FaultCode) Retryable() bool {
-	return c == FaultUnavailable || c == FaultNotApplicable
+	return errs.Code(c).Class() == errs.ClassRetryable
 }
 
 // Fault is a remote error. It travels as the body of a TFault message and
@@ -76,6 +88,10 @@ type Fault struct {
 func (f *Fault) Error() string {
 	return fmt.Sprintf("remote fault [%s]: %s", f.Code, f.Message)
 }
+
+// ErrCode implements errs.Coder: errs.CodeOf classifies a decoded fault
+// directly, with the same code an in-process errs.E would carry.
+func (f *Fault) ErrCode() uint32 { return uint32(f.Code) }
 
 // MarshalXDR encodes the fault body.
 func (f *Fault) MarshalXDR(e *xdr.Encoder) error {
@@ -104,12 +120,20 @@ func Faultf(code FaultCode, format string, args ...any) *Fault {
 	return &Fault{Code: code, Message: fmt.Sprintf(format, args...)}
 }
 
-// AsFault extracts a *Fault from an error chain, or wraps err as an
-// internal fault so servers always have something well-formed to send.
+// AsFault extracts a *Fault from an error chain, or builds one so
+// servers always have something well-formed to send. A coded error
+// (errs.E) whose code lies in the wire-shared range crosses with its
+// code intact — a local quota denial faults as FaultQuota, not as an
+// anonymous internal error; in-process-only codes (transport, codec,
+// config ...) downgrade to FaultInternal since the peer could not
+// react to them mechanically anyway.
 func AsFault(err error) *Fault {
 	var f *Fault
 	if errors.As(err, &f) {
 		return f
+	}
+	if c := errs.CodeOf(err); c > errs.Unknown && c < errs.CodeLocalBase {
+		return &Fault{Code: FaultCode(c), Message: err.Error()}
 	}
 	return &Fault{Code: FaultInternal, Message: err.Error()}
 }
@@ -135,7 +159,7 @@ func FaultMessage(req *Message, err error) (*Message, error) {
 func DecodeFault(body []byte) error {
 	f := new(Fault)
 	if err := xdr.Unmarshal(body, f); err != nil {
-		return fmt.Errorf("wire: undecodable fault: %w", err)
+		return errs.Wrap(errs.Codec, err, "wire: undecodable fault")
 	}
 	return f
 }

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"openhpcxx/internal/errs"
+	"openhpcxx/internal/xdr"
+)
+
+// allFaultCodes is the complete wire fault vocabulary. Adding a code
+// there without extending this list (and the errs taxonomy) fails
+// TestFaultErrsBijective's exhaustiveness check.
+var allFaultCodes = []FaultCode{
+	FaultInternal, FaultNoObject, FaultNoMethod, FaultMoved, FaultAuth,
+	FaultQuota, FaultCapability, FaultNotApplicable, FaultBadRequest,
+	FaultExpired, FaultUnavailable,
+}
+
+// TestFaultErrsBijective pins the wire fault codes and the wire-shared
+// subset of the errs taxonomy to each other: same numeric values, same
+// names, every mapping distinct in both directions, and no wire code
+// hiding in the errs local-only range.
+func TestFaultErrsBijective(t *testing.T) {
+	if len(allFaultCodes) != int(FaultUnavailable) {
+		t.Fatalf("allFaultCodes lists %d codes but the vocabulary runs 1..%d — keep the list exhaustive",
+			len(allFaultCodes), uint32(FaultUnavailable))
+	}
+	seenErr := map[errs.Code]FaultCode{}
+	seenName := map[string]FaultCode{}
+	for _, fc := range allFaultCodes {
+		ec := fc.Err()
+		if uint32(ec) != uint32(fc) {
+			t.Errorf("%v maps to errs code %d, want the same numeric value %d", fc, uint32(ec), uint32(fc))
+		}
+		if ec >= errs.CodeLocalBase {
+			t.Errorf("%v maps into the errs local-only range (%d)", fc, uint32(ec))
+		}
+		if fc.String() != ec.String() {
+			t.Errorf("name drift: wire %q vs errs %q", fc.String(), ec.String())
+		}
+		if strings.HasPrefix(ec.String(), "code(") {
+			t.Errorf("%v has no name in the errs taxonomy", fc)
+		}
+		if prev, dup := seenErr[ec]; dup {
+			t.Errorf("wire codes %v and %v both map to errs %v", prev, fc, ec)
+		}
+		seenErr[ec] = fc
+		if prev, dup := seenName[fc.String()]; dup {
+			t.Errorf("wire codes %v and %v share the name %q", prev, fc, fc.String())
+		}
+		seenName[fc.String()] = fc
+	}
+	// Inverse direction: every wire-shared errs code is one of the
+	// fault codes above.
+	for _, ec := range errs.KnownCodes() {
+		if ec >= errs.CodeLocalBase {
+			continue
+		}
+		if _, ok := seenErr[ec]; !ok {
+			t.Errorf("errs code %v sits in the wire-shared range but no FaultCode maps to it", ec)
+		}
+	}
+}
+
+// TestFaultRoundTripKeepsCodeAndClass encodes a fault with every code,
+// decodes it, and checks that errs classification of the decoded error
+// matches what an in-process error with the same code would get.
+func TestFaultRoundTripKeepsCodeAndClass(t *testing.T) {
+	for _, fc := range allFaultCodes {
+		f := Faultf(fc, "probe %s", fc)
+		body, err := xdr.Marshal(f)
+		if err != nil {
+			t.Fatalf("%v: marshal: %v", fc, err)
+		}
+		decoded := DecodeFault(body)
+		var df *Fault
+		if !errors.As(decoded, &df) {
+			t.Fatalf("%v: decoded fault is %T, want *Fault", fc, decoded)
+		}
+		if df.Code != fc {
+			t.Fatalf("%v: round-tripped code = %v", fc, df.Code)
+		}
+		if got, want := errs.CodeOf(decoded), errs.Code(fc); got != want {
+			t.Errorf("%v: CodeOf(decoded) = %v, want %v", fc, got, want)
+		}
+		if got, want := errs.ClassOf(decoded), errs.Code(fc).Class(); got != want {
+			t.Errorf("%v: ClassOf(decoded) = %v, want %v", fc, got, want)
+		}
+	}
+}
+
+// TestFaultUnknownCodeForwardCompat: a fault minted by a newer peer
+// with a code this build does not know must survive encode/decode with
+// the code intact, stay printable, and classify permanent (never
+// amplify load on an unknown failure kind).
+func TestFaultUnknownCodeForwardCompat(t *testing.T) {
+	for _, unknown := range []FaultCode{12, 42, 99, 4096} {
+		f := &Fault{Code: unknown, Message: "from the future"}
+		body, err := xdr.Marshal(f)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		decoded := DecodeFault(body)
+		var df *Fault
+		if !errors.As(decoded, &df) || df.Code != unknown {
+			t.Fatalf("unknown code %d did not survive the round trip: %v", unknown, decoded)
+		}
+		if got := errs.CodeOf(decoded); got != errs.Code(unknown) {
+			t.Errorf("CodeOf = %v, want the raw %d", got, unknown)
+		}
+		if got := errs.ClassOf(decoded); got != errs.ClassPermanent {
+			t.Errorf("unknown code %d classifies %v, want permanent", unknown, got)
+		}
+		if s := df.Error(); !strings.Contains(s, "fault(") {
+			t.Errorf("unknown code renders %q, want a fault(N) placeholder", s)
+		}
+	}
+}
+
+// TestAsFaultCarriesWireSharedCodes: a coded in-process error crossing
+// the wire keeps its code when it is wire-shared and downgrades to
+// internal when it is local-only.
+func TestAsFaultCarriesWireSharedCodes(t *testing.T) {
+	if f := AsFault(errs.New(errs.Quota, "budget dry")); f.Code != FaultQuota {
+		t.Fatalf("quota errs crossed as %v, want FaultQuota", f.Code)
+	}
+	if f := AsFault(errs.Wrap(errs.Unavailable, nil, "draining")); f.Code != FaultUnavailable {
+		t.Fatalf("unavailable errs crossed as %v, want FaultUnavailable", f.Code)
+	}
+	for _, local := range []errs.Code{errs.Transport, errs.Codec, errs.Config, errs.Exhausted} {
+		if f := AsFault(errs.New(local, "local detail")); f.Code != FaultInternal {
+			t.Fatalf("local-only code %v crossed as %v, want FaultInternal", local, f.Code)
+		}
+	}
+	// An explicit *Fault anywhere in the chain wins over re-mapping:
+	// it is already well-formed and may carry a Data payload (a
+	// FaultMoved's new reference) that a re-mapped code would lose.
+	wrapped := errs.Wrap(errs.Internal, Faultf(FaultAuth, "bad token"), "server: dispatch")
+	if f := AsFault(wrapped); f.Code != FaultAuth {
+		t.Fatalf("wrapped fault crossed as %v, want the chain's FaultAuth", f.Code)
+	}
+	if f := AsFault(Faultf(FaultAuth, "bad token")); f.Code != FaultAuth {
+		t.Fatalf("bare fault re-crossed as %v", f.Code)
+	}
+	if f := AsFault(errors.New("anonymous")); f.Code != FaultInternal {
+		t.Fatalf("anonymous error crossed as %v, want FaultInternal", f.Code)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 
+	"openhpcxx/internal/errs"
 	"openhpcxx/internal/xdr"
 )
 
@@ -178,7 +179,7 @@ func (m *Message) UnmarshalXDR(d *xdr.Decoder) error {
 		return err
 	}
 	if n > 64 {
-		return fmt.Errorf("wire: %d envelopes exceeds limit", n)
+		return errs.Newf(errs.Codec, "wire: %d envelopes exceeds limit", n)
 	}
 	m.Envelopes = make([]Envelope, n)
 	for i := range m.Envelopes {

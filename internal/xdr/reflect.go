@@ -1,9 +1,10 @@
 package xdr
 
 import (
-	"fmt"
 	"reflect"
 	"sort"
+
+	"openhpcxx/internal/errs"
 )
 
 // Reflection-based codec: MarshalValue/UnmarshalValue encode arbitrary
@@ -33,7 +34,7 @@ func (e *Encoder) MarshalValue(v any) error {
 	rv := reflect.ValueOf(v)
 	if rv.Kind() == reflect.Pointer {
 		if rv.IsNil() {
-			return fmt.Errorf("xdr: cannot marshal nil %T", v)
+			return errs.Newf(errs.Codec, "xdr: cannot marshal nil %T", v)
 		}
 		rv = rv.Elem()
 	}
@@ -51,7 +52,7 @@ func MarshalAny(v any) ([]byte, error) {
 
 func (e *Encoder) marshalReflect(v reflect.Value) error {
 	if !v.IsValid() {
-		return fmt.Errorf("xdr: cannot marshal invalid value")
+		return errs.New(errs.Codec, "xdr: cannot marshal invalid value")
 	}
 	if v.CanInterface() {
 		if m, ok := v.Interface().(Marshaler); ok && v.Kind() != reflect.Pointer {
@@ -94,7 +95,7 @@ func (e *Encoder) marshalReflect(v reflect.Value) error {
 		}
 	case reflect.Map:
 		if v.Type().Key().Kind() != reflect.String {
-			return fmt.Errorf("xdr: unsupported map key type %s", v.Type().Key())
+			return errs.Newf(errs.Codec, "xdr: unsupported map key type %s", v.Type().Key())
 		}
 		keys := make([]string, 0, v.Len())
 		for _, k := range v.MapKeys() {
@@ -126,11 +127,11 @@ func (e *Encoder) marshalReflect(v reflect.Value) error {
 				continue
 			}
 			if err := e.marshalReflect(v.Field(i)); err != nil {
-				return fmt.Errorf("field %s.%s: %w", t.Name(), f.Name, err)
+				return errs.Wrapf(errs.Codec, err, "field %s.%s", t.Name(), f.Name)
 			}
 		}
 	default:
-		return fmt.Errorf("xdr: unsupported kind %s", v.Kind())
+		return errs.Newf(errs.Codec, "xdr: unsupported kind %s", v.Kind())
 	}
 	return nil
 }
@@ -142,7 +143,7 @@ func (d *Decoder) UnmarshalValue(v any) error {
 	}
 	rv := reflect.ValueOf(v)
 	if rv.Kind() != reflect.Pointer || rv.IsNil() {
-		return fmt.Errorf("xdr: UnmarshalValue needs a non-nil pointer, got %T", v)
+		return errs.Newf(errs.Codec, "xdr: UnmarshalValue needs a non-nil pointer, got %T", v)
 	}
 	return d.unmarshalReflect(rv.Elem())
 }
@@ -155,7 +156,7 @@ func UnmarshalAny(p []byte, v any) error {
 		return err
 	}
 	if d.Remaining() != 0 {
-		return fmt.Errorf("%w: %d bytes", ErrTrailing, d.Remaining())
+		return errs.Wrapf(errs.Codec, ErrTrailing, "%d bytes", d.Remaining())
 	}
 	return nil
 }
@@ -185,7 +186,7 @@ func (d *Decoder) unmarshalReflect(v reflect.Value) error {
 			return err
 		}
 		if v.OverflowInt(i) {
-			return fmt.Errorf("xdr: %d overflows %s", i, v.Type())
+			return errs.Newf(errs.Codec, "xdr: %d overflows %s", i, v.Type())
 		}
 		v.SetInt(i)
 	case reflect.Uint32:
@@ -200,7 +201,7 @@ func (d *Decoder) unmarshalReflect(v reflect.Value) error {
 			return err
 		}
 		if v.OverflowUint(u) {
-			return fmt.Errorf("xdr: %d overflows %s", u, v.Type())
+			return errs.Newf(errs.Codec, "xdr: %d overflows %s", u, v.Type())
 		}
 		v.SetUint(u)
 	case reflect.Float32:
@@ -249,7 +250,7 @@ func (d *Decoder) unmarshalReflect(v reflect.Value) error {
 		}
 	case reflect.Map:
 		if v.Type().Key().Kind() != reflect.String {
-			return fmt.Errorf("xdr: unsupported map key type %s", v.Type().Key())
+			return errs.Newf(errs.Codec, "xdr: unsupported map key type %s", v.Type().Key())
 		}
 		n, err := d.length()
 		if err != nil {
@@ -290,11 +291,11 @@ func (d *Decoder) unmarshalReflect(v reflect.Value) error {
 				continue
 			}
 			if err := d.unmarshalReflect(v.Field(i)); err != nil {
-				return fmt.Errorf("field %s.%s: %w", t.Name(), f.Name, err)
+				return errs.Wrapf(errs.Codec, err, "field %s.%s", t.Name(), f.Name)
 			}
 		}
 	default:
-		return fmt.Errorf("xdr: unsupported kind %s", v.Kind())
+		return errs.Newf(errs.Codec, "xdr: unsupported kind %s", v.Kind())
 	}
 	return nil
 }

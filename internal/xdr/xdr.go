@@ -14,8 +14,9 @@ package xdr
 
 import (
 	"errors"
-	"fmt"
 	"math"
+
+	"openhpcxx/internal/errs"
 )
 
 // Maximum variable-length element count accepted by the decoder. Guards
@@ -439,7 +440,7 @@ func Unmarshal(p []byte, u Unmarshaler) error {
 		return err
 	}
 	if d.Remaining() != 0 {
-		return fmt.Errorf("%w: %d bytes", ErrTrailing, d.Remaining())
+		return errs.Wrapf(errs.Codec, ErrTrailing, "%d bytes", d.Remaining())
 	}
 	return nil
 }
