@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race determinism cover faults fuzz bench-async bench-faults bench-directory bench-errors top registry
+.PHONY: ci vet lint build test race determinism cover faults fuzz load-smoke bench-async bench-faults bench-directory bench-errors bench-saturation top registry
 
-ci: vet lint build test race determinism cover
+ci: vet lint build test race determinism cover load-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,10 +35,10 @@ determinism:
 
 # Coverage floor: the wire format, the metrics registry, the tracing
 # subsystem, the analyzer suite, the introspection plane, the directory
-# plane, and the error taxonomy are load-bearing for every protocol (and
-# for CI and operations) — hold them at >= 70%.
+# plane, the error taxonomy, and the load harness are load-bearing for
+# every protocol (and for CI and operations) — hold them at >= 70%.
 cover:
-	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/ ./internal/introspect/ ./internal/directory/ ./internal/errs/; do \
+	@set -e; for pkg in ./internal/wire/ ./internal/stats/ ./internal/obs/ ./internal/analysis/ ./internal/introspect/ ./internal/directory/ ./internal/errs/ ./internal/load/; do \
 		pct=$$($(GO) test -cover $$pkg | awk '{for (i=1;i<=NF;i++) if ($$i ~ /%/) {gsub("%","",$$i); print $$i}}'); \
 		echo "coverage $$pkg: $$pct%"; \
 		ok=$$(echo "$$pct" | awk '{print ($$1 >= 70.0) ? "yes" : "no"}'); \
@@ -61,6 +61,13 @@ fuzz:
 	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzDecodeBatch -fuzztime=10s
 	$(GO) test ./internal/wire/ -run='^$$' -fuzz=FuzzRead -fuzztime=10s
 
+# Capacity-harness smoke: run the open-loop smoke scenario end to end on
+# a fake clock — the whole stack (grid topology, servers, mixed workload,
+# CO-safe recorder) in simulated time, so the run is fast and the op
+# accounting is deterministic.
+load-smoke:
+	$(GO) run ./cmd/ohpc-load -scenario=internal/load/testdata/scenarios/valid/smoke.json -fake -json=-
+
 # Regenerate the async throughput figure quickly and emit JSON.
 bench-async:
 	$(GO) run ./cmd/ohpc-bench -fig=a1 -quick -json=-
@@ -78,6 +85,11 @@ bench-directory:
 # overload + crash schedule, budgets on vs off) quickly and emit JSON.
 bench-errors:
 	$(GO) run ./cmd/ohpc-bench -fig=e1 -quick -json=-
+
+# Regenerate the saturation sweep (Figure S1: goodput + latency tail vs
+# offered load, batching on/off, with failover) quickly and emit JSON.
+bench-saturation:
+	$(GO) run ./cmd/ohpc-bench -fig=s1 -quick -json=-
 
 # Directory demo: serve the sharded name service (3 shards x 2 replicas)
 # on real TCP for a few seconds and print the client bootstrap blob.

@@ -10,6 +10,7 @@
 //	ohpc-bench -fig=a1 -json=async.json   # async throughput figure
 //	ohpc-bench -fig=o1 -trace=spans.json  # tracing overhead + span dump
 //	ohpc-bench -fig=d1 -json=dir.json     # directory plane: scale + crash
+//	ohpc-bench -fig=s1 -quick -json=-     # saturation sweep (goodput vs offered load)
 //
 // Absolute numbers depend on the host and the simulated link rates; the
 // shapes — which protocol wins, by roughly what factor, and where the
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), l1 (loss sweep), e1 (retry budgets), r1 (robustness), o1 (tracing overhead), d1 (directory), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), l1 (loss sweep), e1 (retry budgets), r1 (robustness), o1 (tracing overhead), d1 (directory), s1 (saturation sweep), or all")
 	profile := flag.String("profile", "both", "network for figure 5: atm, ethernet, or both")
 	quick := flag.Bool("quick", false, "time-scale the links 16x and shorten averaging")
 	plot := flag.Bool("plot", true, "also render figure 5 as an ASCII log-log plot")
@@ -337,6 +338,38 @@ func main() {
 		return nil
 	})
 
+	run("s1", func() error {
+		cfg := bench.S1Config{}
+		if *quick {
+			cfg.Rates = []float64{1000, 2000, 4000, 8000}
+			cfg.StepDuration = 150 * time.Millisecond
+			cfg.Workers = 24
+			cfg.Deadline = 50 * time.Millisecond
+		}
+		res, err := bench.RunFigureS1(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigureS1(res))
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
 	run("o1", func() error {
 		cfg := bench.O1Config{}
 		if *quick {
@@ -387,7 +420,7 @@ func main() {
 		return nil
 	})
 
-	if !strings.Contains("1 2 3 4 5 a1 l1 e1 r1 o1 d1 all", *fig) {
+	if !strings.Contains("1 2 3 4 5 a1 l1 e1 r1 o1 d1 s1 all", *fig) {
 		fmt.Fprintf(os.Stderr, "ohpc-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}

@@ -6,25 +6,29 @@ import (
 )
 
 // NoSleep flags direct waits on the wall clock — time.Sleep,
-// time.After, time.NewTimer — everywhere outside internal/clock, test
-// files included. The PR-3 determinism sweep (make determinism: -count=3
-// -shuffle=on -race over the fault suites) only holds because waits go
-// through the injected clock.Clock/Afterer, where a clock.Fake turns
-// them into simulated time; one raw time.Sleep reintroduces run-order
-// and wall-clock luck.
+// time.After, time.NewTimer, time.NewTicker/time.Tick — everywhere
+// outside internal/clock, test files included. The PR-3 determinism
+// sweep (make determinism: -count=3 -shuffle=on -race over the fault
+// suites) only holds because waits go through the injected
+// clock.Clock/Afterer, where a clock.Fake turns them into simulated
+// time; one raw time.Sleep reintroduces run-order and wall-clock luck.
 var NoSleep = &Analyzer{
 	Name: "nosleep",
-	Doc:  "time.Sleep/time.After/time.NewTimer outside internal/clock; use the injected clock.Clock",
+	Doc:  "time.Sleep/time.After/time.NewTimer/time.NewTicker outside internal/clock; use the injected clock.Clock",
 	Run:  runNoSleep,
 }
 
 // noSleepFuncs are the time package entry points that wait on (or arm
-// waits on) the wall clock. time.AfterFunc/NewTicker drive callbacks
-// rather than blocking the caller and stay out of scope for now.
+// waits on) the wall clock. Tickers are in scope since the load-harness
+// pacing loops landed: a background loop on a raw ticker is the same
+// nondeterminism as a raw After, just repeated. time.AfterFunc drives a
+// callback rather than blocking the caller and stays out of scope.
 var noSleepFuncs = map[string]string{
-	"Sleep":    "clock.Sleep / clock.SleepCtx",
-	"After":    "clock.After",
-	"NewTimer": "clock.After",
+	"Sleep":     "clock.Sleep / clock.SleepCtx",
+	"After":     "clock.After",
+	"NewTimer":  "clock.After",
+	"NewTicker": "a clock.After loop",
+	"Tick":      "a clock.After loop",
 }
 
 func runNoSleep(pass *Pass) {

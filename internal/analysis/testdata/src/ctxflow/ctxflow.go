@@ -56,3 +56,33 @@ func ResolveCtx(ctx context.Context, d *Dir, name string) error {
 	}
 	return d.LookupCtx(ctx, name)
 }
+
+// Ptr is the call-target shape the load harness drives: invocation comes
+// in fire-and-check and context-threading flavors.
+type Ptr struct{}
+
+func (p *Ptr) Invoke(args []byte) error                         { return nil }
+func (p *Ptr) InvokeCtx(ctx context.Context, args []byte) error { return nil }
+
+// PaceCtx is the open-loop pacing worker shape (internal/load): the run
+// context bounds the whole arrival schedule, so every issued call must
+// carry it. Dropping to the plain Invoke leaves the op un-cancellable —
+// a canceled run would drain its full backlog anyway.
+func PaceCtx(ctx context.Context, p *Ptr, schedule [][]byte) error {
+	for _, args := range schedule {
+		if err := p.Invoke(args); err != nil { // want "PaceCtx calls Invoke without the context: use Ptr.InvokeCtx"
+			return err
+		}
+	}
+	return p.InvokeCtx(ctx, nil)
+}
+
+// GoodPaceCtx threads the run context into every issued op.
+func GoodPaceCtx(ctx context.Context, p *Ptr, schedule [][]byte) error {
+	for _, args := range schedule {
+		if err := p.InvokeCtx(ctx, args); err != nil {
+			return err
+		}
+	}
+	return nil
+}

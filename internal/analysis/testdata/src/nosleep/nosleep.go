@@ -4,6 +4,7 @@
 package nosleep
 
 import (
+	"context"
 	"time"
 
 	"openhpcxx/internal/clock"
@@ -76,6 +77,45 @@ func heartbeatLoopRaw(stop chan struct{}, rebind func()) {
 			return
 		case <-time.After(time.Second): // want "time.After outside internal/clock"
 			rebind()
+		}
+	}
+}
+
+// pacerLoop is the open-loop arrival generator shape (internal/load):
+// sleeping up to each op's intended start time on the *injected* clock,
+// context-aware, is clean — a fake clock replays the whole arrival
+// schedule in simulated time.
+func pacerLoop(ctx context.Context, clk clock.Clock, intendeds []time.Time, fire func()) {
+	for _, at := range intendeds {
+		if err := clock.SleepCtx(ctx, clk, time.Until(at)); err != nil {
+			return
+		}
+		fire()
+	}
+}
+
+// pacerLoopRaw paces the arrival schedule on the wall clock: the fake
+// clock can no longer drive the generator, every smoke run costs real
+// time, and the pacing drifts under load — the load-harness bug the
+// analyzer bans.
+func pacerLoopRaw(intendeds []time.Time, fire func()) {
+	for _, at := range intendeds {
+		time.Sleep(time.Until(at)) // want "time.Sleep outside internal/clock"
+		fire()
+	}
+}
+
+// churnLoopRaw is the migration-churn shape on a raw ticker: a periodic
+// background mutator that a fake clock cannot pause or step.
+func churnLoopRaw(stop chan struct{}, migrate func()) {
+	tick := time.NewTicker(time.Second) // want "time.NewTicker outside internal/clock"
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			migrate()
 		}
 	}
 }

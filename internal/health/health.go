@@ -254,13 +254,11 @@ func (t *Tracker) SetProbe(key string, p Probe) {
 
 func (t *Tracker) probeLoop() {
 	defer t.wg.Done()
-	tick := time.NewTicker(t.opts.ProbeInterval)
-	defer tick.Stop()
 	for {
 		select {
 		case <-t.stop:
 			return
-		case <-tick.C:
+		case <-clock.After(t.opts.Clock, t.opts.ProbeInterval):
 			t.ProbeNow()
 		}
 	}

@@ -1,0 +1,84 @@
+package load
+
+import (
+	"time"
+
+	"openhpcxx/internal/stats"
+)
+
+// Recorder accumulates request latencies into an HDR-style log-bucketed
+// histogram (stats.Histogram: power-of-two buckets, percentiles within
+// a 2x bound) with the two guards that make the numbers immune to
+// coordinated omission:
+//
+//  1. Latency is recorded from the request's *intended* start time
+//     (RecordFrom), not from whenever a stalled generator got around to
+//     issuing it. Time spent queued behind a stall is the latency a
+//     real client would have seen, so it is charged to the result.
+//
+//  2. Expected-interval backfill (the HdrHistogram correction): when a
+//     recorded latency exceeds the expected inter-arrival interval i,
+//     the requests that *should* have been issued during that window
+//     were omitted by the stall, so the recorder synthesizes them as
+//     lat-i, lat-2i, ... while the remainder stays >= i. Closed-loop
+//     recordings pass interval 0 and get no backfill.
+//
+// One Recorder per worker, merged at the end of the run (Merge is
+// exact): the hot path is a single atomic histogram observe.
+type Recorder struct {
+	hist stats.Histogram
+	// interval is the expected inter-arrival gap for backfill; 0
+	// disables the correction.
+	interval time.Duration
+}
+
+// NewRecorder returns a recorder with the given expected inter-arrival
+// interval (0 = closed loop, no backfill).
+func NewRecorder(expectedInterval time.Duration) *Recorder {
+	return &Recorder{interval: expectedInterval}
+}
+
+// RecordFrom records one request that was *intended* to start at
+// intended and finished at end — the open-loop measurement. A request
+// issued late (generator stall, full worker pool) is charged its full
+// intended-to-finish time.
+func (r *Recorder) RecordFrom(intended, end time.Time) {
+	r.Record(end.Sub(intended))
+}
+
+// Record records one latency, backfilling expected-interval samples
+// when the value spans multiple arrival slots (see type comment).
+func (r *Recorder) Record(lat time.Duration) {
+	if lat < 0 {
+		lat = 0
+	}
+	r.hist.Observe(int64(lat))
+	if r.interval <= 0 {
+		return
+	}
+	for lat -= r.interval; lat >= r.interval; lat -= r.interval {
+		r.hist.Observe(int64(lat))
+	}
+}
+
+// Merge folds another recorder's samples into this one (exact: bucket
+// counts add). Merge quiescent recorders — per-worker recorders after
+// their worker has exited.
+func (r *Recorder) Merge(o *Recorder) {
+	if o == nil {
+		return
+	}
+	r.hist.Merge(&o.hist)
+}
+
+// Count returns the number of recorded samples, backfill included.
+func (r *Recorder) Count() uint64 { return r.hist.Snapshot().Count }
+
+// Percentile returns the p-th latency percentile (upper bucket bound,
+// within 2x of exact).
+func (r *Recorder) Percentile(p float64) time.Duration {
+	return time.Duration(r.hist.Percentile(p))
+}
+
+// Snapshot exports the full distribution.
+func (r *Recorder) Snapshot() stats.Snapshot { return r.hist.Snapshot() }

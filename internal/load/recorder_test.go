@@ -1,0 +1,138 @@
+package load
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openhpcxx/internal/clock"
+)
+
+func TestRecorderBackfill(t *testing.T) {
+	// A 10ms observation against a 1ms expected interval must synthesize
+	// the nine omitted arrival slots: 10, 9, 8, ... 1 ms.
+	r := NewRecorder(time.Millisecond)
+	r.Record(10 * time.Millisecond)
+	if got := r.Count(); got != 10 {
+		t.Fatalf("backfill recorded %d samples, want 10", got)
+	}
+	// Closed-loop recorders (interval 0) never backfill.
+	c := NewRecorder(0)
+	c.Record(10 * time.Millisecond)
+	if got := c.Count(); got != 1 {
+		t.Fatalf("interval-0 recorder backfilled: %d samples", got)
+	}
+	// Negative latency (clock skew) clamps to zero instead of panicking.
+	c.Record(-time.Second)
+	if got := c.Count(); got != 2 {
+		t.Fatalf("negative latency dropped: %d samples", got)
+	}
+}
+
+// stallRun replays one simulated run on a fake clock: ops arrive every
+// interval; service time is fast except for one stall of stallDur
+// starting at op stallAt, during which the (single-threaded, closed-
+// loop) server works off its backlog one op at a time. The same run
+// feeds two recorders: open records from each op's *intended* start,
+// closed from its actual service start — the coordinated-omission trap.
+func stallRun(ops int, interval, service, stallDur time.Duration, stallAt int) (open, closed *Recorder) {
+	fake := clock.NewFake(time.Unix(5000, 0))
+	start := fake.Now()
+	open = NewRecorder(interval)
+	closed = NewRecorder(0)
+	free := start // when the server is next free
+	for k := 0; k < ops; k++ {
+		intended := start.Add(time.Duration(k) * interval)
+		svc := service
+		if k == stallAt {
+			svc = stallDur
+		}
+		// The op begins when both it was scheduled and the server is
+		// free; a closed-loop generator would not even have issued it
+		// until `free`.
+		begin := intended
+		if free.After(begin) {
+			begin = free
+		}
+		fake.Set(begin.Add(svc))
+		end := fake.Now()
+		free = end
+		open.RecordFrom(intended, end)
+		closed.Record(end.Sub(begin))
+	}
+	return open, closed
+}
+
+// TestQuickCoordinatedOmission is the harness's load-bearing property:
+// under an injected server stall, the open recorder's p99 must reflect
+// the time ops spent waiting from their intended start, while a
+// closed-loop recording of the *same run* under-reports it — the gap is
+// asserted, so this test fails if anyone "simplifies" the recorder to
+// measure from actual start.
+func TestQuickCoordinatedOmission(t *testing.T) {
+	f := func(stallMS uint16, at uint8) bool {
+		const (
+			ops      = 1000
+			interval = time.Millisecond
+			service  = 50 * time.Microsecond
+		)
+		// Stall between 100ms and 1.6s, placed in the first half of the
+		// run.
+		stall := time.Duration(stallMS%1500+100) * time.Millisecond
+		stallAt := int(at) % (ops / 2)
+		open, closed := stallRun(ops, interval, service, stall, stallAt)
+
+		// Open-loop truth: roughly stall/interval ops queued behind the
+		// stall, the worst waiting almost the whole stall; p99 must land
+		// within the stall's order of magnitude.
+		if open.Percentile(0.99) < stall/8 {
+			return false
+		}
+		// Closed-loop lie: only the one stalled op is slow; every other
+		// sample is the service time, so p99 collapses to it. (With one
+		// slow op in 1000, p99 sits well below 1% of the stall.)
+		if closed.Percentile(0.99) >= stall/100 {
+			return false
+		}
+		// And the gap itself: open p99 dominates closed p99 by a wide
+		// multiple — the coordinated omission the recorder exists to fix.
+		return open.Percentile(0.99) >= 10*closed.Percentile(0.99)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoordinatedOmissionBackfillCounts pins the other half of the
+// correction: the open recorder synthesizes the samples the stall
+// prevented from being recorded individually, so its sample count
+// exceeds the op count while the closed recorder's equals it.
+func TestCoordinatedOmissionBackfillCounts(t *testing.T) {
+	const ops = 500
+	open, closed := stallRun(ops, time.Millisecond, 50*time.Microsecond, 200*time.Millisecond, 100)
+	if got := closed.Count(); got != ops {
+		t.Fatalf("closed recorder holds %d samples, want %d", got, ops)
+	}
+	if got := open.Count(); got <= ops {
+		t.Fatalf("open recorder holds %d samples, want > %d (expected-interval backfill)", got, ops)
+	}
+}
+
+// TestRecorderMerge keeps per-worker merging exact.
+func TestRecorderMerge(t *testing.T) {
+	a, b := NewRecorder(0), NewRecorder(0)
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	if got := a.Count(); got != 200 {
+		t.Fatalf("merged count %d, want 200", got)
+	}
+	if p := a.Percentile(1.0); p < 200*time.Millisecond {
+		t.Fatalf("merged max percentile %v lost b's tail", p)
+	}
+}

@@ -1,0 +1,122 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/errs"
+)
+
+// TestScenarioCorpusValid parses every file under testdata/scenarios/
+// valid and spot-checks the filled defaults.
+func TestScenarioCorpusValid(t *testing.T) {
+	files, err := filepath.Glob("testdata/scenarios/valid/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no valid corpus files (%v)", err)
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			sc, err := ParseFile(f)
+			if err != nil {
+				t.Fatalf("valid scenario rejected: %v", err)
+			}
+			if sc.Name == "" || sc.Machines() <= 0 {
+				t.Fatalf("parsed scenario is hollow: %+v", sc)
+			}
+			if sc.DeadlineMS <= 0 {
+				t.Fatal("deadline default not filled")
+			}
+			for i, w := range sc.Workload {
+				if w.Ints <= 0 {
+					t.Fatalf("workload[%d] ints default not filled", i)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioCorpusBad parses every file under testdata/scenarios/bad
+// and asserts the rejection carries the error code the filename
+// promises: codec-* files are malformed JSON (errs.Codec), config-*
+// files are semantically invalid (errs.Config). One file per reject
+// path in Parse/Validate.
+func TestScenarioCorpusBad(t *testing.T) {
+	files, err := filepath.Glob("testdata/scenarios/bad/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no bad corpus files (%v)", err)
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			want := errs.Config
+			if strings.HasPrefix(filepath.Base(f), "codec-") {
+				want = errs.Codec
+			}
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := Parse(data)
+			if err == nil {
+				t.Fatalf("malformed scenario accepted: %+v", sc)
+			}
+			if got := errs.CodeOf(err); got != want {
+				t.Fatalf("rejected with code %v, want %v (err: %v)", got, want, err)
+			}
+		})
+	}
+}
+
+// TestParseFileMissing keeps the file-level error coded too.
+func TestParseFileMissing(t *testing.T) {
+	_, err := ParseFile("testdata/scenarios/definitely-not-there.json")
+	if err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if got := errs.CodeOf(err); got != errs.Config {
+		t.Fatalf("missing file rejected with %v, want config", got)
+	}
+}
+
+// TestScenarioAccessors covers the convenience conversions.
+func TestScenarioAccessors(t *testing.T) {
+	sc, err := ParseFile("testdata/scenarios/valid/minimal.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Duration(); got != 100*time.Millisecond {
+		t.Fatalf("Duration() = %v", got)
+	}
+	if got := sc.Deadline(); got != time.Second {
+		t.Fatalf("Deadline() = %v (default)", got)
+	}
+	if got := sc.Machines(); got != 4 {
+		t.Fatalf("Machines() = %d", got)
+	}
+}
+
+// TestValidateIsExhaustive walks the corpus names against the reject
+// paths: every fault kind and arrival mode named in the package
+// constants has at least one bad-corpus file exercising it.
+func TestValidateIsExhaustive(t *testing.T) {
+	files, _ := filepath.Glob("testdata/scenarios/bad/*.json")
+	names := make([]string, len(files))
+	for i, f := range files {
+		names[i] = filepath.Base(f)
+	}
+	all := strings.Join(names, " ")
+	for _, must := range []string{
+		"codec-syntax", "codec-unknown-field", "codec-trailing",
+		"config-no-name", "config-topology-zero", "config-bad-profile",
+		"config-servers", "config-workers-zero", "config-empty-workload",
+		"config-bad-kind", "config-zero-weight", "config-bad-arrival",
+		"config-open-no-rate", "config-zero-duration", "config-fault-kind",
+		"config-negative-churn",
+	} {
+		if !strings.Contains(all, must) {
+			t.Errorf("bad corpus lost its %s case", must)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package loadbal
 import (
 	"sync"
 	"time"
+
+	"openhpcxx/internal/clock"
 )
 
 // Daemon runs Rebalance on a fixed period until stopped, recording every
@@ -11,6 +13,7 @@ import (
 type Daemon struct {
 	b        *Balancer
 	interval time.Duration
+	clk      clock.Clock
 
 	mu      sync.Mutex
 	history []Move
@@ -22,7 +25,17 @@ type Daemon struct {
 
 // NewDaemon wraps a balancer with a sampling period.
 func NewDaemon(b *Balancer, interval time.Duration) *Daemon {
-	return &Daemon{b: b, interval: interval}
+	return &Daemon{b: b, interval: interval, clk: clock.Real{}}
+}
+
+// SetClock replaces the pacing clock (a clock.Fake makes the loop
+// steppable in tests). Call before Start.
+func (d *Daemon) SetClock(clk clock.Clock) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stop == nil && clk != nil {
+		d.clk = clk
+	}
 }
 
 // Start launches the balancing loop. It is a no-op if already running.
@@ -39,13 +52,11 @@ func (d *Daemon) Start() {
 
 func (d *Daemon) loop(stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
-	t := time.NewTicker(d.interval)
-	defer t.Stop()
 	for {
 		select {
 		case <-stop:
 			return
-		case <-t.C:
+		case <-clock.After(d.clk, d.interval):
 			moves, err := d.b.Rebalance()
 			d.mu.Lock()
 			d.passes++

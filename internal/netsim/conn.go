@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openhpcxx/internal/clock"
@@ -81,6 +82,13 @@ type halfPipe struct {
 	// the link (injected delay, blackhole); shared with the Network so
 	// faults apply to established connections, not just new dials.
 	dir *DirFault
+	// shaper, when non-nil, is the sender-side LAN's shared-capacity
+	// serializer: a packet clears when both its own link and the shared
+	// medium have transmitted it. O(1) per write.
+	shaper *lanShaper
+	// ops, when non-nil, meters per-packet shaping decisions for the
+	// owning Network's ShapingOps bound.
+	ops *atomic.Uint64
 	// clk paces the in-flight waits (shaping delays, blackhole polls).
 	// Real by default; tests inject a fake via Conn.SetClock so shaped
 	// reads advance simulated time instead of wall-clock time.
@@ -114,9 +122,23 @@ func (h *halfPipe) write(p []byte) (int, error) {
 	}
 	tx := h.profile.TxTime(len(p))
 	h.nextFree = start.Add(tx)
+	clear := h.nextFree
+	if h.ops != nil {
+		h.ops.Add(1)
+	}
+	if h.shaper != nil {
+		// The shared medium must also carry the bytes; the packet is in
+		// flight once the slower of the two serializers clears it.
+		if h.ops != nil {
+			h.ops.Add(1)
+		}
+		if shared := h.shaper.reserve(now, len(p)); shared.After(clear) {
+			clear = shared
+		}
+	}
 	data := make([]byte, len(p))
 	copy(data, p)
-	h.queue = append(h.queue, packet{data: data, deliverAt: h.nextFree.Add(h.profile.Latency)})
+	h.queue = append(h.queue, packet{data: data, deliverAt: clear.Add(h.profile.Latency)})
 	h.queued += len(p)
 	h.cond.Broadcast()
 	return len(p), nil

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"openhpcxx/internal/errs"
 )
@@ -37,8 +38,11 @@ type Network struct {
 	down        map[MachineID]bool
 	conns       map[*Conn]connEnds
 	linkFaults  map[dgramKey]*DirFault
+	lanShapers  map[LANID]*lanShaper
 	rng         *rand.Rand
 	nextPort    int
+	// shapeOps counts per-packet shaping decisions (see ShapingOps).
+	shapeOps atomic.Uint64
 	// CampusLink joins LANs on the same campus; WANLink joins campuses.
 	CampusLink LinkProfile
 	WANLink    LinkProfile
@@ -58,6 +62,7 @@ func New() *Network {
 		down:        make(map[MachineID]bool),
 		conns:       make(map[*Conn]connEnds),
 		linkFaults:  make(map[dgramKey]*DirFault),
+		lanShapers:  make(map[LANID]*lanShaper),
 		rng:         rand.New(rand.NewSource(1)),
 		nextPort:    40000,
 		CampusLink:  ProfileCampus,
@@ -271,6 +276,8 @@ func (n *Network) Dial(from MachineID, to Addr) (*Conn, error) {
 	n.nextPort++
 	fwd := n.dirFaultLocked(from, to.Machine)
 	rev := n.dirFaultLocked(to.Machine, from)
+	fwdShaper := n.shaperForLocked(from)
+	revShaper := n.shaperForLocked(to.Machine)
 	n.mu.Unlock()
 	if !ok {
 		return nil, errs.Newf(errs.Transport, "netsim: connection refused: %v", to)
@@ -279,8 +286,13 @@ func (n *Network) Dial(from MachineID, to Addr) (*Conn, error) {
 	client, server := Pipe(profile, clientAddr, to)
 	// Wire the live per-direction fault state into the two half pipes so
 	// injected delay/blackhole faults apply to this connection after the
-	// fact, and register the pair for crash injection.
+	// fact, and register the pair for crash injection. Each direction also
+	// gets its sender-side LAN's shared-capacity shaper (when one is set)
+	// and the network's shaping-op meter — direct pointers, resolved once
+	// per dial, so the per-packet path never consults the topology again.
 	client.send.dir, server.send.dir = fwd, rev
+	client.send.shaper, server.send.shaper = fwdShaper, revShaper
+	client.send.ops, server.send.ops = &n.shapeOps, &n.shapeOps
 	n.registerConn(client, from, to.Machine)
 	if err := l.deliver(server); err != nil {
 		// Failed handoff: tear both ends down; their Close never errors

@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// gridProfile is effectively unshaped — no latency, no serialization —
+// so scale tests exchange packets without wall-clock waits.
+var gridProfile = LinkProfile{Name: "grid-test", Latency: 0, BitsPerSec: 0}
+
+// runGridTraffic dials `conns` connections across the grid and pushes
+// `packets` writes of `size` bytes through each (reading them on the far
+// side), returning the shaping-op count the traffic cost. The dial
+// pattern only touches the first two LANs regardless of grid size, so
+// two topologies of different scale see byte-identical traffic.
+func runGridTraffic(t *testing.T, n *Network, conns, packets, size int) uint64 {
+	t.Helper()
+	before := n.ShapingOps()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		// Client on lan0, server on lan0 (even) or lan1 (odd): some flows
+		// share a medium, some cross LANs.
+		serverLAN := c % 2
+		l, err := n.Listen(GridMachine(serverLAN, c+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := n.Dial(GridMachine(0, 0), l.Addr().(Addr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		server, err := l.Accept()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			buf := make([]byte, size)
+			for p := 0; p < packets; p++ {
+				if _, err := conn.Write(buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			defer server.Close()
+			buf := make([]byte, size)
+			total := 0
+			for total < packets*size {
+				m, err := server.Read(buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				total += m
+			}
+		}()
+	}
+	wg.Wait()
+	return n.ShapingOps() - before
+}
+
+// TestScaleShapingIsActiveLinkBound is the netsim scale regression: a
+// 2,000-machine multi-LAN topology must cost exactly the same per-packet
+// shaping work as a 20-machine one under identical traffic. The shaping
+// hot path holds direct pointers to its link and LAN-shaper state — if
+// anyone adds a full-topology scan (walking machines, LANs, or the
+// listener table per packet), the op counts diverge and this fails.
+func TestScaleShapingIsActiveLinkBound(t *testing.T) {
+	build := func(lans, perLAN int) *Network {
+		n := New()
+		if _, err := n.AddGrid(GridSpec{
+			LANs:           lans,
+			MachinesPerLAN: perLAN,
+			Profile:        gridProfile,
+			CampusesEvery:  10,
+			SharedBps:      1e12,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	const conns, packets, size = 6, 200, 512
+
+	big := build(40, 50) // 2,000 machines
+	small := build(2, 10)
+	opsBig := runGridTraffic(t, big, conns, packets, size)
+	opsSmall := runGridTraffic(t, small, conns, packets, size)
+
+	if opsBig == 0 {
+		t.Fatal("no shaping ops metered — the counter is unwired")
+	}
+	// Every write costs 2 ops here (link + shared reservation); identical
+	// traffic must cost identical work at any topology size.
+	if opsBig != opsSmall {
+		t.Fatalf("per-packet shaping work scales with topology: %d ops on 2000 machines vs %d on 20 for identical traffic",
+			opsBig, opsSmall)
+	}
+	if want := uint64(conns * packets * 2); opsBig != want {
+		t.Fatalf("shaping ops = %d, want %d (2 per write: link + shared medium)", opsBig, want)
+	}
+}
+
+// TestScaleGridBuild pins grid construction cost at O(machines): 2,000
+// machines must register in well under a second even on a loaded host.
+func TestScaleGridBuild(t *testing.T) {
+	start := time.Now()
+	n := New()
+	machines, err := n.AddGrid(GridSpec{LANs: 40, MachinesPerLAN: 50, Profile: gridProfile, CampusesEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != 2000 {
+		t.Fatalf("grid returned %d machines, want 2000", len(machines))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("building 2000 machines took %v", elapsed)
+	}
+	// Locality resolves across the grid: same LAN, cross-LAN same campus,
+	// cross-campus.
+	if p, err := n.LinkBetween(GridMachine(0, 0), GridMachine(0, 1)); err != nil || p.Name != gridProfile.Name {
+		t.Fatalf("intra-LAN link %v, %v", p, err)
+	}
+	if p, err := n.LinkBetween(GridMachine(0, 0), GridMachine(39, 0)); err != nil || p.Name != n.WANLink.Name {
+		t.Fatalf("cross-campus link %v, %v (campuses every 10 LANs)", p, err)
+	}
+}
+
+// TestLANCapacitySerializes proves the shared medium actually bounds
+// aggregate throughput: two flows on one LAN each reserve serialization
+// time on the same shaper, so their packets clear strictly later than
+// either flow alone would.
+func TestLANCapacitySerializes(t *testing.T) {
+	n := New()
+	if _, err := n.AddGrid(GridSpec{LANs: 1, MachinesPerLAN: 4, Profile: gridProfile}); err != nil {
+		t.Fatal(err)
+	}
+	// 1 KB at 8 Mbps shared = 1ms of medium time per packet.
+	if err := n.SetLANCapacity(GridLAN(0), 8e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetLANCapacity(LANID("nope"), 8e6, 0); err == nil {
+		t.Fatal("capacity on an unknown LAN must fail")
+	}
+
+	s := n.lanShapers[GridLAN(0)]
+	now := time.Unix(2000, 0)
+	first := s.reserve(now, 1000)
+	second := s.reserve(now, 1000)
+	if got := first.Sub(now); got != time.Millisecond {
+		t.Fatalf("first reservation clears after %v, want 1ms", got)
+	}
+	if got := second.Sub(now); got != 2*time.Millisecond {
+		t.Fatalf("second reservation clears after %v, want 2ms (shared medium serializes)", got)
+	}
+	// An idle medium does not charge for the past.
+	later := now.Add(time.Hour)
+	if got := s.reserve(later, 1000).Sub(later); got != time.Millisecond {
+		t.Fatalf("idle medium charged %v, want 1ms", got)
+	}
+}
+
+// TestScaleShapingRaceClean hammers one shared shaper from many
+// connections concurrently; run under -race this proves the scale path
+// adds no unsynchronized state.
+func TestScaleShapingRaceClean(t *testing.T) {
+	n := New()
+	if _, err := n.AddGrid(GridSpec{
+		LANs: 4, MachinesPerLAN: 10, Profile: gridProfile, SharedBps: 1e12,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	runGridTraffic(t, n, 8, 100, 128)
+}

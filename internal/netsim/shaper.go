@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/errs"
+)
+
+// Per-LAN shared-capacity shaping. A LAN is a shared medium: the
+// aggregate rate its member machines can push through it is bounded,
+// not just each point-to-point flow. SetLANCapacity attaches a shared
+// serializer to a LAN; every stream connection dialed between two
+// machines of that LAN (and the LAN-side leg of cross-LAN dials)
+// reserves serialization time on it in addition to its own link
+// profile.
+//
+// The shaper is a single nextFree timestamp guarded by one mutex:
+// reserving bytes is O(1) per packet no matter how many machines or
+// idle links the topology holds. Connections hold a direct pointer to
+// their LAN's shaper — the per-packet hot path never walks the
+// topology, consults no per-machine state, and touches nothing sized
+// by the machine count. Network.ShapingOps counts every per-packet
+// shaping decision so tests can assert that bound: identical traffic
+// must cost identical ops on a 20-machine and a 2,000-machine
+// topology.
+
+// lanShaper serializes bytes at a LAN's aggregate rate.
+type lanShaper struct {
+	mu       sync.Mutex
+	nextFree time.Time
+	bps      float64
+	overhead int
+}
+
+// reserve books n bytes of shared-medium time starting no earlier than
+// now and returns when the last byte clears the medium. O(1).
+func (s *lanShaper) reserve(now time.Time, n int) time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := s.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	bits := float64(n+s.overhead) * 8
+	s.nextFree = start.Add(time.Duration(bits / s.bps * float64(time.Second)))
+	return s.nextFree
+}
+
+// SetLANCapacity bounds the aggregate serialization rate of a LAN's
+// shared medium at bps (with overhead bytes charged per frame).
+// Connections dialed after the call share the capacity; bps <= 0
+// removes the bound for future dials. Capacity shaping composes with
+// the per-link profile — a packet is delivered when both its own link
+// and the shared medium have cleared it.
+func (n *Network) SetLANCapacity(id LANID, bps float64, overhead int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.lans[id]; !ok {
+		return errs.Newf(errs.Config, "netsim: unknown LAN %q", id)
+	}
+	if bps <= 0 {
+		delete(n.lanShapers, id)
+		return nil
+	}
+	n.lanShapers[id] = &lanShaper{bps: bps, overhead: overhead}
+	return nil
+}
+
+// shaperFor returns the shared shaper covering traffic sent by machine
+// m, or nil. Caller holds n.mu.
+func (n *Network) shaperForLocked(m MachineID) *lanShaper {
+	mach, ok := n.machines[m]
+	if !ok {
+		return nil
+	}
+	return n.lanShapers[mach.LAN]
+}
+
+// ShapingOps reports the total number of per-packet shaping decisions
+// made on connections dialed through this network — one per shaped
+// write, plus one per shared-capacity reservation. The scale
+// regression test replays identical traffic on topologies three orders
+// of magnitude apart and asserts the counts match: per-packet work is
+// O(active links), never O(topology).
+func (n *Network) ShapingOps() uint64 { return n.shapeOps.Load() }
+
+// GridSpec sizes a regular multi-LAN topology.
+type GridSpec struct {
+	// LANs and MachinesPerLAN size the grid.
+	LANs, MachinesPerLAN int
+	// Profile shapes every intra-LAN link.
+	Profile LinkProfile
+	// CampusesEvery groups LANs into campuses of this many LANs each
+	// (0 = all LANs on one campus); cross-campus traffic rides the
+	// network's WANLink.
+	CampusesEvery int
+	// SharedBps, when > 0, attaches a shared-capacity shaper to every
+	// LAN at that aggregate rate (overhead from Profile.FrameOverhead).
+	SharedBps float64
+}
+
+// GridLAN names the i-th LAN of a grid.
+func GridLAN(i int) LANID { return LANID(fmt.Sprintf("lan%d", i)) }
+
+// GridMachine names machine j on the i-th LAN of a grid.
+func GridMachine(lan, j int) MachineID {
+	return MachineID(fmt.Sprintf("lan%d-m%d", lan, j))
+}
+
+// AddGrid registers a LANs x MachinesPerLAN topology in one call and
+// returns every machine id, LAN-major. Building is O(machines): the
+// load harness stands up thousand-node worlds with it, and nothing on
+// the per-packet path afterwards depends on that count.
+func (n *Network) AddGrid(spec GridSpec) ([]MachineID, error) {
+	if spec.LANs <= 0 || spec.MachinesPerLAN <= 0 {
+		return nil, errs.Newf(errs.Config, "netsim: grid %dx%d must be positive", spec.LANs, spec.MachinesPerLAN)
+	}
+	machines := make([]MachineID, 0, spec.LANs*spec.MachinesPerLAN)
+	for l := 0; l < spec.LANs; l++ {
+		campus := CampusID("campus0")
+		if spec.CampusesEvery > 0 {
+			campus = CampusID(fmt.Sprintf("campus%d", l/spec.CampusesEvery))
+		}
+		id := GridLAN(l)
+		n.AddLAN(id, campus, spec.Profile)
+		if spec.SharedBps > 0 {
+			if err := n.SetLANCapacity(id, spec.SharedBps, spec.Profile.FrameOverhead); err != nil {
+				return nil, err
+			}
+		}
+		for j := 0; j < spec.MachinesPerLAN; j++ {
+			m, err := n.AddMachine(GridMachine(l, j), id)
+			if err != nil {
+				return nil, err
+			}
+			machines = append(machines, m.ID)
+		}
+	}
+	return machines, nil
+}

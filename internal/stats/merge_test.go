@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// exactPercentile returns the p-th percentile of values by sorting —
+// the ground truth the bucketed histogram approximates.
+func exactPercentile(values []int64, p float64) int64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := make([]int64, len(values))
+	copy(sorted, values)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p*float64(len(sorted))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func TestMergeBasics(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []int64{1, 2, 3} {
+		a.Observe(v)
+	}
+	for _, v := range []int64{100, 200} {
+		b.Observe(v)
+	}
+	a.Merge(&b)
+	s := a.Snapshot()
+	if s.Count != 5 || s.Sum != 306 {
+		t.Fatalf("merged snapshot %+v", s)
+	}
+	if s.Max < 200 || s.Max > 399 {
+		t.Fatalf("merged max %d", s.Max)
+	}
+	// Merging nil is a no-op.
+	a.Merge(nil)
+	if a.Snapshot().Count != 5 {
+		t.Fatal("nil merge changed the histogram")
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	var a, b Histogram
+	b.Observe(7)
+	a.Merge(&b)
+	if got := a.Snapshot(); got.Count != 1 || got.Sum != 7 {
+		t.Fatalf("merge into empty: %+v", got)
+	}
+	// The source is untouched.
+	if got := b.Snapshot(); got.Count != 1 || got.Sum != 7 {
+		t.Fatalf("merge mutated the source: %+v", got)
+	}
+}
+
+// Property: splitting a stream of observations across per-worker
+// histograms and merging them must keep every percentile inside the
+// documented 2x bucket bound relative to the exact (sorted) percentile
+// of the full stream — and identical to observing everything into one
+// histogram directly. High counts included: each value repeats up to
+// 64 times so merged buckets hold thousands of observations.
+func TestQuickMergePercentileBound(t *testing.T) {
+	f := func(raw []uint32, workers uint8, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := int(workers%8) + 1
+		rng := rand.New(rand.NewSource(seed))
+		parts := make([]*Histogram, w)
+		for i := range parts {
+			parts[i] = &Histogram{}
+		}
+		var direct Histogram
+		var all []int64
+		for _, u := range raw {
+			v := int64(u % 1_000_000)
+			reps := int(u%64) + 1
+			for r := 0; r < reps; r++ {
+				parts[rng.Intn(w)].Observe(v)
+				direct.Observe(v)
+				all = append(all, v)
+			}
+		}
+		var merged Histogram
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.Snapshot().Count != uint64(len(all)) {
+			return false
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+			got := merged.Percentile(p)
+			if got != direct.Percentile(p) {
+				return false // merge must be equivalent to direct observation
+			}
+			exact := exactPercentile(all, p)
+			if exact == 0 {
+				if got != 0 {
+					return false
+				}
+				continue
+			}
+			// Documented bound: exact <= bound < 2*exact.
+			if got < exact || got >= 2*exact {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeConcurrent(t *testing.T) {
+	// Merge reads the source atomically: merging while a writer observes
+	// must be race-clean (totals land either side of the snapshot).
+	var src, dst Histogram
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			src.Observe(int64(i))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		var scratch Histogram
+		scratch.Merge(&src)
+	}
+	<-done
+	dst.Merge(&src)
+	if got := dst.Snapshot().Count; got != 5000 {
+		t.Fatalf("count %d after quiescent merge, want 5000", got)
+	}
+}
