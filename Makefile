@@ -11,9 +11,10 @@ vet:
 # The suite first proves itself against its golden corpora (-short skips
 # the whole-module self-check, which the repo run below repeats anyway),
 # then sweeps ./internal/... and ./cmd/... and fails on any finding.
+# `make lint V=1` adds per-analyzer wall time on stderr.
 lint:
 	$(GO) test -short ./internal/analysis/
-	$(GO) run ./cmd/ohpc-lint ./internal/... ./cmd/...
+	$(GO) run ./cmd/ohpc-lint $(if $(V),-v) ./internal/... ./cmd/...
 
 build:
 	$(GO) build ./...

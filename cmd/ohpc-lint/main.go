@@ -3,20 +3,26 @@
 //
 // Usage:
 //
-//	ohpc-lint [-only a,b] [-skip a,b] [-list] [packages...]
+//	ohpc-lint [-only a,b] [-skip a,b] [-list] [-json] [-ignores] [-v] [packages...]
 //
 // Packages default to ./internal/... ./cmd/... relative to the module
 // root (found by walking up from the working directory). Diagnostics
-// print as "file:line:col: [analyzer] message"; the exit status is 1
-// when anything was reported, 2 on usage or load errors. Suppress a
-// deliberate violation with
+// print as "file:line:col: [analyzer] message", or as a JSON array of
+// {file,line,col,analyzer,message} objects with -json; the exit status
+// is 1 when anything was reported, 2 on usage or load errors. -v prints
+// per-analyzer wall time to stderr. Suppress a deliberate violation
+// with
 //
 //	//lint:ignore <analyzer>[,<analyzer>|all] <reason>
 //
-// on, or directly above, the offending line.
+// on, or directly above, the offending line. -ignores inventories every
+// such directive (with its reason) instead of linting; a directive that
+// no longer suppresses anything is reported as a staleignore finding by
+// the full suite.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +36,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiag is the machine-readable shape of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("ohpc-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzers to run (default: all)")
 	skip := fs.String("skip", "", "comma-separated analyzers to skip")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings (or -ignores inventory) as JSON")
+	ignores := fs.Bool("ignores", false, "list every //lint:ignore directive instead of linting")
+	verbose := fs.Bool("v", false, "print per-analyzer timing to stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,18 +86,84 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "ohpc-lint:", err)
 		return 2
 	}
-	diags := analysis.Run(units, analyzers)
-	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+	if *ignores {
+		return runIgnores(units, root, *asJSON, stdout, stderr)
+	}
+	diags, timings := analysis.RunTimed(units, analyzers)
+	if *verbose {
+		for _, tm := range timings {
+			fmt.Fprintf(stderr, "ohpc-lint: %-12s %8.1fms\n", tm.Name, float64(tm.Duration.Microseconds())/1000)
 		}
-		fmt.Fprintln(stdout, d)
+	}
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     relTo(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		if err := writeJSON(stdout, out); err != nil {
+			fmt.Fprintln(stderr, "ohpc-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relTo(root, d.Pos.Filename)
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "ohpc-lint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// runIgnores implements -ignores: an inventory of every suppression in
+// the loaded units, so reviewers can audit what the lint suite is being
+// told to overlook and why. Exit status is 0 — having suppressions is
+// not a finding; having stale ones is, and the lint pass reports those.
+func runIgnores(units []*analysis.Unit, root string, asJSON bool, stdout, stderr *os.File) int {
+	igs := analysis.Ignores(units)
+	for i := range igs {
+		igs[i].File = relTo(root, igs[i].File)
+	}
+	if asJSON {
+		if err := writeJSON(stdout, igs); err != nil {
+			fmt.Fprintln(stderr, "ohpc-lint:", err)
+			return 2
+		}
+		return 0
+	}
+	for _, ig := range igs {
+		names := ""
+		for i, n := range ig.Names {
+			if i > 0 {
+				names += ","
+			}
+			names += n
+		}
+		fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", ig.File, ig.Line, names, ig.Reason)
+	}
+	fmt.Fprintf(stderr, "ohpc-lint: %d suppression(s)\n", len(igs))
+	return 0
+}
+
+func relTo(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil {
+		return rel
+	}
+	return path
+}
+
+func writeJSON(w *os.File, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 // moduleRoot walks up from the working directory to the go.mod.

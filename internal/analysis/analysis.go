@@ -31,13 +31,28 @@
 //   - codederr:    errors are built with the errs constructors so they
 //     carry a taxonomy code — no naked fmt.Errorf outside internal/errs
 //     (test files exempt).
+//   - golife:      every goroutine spawned outside tests has a provable
+//     exit path — no infinite loop without a return/break/terminal, no
+//     empty select{}.
+//   - lockorder:   nested mutex acquisitions must follow the edges
+//     declared in lockorder.manifest; inversions of declared edges are
+//     deadlock-capable cycles.
+//   - caprefund:   a capability quota/ratelimit charge (Process or
+//     wrapRequest) is refunded on every error return.
+//
+// spanend, golife's sibling caprefund, and any future ownership check
+// share the lifecycle engine in lifecycle.go: acquire-site detection,
+// per-path release obligations, escape/hand-off and defer handling,
+// and nil/error-guard path refinement, parameterized by matchers.
 //
 // Deliberate violations are suppressed per line with
 //
 //	//lint:ignore <analyzer>[,<analyzer>|all] <reason>
 //
 // on, or immediately above, the offending line. The reason is
-// mandatory.
+// mandatory. When the full suite runs, a directive that suppresses
+// nothing is itself reported (as staleignore): delete suppressions
+// that have outlived their violation.
 package analysis
 
 import (
@@ -48,6 +63,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 
 	"openhpcxx/internal/errs"
 )
@@ -104,7 +120,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All lists every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoSleep, LockedBlock, SpanEnd, CheckedErr, CtxFlow, WireVer, CodedErr}
+	return []*Analyzer{NoSleep, LockedBlock, SpanEnd, CheckedErr, CtxFlow, WireVer, CodedErr, GoLife, LockOrder, CapRefund}
 }
 
 // ByName resolves a comma-separated analyzer list ("nosleep,spanend").
@@ -155,10 +171,36 @@ func Select(only, skip string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// Timing is one analyzer's cumulative wall time across all units.
+type Timing struct {
+	Name     string
+	Duration time.Duration
+}
+
+// StaleIgnoreName is the pseudo-analyzer stale-suppression findings are
+// reported under. It has no Run function and is not in All(): the
+// driver itself emits these, and only when the full suite ran — a
+// partial -only/-skip run cannot tell "the directive is stale" from
+// "the analyzer it mutes didn't run".
+const StaleIgnoreName = "staleignore"
+
 // Run executes the analyzers over the units, applies //lint:ignore
 // suppressions, and returns the surviving findings sorted by position.
+// When the run includes every analyzer in All(), a //lint:ignore that
+// suppressed nothing is itself reported (as staleignore): a suppression
+// that has outlived its violation hides nothing today and a real
+// finding tomorrow.
 func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(units, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer cumulative wall time, for the
+// driver's -v output.
+func RunTimed(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var diags []Diagnostic
+	elapsed := map[string]time.Duration{}
+	full := runsFullSuite(analyzers)
 	for _, u := range units {
 		sup := suppressions(u)
 		for _, a := range analyzers {
@@ -168,7 +210,21 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 					diags = append(diags, d)
 				}
 			}
+			start := time.Now()
 			a.Run(pass)
+			elapsed[a.Name] += time.Since(start)
+		}
+		if full {
+			for _, dir := range sup.list {
+				if !dir.used {
+					diags = append(diags, Diagnostic{
+						Pos:      dir.pos,
+						Analyzer: StaleIgnoreName,
+						Message: fmt.Sprintf("stale suppression: no %s finding fires here anymore — delete this //lint:ignore (reason was: %s)",
+							strings.Join(dir.names, ","), dir.reason),
+					})
+				}
+			}
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -184,7 +240,60 @@ func Run(units []*Unit, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	var timings []Timing
+	for _, a := range analyzers {
+		timings = append(timings, Timing{Name: a.Name, Duration: elapsed[a.Name]})
+	}
+	return diags, timings
+}
+
+// runsFullSuite reports whether the analyzer set covers all of All(),
+// which is what arms stale-suppression detection.
+func runsFullSuite(analyzers []*Analyzer) bool {
+	have := map[string]bool{}
+	for _, a := range analyzers {
+		have[a.Name] = true
+	}
+	for _, a := range All() {
+		if !have[a.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ignore is one //lint:ignore directive, for the driver's -ignores
+// inventory mode.
+type Ignore struct {
+	Pos    token.Position `json:"-"`
+	File   string         `json:"file"`
+	Line   int            `json:"line"`
+	Names  []string       `json:"analyzers"`
+	Reason string         `json:"reason"`
+}
+
+// Ignores lists every //lint:ignore directive in the units, in position
+// order.
+func Ignores(units []*Unit) []Ignore {
+	var out []Ignore
+	for _, u := range units {
+		for _, dir := range suppressions(u).list {
+			out = append(out, Ignore{
+				Pos:    dir.pos,
+				File:   dir.pos.Filename,
+				Line:   dir.pos.Line,
+				Names:  dir.names,
+				Reason: dir.reason,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 // ---- shared type/AST helpers ----
@@ -314,26 +423,52 @@ func (s funcScope) node() ast.Node {
 	return s.lit
 }
 
-var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+\S`)
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+(\S.*)$`)
 
-// suppressionIndex records, per file line, which analyzers are muted.
-type suppressionIndex map[string]map[int]map[string]bool
+// ignoreDirective is one parsed //lint:ignore comment. used flips when
+// the directive actually suppresses a finding, which is what separates
+// a live suppression from a stale one.
+type ignoreDirective struct {
+	pos    token.Position
+	names  []string
+	reason string
+	used   bool
+}
 
-func (s suppressionIndex) covers(d Diagnostic) bool {
-	byLine := s[d.Pos.Filename]
-	if byLine == nil {
-		return false
+func (d *ignoreDirective) muting(analyzer string) bool {
+	for _, n := range d.names {
+		if n == "all" || n == analyzer {
+			return true
+		}
 	}
-	names := byLine[d.Pos.Line]
-	return names != nil && (names["all"] || names[d.Analyzer])
+	return false
+}
+
+// suppressionIndex holds a unit's directives, indexed by the file lines
+// they mute (their own line and the line directly below).
+type suppressionIndex struct {
+	list   []*ignoreDirective
+	byLine map[string]map[int][]*ignoreDirective
+}
+
+func (s *suppressionIndex) covers(d Diagnostic) bool {
+	covered := false
+	for _, dir := range s.byLine[d.Pos.Filename][d.Pos.Line] {
+		if dir.muting(d.Analyzer) {
+			dir.used = true
+			covered = true
+		}
+	}
+	return covered
 }
 
 // suppressions scans a unit's comments for //lint:ignore directives. A
 // directive mutes the named analyzers on its own line and on the line
 // directly below it (so it can trail the offending statement or sit
-// above it).
-func suppressions(u *Unit) suppressionIndex {
-	idx := suppressionIndex{}
+// above it). The reason is mandatory — a directive without one does not
+// parse and suppresses nothing.
+func suppressions(u *Unit) *suppressionIndex {
+	idx := &suppressionIndex{byLine: map[string]map[int][]*ignoreDirective{}}
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -341,21 +476,21 @@ func suppressions(u *Unit) suppressionIndex {
 				if m == nil {
 					continue
 				}
-				pos := u.Fset.Position(c.Pos())
-				byLine := idx[pos.Filename]
-				if byLine == nil {
-					byLine = map[int]map[string]bool{}
-					idx[pos.Filename] = byLine
+				dir := &ignoreDirective{
+					pos:    u.Fset.Position(c.Pos()),
+					reason: strings.TrimSpace(m[2]),
 				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					names := byLine[line]
-					if names == nil {
-						names = map[string]bool{}
-						byLine[line] = names
-					}
-					for _, n := range strings.Split(m[1], ",") {
-						names[strings.TrimSpace(n)] = true
-					}
+				for _, n := range strings.Split(m[1], ",") {
+					dir.names = append(dir.names, strings.TrimSpace(n))
+				}
+				idx.list = append(idx.list, dir)
+				byLine := idx.byLine[dir.pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]*ignoreDirective{}
+					idx.byLine[dir.pos.Filename] = byLine
+				}
+				for _, line := range []int{dir.pos.Line, dir.pos.Line + 1} {
+					byLine[line] = append(byLine[line], dir)
 				}
 			}
 		}

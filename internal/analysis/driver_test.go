@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLockOrderManifestParses(t *testing.T) {
+	edges, err := lockOrderDecls()
+	if err != nil {
+		t.Fatalf("embedded manifest: %v", err)
+	}
+	if !edges["transport.shmListener.mu"]["transport.SHM.mu"] {
+		t.Errorf("manifest lost the transport.shmListener.mu -> transport.SHM.mu edge")
+	}
+	if !edges["lockorder.A.mu"]["lockorder.B.mu"] {
+		t.Errorf("manifest lost the golden-corpus lockorder.A.mu -> lockorder.B.mu edge")
+	}
+}
+
+// TestLockOrderManifestAcyclic is the guarantee the manifest header
+// promises: declared orderings must never close a cycle, otherwise two
+// code sites could each follow a declared edge and still deadlock.
+func TestLockOrderManifestAcyclic(t *testing.T) {
+	edges, err := lockOrderDecls()
+	if err != nil {
+		t.Fatalf("embedded manifest: %v", err)
+	}
+	const (
+		white = iota // unvisited
+		grey         // on the current DFS path
+		black        // finished
+	)
+	color := map[string]int{}
+	var visit func(n string, path []string)
+	visit = func(n string, path []string) {
+		color[n] = grey
+		path = append(path, n)
+		for m := range edges[n] {
+			switch color[m] {
+			case grey:
+				t.Fatalf("lockorder.manifest has a cycle: %s -> %s", strings.Join(path, " -> "), m)
+			case white:
+				visit(m, path)
+			}
+		}
+		color[n] = black
+	}
+	for n := range edges {
+		if color[n] == white {
+			visit(n, nil)
+		}
+	}
+}
+
+func TestParseLockManifestMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"not-an-edge",
+		"a ->",
+		"-> b",
+		"a -> b c",
+		"a b -> c",
+	} {
+		if _, err := parseLockManifest(bad); err == nil {
+			t.Errorf("parseLockManifest(%q) accepted a malformed line", bad)
+		}
+	}
+	edges, err := parseLockManifest("# comment\n\na.X.mu -> b.Y.mu # trailing note\n")
+	if err != nil {
+		t.Fatalf("well-formed manifest rejected: %v", err)
+	}
+	if !edges["a.X.mu"]["b.Y.mu"] {
+		t.Errorf("comments/whitespace handling dropped the edge: %v", edges)
+	}
+}
+
+// staleSrc has one live suppression (golife would fire on the spinner)
+// and one stale suppression (nothing ever fires on a bare return).
+const staleSrc = `package life
+
+func used() {
+	//lint:ignore golife deliberate spinner for the driver test
+	go func() {
+		for {
+		}
+	}()
+}
+
+func stale() int {
+	//lint:ignore nosleep the sleep this muted was deleted long ago
+	return 1
+}
+`
+
+func TestStaleSuppressionDetection(t *testing.T) {
+	u := lifeTestUnit(t, staleSrc)
+
+	diags := Run([]*Unit{u}, All())
+	if len(diags) != 1 {
+		t.Fatalf("full suite: got %d findings %v, want exactly the stale directive", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != StaleIgnoreName {
+		t.Errorf("finding analyzer = %q, want %q", d.Analyzer, StaleIgnoreName)
+	}
+	if !strings.Contains(d.Message, "nosleep") || !strings.Contains(d.Message, "deleted long ago") {
+		t.Errorf("stale message should name the muted analyzer and quote the reason: %q", d.Message)
+	}
+	if d.Pos.Line != 12 {
+		t.Errorf("stale finding at line %d, want 12 (the directive itself)", d.Pos.Line)
+	}
+
+	// A partial run cannot distinguish stale from not-run: no report.
+	partial, err := Select("golife", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Unit{u}, partial); len(diags) != 0 {
+		t.Errorf("partial run: got %v, want no findings (stale detection must stay disarmed)", diags)
+	}
+}
+
+func TestIgnoresInventory(t *testing.T) {
+	u := lifeTestUnit(t, staleSrc)
+	igs := Ignores([]*Unit{u})
+	if len(igs) != 2 {
+		t.Fatalf("got %d directives, want 2: %v", len(igs), igs)
+	}
+	if igs[0].Line != 4 || igs[0].Names[0] != "golife" || igs[0].Reason != "deliberate spinner for the driver test" {
+		t.Errorf("first directive parsed wrong: %+v", igs[0])
+	}
+	if igs[1].Line != 12 || igs[1].Names[0] != "nosleep" {
+		t.Errorf("second directive parsed wrong: %+v", igs[1])
+	}
+}

@@ -21,6 +21,9 @@ var goldenCorpora = []string{
 	"ctxflow",
 	"wirever",
 	"codederr",
+	"golife",
+	"lockorder",
+	"caprefund",
 }
 
 // wantRe extracts the expectation regex from a trailing comment.

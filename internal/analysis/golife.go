@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLife enforces that every goroutine spawned outside tests has a
+// provable exit path. The determinism sweep and every clock.Fake test
+// assume spawned goroutines are stoppable: a background loop with no
+// way out survives Close(), pins its captures, and — when it waits on
+// an injected clock — wedges the fake-clock advance that expects all
+// waiters to drain.
+//
+// The check resolves each `go` statement's target (a function literal,
+// or a same-package function/method declaration) and inspects its body:
+// an infinite `for` loop (no condition) must contain an exit — a
+// `return` on some path, a `break` out of the loop, or a terminal call
+// (panic, os.Exit, runtime.Goexit) — and an empty `select{}` blocks
+// forever outright. The usual correct shapes all pass: `select` on a
+// stop channel or ctx.Done() with a `return` case, `for range ch`
+// (exits when the channel closes), and condition-bounded loops.
+// Goroutines whose target cannot be resolved statically (function
+// values, cross-package calls) are the callee's obligation, checked
+// where the callee lives.
+var GoLife = &Analyzer{
+	Name: "golife",
+	Doc:  "every goroutine spawned outside tests must have a provable exit path",
+	Run:  runGoLife,
+}
+
+func runGoLife(pass *Pass) {
+	if pass.Unit.Test {
+		return
+	}
+	decls := funcDeclIndex(pass)
+	for _, file := range pass.Files() {
+		if strings.HasSuffix(pass.Fset().Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body, name := goTargetBody(pass, decls, g.Call)
+			if body == nil {
+				return true
+			}
+			if what, ok := noExitPath(pass.Info(), body); ok {
+				pass.Reportf(g.Pos(), "goroutine %s has %s with no exit path (no return, break out of it, or terminal call): select on a stop channel or ctx.Done() and return", name, what)
+			}
+			return true
+		})
+	}
+}
+
+// funcDeclIndex maps each function/method object declared in the unit
+// to its declaration, so `go t.loop()` resolves to loop's body.
+func funcDeclIndex(pass *Pass) map[types.Object]*ast.FuncDecl {
+	idx := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files() {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info().Defs[fd.Name]; obj != nil {
+					idx[obj] = fd
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// goTargetBody resolves the body a `go` statement will run: a literal's
+// body directly, or a same-unit declaration's. nil when the target is a
+// function value or lives in another package.
+func goTargetBody(pass *Pass, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) (*ast.BlockStmt, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, "func literal"
+	case *ast.Ident:
+		if fd, ok := decls[pass.Info().Uses[fun]]; ok {
+			return fd.Body, fun.Name
+		}
+	case *ast.SelectorExpr:
+		if fd, ok := decls[pass.Info().Uses[fun.Sel]]; ok {
+			return fd.Body, fun.Sel.Name
+		}
+	}
+	return nil, ""
+}
+
+// noExitPath scans a goroutine body for a construct that provably never
+// lets the goroutine exit: an infinite `for` with no way out, or an
+// empty `select{}`. Nested function literals are their own goroutines'
+// business and are pruned.
+func noExitPath(info *types.Info, body *ast.BlockStmt) (string, bool) {
+	var what string
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectStmt:
+			if len(stmt.Body.List) == 0 {
+				what = "an empty select{} (blocks forever)"
+				return false
+			}
+		case *ast.ForStmt:
+			if stmt.Cond != nil {
+				return true
+			}
+			label := ""
+			if len(stack) > 0 {
+				if ls, ok := stack[len(stack)-1].(*ast.LabeledStmt); ok {
+					label = ls.Label.Name
+				}
+			}
+			if !loopHasExit(info, stmt.Body, label) {
+				what = "an infinite loop"
+				return false
+			}
+		}
+		return true
+	})
+	return what, what != ""
+}
+
+// loopHasExit reports whether an infinite loop's body contains a way
+// out: a return (at any depth, not crossing a function literal), a
+// break that targets this loop (unlabeled and not captured by a nested
+// loop/switch/select, or labeled with the loop's own label), or a
+// terminal call.
+func loopHasExit(info *types.Info, body *ast.BlockStmt, label string) bool {
+	found := false
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if found {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if stmt.Tok != token.BREAK {
+				return true
+			}
+			if stmt.Label != nil {
+				found = label != "" && stmt.Label.Name == label
+				return true
+			}
+			// An unlabeled break exits the innermost for/switch/select;
+			// it reaches this loop only if none intervene.
+			for _, anc := range stack {
+				switch anc.(type) {
+				case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+					return true
+				}
+			}
+			found = true
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && isTerminalCall(info, call) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// lifeTestUnit type-checks one import-free source file into a Unit, so
+// engine tests run without touching the source importer.
+func lifeTestUnit(t *testing.T, src string) *Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "life.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := (&types.Config{}).Check("life", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return &Unit{Path: "life", Fset: fset, Files: []*ast.File{file}, Pkg: pkg, Info: info}
+}
+
+// lifeTestRun applies a synthetic spec — acquire() opens an obligation
+// on its bound handle, any release(...) call or h.close() discharges it
+// — and returns "kind@line" strings for every report, with lines
+// numbered relative to the start of body (the header is line 0).
+func lifeTestRun(t *testing.T, header, body string, mutate func(*lifeSpec)) []string {
+	t.Helper()
+	u := lifeTestUnit(t, header+body)
+	offset := strings.Count(header, "\n")
+	var got []string
+	spec := &lifeSpec{
+		acquire: func(p *Pass, call *ast.CallExpr, parent ast.Node) *lifeAcquire {
+			f := calleeFunc(p.Info(), call)
+			if f == nil || f.Name() != "acquire" {
+				return nil
+			}
+			switch par := parent.(type) {
+			case *ast.ExprStmt:
+				return &lifeAcquire{discard: true}
+			case *ast.AssignStmt:
+				acq := &lifeAcquire{errObj: errBinding(p.Info(), par)}
+				if id, ok := par.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+					if obj := p.Info().Defs[id]; obj != nil {
+						acq.obj = obj
+					} else {
+						acq.obj = p.Info().Uses[id]
+					}
+				}
+				return acq
+			}
+			return nil
+		},
+		isRelease: func(info *types.Info, call *ast.CallExpr, v *lifeVar) bool {
+			f := calleeFunc(info, call)
+			return f != nil && (f.Name() == "release" || f.Name() == "close")
+		},
+		nilGuards: true,
+		// spanend's escape classifier, except an argument to release()
+		// is the discharge itself, not a hand-off.
+		useIsLocal: func(id *ast.Ident, stack []ast.Node) bool {
+			if len(stack) > 0 {
+				if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok {
+					if f := calleeFunc(u.Info, call); f != nil && f.Name() == "release" {
+						return true
+					}
+				}
+			}
+			return spanUseIsLocal(id, stack)
+		},
+		report: func(p *Pass, v *lifeVar, pos token.Pos, kind lifeKind) {
+			names := map[lifeKind]string{
+				lifeDiscarded: "discarded", lifeReturn: "return",
+				lifeFallOff: "falloff", lifeLoopEnd: "loopend", lifeCarried: "carried",
+			}
+			got = append(got, fmt.Sprintf("%s@%d", names[kind], p.Fset().Position(pos).Line-offset))
+		},
+	}
+	if mutate != nil {
+		mutate(spec)
+	}
+	pass := &Pass{Analyzer: &Analyzer{Name: "lifetest"}, Unit: u, report: func(Diagnostic) {}}
+	runLifecycle(pass, spec)
+	return got
+}
+
+const lifeHeader = `package life
+
+type handle struct{}
+
+func (h *handle) close()           {}
+func (h *handle) touch()           {}
+func acquire() *handle             { return nil }
+func acquireErr() (*handle, error) { return nil, nil }
+func release(h *handle)            {}
+func sink(h *handle)               {}
+func fail() error                  { return nil }
+func cond() bool                   { return false }
+`
+
+func TestLifecycleBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{"released on all paths", `
+func f() {
+	h := acquire()
+	if cond() {
+		release(h)
+		return
+	}
+	h.close()
+}`, nil},
+		{"missing on one branch", `
+func f() {
+	h := acquire()
+	if cond() {
+		return
+	}
+	release(h)
+}`, []string{"return@5"}},
+		{"falls off the end", `
+func f() {
+	h := acquire()
+	h.touch()
+}`, []string{"falloff@3"}},
+		{"discarded", `
+func f() {
+	acquire()
+}`, []string{"discarded@3"}},
+		{"deferred release", `
+func f() {
+	h := acquire()
+	defer release(h)
+	if cond() {
+		return
+	}
+}`, nil},
+		{"deferred closure release", `
+func f() {
+	h := acquire()
+	defer func() { release(h) }()
+}`, nil},
+		{"escape via callee", `
+func f() {
+	h := acquire()
+	sink(h)
+}`, nil},
+		{"nil guard refines", `
+func f() {
+	h := acquire()
+	if h == nil {
+		return
+	}
+	release(h)
+}`, nil},
+		{"loop-local obligation", `
+func f() {
+	for cond() {
+		h := acquire()
+		h.touch()
+	}
+}`, []string{"loopend@4"}},
+		{"terminal call ends path", `
+func f() {
+	h := acquire()
+	h.touch()
+	panic("done")
+}`, nil},
+		{"select clauses all release", `
+func f(a, b chan int) {
+	h := acquire()
+	select {
+	case <-a:
+		release(h)
+	case <-b:
+		h.close()
+	}
+}`, nil},
+		{"switch without default leaks past", `
+func f(n int) {
+	h := acquire()
+	switch n {
+	case 1:
+		release(h)
+	}
+}`, []string{"falloff@3"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lifeTestRun(t, lifeHeader, tc.src, nil)
+			if strings.Join(got, " ") != strings.Join(tc.want, " ") {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLifecycleErrorMode(t *testing.T) {
+	errMode := func(s *lifeSpec) {
+		s.errGuards = true
+		s.errReturnsOnly = true
+		s.loopCarry = true
+		s.closureRelease = true
+	}
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{"err guard clears the failed acquire", `
+func f() error {
+	h, err := acquire_err()
+	if err != nil {
+		return err
+	}
+	_ = h
+	return nil
+}`, nil},
+		{"error return with live charge", `
+func f() error {
+	h, err := acquire_err()
+	if err != nil {
+		return err
+	}
+	_ = h
+	if cond() {
+		return fail()
+	}
+	return nil
+}`, []string{"return@9"}},
+		{"success return keeps the charge", `
+func f() error {
+	h, err := acquire_err()
+	if err != nil {
+		return err
+	}
+	_ = h
+	return nil
+}`, nil},
+		{"reassignment kills the guard", `
+func f() error {
+	h, err := acquire_err()
+	if err != nil {
+		return err
+	}
+	_ = h
+	err = fail()
+	if err != nil {
+		return err
+	}
+	return nil
+}`, []string{"return@10"}},
+		{"loop carry", `
+func f(n int) error {
+	for i := 0; i < n; i++ {
+		h, err := acquire_err()
+		if err != nil {
+			return err
+		}
+		_ = h
+	}
+	return nil
+}`, []string{"carried@6"}},
+		{"loop carry released", `
+func f(n int) error {
+	for i := 0; i < n; i++ {
+		h, err := acquire_err()
+		if err != nil {
+			release(h)
+			return err
+		}
+		_ = h
+	}
+	return nil
+}`, nil},
+		{"closure hand-off", `
+func f() error {
+	h, err := acquire_err()
+	if err != nil {
+		return err
+	}
+	go func() { release(h) }()
+	if cond() {
+		return fail()
+	}
+	return nil
+}`, nil},
+	}
+	// acquire_err keeps the err-binding form; alias it into the spec's
+	// matcher by name.
+	header := strings.ReplaceAll(lifeHeader, "func acquireErr", "func acquire_err")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lifeTestRun(t, header, tc.src, func(s *lifeSpec) {
+				errMode(s)
+				base := s.acquire
+				s.acquire = func(p *Pass, call *ast.CallExpr, parent ast.Node) *lifeAcquire {
+					if f := calleeFunc(p.Info(), call); f != nil && f.Name() == "acquire_err" {
+						if as, ok := parent.(*ast.AssignStmt); ok {
+							return &lifeAcquire{errObj: errBinding(p.Info(), as)}
+						}
+					}
+					return base(p, call, parent)
+				}
+			})
+			if strings.Join(got, " ") != strings.Join(tc.want, " ") {
+				t.Errorf("got %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -13,8 +13,10 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"openhpcxx/internal/errs"
 )
@@ -43,6 +45,12 @@ type Unit struct {
 // directory yields up to two units: the package including its
 // in-package test files, and — when present — its external test
 // package.
+//
+// Directories are checked by a bounded worker pool. The token.FileSet
+// is safe for concurrent AddFile/Position, and the source importer is
+// serialized behind lockedImporter, so concurrent units contend only on
+// first-import of a shared dependency and overlap everywhere else —
+// parsing, and checking their own files' bodies.
 func Load(root string, patterns []string) ([]*Unit, error) {
 	modPath, err := modulePath(root)
 	if err != nil {
@@ -53,25 +61,53 @@ func Load(root string, patterns []string) ([]*Unit, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	// One source importer shared by every unit: it type-checks imported
-	// packages (stdlib and this module alike) from source and caches
-	// them across Import calls.
-	imp := importer.ForCompiler(fset, "source", nil)
+	imp := newSharedImporter(fset)
+
+	type slot struct {
+		units []*Unit
+		err   error
+	}
+	slots := make([]slot, len(dirs))
+	workers := min(runtime.GOMAXPROCS(0), 8, len(dirs))
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				dir := dirs[i]
+				rel, err := filepath.Rel(root, dir)
+				if err != nil {
+					slots[i].err = err
+					continue
+				}
+				importPath := modPath
+				if rel != "." {
+					importPath = modPath + "/" + filepath.ToSlash(rel)
+				}
+				slots[i].units, slots[i].err = loadDir(fset, imp, dir, importPath)
+			}
+		}()
+	}
+	for i := range dirs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	// Flatten in directory order so output is deterministic regardless
+	// of which worker finished first; report the first error the serial
+	// loader would have hit.
 	var units []*Unit
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(root, dir)
-		if err != nil {
-			return nil, err
+	for _, s := range slots {
+		if s.err != nil {
+			return nil, s.err
 		}
-		importPath := modPath
-		if rel != "." {
-			importPath = modPath + "/" + filepath.ToSlash(rel)
-		}
-		us, err := loadDir(fset, imp, dir, importPath)
-		if err != nil {
-			return nil, err
-		}
-		units = append(units, us...)
+		units = append(units, s.units...)
 	}
 	return units, nil
 }
@@ -81,8 +117,37 @@ func Load(root string, patterns []string) ([]*Unit, error) {
 // testdata with a synthetic import path.
 func LoadDir(dir, importPath string) ([]*Unit, error) {
 	fset := token.NewFileSet()
+	return loadDir(fset, newSharedImporter(fset), dir, importPath)
+}
+
+// newSharedImporter builds the one source importer every unit shares:
+// it type-checks imported packages (stdlib and this module alike) from
+// source and caches them across Import calls. The source importer's
+// internal cache is not goroutine-safe, so it is wrapped in a mutex;
+// the *types.Package values it returns are immutable once complete and
+// safe to read concurrently.
+func newSharedImporter(fset *token.FileSet) types.Importer {
 	imp := importer.ForCompiler(fset, "source", nil)
-	return loadDir(fset, imp, dir, importPath)
+	if from, ok := imp.(types.ImporterFrom); ok {
+		return &lockedImporter{imp: from}
+	}
+	return imp
+}
+
+// lockedImporter serializes a non-goroutine-safe ImporterFrom.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.ImporterFrom
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+func (l *lockedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.ImportFrom(path, dir, mode)
 }
 
 // modulePath reads the module path out of root's go.mod.

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	_ "embed"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"openhpcxx/internal/errs"
+)
+
+// LockOrder enforces a repo-wide mutex acquisition order. Deadlocks
+// between the transport, health, and directory planes are the classic
+// two-lock inversion: goroutine A holds mux.mu and wants fabric.mu,
+// goroutine B holds fabric.mu and wants mux.mu. The fix is a total
+// order, and this analyzer machine-checks it: every place one named
+// mutex is acquired while another is held contributes an edge to the
+// acquisition graph, and every edge must be declared in the checked-in
+// manifest (lockorder.manifest, embedded below). An edge whose inverse
+// is declared is reported as a deadlock-capable cycle; an edge declared
+// nowhere must be added to the manifest — a deliberate, reviewed act
+// that documents the ordering. The manifest itself is kept acyclic by
+// a unit test, so declared orderings can never close a cycle.
+//
+// Locks are named structurally: `pkg.Type.field` for a mutex field
+// (whatever the receiver chain — t.mu and other.mu are the same lock
+// name, so shard-vs-shard self-nesting is out of scope), `pkg.var` for
+// a package-level mutex. Function-local mutexes are unnamed and
+// skipped. RLock counts as Lock (read locks invert just as well), and
+// a `defer Unlock` holds to the end of the enclosing list.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "nested mutex acquisitions must follow the declared order in lockorder.manifest",
+	Run:  runLockOrder,
+}
+
+//go:embed lockorder.manifest
+var lockOrderManifest string
+
+var (
+	lockOrderOnce  sync.Once
+	lockOrderEdges map[string]map[string]bool
+	lockOrderErr   error
+)
+
+// lockOrderDecls parses the embedded manifest once: one `from -> to`
+// edge per line, '#' comments, blank lines ignored.
+func lockOrderDecls() (map[string]map[string]bool, error) {
+	lockOrderOnce.Do(func() {
+		lockOrderEdges, lockOrderErr = parseLockManifest(lockOrderManifest)
+	})
+	return lockOrderEdges, lockOrderErr
+}
+
+func parseLockManifest(text string) (map[string]map[string]bool, error) {
+	edges := map[string]map[string]bool{}
+	for i, line := range strings.Split(text, "\n") {
+		if j := strings.IndexByte(line, '#'); j >= 0 {
+			line = line[:j]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		from, to, ok := strings.Cut(line, "->")
+		from, to = strings.TrimSpace(from), strings.TrimSpace(to)
+		if !ok || from == "" || to == "" || strings.ContainsAny(from+to, " \t") {
+			return nil, errs.Newf(errs.Config, "lockorder.manifest:%d: malformed edge (want \"from -> to\")", i+1)
+		}
+		if edges[from] == nil {
+			edges[from] = map[string]bool{}
+		}
+		edges[from][to] = true
+	}
+	return edges, nil
+}
+
+func runLockOrder(pass *Pass) {
+	edges, err := lockOrderDecls()
+	if err != nil {
+		for _, f := range pass.Files() {
+			pass.Reportf(f.Pos(), "%v", err)
+			break
+		}
+		return
+	}
+	for _, file := range pass.Files() {
+		for _, scope := range funcScopes(file) {
+			checkLockOrderList(pass, edges, scope.body.List, nil)
+		}
+	}
+}
+
+// heldLock is one mutex currently held while scanning a statement list.
+type heldLock struct {
+	key  string // manifest name; "" for unnamed (local) mutexes
+	recv string // printed receiver expression, for Unlock matching
+}
+
+// checkLockOrderList scans one statement list tracking held locks.
+// Nested blocks see a copy of the held set; locks they acquire do not
+// leak to their siblings (conservative: a lock provably held across a
+// sibling boundary is already held at the nested acquisition, which is
+// where the edge is observed).
+func checkLockOrderList(pass *Pass, edges map[string]map[string]bool, stmts []ast.Stmt, held []heldLock) {
+	held = held[:len(held):len(held)] // appends below must not alias the caller's tail
+	for _, s := range stmts {
+		if recv, ok := lockCall(s, "Lock", "RLock"); ok {
+			key := lockOrderKey(pass, s.(*ast.ExprStmt).X.(*ast.CallExpr))
+			if key != "" {
+				for _, h := range held {
+					if h.key != "" && h.key != key {
+						checkLockEdge(pass, edges, h.key, key, s.Pos())
+					}
+				}
+			}
+			held = append(held, heldLock{key: key, recv: recv})
+			continue
+		}
+		if recv, ok := lockCall(s, "Unlock", "RUnlock"); ok {
+			for i := len(held) - 1; i >= 0; i-- {
+				if held[i].recv == recv {
+					held = append(held[:i:i], held[i+1:]...)
+					break
+				}
+			}
+			continue
+		}
+		// defer x.Unlock() holds to the end of the list: nothing to do.
+		checkLockOrderNested(pass, edges, s, held)
+	}
+}
+
+// checkLockOrderNested descends into a compound statement's bodies with
+// the current held set. Function literals run later, off this
+// goroutine's lock stack, and are scanned as their own empty-held
+// scopes by funcScopes.
+func checkLockOrderNested(pass *Pass, edges map[string]map[string]bool, s ast.Stmt, held []heldLock) {
+	switch stmt := s.(type) {
+	case *ast.BlockStmt:
+		checkLockOrderList(pass, edges, stmt.List, held)
+	case *ast.LabeledStmt:
+		checkLockOrderNested(pass, edges, stmt.Stmt, held)
+	case *ast.IfStmt:
+		checkLockOrderList(pass, edges, stmt.Body.List, held)
+		if stmt.Else != nil {
+			checkLockOrderNested(pass, edges, stmt.Else, held)
+		}
+	case *ast.ForStmt:
+		checkLockOrderList(pass, edges, stmt.Body.List, held)
+	case *ast.RangeStmt:
+		checkLockOrderList(pass, edges, stmt.Body.List, held)
+	case *ast.SwitchStmt:
+		for _, b := range caseBodies(stmt.Body) {
+			checkLockOrderList(pass, edges, b, held)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, b := range caseBodies(stmt.Body) {
+			checkLockOrderList(pass, edges, b, held)
+		}
+	case *ast.SelectStmt:
+		for _, b := range commBodies(stmt.Body) {
+			checkLockOrderList(pass, edges, b, held)
+		}
+	}
+}
+
+func checkLockEdge(pass *Pass, edges map[string]map[string]bool, from, to string, pos token.Pos) {
+	if edges[from][to] {
+		return
+	}
+	if edges[to][from] {
+		pass.Reportf(pos, "lock %s acquired while holding %s inverts the declared order %s -> %s: deadlock-capable cycle", to, from, to, from)
+		return
+	}
+	pass.Reportf(pos, "undeclared lock ordering: %s acquired while holding %s — declare \"%s -> %s\" in internal/analysis/lockorder.manifest (and keep it acyclic)", to, from, from, to)
+}
+
+// lockOrderKey names the mutex a Lock/Unlock call operates on:
+// `pkg.Type.field` for a struct-field mutex, `pkg.var` for a
+// package-level one, "" for locals and anything unresolvable.
+func lockOrderKey(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	info := pass.Info()
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		s, ok := info.Selections[x]
+		if !ok || s.Kind() != types.FieldVal {
+			return ""
+		}
+		recv := s.Recv()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			return ""
+		}
+		obj := named.Obj()
+		if obj == nil || obj.Pkg() == nil {
+			return ""
+		}
+		return obj.Pkg().Name() + "." + obj.Name() + "." + s.Obj().Name()
+	case *ast.Ident:
+		obj, ok := info.Uses[x].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			return "" // function-local mutex: unnamed
+		}
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return ""
+}

@@ -13,13 +13,13 @@ import (
 // deferred End, or by handing ownership away (returning the span,
 // passing it to a callee, capturing it in a closure).
 //
-// The check is a lightweight path walk, not a full CFG: it follows
-// if/switch/select/for statements, understands early returns, and
-// treats `if sp != nil { ... }` (and nil-guards on the span's origin —
-// `if root != nil` for sp := root.Child(...)) as path-refining, because
-// Active methods are nil-safe and a nil span needs no End. Spans whose
-// ownership escapes are skipped: the pairing is then the new owner's
-// obligation, checked where that owner lives.
+// The check runs on the shared lifecycle engine (lifecycle.go): a path
+// walk that follows if/switch/select/for statements, understands early
+// returns, and treats `if sp != nil { ... }` (and nil-guards on the
+// span's origin — `if root != nil` for sp := root.Child(...)) as
+// path-refining, because Active methods are nil-safe and a nil span
+// needs no End. Spans whose ownership escapes are skipped: the pairing
+// is then the new owner's obligation, checked where that owner lives.
 var SpanEnd = &Analyzer{
 	Name: "spanend",
 	Doc:  "obs spans must be ended on all return paths (or deferred, or ownership handed off)",
@@ -27,11 +27,13 @@ var SpanEnd = &Analyzer{
 }
 
 func runSpanEnd(pass *Pass) {
-	for _, file := range pass.Files() {
-		for _, scope := range funcScopes(file) {
-			checkSpanScope(pass, scope)
-		}
-	}
+	runLifecycle(pass, &lifeSpec{
+		acquire:    spanAcquire,
+		isRelease:  spanRelease,
+		useIsLocal: spanUseIsLocal,
+		nilGuards:  true,
+		report:     spanReport,
+	})
 }
 
 // isActivePtr reports whether t is *obs.Active.
@@ -48,64 +50,48 @@ func isActivePtr(t types.Type) bool {
 	return obj != nil && obj.Name() == "Active" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/obs")
 }
 
-// spanVar is one tracked span binding within a function scope.
-type spanVar struct {
-	obj    types.Object    // the variable holding the span
-	origin types.Object    // receiver the span was started from (root in root.Child), or nil
-	start  *ast.AssignStmt // the statement that bound it
-	pos    token.Pos
+// spanAcquire recognizes a span start: any call whose static type is
+// *obs.Active. An unbound start (expression statement) is a discard;
+// only the simple single-binding form is tracked — everything else
+// (multi-assign, field targets, argument position) counts as an
+// ownership handoff.
+func spanAcquire(pass *Pass, call *ast.CallExpr, parent ast.Node) *lifeAcquire {
+	info := pass.Info()
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil || !isActivePtr(tv.Type) {
+		return nil
+	}
+	switch p := parent.(type) {
+	case *ast.ExprStmt:
+		return &lifeAcquire{discard: true}
+	case *ast.AssignStmt:
+		if len(p.Rhs) != 1 || len(p.Lhs) != 1 {
+			return nil
+		}
+		id, ok := p.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return nil
+		}
+		return &lifeAcquire{obj: obj, origin: receiverObj(info, call)}
+	}
+	return nil
 }
 
-func checkSpanScope(pass *Pass, scope funcScope) {
-	info := pass.Info()
-	var vars []*spanVar
-
-	// Pass 1: find span starts in this scope (nested function literals
-	// are their own scopes; prune them).
-	walkStack(scope.body, func(n ast.Node, stack []ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		tv, ok := info.Types[call]
-		if !ok || tv.Type == nil || !isActivePtr(tv.Type) {
-			return true
-		}
-		if len(stack) == 0 {
-			return true
-		}
-		switch parent := stack[len(stack)-1].(type) {
-		case *ast.ExprStmt:
-			pass.Reportf(call.Pos(), "span started and discarded: bind it and End() it (Active methods are nil-safe)")
-		case *ast.AssignStmt:
-			// Only track the simple single-binding form; everything else
-			// (multi-assign, field targets) counts as an ownership handoff.
-			if len(parent.Rhs) == 1 && len(parent.Lhs) == 1 {
-				if id, ok := parent.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
-					obj := info.Defs[id]
-					if obj == nil {
-						obj = info.Uses[id]
-					}
-					if obj != nil {
-						vars = append(vars, &spanVar{
-							obj:    obj,
-							origin: receiverObj(info, call),
-							start:  parent,
-							pos:    call.Pos(),
-						})
-					}
-				}
-			}
-		}
-		return true
-	})
-
-	for _, v := range vars {
-		checkSpanVar(pass, scope, v)
+// spanRelease reports whether call is v.obj.End().
+func spanRelease(info *types.Info, call *ast.CallExpr, v *lifeVar) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
 	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && info.Uses[id] == v.obj
 }
 
 // receiverObj resolves the identifier object a start call hangs off
@@ -121,70 +107,6 @@ func receiverObj(info *types.Info, call *ast.CallExpr) types.Object {
 		return nil
 	}
 	return info.Uses[id]
-}
-
-func checkSpanVar(pass *Pass, scope funcScope, v *spanVar) {
-	info := pass.Info()
-	escaped := false
-	deferred := false
-
-	walkStack(scope.body, func(n ast.Node, stack []ast.Node) bool {
-		if escaped {
-			return false
-		}
-		if d, ok := n.(*ast.DeferStmt); ok {
-			if deferEndsSpan(info, d, v.obj) {
-				deferred = true
-			}
-		}
-		id, ok := n.(*ast.Ident)
-		if !ok || (info.Uses[id] != v.obj && info.Defs[id] != v.obj) {
-			return true
-		}
-		if !spanUseIsLocal(id, stack) {
-			escaped = true
-		}
-		return true
-	})
-	if escaped || deferred {
-		return
-	}
-
-	f := &spanFlow{pass: pass, info: info, v: v}
-	live, terminated := f.scan(scope.body.List, false)
-	if !terminated && live {
-		pass.Reportf(v.pos, "span %s is still open when %s falls off the end: call %s.End() on this path", v.obj.Name(), scope.name, v.obj.Name())
-	}
-}
-
-// deferEndsSpan reports whether the defer ends v — directly
-// (defer sp.End()) or inside a deferred closure.
-func deferEndsSpan(info *types.Info, d *ast.DeferStmt, obj types.Object) bool {
-	if isEndCallOn(info, d.Call, obj) {
-		return true
-	}
-	lit, ok := d.Call.Fun.(*ast.FuncLit)
-	if !ok {
-		return false
-	}
-	found := false
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isEndCallOn(info, call, obj) {
-			found = true
-		}
-		return !found
-	})
-	return found
-}
-
-// isEndCallOn reports whether call is obj.End().
-func isEndCallOn(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "End" {
-		return false
-	}
-	id, ok := ast.Unparen(sel.X).(*ast.Ident)
-	return ok && info.Uses[id] == obj
 }
 
 // spanUseIsLocal classifies one identifier occurrence of a span var:
@@ -223,256 +145,15 @@ func spanUseIsLocal(id *ast.Ident, stack []ast.Node) bool {
 	}
 }
 
-func isNilComparison(b *ast.BinaryExpr) bool {
-	if b.Op != token.EQL && b.Op != token.NEQ {
-		return false
+func spanReport(p *Pass, v *lifeVar, pos token.Pos, kind lifeKind) {
+	switch kind {
+	case lifeDiscarded:
+		p.Reportf(pos, "span started and discarded: bind it and End() it (Active methods are nil-safe)")
+	case lifeReturn:
+		p.Reportf(pos, "span %s is still open on this return path: End() it before returning (or defer it)", v.obj.Name())
+	case lifeFallOff:
+		p.Reportf(pos, "span %s is still open when %s falls off the end: call %s.End() on this path", v.obj.Name(), v.scope.name, v.obj.Name())
+	case lifeLoopEnd:
+		p.Reportf(pos, "span %s started inside the loop body is still open at the end of the iteration", v.obj.Name())
 	}
-	isNil := func(e ast.Expr) bool {
-		id, ok := ast.Unparen(e).(*ast.Ident)
-		return ok && id.Name == "nil"
-	}
-	return isNil(b.X) || isNil(b.Y)
-}
-
-// spanFlow walks statement lists tracking whether the span is live
-// (started, not yet ended) and whether control already left the
-// function.
-type spanFlow struct {
-	pass *Pass
-	info *types.Info
-	v    *spanVar
-}
-
-// scan processes one statement list. It returns the liveness after the
-// list and whether every path through it terminated (returned, exited).
-func (f *spanFlow) scan(stmts []ast.Stmt, live bool) (bool, bool) {
-	for _, s := range stmts {
-		var terminated bool
-		live, terminated = f.stmt(s, live)
-		if terminated {
-			return live, true
-		}
-	}
-	return live, false
-}
-
-func (f *spanFlow) stmt(s ast.Stmt, live bool) (bool, bool) {
-	switch st := s.(type) {
-	case *ast.AssignStmt:
-		if st == f.v.start {
-			return true, false
-		}
-		return live, false
-	case *ast.ExprStmt:
-		call, ok := st.X.(*ast.CallExpr)
-		if !ok {
-			return live, false
-		}
-		if isEndCallOn(f.info, call, f.v.obj) {
-			return false, false
-		}
-		if isTerminalCall(f.info, call) {
-			return live, true
-		}
-		return live, false
-	case *ast.ReturnStmt:
-		if live {
-			f.pass.Reportf(st.Pos(), "span %s is still open on this return path: End() it before returning (or defer it)", f.v.obj.Name())
-		}
-		return false, true
-	case *ast.BranchStmt:
-		// break/continue/goto leave this list; treat as terminating it.
-		return live, true
-	case *ast.BlockStmt:
-		return f.scan(st.List, live)
-	case *ast.LabeledStmt:
-		return f.stmt(st.Stmt, live)
-	case *ast.IfStmt:
-		return f.ifStmt(st, live)
-	case *ast.ForStmt:
-		return f.loop(st.Body, st.Cond == nil, live)
-	case *ast.RangeStmt:
-		return f.loop(st.Body, false, live)
-	case *ast.SwitchStmt:
-		return f.clauses(caseBodies(st.Body), hasDefaultClause(st.Body), live)
-	case *ast.TypeSwitchStmt:
-		return f.clauses(caseBodies(st.Body), hasDefaultClause(st.Body), live)
-	case *ast.SelectStmt:
-		// A select always executes exactly one of its clauses.
-		return f.clauses(commBodies(st.Body), true, live)
-	default:
-		return live, false
-	}
-}
-
-// guardKind classifies an if condition relative to the span var: +1 for
-// "x != nil", -1 for "x == nil", 0 for unrelated, where x is the span
-// or its origin. On the nil side the span is nil and End is vacuous.
-func (f *spanFlow) guardKind(cond ast.Expr) int {
-	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
-	if !ok || !isNilComparison(b) {
-		return 0
-	}
-	other := b.X
-	if id, ok := ast.Unparen(b.X).(*ast.Ident); ok && id.Name == "nil" {
-		other = b.Y
-	}
-	id, ok := ast.Unparen(other).(*ast.Ident)
-	if !ok {
-		return 0
-	}
-	obj := f.info.Uses[id]
-	if obj == nil || (obj != f.v.obj && (f.v.origin == nil || obj != f.v.origin)) {
-		return 0
-	}
-	if b.Op == token.NEQ {
-		return 1
-	}
-	return -1
-}
-
-func (f *spanFlow) ifStmt(st *ast.IfStmt, live bool) (bool, bool) {
-	if st.Init != nil {
-		live, _ = f.stmt(st.Init, live)
-	}
-	guard := f.guardKind(st.Cond)
-
-	// Path refinement: inside "x == nil" (or the implicit else of
-	// "x != nil") the span is statically nil — End is vacuous there, so
-	// those paths enter with the span not-live.
-	thenEntry, elseEntry := live, live
-	if guard == -1 {
-		thenEntry = false
-	}
-	if guard == 1 {
-		elseEntry = false
-	}
-
-	thenLive, thenTerm := f.scan(st.Body.List, thenEntry)
-	elseLive, elseTerm := elseEntry, false
-	if st.Else != nil {
-		elseLive, elseTerm = f.stmt(st.Else, elseEntry)
-	}
-
-	if thenTerm && elseTerm {
-		return false, true
-	}
-	liveOut := false
-	if !thenTerm {
-		liveOut = liveOut || thenLive
-	}
-	if !elseTerm {
-		liveOut = liveOut || elseLive
-	}
-	return liveOut, false
-}
-
-// loop scans a loop body. A span started inside the body must be closed
-// by the end of the iteration (the next iteration rebinds it); a span
-// already live from outside stays live, since the body may run zero
-// times.
-func (f *spanFlow) loop(body *ast.BlockStmt, infinite bool, live bool) (bool, bool) {
-	bodyLive, _ := f.scan(body.List, live)
-	if bodyLive && !live {
-		f.pass.Reportf(f.v.pos, "span %s started inside the loop body is still open at the end of the iteration", f.v.obj.Name())
-	}
-	if infinite && !loopBreaks(body) {
-		return false, true
-	}
-	return live, false
-}
-
-// loopBreaks reports whether the loop body contains a break that exits
-// it (shallow: nested loops/switches own their breaks).
-func loopBreaks(body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch inner := n.(type) {
-		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
-			return false
-		case *ast.BranchStmt:
-			if inner.Tok == token.BREAK {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-func (f *spanFlow) clauses(bodies [][]ast.Stmt, exhaustive bool, live bool) (bool, bool) {
-	liveOut, allTerminated := false, true
-	for _, b := range bodies {
-		l, t := f.scan(b, live)
-		if !t {
-			allTerminated = false
-			liveOut = liveOut || l
-		}
-	}
-	if !exhaustive {
-		// No default: the no-match path continues with liveness unchanged.
-		allTerminated = false
-		liveOut = liveOut || live
-	}
-	if allTerminated {
-		return false, true
-	}
-	return liveOut, false
-}
-
-func caseBodies(body *ast.BlockStmt) [][]ast.Stmt {
-	var out [][]ast.Stmt
-	for _, s := range body.List {
-		if cc, ok := s.(*ast.CaseClause); ok {
-			out = append(out, cc.Body)
-		}
-	}
-	return out
-}
-
-func commBodies(body *ast.BlockStmt) [][]ast.Stmt {
-	var out [][]ast.Stmt
-	for _, s := range body.List {
-		if cc, ok := s.(*ast.CommClause); ok {
-			out = append(out, cc.Body)
-		}
-	}
-	return out
-}
-
-func hasDefaultClause(body *ast.BlockStmt) bool {
-	for _, s := range body.List {
-		if cc, ok := s.(*ast.CaseClause); ok && cc.List == nil {
-			return true
-		}
-	}
-	return false
-}
-
-// isTerminalCall recognizes calls that do not return: panic, os.Exit,
-// runtime.Goexit, and testing's Fatal/FailNow/Skip family.
-func isTerminalCall(info *types.Info, call *ast.CallExpr) bool {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if b, ok := info.Uses[fun].(*types.Builtin); ok && b.Name() == "panic" {
-			return true
-		}
-	case *ast.SelectorExpr:
-		f, ok := info.Uses[fun.Sel].(*types.Func)
-		if !ok {
-			return false
-		}
-		switch funcPkgPath(f) {
-		case "os":
-			return f.Name() == "Exit"
-		case "runtime":
-			return f.Name() == "Goexit"
-		case "testing":
-			switch f.Name() {
-			case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
-				return true
-			}
-		}
-	}
-	return false
 }

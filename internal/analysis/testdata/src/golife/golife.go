@@ -1,0 +1,133 @@
+// Golden corpus for the golife analyzer: every goroutine spawned
+// outside tests must have a provable exit path — a return reachable
+// from its infinite loops, a break out of them, or a terminal call.
+package golife
+
+var stop = make(chan struct{})
+var tick = make(chan int)
+
+func spins() {
+	go func() { // want "goroutine func literal has an infinite loop"
+		for {
+		}
+	}()
+}
+
+func stoppable() {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+func loopForever() {
+	for {
+		work()
+	}
+}
+
+func spawnsNamed() {
+	go loopForever() // want "goroutine loopForever has an infinite loop"
+}
+
+type worker struct{ stop chan struct{} }
+
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick:
+		}
+	}
+}
+
+func (w *worker) start() {
+	go w.run()
+}
+
+func labeledBreak() {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-stop:
+				break drain
+			case <-tick:
+			}
+		}
+	}()
+}
+
+func breakInsideSelect() {
+	go func() { // want "goroutine func literal has an infinite loop"
+		for {
+			select {
+			case <-stop:
+				break // exits the select, not the loop
+			case <-tick:
+			}
+		}
+	}()
+}
+
+func directBreak() {
+	go func() {
+		for {
+			if cond() {
+				break
+			}
+		}
+	}()
+}
+
+func rangesOverChannel() {
+	go func() {
+		for v := range tick {
+			use(v)
+		}
+	}()
+}
+
+func blocksForever() {
+	go func() { // want "empty select"
+		select {}
+	}()
+}
+
+func terminal() {
+	go func() {
+		for {
+			panic("unreachable by design")
+		}
+	}()
+}
+
+func boundedLoop(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			use(i)
+		}
+	}()
+}
+
+func functionValue(f func()) {
+	go f() // unresolvable target: the callee's obligation
+}
+
+func deliberate() {
+	//lint:ignore golife corpus exercises a suppressed infinite spinner
+	go func() {
+		for {
+		}
+	}()
+}
+
+func work()      {}
+func cond() bool { return false }
+func use(int)    {}

@@ -1,0 +1,134 @@
+// Golden corpus for the lockorder analyzer: nested acquisitions of
+// named mutexes must match edges declared in lockorder.manifest (the
+// corpus edges are declared at the bottom of the shipped manifest).
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	mu sync.RWMutex
+	n  int
+}
+
+type C struct {
+	mu sync.Mutex
+	n  int
+}
+
+var glob sync.Mutex
+var globN int
+
+// declaredOrder follows the manifest edge lockorder.A.mu -> lockorder.B.mu.
+func declaredOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// inverted acquires the declared pair in the opposite order.
+func inverted(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock() // want "deadlock-capable cycle"
+	a.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// undeclared nests a pair no manifest edge covers.
+func undeclared(a *A, c *C) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c.mu.Lock() // want "undeclared lock ordering"
+	c.n++
+	c.mu.Unlock()
+}
+
+// releasedFirst drops the first lock before the second: no nesting.
+func releasedFirst(a *A, c *C) {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// deferHolds keeps the outer lock to the end of the function; the
+// nested acquisition still needs (and has) a declared edge.
+func deferHolds(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.n++
+}
+
+// readLocks count like writes: an inverted RLock is the same deadlock.
+func readLocks(a *A, b *B) {
+	b.mu.RLock()
+	a.mu.Lock() // want "deadlock-capable cycle"
+	a.n++
+	a.mu.Unlock()
+	b.mu.RUnlock()
+}
+
+// localMutex is unnamed: function-local locks are out of scope.
+func localMutex(a *A) {
+	var mu sync.Mutex
+	mu.Lock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	mu.Unlock()
+}
+
+// sameKey locks two instances of one type: ordering within a key is by
+// instance address, which is out of structural scope.
+func sameKey(a1, a2 *A) {
+	a1.mu.Lock()
+	a2.mu.Lock()
+	a2.n++
+	a2.mu.Unlock()
+	a1.mu.Unlock()
+}
+
+// packageLevel follows the manifest edge lockorder.glob -> lockorder.A.mu.
+func packageLevel(a *A) {
+	glob.Lock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	globN++
+	glob.Unlock()
+}
+
+// nestedBlock observes the edge inside an if body while the outer lock
+// is held by a sibling Lock above it.
+func nestedBlock(a *A, c *C, hot bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if hot {
+		c.mu.Lock() // want "undeclared lock ordering"
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// deliberateInversion shows the suppression escape hatch.
+func deliberateInversion(a *A, b *B) {
+	b.mu.Lock()
+	//lint:ignore lockorder corpus exercises a suppressed inversion
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -220,9 +220,14 @@ func (g *Glue) wrapRequest(m *wire.Message) (*wire.Message, error) {
 	body := m.Body
 	envs := make([]wire.Envelope, 0, len(g.caps)+1)
 	envs = append(envs, wire.Envelope{ID: core.GlueEnvelopeID, Data: []byte(g.tag)})
-	for _, c := range g.caps {
+	for i, c := range g.caps {
 		nb, env, err := c.Process(frame, body)
 		if err != nil {
+			// Capability i rejected the request: the frame never leaves
+			// the client, so hand back the charges capabilities 0..i-1
+			// already took — the server-side authorities were never
+			// touched and the mirrors must not drift.
+			g.refundPrefix(i, m.Object, m.Method)
 			err = errs.Wrapf(errs.Capability, err, "capability %s", c.Kind())
 			sp.SetErr(err)
 			sp.End()
@@ -500,6 +505,11 @@ func (s *GlueServer) WrapReply(req *wire.Message, body []byte) (*wire.Message, e
 	for _, c := range s.caps {
 		nb, env, err := c.Process(frame, body)
 		if err != nil {
+			// Reply-direction processing never charges: quota/ratelimit
+			// meter the request direction only, and the server's
+			// authoritative request charge (made in UnwrapRequest) stands
+			// regardless of how the reply fares.
+			//lint:ignore caprefund reply-direction Process charges nothing to refund
 			return nil, errs.Wrapf(errs.Capability, err, "capability %s (reply)", c.Kind())
 		}
 		body = nb

@@ -613,3 +613,49 @@ func TestDescribeEntry(t *testing.T) {
 		t.Fatal("undecodable entry")
 	}
 }
+
+// rejectingCap denies every request — a stand-in for an auth or
+// rate-limit capability saying no after earlier chain members already
+// charged.
+type rejectingCap struct{}
+
+func (rejectingCap) Kind() string                          { return "reject" }
+func (rejectingCap) Applicable(_, _ netsim.Locality) bool  { return true }
+func (rejectingCap) Config() ([]byte, error)               { return nil, nil }
+func (rejectingCap) Process(*Frame, []byte) ([]byte, []byte, error) {
+	return nil, nil, errors.New("denied")
+}
+func (rejectingCap) Unprocess(*Frame, []byte, []byte) ([]byte, error) { return nil, nil }
+
+func TestWrapRequestRefundsProcessedPrefix(t *testing.T) {
+	// A chain where the quota charges and a later capability then denies:
+	// the frame never leaves the client, so the quota's mirror charge
+	// must be handed back. Without the prefix refund, repeated denials
+	// would eat the whole budget without the server ever seeing a
+	// request — the caprefund analyzer's loop-carry case.
+	q := NewQuota(4, time.Time{})
+	base := &localProto{handle: func(m *wire.Message) *wire.Message {
+		t.Error("request reached the base protocol despite chain denial")
+		return nil
+	}}
+	g := NewGlue("t", base, clock.Real{}, q, rejectingCap{})
+	for i := 0; i < 3; i++ {
+		if _, err := g.Call(&wire.Message{Type: wire.TRequest, Object: "o", Method: "m"}); err == nil {
+			t.Fatal("want denial from the chain")
+		}
+	}
+	if used := q.Used(); used != 0 {
+		t.Fatalf("quota shows %d used after denied-only requests; processed prefix was not refunded", used)
+	}
+	// The refund must be a prefix refund, not a blanket one: a charge
+	// that succeeded end-to-end stays charged.
+	ok := NewGlue("t2", &localProto{handle: func(m *wire.Message) *wire.Message {
+		return &wire.Message{Type: wire.TFault, Object: m.Object, Method: m.Method}
+	}}, clock.Real{}, q)
+	if _, err := ok.Call(&wire.Message{Type: wire.TRequest, Object: "o", Method: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	if used := q.Used(); used != 1 {
+		t.Fatalf("quota shows %d used after one served request, want 1", used)
+	}
+}

@@ -22,8 +22,18 @@ type Refunder interface {
 // refundRequest undoes the client-mirror charges of one failed transport
 // attempt, in the reverse of processing order.
 func (g *Glue) refundRequest(object, method string) {
+	g.refundPrefix(len(g.caps), object, method)
+}
+
+// refundPrefix undoes the charges capabilities [0, n) made for a
+// request, in the reverse of processing order. wrapRequest uses it when
+// capability n of the chain rejects a request the earlier capabilities
+// already charged: the frame never reaches the base protocol, so the
+// server-side authorities are never charged and the client mirrors must
+// roll back or they drift toward denying early.
+func (g *Glue) refundPrefix(n int, object, method string) {
 	f := &Frame{Object: object, Method: method, Dir: Request, Clock: g.clock}
-	for i := len(g.caps) - 1; i >= 0; i-- {
+	for i := n - 1; i >= 0; i-- {
 		if r, ok := g.caps[i].(Refunder); ok {
 			r.Refund(f)
 		}

@@ -67,7 +67,7 @@ func TestContextErrorMapping(t *testing.T) {
 	if got := CodeOf(context.Canceled); got != Canceled {
 		t.Fatalf("CodeOf(Canceled) = %v, want Canceled", got)
 	}
-	wrapped := fmt.Errorf("attempt: %w", context.DeadlineExceeded) //lint:ignore codederr exercising foreign fmt.Errorf chains on purpose
+	wrapped := fmt.Errorf("attempt: %w", context.DeadlineExceeded)
 	if got := CodeOf(wrapped); got != Expired {
 		t.Fatalf("CodeOf(wrapped deadline) = %v, want Expired", got)
 	}
