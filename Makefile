@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint build test race determinism cover faults fuzz load-smoke bench-async bench-faults bench-directory bench-errors bench-saturation top registry
+.PHONY: ci vet lint build test race determinism cover faults fuzz load-smoke bench-json bench-async bench-faults bench-directory bench-errors bench-retention bench-saturation top registry
 
-ci: vet lint build test race determinism cover load-smoke
+ci: vet lint build test race determinism cover load-smoke bench-json
 
 vet:
 	$(GO) vet ./...
@@ -69,6 +69,13 @@ fuzz:
 load-smoke:
 	$(GO) run ./cmd/ohpc-load -scenario=internal/load/testdata/scenarios/valid/smoke.json -fake -json=-
 
+# BENCH_*.json trajectory: every PR leaves a perf datapoint. The smoke
+# scenario runs on a fake clock, so BENCH_S1.json is deterministic — a
+# reviewable diff, not noise.
+bench-json:
+	$(GO) run ./cmd/ohpc-load -scenario=internal/load/testdata/scenarios/valid/smoke.json -fake -json=BENCH_S1.json
+	@echo "wrote BENCH_S1.json"
+
 # Regenerate the async throughput figure quickly and emit JSON.
 bench-async:
 	$(GO) run ./cmd/ohpc-bench -fig=a1 -quick -json=-
@@ -86,6 +93,11 @@ bench-directory:
 # overload + crash schedule, budgets on vs off) quickly and emit JSON.
 bench-errors:
 	$(GO) run ./cmd/ohpc-bench -fig=e1 -quick -json=-
+
+# Regenerate the trace-retention figure (Figure O2: tail keeper vs FIFO
+# ring at equal span memory) quickly and emit JSON.
+bench-retention:
+	$(GO) run ./cmd/ohpc-bench -fig=o2 -quick -json=-
 
 # Regenerate the saturation sweep (Figure S1: goodput + latency tail vs
 # offered load, batching on/off, with failover) quickly and emit JSON.

@@ -9,6 +9,7 @@
 //	ohpc-bench -fig=4
 //	ohpc-bench -fig=a1 -json=async.json   # async throughput figure
 //	ohpc-bench -fig=o1 -trace=spans.json  # tracing overhead + span dump
+//	ohpc-bench -fig=o2 -quick -json=-     # tail-based retention vs FIFO
 //	ohpc-bench -fig=d1 -json=dir.json     # directory plane: scale + crash
 //	ohpc-bench -fig=s1 -quick -json=-     # saturation sweep (goodput vs offered load)
 //
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), l1 (loss sweep), e1 (retry budgets), r1 (robustness), o1 (tracing overhead), d1 (directory), s1 (saturation sweep), or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2, 3, 4, 5, a1 (async), l1 (loss sweep), e1 (retry budgets), r1 (robustness), o1 (tracing overhead), o2 (tail-based retention), d1 (directory), s1 (saturation sweep), or all")
 	profile := flag.String("profile", "both", "network for figure 5: atm, ethernet, or both")
 	quick := flag.Bool("quick", false, "time-scale the links 16x and shorten averaging")
 	plot := flag.Bool("plot", true, "also render figure 5 as an ASCII log-log plot")
@@ -420,7 +421,40 @@ func main() {
 		return nil
 	})
 
-	if !strings.Contains("1 2 3 4 5 a1 l1 e1 r1 o1 d1 s1 all", *fig) {
+	run("o2", func() error {
+		cfg := bench.O2Config{}
+		if *quick {
+			cfg.MinReps = 200
+			cfg.MinDuration = 30 * time.Millisecond
+		}
+		if *reps > 0 {
+			cfg.MinReps = *reps
+		}
+		res, err := bench.RunFigureO2(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatFigureO2(res))
+		if *jsonPath != "" {
+			out := os.Stdout
+			if *jsonPath != "-" {
+				f, err := os.Create(*jsonPath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			enc := json.NewEncoder(out)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(res); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	if !strings.Contains("1 2 3 4 5 a1 l1 e1 r1 o1 o2 d1 s1 all", *fig) {
 		fmt.Fprintf(os.Stderr, "ohpc-bench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}

@@ -96,6 +96,7 @@ func render(base, window string) (string, error) {
 		fmt.Fprintf(&b, "\n(window %q not available yet — %d samples recorded)\n", window, varz.Samples)
 	} else {
 		renderRates(&b, window, w)
+		renderMeters(&b, w)
 	}
 	renderEndpoints(&b, status)
 	renderContexts(&b, status)
@@ -190,6 +191,54 @@ func renderRates(b *strings.Builder, window string, w introspect.Window) {
 			fmt.Fprintf(b, "%s=%d", n, w.Gauges[n])
 		}
 		fmt.Fprint(b, "\n")
+	}
+}
+
+// meterRow pairs the two per-endpoint meters — rpc.endpoint.latency_us
+// (EWMA level, µs) and rpc.endpoint.bytes_ps (EWMA rate, bytes/s) —
+// keyed by their shared proto/endpoint label set.
+type meterRow struct {
+	labels    string
+	latencyUS float64
+	calls     uint64
+	bytesPS   float64
+}
+
+func renderMeters(b *strings.Builder, w introspect.Window) {
+	if len(w.Meters) == 0 {
+		return
+	}
+	rows := map[string]*meterRow{}
+	for key, m := range w.Meters {
+		name, labels, ok := strings.Cut(key, "{")
+		if !ok {
+			continue
+		}
+		labels = strings.TrimSuffix(labels, "}")
+		r, seen := rows[labels]
+		if !seen {
+			r = &meterRow{labels: labels}
+			rows[labels] = r
+		}
+		switch name {
+		case "rpc.endpoint.latency_us":
+			r.latencyUS, r.calls = m.Level, m.Count
+		case "rpc.endpoint.bytes_ps":
+			r.bytesPS = m.Rate
+		}
+	}
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	fmt.Fprint(b, "\nper-endpoint meters (EWMA — adaptivity scoring input)\n")
+	fmt.Fprintf(b, "  %-44s %12s %10s %12s\n", "ENDPOINT", "LATENCY µs", "CALLS", "BYTES/s")
+	for _, k := range keys {
+		r := rows[k]
+		fmt.Fprintf(b, "  %-44s %12.1f %10d %12.0f\n",
+			printableKey(r.labels, 44), r.latencyUS, r.calls, r.bytesPS)
 	}
 }
 

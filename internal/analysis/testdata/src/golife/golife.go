@@ -120,6 +120,43 @@ func functionValue(f func()) {
 	go f() // unresolvable target: the callee's obligation
 }
 
+// keeper is the tail-keeper lifecycle shape (internal/obs.TailKeeper):
+// Start spawns the idle-flush loop, Close signals stop — the loop's
+// exit is provable through the select's stop arm.
+type keeper struct {
+	stop  chan struct{}
+	ticks chan int
+}
+
+func (k *keeper) flushLoop() {
+	for {
+		select {
+		case <-k.stop:
+			return
+		case <-k.ticks:
+			work()
+		}
+	}
+}
+
+func (k *keeper) Start() {
+	go k.flushLoop()
+}
+
+// leakyFlushLoop is the same loop with the stop arm forgotten: nothing
+// can ever terminate the goroutine, so Close would hang forever on the
+// done channel — the leak golife exists to catch.
+func (k *keeper) leakyFlushLoop() {
+	for {
+		<-k.ticks
+		work()
+	}
+}
+
+func (k *keeper) startLeaky() {
+	go k.leakyFlushLoop() // want "goroutine leakyFlushLoop has an infinite loop"
+}
+
 func deliberate() {
 	//lint:ignore golife corpus exercises a suppressed infinite spinner
 	go func() {

@@ -120,6 +120,35 @@ func churnLoopRaw(stop chan struct{}, migrate func()) {
 	}
 }
 
+// flushLoop is the tail-keeper idle-flush shape (internal/obs): a
+// background loop that wakes on the injected clock every interval to
+// decide traces that stayed quiet — nosleep-clean, so a fake clock can
+// drive idle flushing deterministically in tests.
+func flushLoop(clk clock.Clock, stop chan struct{}, interval time.Duration, flushIdle func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-clock.After(clk, interval):
+			flushIdle()
+		}
+	}
+}
+
+// flushLoopRaw is the same loop on the wall clock: under a fake test
+// clock the keeper's pending traces would never idle out, and every
+// retention test would wait on real time — the bug nosleep bans.
+func flushLoopRaw(stop chan struct{}, interval time.Duration, flushIdle func()) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(interval): // want "time.After outside internal/clock"
+			flushIdle()
+		}
+	}
+}
+
 func suppressed() {
 	//lint:ignore nosleep corpus example of a deliberate, annotated real sleep
 	time.Sleep(time.Millisecond)

@@ -145,6 +145,40 @@ func watchSubscribeLeak(tr *obs.Tracer, replicas []func() error) error {
 	return nil
 }
 
+// flushRound is the tail-keeper idle-flush shape: each wake opens one
+// span covering the round, records how many pending traces it decided,
+// and ends it on every arm — clean.
+func flushRound(tr *obs.Tracer, stop, ticks chan struct{}, flushIdle func() int) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticks:
+			sp := tr.StartRoot(obs.KindServer, "obs.flush")
+			sp.SetBytes(flushIdle())
+			sp.End()
+		}
+	}
+}
+
+// flushRoundLeak bails out of the loop mid-round with the flush span
+// still open — the keeper shuts down but its last span never ends.
+func flushRoundLeak(tr *obs.Tracer, stop, ticks chan struct{}, flushIdle func() int, closing func() bool) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticks:
+			sp := tr.StartRoot(obs.KindServer, "obs.flush")
+			if closing() {
+				return // want "span sp is still open on this return path"
+			}
+			sp.SetBytes(flushIdle())
+			sp.End()
+		}
+	}
+}
+
 func terminal(tr *obs.Tracer, bad bool) {
 	sp := tr.StartRoot(obs.KindClient, "op")
 	if bad {

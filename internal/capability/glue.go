@@ -216,6 +216,7 @@ func (g *Glue) wrapRequest(m *wire.Message) (*wire.Message, error) {
 	// header): one "glue.process" span covers the whole capability chain
 	// and records which kinds processed the body.
 	sp := g.tracer.StartChild(obs.TraceID(m.TraceID), obs.SpanID(m.SpanID), obs.KindClient, "glue.process")
+	sp.SetHint(m.KeepHint())
 	frame := &Frame{Object: m.Object, Method: m.Method, Dir: Request, Clock: g.clock}
 	body := m.Body
 	envs := make([]wire.Envelope, 0, len(g.caps)+1)
@@ -262,6 +263,7 @@ func envCaps(envs []wire.Envelope) string {
 // one enveloped frame. Nil when untraced.
 func (g *Glue) baseSpan(out *wire.Message) *obs.Active {
 	sp := g.tracer.StartChild(obs.TraceID(out.TraceID), obs.SpanID(out.SpanID), obs.KindClient, string(g.base.ID()))
+	sp.SetHint(out.KeepHint())
 	sp.SetBytes(len(out.Body))
 	return sp
 }

@@ -92,7 +92,7 @@ func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []by
 	if root != nil {
 		sel.SetProto(string(p.proto.ID()), p.key)
 		sel.End()
-		stampTrace(p.req, root)
+		stampTrace(g.host.rt.Tracer(), p.req, root)
 		// The send span covers issue plus the in-flight wait for the
 		// pipelined reply.
 		send = root.Child(string(p.proto.ID()))
@@ -109,7 +109,9 @@ func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []by
 			go func() {
 				defer release()
 				reply, rerr := g.awaitPending(ctx, p, pending)
-				p.pm.latency.ObserveDuration(time.Since(start))
+				elapsed := time.Since(start)
+				p.pm.latency.ObserveDurationTraced(elapsed, uint64(root.TraceID()))
+				p.em.observe(elapsed, len(args)+replyBytes(reply), g.host.rt.Clock().Now())
 				send.SetErr(rerr)
 				send.End()
 				g.settleAsync(ctx, root, fut, p, reply, rerr, method, args)
@@ -130,7 +132,9 @@ func (g *GlobalPtr) InvokeAsyncCtx(ctx context.Context, method string, args []by
 	go func() {
 		defer release()
 		reply, cerr := p.proto.Call(p.req)
-		p.pm.latency.ObserveDuration(time.Since(start))
+		elapsed := time.Since(start)
+		p.pm.latency.ObserveDurationTraced(elapsed, uint64(root.TraceID()))
+		p.em.observe(elapsed, len(args)+replyBytes(reply), g.host.rt.Clock().Now())
 		send.SetErr(cerr)
 		send.End()
 		g.settleAsync(ctx, root, fut, p, reply, cerr, method, args)
@@ -222,7 +226,7 @@ func (g *GlobalPtr) settleAsync(ctx context.Context, root *obs.Active, fut *futu
 		if root != nil {
 			sel.SetProto(string(rp.proto.ID()), rp.key)
 			sel.End()
-			stampTrace(rp.req, root)
+			stampTrace(g.host.rt.Tracer(), rp.req, root)
 			send = root.Child(string(rp.proto.ID()))
 			send.SetProto(string(rp.proto.ID()), rp.key)
 			send.SetBytes(len(args))
@@ -231,7 +235,9 @@ func (g *GlobalPtr) settleAsync(ctx context.Context, root *obs.Active, fut *futu
 		rp.pm.reqBytes.Add(uint64(len(args)))
 		start := time.Now()
 		r, cerr := g.callWithCtx(ctx, rp)
-		rp.pm.latency.ObserveDuration(time.Since(start))
+		elapsed := time.Since(start)
+		rp.pm.latency.ObserveDurationTraced(elapsed, uint64(root.TraceID()))
+		rp.em.observe(elapsed, len(args)+replyBytes(r), g.host.rt.Clock().Now())
 		send.SetErr(cerr)
 		send.End()
 		if cerr != nil && ctx.Err() != nil && errors.Is(cerr, ctx.Err()) {

@@ -80,6 +80,13 @@ type Runtime struct {
 	errCounters   map[errs.Code]*stats.Counter
 	retryAttempts *stats.Counter
 
+	// Per-endpoint EWMA meter cache (see meters.go), keyed by the
+	// health-tracker key "proto|addr" and guarded separately from the
+	// main runtime lock so prepare() never contends with contexts/gps
+	// bookkeeping.
+	epMu     sync.RWMutex
+	epMeters map[string]*endpointMeters
+
 	mu       sync.RWMutex
 	ifaces   map[string]Activator
 	contexts map[string]*Context
@@ -109,6 +116,7 @@ func NewRuntime(network *netsim.Network, process string) *Runtime {
 		gpGauge:       metrics.Gauge("core.gps"),
 		errCounters:   make(map[errs.Code]*stats.Counter),
 		retryAttempts: metrics.Counter("rpc.retry.attempts"),
+		epMeters:      make(map[string]*endpointMeters),
 		ifaces:        make(map[string]Activator),
 		contexts:      make(map[string]*Context),
 		htracker:      health.NewTracker(health.Options{Metrics: metrics}),
@@ -232,8 +240,11 @@ func (rt *Runtime) Metrics() *stats.Registry { return rt.metrics }
 
 // MetricsSnapshot exports every runtime metric at a point in time —
 // the programmatic face of the registry, for experiment harnesses and
-// the cmd front-ends' JSON dumps.
-func (rt *Runtime) MetricsSnapshot() stats.RegistrySnapshot { return rt.metrics.Snapshot() }
+// the cmd front-ends' JSON dumps. Meter rates decay to the runtime
+// clock's now, so a fake-clock harness reads deterministic rates.
+func (rt *Runtime) MetricsSnapshot() stats.RegistrySnapshot {
+	return rt.metrics.SnapshotAt(rt.clock.Now())
+}
 
 // WriteMetrics dumps the runtime's metrics as indented JSON.
 func (rt *Runtime) WriteMetrics(w io.Writer) error {

@@ -409,6 +409,7 @@ type prepared struct {
 	proto Protocol
 	req   *wire.Message
 	pm    *protoMetrics
+	em    *endpointMeters
 	key   string // health-tracker key of the bound endpoint
 }
 
@@ -432,6 +433,7 @@ func (g *GlobalPtr) prepare(ctx context.Context, typ wire.MsgType, method string
 			deadline = d
 		}
 	}
+	key := entryHealthKey(g.ref.Protocols[g.entry])
 	return prepared{
 		proto: g.proto,
 		req: &wire.Message{
@@ -443,7 +445,8 @@ func (g *GlobalPtr) prepare(ctx context.Context, typ wire.MsgType, method string
 			Body:     args,
 		},
 		pm:  g.metrics,
-		key: entryHealthKey(g.ref.Protocols[g.entry]),
+		em:  g.host.rt.endpointMeter(key),
+		key: key,
 	}, nil
 }
 
@@ -657,7 +660,7 @@ func (g *GlobalPtr) invokeAttempts(ctx context.Context, root *obs.Active, method
 		if root != nil {
 			sel.SetProto(string(p.proto.ID()), p.key)
 			sel.End()
-			stampTrace(p.req, root)
+			stampTrace(g.host.rt.Tracer(), p.req, root)
 			send = root.Child(string(p.proto.ID()))
 			send.SetProto(string(p.proto.ID()), p.key)
 			send.SetBytes(len(args))
@@ -666,7 +669,9 @@ func (g *GlobalPtr) invokeAttempts(ctx context.Context, root *obs.Active, method
 		p.pm.reqBytes.Add(uint64(len(args)))
 		start := time.Now()
 		reply, err := g.callWithCtx(ctx, p)
-		p.pm.latency.ObserveDuration(time.Since(start))
+		elapsed := time.Since(start)
+		p.pm.latency.ObserveDurationTraced(elapsed, uint64(root.TraceID()))
+		p.em.observe(elapsed, len(args)+replyBytes(reply), g.host.rt.Clock().Now())
 		send.SetErr(err)
 		send.End()
 		if err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err()) {

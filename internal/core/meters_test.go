@@ -1,0 +1,173 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/obs"
+)
+
+// TestInvokeFeedsEndpointMeters pins the meter plumbing: every finished
+// exchange moves the endpoint's latency level and byte rate, and the
+// meters surface through MetricsSnapshot and Status.
+func TestInvokeFeedsEndpointMeters(t *testing.T) {
+	_, rt := testWorld(t)
+	srv, _ := rt.NewContext("srv", "mA")
+	client, _ := rt.NewContext("client", "mC")
+	_, ref := exportEcho(t, srv)
+	gp := client.NewGlobalPtr(ref)
+
+	for i := 0; i < 3; i++ {
+		if _, err := gp.Invoke("echo", []byte("abcd")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := rt.MetricsSnapshot()
+	var latKey, bpsKey string
+	for k := range snap.Meters {
+		if strings.HasPrefix(k, "rpc.endpoint.latency_us{") {
+			latKey = k
+		}
+		if strings.HasPrefix(k, "rpc.endpoint.bytes_ps{") {
+			bpsKey = k
+		}
+	}
+	if latKey == "" || bpsKey == "" {
+		t.Fatalf("endpoint meters missing from snapshot: %v", snap.MeterNames())
+	}
+	if !strings.Contains(latKey, `proto="hpcx-tcp"`) || !strings.Contains(latKey, `endpoint="`) {
+		t.Fatalf("latency meter key %q lacks proto/endpoint labels", latKey)
+	}
+	lat := snap.Meters[latKey]
+	if lat.Count != 3 || lat.Level <= 0 {
+		t.Fatalf("latency meter %+v after 3 invokes", lat)
+	}
+	bps := snap.Meters[bpsKey]
+	if bps.Count != 3 || bps.Rate <= 0 {
+		t.Fatalf("bytes meter %+v after 3 invokes", bps)
+	}
+
+	st := rt.Status()
+	if _, ok := st.Meters[latKey]; !ok {
+		t.Fatalf("Status() lacks meter %q: %v", latKey, st.Meters)
+	}
+}
+
+// TestEndpointMeterDeterministicUnderFakeClock pins the fake-clock
+// contract: meter rates decay against the runtime clock, so a simulated
+// schedule produces exactly reproducible readings.
+func TestEndpointMeterDeterministicUnderFakeClock(t *testing.T) {
+	run := func() (float64, float64) {
+		rt := NewRuntime(nil, "p")
+		defer rt.Close()
+		fc := clock.NewFake(time.Unix(1000, 0))
+		rt.SetClock(fc)
+		em := rt.endpointMeter("hpcx-tcp|sim://mA:1")
+		for i := 0; i < 10; i++ {
+			em.observe(2*time.Millisecond, 512, fc.Now())
+			fc.Advance(time.Second)
+		}
+		ms := rt.MetricsSnapshot().Meters[`rpc.endpoint.latency_us{endpoint="sim://mA:1",proto="hpcx-tcp"}`]
+		bs := rt.MetricsSnapshot().Meters[`rpc.endpoint.bytes_ps{endpoint="sim://mA:1",proto="hpcx-tcp"}`]
+		return ms.Level, bs.Rate
+	}
+	l1, r1 := run()
+	l2, r2 := run()
+	if l1 != l2 || r1 != r2 {
+		t.Fatalf("fake-clock meters diverged: level %g vs %g, rate %g vs %g", l1, l2, r1, r2)
+	}
+	if l1 != 2000 {
+		t.Fatalf("latency level %g, want 2000µs (constant samples)", l1)
+	}
+	if r1 <= 0 || r1 > 512 {
+		t.Fatalf("byte rate %g for 512 B/s offered load", r1)
+	}
+}
+
+// TestEndpointMeterCacheSharesHandles pins the cache contract: one
+// meter pair per endpoint key, shared across prepares.
+func TestEndpointMeterCacheSharesHandles(t *testing.T) {
+	rt := NewRuntime(nil, "p")
+	defer rt.Close()
+	a := rt.endpointMeter("shm|local")
+	b := rt.endpointMeter("shm|local")
+	if a != b {
+		t.Fatal("same key produced distinct meter pairs")
+	}
+	if c := rt.endpointMeter("shm|other"); c == a {
+		t.Fatal("distinct keys share a meter pair")
+	}
+}
+
+// TestTailKeeperEndToEndRetention drives real invocations through a
+// runtime whose recorder is a TailKeeper: the errored invocation's
+// whole trace (client and server halves) is retained, the healthy
+// invocation against a high slow bar is dropped — the tail-based
+// policy applied to live wire traffic, not synthetic spans.
+func TestTailKeeperEndToEndRetention(t *testing.T) {
+	_, rt := testWorld(t)
+	srv, _ := rt.NewContext("srv", "mA")
+	client, _ := rt.NewContext("client", "mC")
+	_, ref := exportEcho(t, srv)
+	gp := client.NewGlobalPtr(ref)
+
+	tk := obs.NewTailKeeper(obs.TailKeeperOptions{
+		MaxSpans: 512,
+		MinSlow:  time.Hour, // nothing is slow; only errors survive
+		Baseline: -1,        // no baseline reservoir
+		Clock:    rt.Clock(),
+	})
+	rt.Tracer().SetRecorder(tk)
+	defer rt.Tracer().SetRecorder(nil)
+
+	if _, err := gp.Invoke("echo", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gp.Invoke("fail", []byte("x")); err == nil {
+		t.Fatal("fail method did not fail")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if tr := findKeptRoot(tk, "invoke"); tr != 0 {
+			if got := tk.Policy(tr); got != obs.PolicyError {
+				t.Fatalf("kept policy %q, want %q", got, obs.PolicyError)
+			}
+			spans := tk.Trace(tr)
+			names := make(map[string]bool, len(spans))
+			for _, s := range spans {
+				names[s.Name] = true
+			}
+			if !names["invoke"] || !names["dispatch"] {
+				t.Fatalf("retained trace missing client or server half: %v", names)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("errored trace never retained; stats %+v", tk.Stats())
+		}
+		clock.Sleep(clock.Real{}, time.Millisecond)
+	}
+
+	// The healthy echo must NOT be retained: every kept root is the
+	// errored invocation's.
+	for _, s := range tk.Spans() {
+		if s.Parent == 0 && s.Err == "" {
+			t.Fatalf("healthy trace retained: %+v", s)
+		}
+	}
+}
+
+// findKeptRoot returns the trace ID of a kept root span with the given
+// name and a recorded error, or 0.
+func findKeptRoot(tk *obs.TailKeeper, name string) obs.TraceID {
+	for _, s := range tk.Spans() {
+		if s.Parent == 0 && s.Name == name && s.Err != "" {
+			return s.Trace
+		}
+	}
+	return 0
+}

@@ -57,13 +57,14 @@ func (g *GlobalPtr) post(root *obs.Active, method string, args []byte) error {
 	if root != nil {
 		sel.SetProto(string(p.proto.ID()), p.key)
 		sel.End()
-		stampTrace(p.req, root)
+		stampTrace(g.host.rt.Tracer(), p.req, root)
 		send = root.Child(string(p.proto.ID()))
 		send.SetProto(string(p.proto.ID()), p.key)
 		send.SetBytes(len(args))
 	}
 	p.pm.oneway.Inc()
 	p.pm.reqBytes.Add(uint64(len(args)))
+	p.em.addBytes(len(args), g.host.rt.Clock().Now())
 	if err := ow.Post(p.req); err != nil {
 		send.SetErr(err)
 		send.End()

@@ -158,6 +158,7 @@ func (c *Context) dispatch(m *wire.Message) *wire.Message {
 	// a caller whose tracer is off — cost one nil-check here.
 	ds := c.rt.Tracer().StartChild(obs.TraceID(m.TraceID), obs.SpanID(m.SpanID), obs.KindServer, "dispatch")
 	if ds != nil {
+		ds.SetHint(m.KeepHint())
 		ds.SetRPC(m.Object, m.Method)
 		ds.SetBytes(len(m.Body))
 		defer ds.End()

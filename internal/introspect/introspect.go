@@ -46,11 +46,20 @@ type Options struct {
 	// FlightDepth is how many snapshots the recorder retains (default
 	// DefaultFlightDepth).
 	FlightDepth int
-	// RingSize sizes the trace ring Attach installs when the runtime's
+	// RingSize sizes the trace store Attach installs when the runtime's
 	// tracer has no recorder yet (default obs.DefaultRingSize). When a
-	// *obs.Ring is already installed — e.g. by a -trace flag — /tracez
-	// reads that ring and no new one is created.
+	// span store is already installed — e.g. by a -trace flag — /tracez
+	// reads that store and no new one is created.
 	RingSize int
+	// Tail selects tail-based trace retention for the installed store:
+	// instead of a FIFO ring, Attach installs an obs.TailKeeper (same
+	// span budget: RingSize) that keeps errored, slow, and baseline
+	// traces and drops the healthy bulk. Ignored when a recorder is
+	// already installed.
+	Tail bool
+	// TailOptions refines the installed keeper (MaxSpans defaults to
+	// RingSize, Clock to the plane's clock). Only read when Tail is set.
+	TailOptions obs.TailKeeperOptions
 	// Clock drives the flight recorder (default: the runtime's clock).
 	Clock clock.Clock
 }
@@ -61,10 +70,16 @@ type Options struct {
 type Server struct {
 	rt     *core.Runtime
 	flight *Flight
-	ring   *obs.Ring
-	mux    *http.ServeMux
-	l      net.Listener
-	hs     *http.Server
+	store  obs.Store       // /tracez source (ring or tail keeper)
+	ring   *obs.Ring       // store, when it is a FIFO ring
+	keeper *obs.TailKeeper // store, when it is a tail keeper
+	// ownKeeper records that Attach created (and Started) the keeper,
+	// so Close must stop its flush loop; an externally installed keeper
+	// belongs to whoever installed it.
+	ownKeeper bool
+	mux       *http.ServeMux
+	l         net.Listener
+	hs        *http.Server
 }
 
 // Attach builds the introspection plane for rt and starts serving it.
@@ -79,16 +94,39 @@ func Attach(rt *core.Runtime, opts Options) (*Server, error) {
 	}
 	s := &Server{rt: rt}
 
-	// /tracez source: reuse an installed ring, else install one.
+	// /tracez source: reuse an installed store, else install one — a
+	// FIFO ring by default, a tail keeper when opts.Tail asks for one.
 	switch rec := rt.Tracer().Recorder().(type) {
 	case *obs.Ring:
-		s.ring = rec
+		s.ring, s.store = rec, rec
+	case *obs.TailKeeper:
+		s.keeper, s.store = rec, rec
 	case nil:
-		s.ring = obs.NewRing(opts.RingSize)
-		rt.Tracer().SetRecorder(s.ring)
+		if opts.Tail {
+			to := opts.TailOptions
+			if to.MaxSpans <= 0 {
+				to.MaxSpans = opts.RingSize
+			}
+			if to.Clock == nil {
+				to.Clock = opts.Clock
+			}
+			tk := obs.NewTailKeeper(to)
+			tk.SetMetrics(rt.Metrics())
+			tk.Start()
+			s.keeper, s.store, s.ownKeeper = tk, tk, true
+			rt.Tracer().SetRecorder(tk)
+		} else {
+			ring := obs.NewRing(opts.RingSize)
+			ring.SetMetrics(rt.Metrics())
+			s.ring, s.store = ring, ring
+			rt.Tracer().SetRecorder(ring)
+		}
 	default:
 		// A foreign recorder (e.g. a test collector) stays installed;
-		// /tracez reports unavailable rather than hijacking it.
+		// /tracez serves it if it is a Store, else reports unavailable.
+		if st, ok := rec.(obs.Store); ok {
+			s.store = st
+		}
 	}
 
 	s.flight = NewFlight(rt.MetricsSnapshot, opts.Clock, opts.FlightInterval, opts.FlightDepth)
@@ -129,13 +167,31 @@ func (s *Server) Flight() *Flight {
 	return s.flight
 }
 
-// Ring returns the trace ring /tracez reads (nil when a foreign
-// recorder was already installed, or on a nil server).
+// Ring returns the trace ring /tracez reads (nil when the store is a
+// tail keeper or a foreign recorder, or on a nil server).
 func (s *Server) Ring() *obs.Ring {
 	if s == nil {
 		return nil
 	}
 	return s.ring
+}
+
+// Keeper returns the tail keeper /tracez reads (nil when the store is
+// a FIFO ring or a foreign recorder, or on a nil server).
+func (s *Server) Keeper() *obs.TailKeeper {
+	if s == nil {
+		return nil
+	}
+	return s.keeper
+}
+
+// Store returns the span store /tracez reads (nil when a foreign
+// non-Store recorder was already installed, or on a nil server).
+func (s *Server) Store() obs.Store {
+	if s == nil {
+		return nil
+	}
+	return s.store
 }
 
 // Handler exposes the plane's routes without the listener — tests mount
@@ -154,6 +210,9 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.flight.Close()
+	if s.ownKeeper {
+		s.keeper.Close()
+	}
 	if s.hs == nil {
 		return nil
 	}
@@ -184,7 +243,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "openhpcxx introspection plane (process %s)\n\n", s.rt.Process())
 	fmt.Fprint(w, "/metrics   Prometheus text exposition\n")
 	fmt.Fprint(w, "/statusz   contexts, GPs, protocol tables, breakers (JSON)\n")
-	fmt.Fprint(w, "/tracez    recent trace trees (JSON; ?kind= ?error=1 ?min_us= ?limit= ?cursor=)\n")
+	fmt.Fprint(w, "/tracez    recent trace trees (JSON; ?kind= ?error=1 ?min_us= ?slow=1 ?trace=<hex> ?limit= ?cursor=)\n")
 	fmt.Fprint(w, "/varz      flight-recorder rate windows (JSON)\n")
 	fmt.Fprint(w, "/healthz   liveness\n")
 	fmt.Fprint(w, "/debug/pprof/  profiler\n")

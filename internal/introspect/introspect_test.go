@@ -439,3 +439,199 @@ func TestScrapeWhileInvoking(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestAttachInstallsTailKeeper covers the tail-retention plane: with
+// Options.Tail the installed store is a TailKeeper, /tracez annotates
+// trees with retention policy and the dominant self-time span, ?slow=1
+// and ?trace= work, and the obs.* accounting reaches /metrics.
+func TestAttachInstallsTailKeeper(t *testing.T) {
+	_, rt, gp := world(t)
+	s := attach(t, rt, Options{
+		Tail: true,
+		TailOptions: obs.TailKeeperOptions{
+			MinSlow:  time.Hour, // nothing is slow
+			Baseline: -1,        // no reservoir: only errors survive
+		},
+	})
+	base := "http://" + s.Addr()
+	if s.Keeper() == nil || s.Ring() != nil {
+		t.Fatal("Tail option did not install a tail keeper")
+	}
+	if s.Store() != obs.Store(s.Keeper()) {
+		t.Fatal("Store() does not expose the keeper")
+	}
+
+	if _, err := gp.Invoke("echo", []byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = gp.Invoke("fail", nil) // expected fault: the retained trace
+
+	// Only the errored trace is retained, tagged with its policy, and
+	// attributed a dominant self-time span.
+	var p TracezPayload
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, base, "/tracez", &p)
+		if len(p.Traces) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("errored trace never surfaced; stats %+v", s.Keeper().Stats())
+		}
+		clock.Sleep(clock.Real{}, time.Millisecond)
+	}
+	if len(p.Traces) != 1 {
+		t.Fatalf("tail keeper retained %d traces, want 1 (the errored)", len(p.Traces))
+	}
+	tr := p.Traces[0]
+	if tr.Policy != obs.PolicyError || !strings.Contains(tr.Err, "nope") {
+		t.Fatalf("retained trace policy=%q err=%q, want the errored one", tr.Policy, tr.Err)
+	}
+	if tr.Hot == nil || tr.Hot.SelfNS < 0 || tr.Hot.Name == "" {
+		t.Fatalf("retained trace has no attribution: %+v", tr.Hot)
+	}
+
+	// ?slow=1 is empty (MinSlow is an hour), ?error=1 keeps the trace.
+	var ps TracezPayload
+	getJSON(t, base, "/tracez?slow=1", &ps)
+	if len(ps.Traces) != 0 {
+		t.Fatalf("slow=1 returned %d traces under an hour-long slow bar", len(ps.Traces))
+	}
+	var pe TracezPayload
+	getJSON(t, base, "/tracez?error=1", &pe)
+	if len(pe.Traces) != 1 {
+		t.Fatalf("error=1 returned %d traces", len(pe.Traces))
+	}
+
+	// Direct lookup by hex trace id — the /metrics exemplar link target.
+	var pt TracezPayload
+	getJSON(t, base, fmt.Sprintf("/tracez?trace=%x", uint64(tr.Trace)), &pt)
+	if len(pt.Traces) != 1 || pt.Traces[0].Trace != tr.Trace {
+		t.Fatalf("trace lookup returned %+v", pt.Traces)
+	}
+	if code, _ := get(t, base, "/tracez?trace=zzz"); code != http.StatusBadRequest {
+		t.Fatalf("bad trace id returned %d, want 400", code)
+	}
+
+	// The keeper's drop/retention accounting is live in the registry.
+	if code, body := get(t, base, "/metrics"); code != 200 ||
+		!strings.Contains(body, "obs_spans_total") ||
+		!strings.Contains(body, `obs_kept_traces{policy="error"}`) {
+		t.Fatalf("/metrics lacks the obs.* retention counters:\n%s", body)
+	}
+}
+
+// TestAttachReusesInstalledKeeper mirrors the ring-reuse contract for
+// an externally installed tail keeper: Attach adopts it and Close must
+// NOT stop its flush loop.
+func TestAttachReusesInstalledKeeper(t *testing.T) {
+	_, rt, _ := world(t)
+	tk := obs.NewTailKeeper(obs.TailKeeperOptions{})
+	rt.Tracer().SetRecorder(tk)
+	s := attach(t, rt, Options{})
+	if s.Keeper() != tk {
+		t.Fatal("Attach did not adopt the installed keeper")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Still usable after plane close: the keeper belongs to the caller.
+	tk.Record(obs.Span{Trace: 1, ID: 1, Err: "x", Hint: true})
+	if tk.Total() != 1 {
+		t.Fatal("externally installed keeper unusable after plane Close")
+	}
+	tk.Close()
+}
+
+// TestVarzCarriesMeters pins the meter plumbing through the flight
+// recorder: endpoint EWMA readings appear in the sampled windows.
+func TestVarzCarriesMeters(t *testing.T) {
+	_, rt, gp := world(t)
+	s := attach(t, rt, Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := gp.Invoke("echo", []byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flight().SampleNow()
+	clock.Sleep(clock.Real{}, 5*time.Millisecond)
+	s.Flight().SampleNow()
+	w, ok := s.Flight().Rates(time.Millisecond)
+	if !ok {
+		t.Fatal("no window despite two samples")
+	}
+	var found bool
+	for k, m := range w.Meters {
+		if strings.HasPrefix(k, "rpc.endpoint.latency_us{") && m.Level > 0 && m.Count == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("window meters lack the endpoint latency level: %+v", w.Meters)
+	}
+	// And over HTTP: the current snapshot carries the meters section.
+	var v Varz
+	getJSON(t, "http://"+s.Addr(), "/varz", &v)
+	if len(v.Current.Meters) == 0 {
+		t.Fatalf("varz current snapshot has no meters: %+v", v.Current)
+	}
+}
+
+// TestScrapeWhileSamplingTailKeeper is the -race regression for the
+// tail-retention plane: live traffic (successes and faults) races the
+// keeper's decisions, the flush loop, and every tracez view.
+func TestScrapeWhileSamplingTailKeeper(t *testing.T) {
+	_, rt, gp := world(t)
+	s := attach(t, rt, Options{
+		FlightInterval: time.Millisecond,
+		Tail:           true,
+		TailOptions:    obs.TailKeeperOptions{IdleFlush: time.Millisecond},
+	})
+	base := "http://" + s.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+					if (i+j)%5 == 0 {
+						_, _ = gp.Invoke("fail", nil)
+					} else {
+						_, _ = gp.Invoke("echo", []byte("x"))
+					}
+				}
+			}
+		}(i)
+	}
+	paths := []string{"/metrics", "/tracez", "/tracez?slow=1", "/tracez?error=1", "/varz"}
+	for _, p := range paths {
+		wg.Add(1)
+		go func(p string) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(base + p)
+				if err != nil {
+					t.Errorf("GET %s: %v", p, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(p)
+	}
+	clock.Sleep(clock.Real{}, 10*time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Sanity: the keeper actually decided traces during the storm.
+	st := s.Keeper().Stats()
+	if st.TotalSpans == 0 {
+		t.Fatal("no spans flowed through the keeper")
+	}
+}

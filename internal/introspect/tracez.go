@@ -1,8 +1,15 @@
-// /tracez: the trace ring rendered as trees. Spans arrive flat (the
-// ring records them in end order, client and server sides interleaved);
-// the handler groups them by trace ID, wires children to parents by
-// span ID, and emits the newest traces first — the live counterpart of
-// the obstest assertions PR 3 introduced.
+// /tracez: the span store rendered as trees. Spans arrive flat (the
+// store records them in end order, client and server sides
+// interleaved); the handler groups them by trace ID, wires children to
+// parents by span ID, and emits the newest traces first — the live
+// counterpart of the obstest assertions PR 3 introduced.
+//
+// When the store is a tail keeper, each tree also carries its retention
+// policy ("error"/"slow"/"baseline") and ?slow=1 narrows the list to
+// the slow-kept traces, each annotated with its dominant self-time span
+// — the attribution answer to "where did that p99 trace spend its
+// time". ?trace=<hex trace id> looks one trace up directly (the target
+// of the exemplar trace_id links on /metrics).
 package introspect
 
 import (
@@ -27,10 +34,27 @@ type TraceTree struct {
 	// Spans counts every retained span of the trace; DurNS is the root
 	// span's duration (the longest root's, if several); Err is the
 	// first error recorded anywhere in the trace.
-	Spans int          `json:"spans"`
-	DurNS int64        `json:"dur_ns"`
-	Err   string       `json:"err,omitempty"`
+	Spans int    `json:"spans"`
+	DurNS int64  `json:"dur_ns"`
+	Err   string `json:"err,omitempty"`
+	// Policy is why a tail keeper retained the trace ("error", "slow",
+	// "baseline"); empty under a FIFO ring.
+	Policy string `json:"policy,omitempty"`
+	// Hot is the trace's dominant self-time span — the attribution
+	// answer for a slow trace.
+	Hot   *HotSpan     `json:"hot,omitempty"`
 	Roots []*TraceNode `json:"roots"`
+}
+
+// HotSpan identifies the span with the largest self time (own duration
+// minus the sum of its children's) in a trace.
+type HotSpan struct {
+	Span   obs.SpanID `json:"span"`
+	Name   string     `json:"name"`
+	Object string     `json:"object,omitempty"`
+	Method string     `json:"method,omitempty"`
+	DurNS  int64      `json:"dur_ns"`
+	SelfNS int64      `json:"self_ns"`
 }
 
 // TracezPayload is the /tracez response body.
@@ -49,27 +73,48 @@ type TracezPayload struct {
 const tracezDefaultLimit = 64
 
 func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
-	if s.ring == nil {
-		http.Error(w, "tracez unavailable: a non-ring span recorder is installed", http.StatusServiceUnavailable)
+	if s.store == nil {
+		http.Error(w, "tracez unavailable: a non-store span recorder is installed", http.StatusServiceUnavailable)
 		return
 	}
 	q := r.URL.Query()
+
+	// Direct lookup: ?trace=<hex id> — the target of the exemplar
+	// trace_id links on /metrics. Under a tail keeper this also shows
+	// still-pending (undecided) traces.
+	if h := q.Get("trace"); h != "" {
+		id, err := strconv.ParseUint(h, 16, 64)
+		if err != nil || id == 0 {
+			http.Error(w, "bad ?trace= (want a hex trace id)", http.StatusBadRequest)
+			return
+		}
+		trees := s.annotate(buildTraceTrees(s.store.Trace(obs.TraceID(id))))
+		writeJSON(w, TracezPayload{Total: s.store.Total(), Traces: trees})
+		return
+	}
+
 	cursor, _ := strconv.ParseUint(q.Get("cursor"), 10, 64)
-	spans, dropped, next := s.ring.SnapshotSince(cursor)
+	spans, dropped, next := s.store.SnapshotSince(cursor)
 
 	// Span-level filter: kind restricts which spans appear at all.
 	if kind := q.Get("kind"); kind != "" {
 		spans = filterSpans(spans, func(sp obs.Span) bool { return sp.Kind.String() == kind })
 	}
 
-	trees := buildTraceTrees(spans)
+	trees := s.annotate(buildTraceTrees(spans))
 
-	// Trace-level filters: error and minimum latency.
+	// Trace-level filters: error, minimum latency, slow-kept.
 	if q.Get("error") == "1" {
 		trees = filterTrees(trees, func(t TraceTree) bool { return t.Err != "" })
 	}
 	if minUS, err := strconv.ParseInt(q.Get("min_us"), 10, 64); err == nil && minUS > 0 {
 		trees = filterTrees(trees, func(t TraceTree) bool { return t.DurNS >= minUS*1000 })
+	}
+	if q.Get("slow") == "1" {
+		// Slow-kept traces only — meaningful under a tail keeper (a FIFO
+		// ring has no retention policies, so the filter yields nothing;
+		// use ?min_us= there).
+		trees = filterTrees(trees, func(t TraceTree) bool { return t.Policy == obs.PolicySlow })
 	}
 
 	limit := tracezDefaultLimit
@@ -79,7 +124,52 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 	if len(trees) > limit {
 		trees = trees[:limit]
 	}
-	writeJSON(w, TracezPayload{Total: s.ring.Total(), Dropped: dropped, Cursor: next, Traces: trees})
+	writeJSON(w, TracezPayload{Total: s.store.Total(), Dropped: dropped, Cursor: next, Traces: trees})
+}
+
+// annotate decorates trees with the keeper's retention policy (when the
+// store is a tail keeper) and each trace's dominant self-time span.
+func (s *Server) annotate(trees []TraceTree) []TraceTree {
+	for i := range trees {
+		if s.keeper != nil {
+			trees[i].Policy = s.keeper.Policy(trees[i].Trace)
+		}
+		trees[i].Hot = hotSpan(trees[i].Roots)
+	}
+	return trees
+}
+
+// hotSpan walks a trace tree and returns the span with the largest
+// self time — its own duration minus its children's, clamped at zero
+// (clock skew between client and server halves can make a child
+// nominally outlast its parent).
+func hotSpan(roots []*TraceNode) *HotSpan {
+	var best *HotSpan
+	var walk func(n *TraceNode)
+	walk = func(n *TraceNode) {
+		self := int64(n.Dur)
+		for _, c := range n.Children {
+			self -= int64(c.Dur)
+			walk(c)
+		}
+		if self < 0 {
+			self = 0
+		}
+		if best == nil || self > best.SelfNS {
+			best = &HotSpan{
+				Span:   n.ID,
+				Name:   n.Name,
+				Object: n.Object,
+				Method: n.Method,
+				DurNS:  int64(n.Dur),
+				SelfNS: self,
+			}
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return best
 }
 
 func filterSpans(spans []obs.Span, keep func(obs.Span) bool) []obs.Span {

@@ -86,6 +86,12 @@ type Span struct {
 	Bytes int `json:"bytes,omitempty"`
 	// Err is the error that ended the span, if any.
 	Err string `json:"err,omitempty"`
+	// Hint marks the span's trace as a retention candidate. Locally
+	// minted spans are always candidates (the local keeper decides by
+	// policy); spans continued from a wire header carry the peer's
+	// keep-hint bit, so a tail keeper can discard non-candidate
+	// continuations without buffering them to trace end.
+	Hint bool `json:"hint,omitempty"`
 
 	Start time.Time     `json:"start"`
 	Dur   time.Duration `json:"dur_ns"`
@@ -98,8 +104,20 @@ type Recorder interface {
 	Record(Span)
 }
 
+// Hinter is implemented by recorders that can say, per trace, whether
+// the trace is still a retention candidate. The answer rides the wire
+// (keep-hint bit) so downstream keepers buffer only candidate traces.
+// A recorder that is not a Hinter hints every trace.
+type Hinter interface {
+	KeepHint(TraceID) bool
+}
+
 // recBox wraps the Recorder interface so it fits an atomic.Pointer.
-type recBox struct{ r Recorder }
+// The Hinter assertion is done once at install time, not per span.
+type recBox struct {
+	r Recorder
+	h Hinter // nil when r is not a Hinter
+}
 
 // clkBox wraps the clock interface for the same reason.
 type clkBox struct{ c clock.Clock }
@@ -152,7 +170,27 @@ func (t *Tracer) SetRecorder(r Recorder) {
 		t.rec.Store(nil)
 		return
 	}
-	t.rec.Store(&recBox{r: r})
+	b := &recBox{r: r}
+	b.h, _ = r.(Hinter)
+	t.rec.Store(b)
+}
+
+// KeepHintFor reports whether the installed recorder still wants the
+// trace: false when disabled, the Hinter's answer when the recorder
+// implements one, true otherwise. This is the value stamped into the
+// wire header's keep-hint bit.
+func (t *Tracer) KeepHintFor(trace TraceID) bool {
+	if t == nil || trace == 0 {
+		return false
+	}
+	b := t.rec.Load()
+	if b == nil {
+		return false
+	}
+	if b.h != nil {
+		return b.h.KeepHint(trace)
+	}
+	return true
 }
 
 // Recorder returns the installed recorder, or nil.
@@ -191,6 +229,7 @@ func (t *Tracer) StartRoot(kind Kind, name string) *Active {
 		Seq:   t.seq.Add(1),
 		Name:  name,
 		Kind:  kind,
+		Hint:  true,
 		Start: t.now(),
 	}}
 }
@@ -209,6 +248,7 @@ func (t *Tracer) StartChild(trace TraceID, parent SpanID, kind Kind, name string
 		Seq:    t.seq.Add(1),
 		Name:   name,
 		Kind:   kind,
+		Hint:   true,
 		Start:  t.now(),
 	}}
 }
@@ -237,12 +277,25 @@ func (a *Active) SpanID() SpanID {
 	return a.s.ID
 }
 
-// Child opens a sub-span of a, same kind and trace.
+// Child opens a sub-span of a, same kind and trace. The parent's
+// retention hint is inherited, so an unhinted continuation's sub-spans
+// stay unhinted.
 func (a *Active) Child(name string) *Active {
 	if a == nil {
 		return nil
 	}
-	return a.t.StartChild(a.s.Trace, a.s.ID, a.s.Kind, name)
+	c := a.t.StartChild(a.s.Trace, a.s.ID, a.s.Kind, name)
+	c.SetHint(a.s.Hint)
+	return c
+}
+
+// SetHint marks (or unmarks) the span's trace as a retention
+// candidate. Wire-continuation sites set this from the frame's
+// keep-hint bit.
+func (a *Active) SetHint(on bool) {
+	if a != nil {
+		a.s.Hint = on
+	}
 }
 
 // SetRPC records the invocation target.

@@ -117,3 +117,80 @@ func TestFormatMentionsKeyFields(t *testing.T) {
 		}
 	}
 }
+
+func TestAssertRetainedAndDroppedByPolicy(t *testing.T) {
+	tk := obs.NewTailKeeper(obs.TailKeeperOptions{
+		MaxSpans: 64,
+		MinSlow:  time.Hour,
+		Baseline: -1,
+	})
+	tr := obs.NewTracer(nil)
+	tr.SetRecorder(tk)
+
+	// An errored trace is retained, a healthy one is dropped normal.
+	bad := tr.StartRoot(obs.KindClient, "invoke")
+	bad.SetErr(errFake{})
+	bad.End()
+	good := tr.StartRoot(obs.KindClient, "invoke")
+	good.End()
+
+	obstest.AssertRetained(t, tk, bad.TraceID(), obs.PolicyError)
+	obstest.AssertRetained(t, tk, bad.TraceID(), "") // any policy
+	obstest.AssertDroppedByPolicy(t, tk, obs.DropNormal, 1)
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+// TestScrapeWhileSampling is the -race regression for the keeper as a
+// store: concurrent recording, hint queries, and every read surface.
+func TestScrapeWhileSampling(t *testing.T) {
+	tk := obs.NewTailKeeper(obs.TailKeeperOptions{MaxSpans: 128, Baseline: 2})
+	tr := obs.NewTracer(nil)
+	tr.SetRecorder(tk)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				root := tr.StartRoot(obs.KindClient, "invoke")
+				c := root.Child("send")
+				c.End()
+				if (g+i)%7 == 0 {
+					root.SetErr(errFake{})
+				}
+				tr.KeepHintFor(root.TraceID())
+				root.End()
+			}
+		}(g)
+	}
+	// Scrape until the writers have demonstrably produced traffic (at
+	// least 200 scrape rounds either way), so the storm really overlaps.
+	for i := 0; i < 200 || tk.Total() == 0; i++ {
+		tk.Spans()
+		tk.Stats()
+		tk.Total()
+		_, _, _ = tk.SnapshotSince(0)
+		_ = tk.WriteJSON(discard{})
+		tk.FlushIdle()
+	}
+	close(stop)
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if tk.Stats().TotalSpans == 0 {
+		t.Fatal("no spans recorded during the scrape storm")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

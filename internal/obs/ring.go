@@ -5,10 +5,30 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"openhpcxx/internal/stats"
 )
 
 // DefaultRingSize is the span capacity NewRing uses for n <= 0.
 const DefaultRingSize = 4096
+
+// Store is a span recorder that also retains spans for inspection —
+// the read surface /tracez needs from a recorder. *Ring and
+// *TailKeeper both implement it.
+type Store interface {
+	Recorder
+	// Spans returns the retained spans, oldest first.
+	Spans() []Span
+	// SnapshotSince returns retained spans recorded after the cursor,
+	// the count already evicted past it, and the next cursor.
+	SnapshotSince(cursor uint64) (spans []Span, dropped uint64, next uint64)
+	// Trace returns the retained spans of one trace in Seq order.
+	Trace(TraceID) []Span
+	// Total counts spans recorded over the store's lifetime.
+	Total() uint64
+	// WriteJSON dumps the retained spans as one JSON document.
+	WriteJSON(io.Writer) error
+}
 
 // Ring is a fixed-capacity span recorder: the newest spans win, the
 // oldest are overwritten. It is the per-runtime SpanRecorder behind
@@ -21,9 +41,16 @@ type Ring struct {
 	next    int
 	wrapped bool
 	total   uint64
+
+	// Optional live counters (SetMetrics): spans recorded and spans
+	// evicted by the bounded buffer, so /varz rate windows show trace
+	// loss as it happens instead of on /tracez polls.
+	mSpans   *stats.Counter
+	mDropped *stats.Counter
 }
 
 var _ Recorder = (*Ring)(nil)
+var _ Store = (*Ring)(nil)
 
 // NewRing returns a ring recorder holding up to n spans (n <= 0 uses
 // DefaultRingSize).
@@ -34,9 +61,25 @@ func NewRing(n int) *Ring {
 	return &Ring{buf: make([]Span, n)}
 }
 
+// SetMetrics mirrors the ring's recorded/evicted span counts into live
+// registry counters (`obs.spans_total`, `obs.dropped_spans`), making
+// trace loss visible in /varz rate windows.
+func (r *Ring) SetMetrics(reg *stats.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	r.mSpans = reg.Counter("obs.spans_total")
+	r.mDropped = reg.Counter("obs.dropped_spans")
+	r.mu.Unlock()
+}
+
 // Record implements Recorder.
 func (r *Ring) Record(s Span) {
 	r.mu.Lock()
+	if r.wrapped && r.mDropped != nil {
+		r.mDropped.Inc() // buf[next] holds a live span about to be evicted
+	}
 	r.buf[r.next] = s
 	r.next++
 	if r.next == len(r.buf) {
@@ -44,6 +87,9 @@ func (r *Ring) Record(s Span) {
 		r.wrapped = true
 	}
 	r.total++
+	if r.mSpans != nil {
+		r.mSpans.Inc()
+	}
 	r.mu.Unlock()
 }
 

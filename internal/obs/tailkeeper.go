@@ -1,0 +1,594 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"openhpcxx/internal/clock"
+	"openhpcxx/internal/stats"
+)
+
+// Retention policies a TailKeeper keeps traces under.
+const (
+	// PolicyError keeps traces where any span recorded an error.
+	PolicyError = "error"
+	// PolicySlow keeps traces whose root duration reached the slow
+	// threshold (the moving p99 of recent roots, floored at MinSlow).
+	PolicySlow = "slow"
+	// PolicyBaseline keeps reservoir-sampled "normal" traces so the
+	// retained set still shows what healthy invocations look like.
+	PolicyBaseline = "baseline"
+)
+
+// Drop policies a TailKeeper accounts trace loss under.
+const (
+	// DropNormal is the intended case: the trace completed healthy and
+	// did not win a baseline slot.
+	DropNormal = "normal"
+	// DropOverflow means the pending budget was exhausted and an
+	// undecided trace was evicted before its root ended.
+	DropOverflow = "overflow"
+	// DropUnhinted means a continued trace arrived without the wire
+	// keep-hint, so its spans were discarded without buffering.
+	DropUnhinted = "unhinted"
+)
+
+// TailKeeper defaults.
+const (
+	// DefaultBaselineSlots is the reservoir size for normal traces.
+	DefaultBaselineSlots = 4
+	// DefaultIdleFlush decides rootless (server-side) traces that have
+	// been quiet this long.
+	DefaultIdleFlush = time.Second
+	// DefaultRotateEvery is the number of root durations per moving-p99
+	// half-window.
+	DefaultRotateEvery = 512
+	// decidedCap bounds each generation of the decided-trace memory.
+	decidedCap = 8192
+)
+
+// TailKeeperOptions configures a TailKeeper. The zero value selects
+// the documented defaults.
+type TailKeeperOptions struct {
+	// MaxSpans is the total span budget — pending buffers plus kept
+	// spans combined (<= 0 uses DefaultRingSize). Half the budget
+	// buffers undecided traces; the other half retains kept ones, so
+	// a TailKeeper at MaxSpans=N occupies the same span memory as a
+	// Ring of size N.
+	MaxSpans int
+	// MinSlow floors the slow threshold: a root must run at least this
+	// long to be kept as slow even when the moving p99 is lower. Zero
+	// means the moving p99 alone decides.
+	MinSlow time.Duration
+	// Baseline is the reservoir size for normal traces (< 0 disables,
+	// 0 uses DefaultBaselineSlots).
+	Baseline int
+	// IdleFlush is how long a rootless trace may stay quiet before it
+	// is decided anyway (<= 0 uses DefaultIdleFlush). Server-side
+	// traces never see their root end locally; the flush loop decides
+	// them by their earliest local span.
+	IdleFlush time.Duration
+	// RotateEvery is the number of root durations per half-window of
+	// the moving p99 (<= 0 uses DefaultRotateEvery).
+	RotateEvery int
+	// Seed seeds the baseline reservoir's RNG so tests are
+	// deterministic (0 uses a fixed default).
+	Seed int64
+	// Clock is the time source for idle flushing (nil uses the real
+	// clock).
+	Clock clock.Clock
+}
+
+// decision is the remembered outcome for a recently decided trace.
+type decision struct {
+	kept   bool
+	policy string // keep policy, or a Drop* reason
+}
+
+// pendingTrace buffers one undecided trace.
+type pendingTrace struct {
+	spans []Span
+	last  time.Time // newest Record for this trace (idle-flush clock)
+}
+
+// TailKeeper is a tail-based retention recorder: it buffers spans per
+// trace until the trace's root span ends, then keeps the whole tree
+// iff it errored, ran past the slow threshold (a moving p99 of recent
+// roots, floored at MinSlow), or wins a baseline reservoir slot —
+// and drops it otherwise. Memory is hard-bounded by MaxSpans across
+// pending and kept spans; every dropped trace is accounted under a
+// drop policy. Under a FIFO ring the slow and errored traces produced
+// by overload are exactly the ones evicted; the keeper decides after
+// observing the outcome, so they are exactly the ones retained.
+//
+// The keeper implements Hinter: its per-trace answer rides the wire
+// as the keep-hint bit, so downstream keepers buffer only traces the
+// origin is still considering.
+type TailKeeper struct {
+	opt TailKeeperOptions
+	clk clock.Clock
+
+	mu           sync.Mutex
+	pending      map[TraceID]*pendingTrace
+	queue        []TraceID // pending traces in creation order (may hold stale ids)
+	pendingSpans int
+	pendingCap   int
+	out          *Ring // kept spans, FIFO over the kept half of the budget
+
+	decidedCur  map[TraceID]decision
+	decidedPrev map[TraceID]decision
+
+	durCur, durPrev *stats.Histogram // root durations (µs), rotating pair
+	durCount        int
+	normalSeen      float64
+	rng             *rand.Rand
+
+	total         uint64 // spans offered (Record calls)
+	keptSpans     uint64
+	droppedSpans  uint64
+	keptTraces    map[string]uint64
+	droppedTraces map[string]uint64
+
+	m *keeperMetrics
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+var _ Recorder = (*TailKeeper)(nil)
+var _ Store = (*TailKeeper)(nil)
+var _ Hinter = (*TailKeeper)(nil)
+
+// keeperMetrics are the optional live registry counters (SetMetrics).
+type keeperMetrics struct {
+	spans        *stats.Counter // obs.spans_total
+	keptSpans    *stats.Counter // obs.kept_spans
+	droppedSpans *stats.Counter // obs.dropped_spans
+	pending      *stats.Gauge   // obs.pending_spans
+	kept         map[string]*stats.Counter
+	dropped      map[string]*stats.Counter
+}
+
+// NewTailKeeper builds a keeper with the given options. The idle-flush
+// loop does not run until Start; deterministic tests call FlushIdle
+// directly instead.
+func NewTailKeeper(opt TailKeeperOptions) *TailKeeper {
+	if opt.MaxSpans <= 0 {
+		opt.MaxSpans = DefaultRingSize
+	}
+	if opt.Baseline == 0 {
+		opt.Baseline = DefaultBaselineSlots
+	}
+	if opt.IdleFlush <= 0 {
+		opt.IdleFlush = DefaultIdleFlush
+	}
+	if opt.RotateEvery <= 0 {
+		opt.RotateEvery = DefaultRotateEvery
+	}
+	clk := opt.Clock
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	keptCap := opt.MaxSpans / 2
+	if keptCap < 1 {
+		keptCap = 1
+	}
+	return &TailKeeper{
+		opt:           opt,
+		clk:           clk,
+		pending:       make(map[TraceID]*pendingTrace),
+		pendingCap:    opt.MaxSpans - keptCap,
+		out:           NewRing(keptCap),
+		decidedCur:    make(map[TraceID]decision),
+		durCur:        &stats.Histogram{},
+		durPrev:       &stats.Histogram{},
+		rng:           rand.New(rand.NewSource(seed)),
+		keptTraces:    make(map[string]uint64),
+		droppedTraces: make(map[string]uint64),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+}
+
+// SetMetrics mirrors the keeper's retention accounting into live
+// registry metrics: `obs.spans_total`, `obs.kept_spans`,
+// `obs.dropped_spans`, the per-policy `obs.kept_traces{policy=...}` /
+// `obs.dropped_traces{policy=...}` counters, and the
+// `obs.pending_spans` gauge.
+func (k *TailKeeper) SetMetrics(reg *stats.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &keeperMetrics{
+		spans:        reg.Counter("obs.spans_total"),
+		keptSpans:    reg.Counter("obs.kept_spans"),
+		droppedSpans: reg.Counter("obs.dropped_spans"),
+		pending:      reg.Gauge("obs.pending_spans"),
+		kept:         make(map[string]*stats.Counter, 3),
+		dropped:      make(map[string]*stats.Counter, 3),
+	}
+	for _, p := range []string{PolicyError, PolicySlow, PolicyBaseline} {
+		m.kept[p] = reg.CounterWith("obs.kept_traces", stats.Labels{"policy": p})
+	}
+	for _, p := range []string{DropNormal, DropOverflow, DropUnhinted} {
+		m.dropped[p] = reg.CounterWith("obs.dropped_traces", stats.Labels{"policy": p})
+	}
+	k.mu.Lock()
+	k.m = m
+	k.mu.Unlock()
+}
+
+// Start launches the idle-flush loop (idempotent). The loop wakes on
+// the injected clock every IdleFlush and decides rootless traces that
+// stayed quiet a full interval.
+func (k *TailKeeper) Start() {
+	k.startOnce.Do(func() {
+		go k.loop()
+	})
+}
+
+func (k *TailKeeper) loop() {
+	defer close(k.done)
+	for {
+		// Waiting on the injected clock keeps the loop nosleep-clean and
+		// lets a fake clock drive idle flushing deterministically.
+		select {
+		case <-k.stop:
+			return
+		case <-clock.After(k.clk, k.opt.IdleFlush):
+			k.FlushIdle()
+		}
+	}
+}
+
+// Close stops the idle-flush loop and waits for it to exit. The kept
+// spans stay readable after Close.
+func (k *TailKeeper) Close() {
+	k.closeOnce.Do(func() { close(k.stop) })
+	k.startOnce.Do(func() { close(k.done) }) // never started: nothing to wait for
+	<-k.done
+}
+
+// Record implements Recorder: buffer the span with its trace, and
+// decide the trace when its root (Parent == 0) ends.
+func (k *TailKeeper) Record(s Span) {
+	k.mu.Lock()
+	k.total++
+	if k.m != nil {
+		k.m.spans.Inc()
+	}
+	if d, ok := k.decidedLocked(s.Trace); ok {
+		// Straggler for an already decided trace: follow the decision.
+		if d.kept {
+			k.keepSpanLocked(s)
+		} else {
+			k.dropSpansLocked(1, "")
+		}
+		k.mu.Unlock()
+		return
+	}
+	p := k.pending[s.Trace]
+	if p == nil {
+		if !s.Hint {
+			// A continued trace the origin is not keeping: discard
+			// without buffering — the point of the wire hint.
+			k.dropSpansLocked(1, "")
+			k.droppedTraces[DropUnhinted]++
+			if k.m != nil {
+				k.m.dropped[DropUnhinted].Inc()
+			}
+			k.mu.Unlock()
+			return
+		}
+		p = &pendingTrace{}
+		k.pending[s.Trace] = p
+		k.queue = append(k.queue, s.Trace)
+	}
+	p.spans = append(p.spans, s)
+	p.last = k.clk.Now()
+	k.pendingSpans++
+	if s.Parent == 0 {
+		k.decideLocked(s.Trace, s.Dur, true)
+	}
+	for k.pendingSpans > k.pendingCap {
+		k.evictOldestPendingLocked()
+	}
+	if k.m != nil {
+		k.m.pending.Set(int64(k.pendingSpans))
+	}
+	k.mu.Unlock()
+}
+
+// KeepHint implements Hinter: a trace is a candidate while undecided
+// and the pending budget has room; once decided, the decision answers.
+func (k *TailKeeper) KeepHint(id TraceID) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if d, ok := k.decidedLocked(id); ok {
+		return d.kept
+	}
+	if _, ok := k.pending[id]; ok {
+		return true
+	}
+	return k.pendingSpans < k.pendingCap
+}
+
+// FlushIdle decides every pending trace that has been quiet for a full
+// IdleFlush interval, using its earliest local span as the root. The
+// background loop calls it every interval; deterministic tests call it
+// directly.
+func (k *TailKeeper) FlushIdle() {
+	now := k.clk.Now()
+	k.mu.Lock()
+	var idle []TraceID
+	for id, p := range k.pending {
+		if now.Sub(p.last) >= k.opt.IdleFlush {
+			idle = append(idle, id)
+		}
+	}
+	// Deterministic decision order regardless of map iteration.
+	sort.Slice(idle, func(i, j int) bool { return idle[i] < idle[j] })
+	for _, id := range idle {
+		p := k.pending[id]
+		root := p.spans[0]
+		for _, s := range p.spans[1:] {
+			if s.Seq < root.Seq {
+				root = s
+			}
+		}
+		k.decideLocked(id, root.Dur, true)
+	}
+	if k.m != nil {
+		k.m.pending.Set(int64(k.pendingSpans))
+	}
+	k.mu.Unlock()
+}
+
+// decidedLocked answers from the rotating decided-trace memory.
+func (k *TailKeeper) decidedLocked(id TraceID) (decision, bool) {
+	if d, ok := k.decidedCur[id]; ok {
+		return d, true
+	}
+	d, ok := k.decidedPrev[id]
+	return d, ok
+}
+
+// decideLocked resolves one pending trace. rootDur is the root span's
+// duration; observe says whether it should feed the moving p99 (true
+// for real decisions, false for overflow evictions).
+func (k *TailKeeper) decideLocked(id TraceID, rootDur time.Duration, observe bool) {
+	p := k.pending[id]
+	if p == nil {
+		return
+	}
+	// The threshold is the moving p99 of *previous* roots; observe this
+	// one only afterwards, so a lone root can still read as slow.
+	threshold := k.slowThresholdLocked()
+	if observe {
+		k.observeDurLocked(rootDur)
+	}
+	policy := ""
+	for i := range p.spans {
+		if p.spans[i].Err != "" {
+			policy = PolicyError
+			break
+		}
+	}
+	if policy == "" && rootDur >= threshold {
+		policy = PolicySlow
+	}
+	if policy == "" && k.opt.Baseline > 0 {
+		// Reservoir-style admission: the i-th healthy trace wins one of
+		// the Baseline slots with probability Baseline/i, so the kept
+		// baseline set stays a uniform-ish sample of normal traffic.
+		k.normalSeen++
+		if k.rng.Float64()*k.normalSeen < float64(k.opt.Baseline) {
+			policy = PolicyBaseline
+		}
+	}
+	delete(k.pending, id)
+	k.pendingSpans -= len(p.spans)
+	if policy != "" {
+		k.rememberLocked(id, decision{kept: true, policy: policy})
+		sort.Slice(p.spans, func(i, j int) bool { return p.spans[i].Seq < p.spans[j].Seq })
+		for _, s := range p.spans {
+			k.keepSpanLocked(s)
+		}
+		k.keptTraces[policy]++
+		if k.m != nil {
+			k.m.kept[policy].Inc()
+		}
+		return
+	}
+	k.rememberLocked(id, decision{kept: false, policy: DropNormal})
+	k.dropSpansLocked(uint64(len(p.spans)), DropNormal)
+}
+
+// evictOldestPendingLocked drops the oldest undecided trace to make
+// room — the overflow path, accounted separately so operators can see
+// the pending budget is too small for the load.
+func (k *TailKeeper) evictOldestPendingLocked() {
+	for len(k.queue) > 0 {
+		id := k.queue[0]
+		k.queue = k.queue[1:]
+		p, ok := k.pending[id]
+		if !ok {
+			continue // already decided
+		}
+		delete(k.pending, id)
+		k.pendingSpans -= len(p.spans)
+		k.rememberLocked(id, decision{kept: false, policy: DropOverflow})
+		k.dropSpansLocked(uint64(len(p.spans)), DropOverflow)
+		return
+	}
+	// Queue exhausted but budget still over: nothing left to evict.
+	k.pendingSpans = 0
+}
+
+// keepSpanLocked forwards one span to the kept ring.
+func (k *TailKeeper) keepSpanLocked(s Span) {
+	k.out.Record(s)
+	k.keptSpans++
+	if k.m != nil {
+		k.m.keptSpans.Inc()
+	}
+}
+
+// dropSpansLocked accounts n dropped spans, and (for non-empty policy)
+// one dropped trace under it.
+func (k *TailKeeper) dropSpansLocked(n uint64, policy string) {
+	k.droppedSpans += n
+	if k.m != nil {
+		k.m.droppedSpans.Add(n)
+	}
+	if policy != "" {
+		k.droppedTraces[policy]++
+		if k.m != nil {
+			k.m.dropped[policy].Inc()
+		}
+	}
+}
+
+// rememberLocked records a decision in the rotating memory so
+// stragglers follow it instead of reopening the trace.
+func (k *TailKeeper) rememberLocked(id TraceID, d decision) {
+	if len(k.decidedCur) >= decidedCap {
+		k.decidedPrev = k.decidedCur
+		k.decidedCur = make(map[TraceID]decision, decidedCap/4)
+	}
+	k.decidedCur[id] = d
+}
+
+// observeDurLocked feeds one root duration into the rotating moving-p99
+// window.
+func (k *TailKeeper) observeDurLocked(d time.Duration) {
+	k.durCur.ObserveDuration(d)
+	k.durCount++
+	if k.durCount >= k.opt.RotateEvery {
+		k.durPrev = k.durCur
+		k.durCur = &stats.Histogram{}
+		k.durCount = 0
+	}
+}
+
+// slowThresholdLocked is max(MinSlow, moving p99 of recent roots).
+// Histogram percentiles are bucket upper bounds (within 2x of the
+// exact p99): a root in the p99 bucket itself is not slow, anything
+// past the bucket is.
+func (k *TailKeeper) slowThresholdLocked() time.Duration {
+	merged := &stats.Histogram{}
+	merged.Merge(k.durCur)
+	merged.Merge(k.durPrev)
+	th := time.Duration(merged.Percentile(0.99)) * time.Microsecond
+	if th < k.opt.MinSlow {
+		th = k.opt.MinSlow
+	}
+	return th
+}
+
+// Policy returns the keep policy a retained trace was decided under
+// ("" for unknown or dropped traces) — /tracez renders it and filters
+// ?slow=1 on it.
+func (k *TailKeeper) Policy(id TraceID) string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if d, ok := k.decidedLocked(id); ok && d.kept {
+		return d.policy
+	}
+	return ""
+}
+
+// Spans returns the kept spans, oldest kept first.
+func (k *TailKeeper) Spans() []Span { return k.out.Spans() }
+
+// SnapshotSince returns kept spans published after the cursor, how
+// many were evicted past it, and the next cursor — the same contract
+// as Ring.SnapshotSince, over keep order.
+func (k *TailKeeper) SnapshotSince(cursor uint64) ([]Span, uint64, uint64) {
+	return k.out.SnapshotSince(cursor)
+}
+
+// Trace returns one trace's spans in Seq order — kept spans plus any
+// still pending, so /tracez?trace= can show a trace before its root
+// ends.
+func (k *TailKeeper) Trace(id TraceID) []Span {
+	out := k.out.Trace(id)
+	k.mu.Lock()
+	if p := k.pending[id]; p != nil {
+		out = append(out, p.spans...)
+	}
+	k.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Total counts spans offered to the keeper over its lifetime.
+func (k *TailKeeper) Total() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.total
+}
+
+// TailStats is the keeper's retention accounting at a point in time.
+type TailStats struct {
+	TotalSpans    uint64            `json:"total_spans"`
+	PendingSpans  int               `json:"pending_spans"`
+	KeptSpans     uint64            `json:"kept_spans"`
+	DroppedSpans  uint64            `json:"dropped_spans"`
+	KeptTraces    map[string]uint64 `json:"kept_traces"`
+	DroppedTraces map[string]uint64 `json:"dropped_traces"`
+}
+
+// Stats snapshots the retention accounting.
+func (k *TailKeeper) Stats() TailStats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	st := TailStats{
+		TotalSpans:    k.total,
+		PendingSpans:  k.pendingSpans,
+		KeptSpans:     k.keptSpans,
+		DroppedSpans:  k.droppedSpans,
+		KeptTraces:    make(map[string]uint64, len(k.keptTraces)),
+		DroppedTraces: make(map[string]uint64, len(k.droppedTraces)),
+	}
+	for p, n := range k.keptTraces {
+		st.KeptTraces[p] = n
+	}
+	for p, n := range k.droppedTraces {
+		st.DroppedTraces[p] = n
+	}
+	return st
+}
+
+// TailExport is the JSON shape TailKeeper.WriteJSON emits: the ring
+// export fields plus retention accounting.
+type TailExport struct {
+	Total    uint64    `json:"total"`
+	Retained int       `json:"retained"`
+	Stats    TailStats `json:"stats"`
+	Spans    []Span    `json:"spans"`
+}
+
+// WriteJSON dumps the kept spans and retention accounting as one
+// indented JSON document.
+func (k *TailKeeper) WriteJSON(w io.Writer) error {
+	spans := k.Spans()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TailExport{
+		Total:    k.Total(),
+		Retained: len(spans),
+		Stats:    k.Stats(),
+		Spans:    spans,
+	})
+}

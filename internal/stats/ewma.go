@@ -1,0 +1,140 @@
+// EWMA meters: smoothed level + rate estimators the runtime keeps per
+// protocol endpoint — the scoring input adaptive protocol selection
+// consumes. A meter carries two channels in one type:
+//
+//   - a level (Observe/Level): a per-sample exponentially weighted
+//     moving average, SRTT-style, used for latencies. It is clock-free
+//     and therefore exactly deterministic for a given sample sequence.
+//   - a rate (Add/RateAt): a time-decayed accumulator, used for
+//     bytes/s and calls/s. Amounts decay against an explicit `now`
+//     (never a wall-clock read inside the package), so fake-clock
+//     tests are deterministic and a quiet endpoint's rate visibly
+//     drains toward zero.
+package stats
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// EWMA meter defaults.
+const (
+	// DefaultMeterAlpha is the per-sample smoothing factor for the
+	// level channel (1/8, the classic SRTT gain).
+	DefaultMeterAlpha = 0.125
+	// DefaultMeterTau is the decay horizon for the rate channel: the
+	// rate reflects roughly the last 10 seconds of traffic.
+	DefaultMeterTau = 10 * time.Second
+)
+
+// EWMA is one smoothed level + rate meter. The zero value is not
+// usable; call NewEWMA (or let a Registry build one).
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	tau   time.Duration
+
+	init  bool
+	level float64
+	acc   float64
+	last  time.Time
+	count uint64
+}
+
+// NewEWMA builds a meter with the given level gain and rate horizon
+// (non-positive values select the defaults).
+func NewEWMA(alpha float64, tau time.Duration) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultMeterAlpha
+	}
+	if tau <= 0 {
+		tau = DefaultMeterTau
+	}
+	return &EWMA{alpha: alpha, tau: tau}
+}
+
+// Observe feeds one sample into the level channel. The first sample
+// initializes the level; later ones move it by alpha toward x.
+func (e *EWMA) Observe(x float64) {
+	e.mu.Lock()
+	if e.count == 0 {
+		e.level = x
+	} else {
+		e.level += e.alpha * (x - e.level)
+	}
+	e.count++
+	e.mu.Unlock()
+}
+
+// Add feeds an amount (bytes, calls) into the rate channel at `now`.
+func (e *EWMA) Add(amount float64, now time.Time) {
+	e.mu.Lock()
+	e.decayLocked(now)
+	e.acc += amount
+	e.count++
+	e.mu.Unlock()
+}
+
+// decayLocked ages the accumulator forward to now. Caller holds mu.
+func (e *EWMA) decayLocked(now time.Time) {
+	if !e.init {
+		e.init, e.last = true, now
+		return
+	}
+	if dt := now.Sub(e.last); dt > 0 {
+		e.acc *= math.Exp(-float64(dt) / float64(e.tau))
+		e.last = now
+	}
+}
+
+// Level reads the smoothed level (0 before any Observe).
+func (e *EWMA) Level() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.level
+}
+
+// RateAt reads the smoothed per-second rate, decayed to `now`. A zero
+// now skips the final decay and reads the accumulator as of the last
+// Add.
+func (e *EWMA) RateAt(now time.Time) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rateAtLocked(now)
+}
+
+func (e *EWMA) rateAtLocked(now time.Time) float64 {
+	acc := e.acc
+	if e.init && !now.IsZero() {
+		if dt := now.Sub(e.last); dt > 0 {
+			acc *= math.Exp(-float64(dt) / float64(e.tau))
+		}
+	}
+	return acc / e.tau.Seconds()
+}
+
+// Count reports how many samples and amounts the meter has absorbed.
+func (e *EWMA) Count() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.count
+}
+
+// MeterSnapshot is a meter's point-in-time export.
+type MeterSnapshot struct {
+	// Level is the smoothed level (e.g. latency in µs).
+	Level float64 `json:"level"`
+	// Rate is the smoothed per-second rate (e.g. bytes/s).
+	Rate float64 `json:"rate"`
+	// Count is how many samples/amounts the meter has absorbed.
+	Count uint64 `json:"count"`
+}
+
+// SnapshotAt exports the meter with the rate decayed to `now` (zero
+// skips the final decay).
+func (e *EWMA) SnapshotAt(now time.Time) MeterSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return MeterSnapshot{Level: e.level, Rate: e.rateAtLocked(now), Count: e.count}
+}

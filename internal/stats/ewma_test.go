@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEWMALevelConverges(t *testing.T) {
+	e := NewEWMA(0.125, 0)
+	e.Observe(100)
+	if e.Level() != 100 {
+		t.Fatalf("first sample must initialize the level, got %g", e.Level())
+	}
+	for i := 0; i < 100; i++ {
+		e.Observe(200)
+	}
+	if lv := e.Level(); lv < 199 || lv > 200 {
+		t.Fatalf("level %g did not converge to 200", lv)
+	}
+	if e.Count() != 101 {
+		t.Fatalf("count %d", e.Count())
+	}
+}
+
+// The level channel is clock-free and exactly deterministic: the same
+// sample sequence always produces the same level.
+func TestEWMALevelDeterministic(t *testing.T) {
+	a, b := NewEWMA(0.125, 0), NewEWMA(0.125, 0)
+	for i := 0; i < 50; i++ {
+		x := float64(i%7) * 13
+		a.Observe(x)
+		b.Observe(x)
+	}
+	if a.Level() != b.Level() {
+		t.Fatalf("levels diverged: %g vs %g", a.Level(), b.Level())
+	}
+}
+
+func TestEWMARateConvergesAndDecays(t *testing.T) {
+	base := time.Unix(1000, 0)
+	e := NewEWMA(0, 10*time.Second)
+	// 1000 bytes every second for 100 simulated seconds: the rate must
+	// read near 1000 B/s (discrete adds against continuous decay bias
+	// it high by about dt/2tau = 5%).
+	now := base
+	for i := 0; i < 100; i++ {
+		e.Add(1000, now)
+		now = now.Add(time.Second)
+	}
+	rate := e.RateAt(now)
+	if rate < 900 || rate > 1150 {
+		t.Fatalf("steady rate %g, want ~1000", rate)
+	}
+	// A quiet meter drains: three horizons later the rate is e^-3 down.
+	idle := e.RateAt(now.Add(30 * time.Second))
+	if idle > rate/15 || idle <= 0 {
+		t.Fatalf("idle rate %g did not drain from %g", idle, rate)
+	}
+	// Zero now skips the final decay (as-of-last-add read).
+	if asOf := e.RateAt(time.Time{}); asOf < rate {
+		t.Fatalf("as-of read %g below decayed read %g", asOf, rate)
+	}
+}
+
+func TestEWMASnapshotAt(t *testing.T) {
+	base := time.Unix(2000, 0)
+	e := NewEWMA(0.5, 10*time.Second)
+	e.Observe(40)
+	e.Add(500, base)
+	s := e.SnapshotAt(base)
+	if s.Level != 40 || s.Count != 2 || s.Rate <= 0 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	later := e.SnapshotAt(base.Add(time.Minute))
+	if later.Rate >= s.Rate {
+		t.Fatalf("rate did not decay: %g -> %g", s.Rate, later.Rate)
+	}
+}
+
+func TestRegistryMeters(t *testing.T) {
+	r := New()
+	m := r.MeterWith("rpc.endpoint", Labels{"proto": "tcp", "endpoint": "a:1"})
+	if r.MeterWith("rpc.endpoint", Labels{"endpoint": "a:1", "proto": "tcp"}) != m {
+		t.Fatal("label order changed meter identity")
+	}
+	m.Observe(1500)
+	m.Add(4096, time.Unix(3000, 0))
+	snap := r.SnapshotAt(time.Unix(3000, 0))
+	key := `rpc.endpoint{endpoint="a:1",proto="tcp"}`
+	ms, ok := snap.Meters[key]
+	if !ok {
+		t.Fatalf("meter key missing; have %v", snap.MeterNames())
+	}
+	if ms.Level != 1500 || ms.Rate <= 0 {
+		t.Fatalf("meter snapshot %+v", ms)
+	}
+	// The meters section is part of the deterministic JSON export.
+	var sb strings.Builder
+	if err := snap.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"meters"`) || !strings.Contains(sb.String(), `"level":1500`) {
+		t.Fatalf("JSON export missing meters:\n%s", sb.String())
+	}
+}
+
+func TestEWMAConcurrent(t *testing.T) {
+	e := NewEWMA(0.125, time.Second)
+	var wg sync.WaitGroup
+	base := time.Unix(4000, 0)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Observe(float64(i))
+				e.Add(1, base.Add(time.Duration(i)*time.Millisecond))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if e.Count() != 8000 {
+		t.Fatalf("count %d", e.Count())
+	}
+}

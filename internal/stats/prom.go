@@ -67,7 +67,11 @@ func (s RegistrySnapshot) WriteProm(w io.Writer) error {
 		}
 	}
 
-	// Histograms render as summaries: quantile series plus _sum/_count.
+	// Histograms render as summaries: quantile series plus _sum/_count,
+	// followed by OpenMetrics-style exemplar bucket lines for buckets
+	// that pinned a traced observation — `fam_bucket{le="..."} <cum>
+	// # {trace_id="<hex>"} <value>` — so a surprising quantile links to
+	// an actual retained trace.
 	order, fams = promFamilies(s.HistogramNames())
 	for _, fam := range order {
 		fmt.Fprintf(&b, "# TYPE %s summary\n", fam)
@@ -81,6 +85,23 @@ func (s RegistrySnapshot) WriteProm(w io.Writer) error {
 			}
 			fmt.Fprintf(&b, "%s_sum%s %d\n", sr.fam, sr.labels, h.Sum)
 			fmt.Fprintf(&b, "%s_count%s %d\n", sr.fam, sr.labels, h.Count)
+			for _, ex := range h.Exemplars {
+				fmt.Fprintf(&b, "%s_bucket%s %d # {trace_id=\"%016x\"} %d\n",
+					sr.fam, mergeLabels(sr.labels, fmt.Sprintf(`le="%d"`, ex.Upper)), ex.Cum, ex.Trace, ex.Value)
+			}
+		}
+	}
+
+	// Meters render as paired gauges: the smoothed level and rate.
+	order, fams = promFamilies(s.MeterNames())
+	for _, fam := range order {
+		fmt.Fprintf(&b, "# TYPE %s_level gauge\n", fam)
+		for _, sr := range fams[fam] {
+			fmt.Fprintf(&b, "%s_level%s %g\n", sr.fam, sr.labels, s.Meters[sr.key].Level)
+		}
+		fmt.Fprintf(&b, "# TYPE %s_rate gauge\n", fam)
+		for _, sr := range fams[fam] {
+			fmt.Fprintf(&b, "%s_rate%s %g\n", sr.fam, sr.labels, s.Meters[sr.key].Rate)
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -116,10 +116,23 @@ func escapeLabelValue(v string) string {
 // bucket i counts observations with bit length i (0 counts zero and
 // negative values). Percentiles are therefore approximate within 2x,
 // which is plenty for latency accounting.
+//
+// Each bucket also carries one exemplar slot: the last traced
+// observation that landed in it (ObserveTraced), so a surprising
+// quantile resolves to an actual retained trace instead of an
+// anonymous count. Untraced observations never touch the slots, so
+// the plain Observe path stays allocation-free.
 type Histogram struct {
-	buckets [65]atomic.Uint64
-	sum     atomic.Int64
-	count   atomic.Uint64
+	buckets   [65]atomic.Uint64
+	exemplars [65]atomic.Pointer[exemplar]
+	sum       atomic.Int64
+	count     atomic.Uint64
+}
+
+// exemplar pins one traced observation to its bucket.
+type exemplar struct {
+	trace uint64
+	value int64
 }
 
 // Observe records one value.
@@ -133,9 +146,32 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 }
 
+// ObserveTraced records one value and, for a non-zero trace, stamps it
+// as the bucket's exemplar. The trace/value pair is stored as one
+// atomic pointer, so readers never see a value paired with another
+// observation's trace.
+func (h *Histogram) ObserveTraced(v int64, trace uint64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	if trace != 0 {
+		h.exemplars[idx].Store(&exemplar{trace: trace, value: v})
+	}
+}
+
 // ObserveDuration records a duration in microseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) {
 	h.Observe(int64(d / time.Microsecond))
+}
+
+// ObserveDurationTraced records a duration in microseconds with an
+// exemplar trace.
+func (h *Histogram) ObserveDurationTraced(d time.Duration, trace uint64) {
+	h.ObserveTraced(int64(d/time.Microsecond), trace)
 }
 
 // Merge folds every observation of o into h, bucket by bucket. Workers
@@ -154,6 +190,9 @@ func (h *Histogram) Merge(o *Histogram) {
 		if c := o.buckets[i].Load(); c > 0 {
 			h.buckets[i].Add(c)
 		}
+		if e := o.exemplars[i].Load(); e != nil {
+			h.exemplars[i].Store(e)
+		}
 	}
 	h.sum.Add(o.sum.Load())
 	h.count.Add(o.count.Load())
@@ -169,6 +208,24 @@ type Snapshot struct {
 	P99   int64   `json:"p99"`
 	P999  int64   `json:"p999"`
 	Max   int64   `json:"max"` // upper bound of the highest non-empty bucket
+	// Exemplars lists, per bucket that has one, the last traced
+	// observation (omitted entirely for histograms no one traced).
+	Exemplars []BucketExemplar `json:"exemplars,omitempty"`
+}
+
+// BucketExemplar is one bucket's pinned traced observation.
+type BucketExemplar struct {
+	// Bucket is the bucket index (the value's bit length); Upper is
+	// the bucket's inclusive upper bound.
+	Bucket int   `json:"bucket"`
+	Upper  int64 `json:"upper"`
+	// Trace and Value are the pinned observation; Value always falls
+	// inside the bucket's bounds.
+	Trace uint64 `json:"trace"`
+	Value int64  `json:"value"`
+	// Cum is the cumulative observation count at or below Upper when
+	// the snapshot was taken — the `le` count an exposition line needs.
+	Cum uint64 `json:"cum"`
 }
 
 // Percentile returns an upper bound for the p-th percentile (p in
@@ -245,6 +302,15 @@ func (h *Histogram) Snapshot() Snapshot {
 			break
 		}
 	}
+	var cum uint64
+	for i := range h.exemplars {
+		cum += counts[i]
+		if e := h.exemplars[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, BucketExemplar{
+				Bucket: i, Upper: bucketUpper(i), Trace: e.trace, Value: e.value, Cum: cum,
+			})
+		}
+	}
 	return s
 }
 
@@ -265,6 +331,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	meters     map[string]*EWMA
 }
 
 // New returns an empty registry.
@@ -273,6 +340,7 @@ func New() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		meters:     make(map[string]*EWMA),
 	}
 }
 
@@ -329,6 +397,24 @@ func (r *Registry) HistogramWith(name string, labels Labels) *Histogram {
 	return r.Histogram(KeyWithLabels(name, labels))
 }
 
+// Meter returns (creating if needed) the named EWMA meter with the
+// default gain and horizon.
+func (r *Registry) Meter(name string) *EWMA {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.meters[name]
+	if !ok {
+		m = NewEWMA(0, 0)
+		r.meters[name] = m
+	}
+	return m
+}
+
+// MeterWith returns the meter for name decorated with labels.
+func (r *Registry) MeterWith(name string, labels Labels) *EWMA {
+	return r.Meter(KeyWithLabels(name, labels))
+}
+
 // CounterNames lists registered counters, sorted.
 func (r *Registry) CounterNames() []string {
 	r.mu.Lock()
@@ -357,15 +443,25 @@ func (r *Registry) GaugeNames() []string {
 // metric — the JSON shape WriteTo emits and Runtime.MetricsSnapshot
 // returns.
 type RegistrySnapshot struct {
-	Counters   map[string]uint64   `json:"counters"`
-	Gauges     map[string]int64    `json:"gauges"`
-	Histograms map[string]Snapshot `json:"histograms"`
+	Counters   map[string]uint64        `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Histograms map[string]Snapshot      `json:"histograms"`
+	Meters     map[string]MeterSnapshot `json:"meters"`
 }
 
 // Snapshot captures every counter and gauge value and histogram
 // summary. Each metric is read atomically; the set as a whole is as
-// consistent as a live system allows.
+// consistent as a live system allows. Meter rates are read as of
+// their last update; SnapshotAt decays them to a caller-supplied
+// instant instead.
 func (r *Registry) Snapshot() RegistrySnapshot {
+	return r.SnapshotAt(time.Time{})
+}
+
+// SnapshotAt is Snapshot with meter rates decayed to `now`, so a
+// quiet endpoint's bandwidth reads near zero instead of its last
+// burst. A zero now skips the decay.
+func (r *Registry) SnapshotAt(now time.Time) RegistrySnapshot {
 	r.mu.Lock()
 	cs := make(map[string]*Counter, len(r.counters))
 	for n, c := range r.counters {
@@ -379,12 +475,17 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	for n, h := range r.histograms {
 		hs[n] = h
 	}
+	ms := make(map[string]*EWMA, len(r.meters))
+	for n, m := range r.meters {
+		ms[n] = m
+	}
 	r.mu.Unlock()
 
 	out := RegistrySnapshot{
 		Counters:   make(map[string]uint64, len(cs)),
 		Gauges:     make(map[string]int64, len(gs)),
 		Histograms: make(map[string]Snapshot, len(hs)),
+		Meters:     make(map[string]MeterSnapshot, len(ms)),
 	}
 	for n, c := range cs {
 		out.Counters[n] = c.Value()
@@ -394,6 +495,9 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	}
 	for n, h := range hs {
 		out.Histograms[n] = h.Snapshot()
+	}
+	for n, m := range ms {
+		out.Meters[n] = m.SnapshotAt(now)
 	}
 	return out
 }
@@ -407,6 +511,9 @@ func (s RegistrySnapshot) GaugeNames() []string { return sortedKeys(s.Gauges) }
 
 // HistogramNames lists the snapshot's histogram keys, sorted.
 func (s RegistrySnapshot) HistogramNames() []string { return sortedKeys(s.Histograms) }
+
+// MeterNames lists the snapshot's meter keys, sorted.
+func (s RegistrySnapshot) MeterNames() []string { return sortedKeys(s.Meters) }
 
 func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
@@ -443,6 +550,11 @@ func (s RegistrySnapshot) WriteJSON(w io.Writer) error {
 	b.WriteString("},\n  \"histograms\": {")
 	writeSortedJSON(&b, s.HistogramNames(), func(n string) string {
 		j, _ := json.Marshal(s.Histograms[n])
+		return string(j)
+	})
+	b.WriteString("},\n  \"meters\": {")
+	writeSortedJSON(&b, s.MeterNames(), func(n string) string {
+		j, _ := json.Marshal(s.Meters[n])
 		return string(j)
 	})
 	b.WriteString("}\n}\n")
@@ -492,6 +604,10 @@ func (r *Registry) Dump() string {
 		h := s.Histograms[n]
 		fmt.Fprintf(&b, "%s count=%d mean=%.1f p50<=%d p90<=%d p99<=%d\n",
 			n, h.Count, h.Mean, h.P50, h.P90, h.P99)
+	}
+	for _, n := range s.MeterNames() {
+		m := s.Meters[n]
+		fmt.Fprintf(&b, "%s level=%.1f rate=%.1f count=%d\n", n, m.Level, m.Rate, m.Count)
 	}
 	return b.String()
 }

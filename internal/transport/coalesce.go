@@ -238,6 +238,7 @@ func (c *Coalescer) dispatch(items []batchItem) {
 		// that the request was coalesced but with how much company.
 		for _, m := range msgs {
 			sp := tr.StartChild(obs.TraceID(m.TraceID), obs.SpanID(m.SpanID), obs.KindClient, "batch")
+			sp.SetHint(m.KeepHint())
 			sp.SetBatch(len(msgs))
 			sp.SetBytes(len(m.Body))
 			sp.End()

@@ -116,6 +116,7 @@ func (s *Server) connLoop(c net.Conn) {
 		}
 		if tr := s.tracer.Load(); tr.Enabled() && msg.TraceID != 0 {
 			sp := tr.StartChild(obs.TraceID(msg.TraceID), obs.SpanID(msg.SpanID), obs.KindServer, "decode")
+			sp.SetHint(msg.KeepHint())
 			sp.SetBytes(len(msg.Body))
 			sp.End()
 		}

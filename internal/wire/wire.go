@@ -24,10 +24,13 @@ const Magic uint32 = 0x48504358
 
 // Version is the wire protocol version. Version 2 added the absolute
 // invocation deadline to the header; version 3 added the optional trace
-// and span IDs so a server can continue the caller's trace. Frames from
+// and span IDs so a server can continue the caller's trace; version 4
+// added the flags word carrying the trace keep-hint bit. Frames from
 // older versions are still accepted, decoding with the missing fields
-// zero (no deadline, untraced).
-const Version uint32 = 3
+// zero (no deadline, untraced) — except that traced v3 frames decode
+// with the keep-hint flag set, because a v3 peer predates tail-based
+// retention and must be buffered conservatively.
+const Version uint32 = 4
 
 // minVersion is the oldest wire version the decoder accepts.
 const minVersion uint32 = 1
@@ -86,10 +89,39 @@ type Message struct {
 	// identity so server-side spans join the client's trace. Both zero
 	// means the caller was not tracing; servers must treat them as
 	// opaque and never allocate based on their values.
-	TraceID   uint64
-	SpanID    uint64
+	TraceID uint64
+	SpanID  uint64
+	// Flags (wire v4) carries per-message boolean hints. Unknown bits
+	// are preserved verbatim through a decode/encode round trip so
+	// future versions can add bits without breaking v4 relays.
+	Flags     uint32
 	Envelopes []Envelope
 	Body      []byte
+}
+
+// Flag bits for Message.Flags.
+const (
+	// FlagKeepHint marks the trace this message belongs to as a
+	// retention candidate: the caller's tail keeper is still buffering
+	// it, so downstream keepers should buffer its server-side spans
+	// too. Absent the bit, a tail keeper may discard the continued
+	// trace's spans immediately instead of holding them to trace end.
+	FlagKeepHint uint32 = 1 << 0
+)
+
+// KeepHint reports whether the frame marks its trace as a retention
+// candidate (FlagKeepHint).
+func (m *Message) KeepHint() bool {
+	return m.Flags&FlagKeepHint != 0
+}
+
+// SetKeepHint sets or clears the retention-candidate bit.
+func (m *Message) SetKeepHint(on bool) {
+	if on {
+		m.Flags |= FlagKeepHint
+	} else {
+		m.Flags &^= FlagKeepHint
+	}
 }
 
 // Expired reports whether the message carries a deadline that has
@@ -110,6 +142,7 @@ func (m *Message) MarshalXDR(e *xdr.Encoder) error {
 	e.PutInt64(m.Deadline)
 	e.PutUint64(m.TraceID)
 	e.PutUint64(m.SpanID)
+	e.PutUint32(m.Flags)
 	e.PutUint32(uint32(len(m.Envelopes)))
 	for _, env := range m.Envelopes {
 		e.PutString(env.ID)
@@ -173,6 +206,15 @@ func (m *Message) UnmarshalXDR(d *xdr.Decoder) error {
 		if m.SpanID, err = d.Uint64(); err != nil {
 			return err
 		}
+	}
+	m.Flags = 0
+	if ver >= 4 {
+		if m.Flags, err = d.Uint32(); err != nil {
+			return err
+		}
+	} else if m.TraceID != 0 {
+		// A traced frame from a pre-hint peer: buffer conservatively.
+		m.Flags = FlagKeepHint
 	}
 	n, err := d.Uint32()
 	if err != nil {

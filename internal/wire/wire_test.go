@@ -256,6 +256,9 @@ func encodeVersion(ver uint32, m *Message) []byte {
 		e.PutUint64(m.TraceID)
 		e.PutUint64(m.SpanID)
 	}
+	if ver >= 4 {
+		e.PutUint32(m.Flags)
+	}
 	e.PutUint32(uint32(len(m.Envelopes)))
 	for _, env := range m.Envelopes {
 		e.PutString(env.ID)
@@ -289,6 +292,71 @@ func TestOldVersionFramesDecode(t *testing.T) {
 		if out.TraceID != 0 || out.SpanID != 0 {
 			t.Fatalf("v%d frame decoded with trace ids %d/%d, want 0/0", ver, out.TraceID, out.SpanID)
 		}
+		if out.Flags != 0 {
+			t.Fatalf("v%d frame decoded with flags %#x, want 0", ver, out.Flags)
+		}
+	}
+}
+
+// Traced v3 frames predate the keep-hint bit; the decoder must mark
+// them as retention candidates so tail keepers buffer conservatively.
+// Untraced v3 frames must stay flagless.
+func TestV3FramesDecodeConservativeKeepHint(t *testing.T) {
+	traced := sample()
+	traced.TraceID, traced.SpanID = 7, 8
+	out, err := Read(bytes.NewReader(encodeVersion(3, traced)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != 7 || out.SpanID != 8 {
+		t.Fatalf("v3 trace ids %d/%d, want 7/8", out.TraceID, out.SpanID)
+	}
+	if !out.KeepHint() {
+		t.Fatal("traced v3 frame decoded without keep-hint")
+	}
+	untraced := sample()
+	out, err = Read(bytes.NewReader(encodeVersion(3, untraced)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Flags != 0 {
+		t.Fatalf("untraced v3 frame decoded with flags %#x", out.Flags)
+	}
+}
+
+func TestKeepHintRoundTrip(t *testing.T) {
+	in := sample()
+	in.TraceID, in.SpanID = 11, 12
+	in.SetKeepHint(true)
+	if !in.KeepHint() {
+		t.Fatal("SetKeepHint(true) did not set the bit")
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.KeepHint() {
+		t.Fatal("keep-hint lost in round trip")
+	}
+	out.SetKeepHint(false)
+	if out.KeepHint() || out.Flags != 0 {
+		t.Fatalf("SetKeepHint(false) left flags %#x", out.Flags)
+	}
+	// Unknown future bits must survive a round trip untouched.
+	in.Flags = FlagKeepHint | 1<<7
+	buf.Reset()
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = Read(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Flags != FlagKeepHint|1<<7 {
+		t.Fatalf("flags %#x, want %#x", out.Flags, FlagKeepHint|1<<7)
 	}
 }
 
