@@ -13,6 +13,7 @@ import (
 	"io"
 	"strings"
 	"time"
+	"unicode/utf8"
 
 	"openhpcxx/internal/stats"
 	"openhpcxx/internal/wire"
@@ -71,11 +72,17 @@ func meterLabel(addr string) string {
 	if len(clean) <= max {
 		return clean
 	}
+	// Back the cut off to a rune boundary so the truncation never
+	// splits a multi-byte rune and emits invalid UTF-8 into a label.
+	cut := max
+	for cut > 0 && !utf8.RuneStart(clean[cut]) {
+		cut--
+	}
 	// Two glue endpoints can agree everywhere but in the elided middle;
 	// a hash of the full address keeps their series distinct.
 	h := fnv.New32a()
 	_, _ = io.WriteString(h, addr)
-	return fmt.Sprintf("%s…%08x", clean[:max], h.Sum32())
+	return fmt.Sprintf("%s…%08x", clean[:cut], h.Sum32())
 }
 
 // endpointMeter returns the meter pair for a health key, creating and

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 	"time"
+	"unicode/utf8"
 
 	"openhpcxx/internal/clock"
 	"openhpcxx/internal/obs"
@@ -99,6 +100,28 @@ func TestEndpointMeterCacheSharesHandles(t *testing.T) {
 	}
 	if c := rt.endpointMeter("shm|other"); c == a {
 		t.Fatal("distinct keys share a meter pair")
+	}
+}
+
+// meterLabel truncation must cut on a rune boundary: a multi-byte rune
+// straddling the limit would otherwise be split into invalid UTF-8 in
+// a Prometheus label value.
+func TestMeterLabelTruncatesOnRuneBoundary(t *testing.T) {
+	long := strings.Repeat("x", 95) + "日本語テスト"
+	got := meterLabel(long)
+	if !utf8.ValidString(got) {
+		t.Fatalf("truncated label is invalid UTF-8: %q", got)
+	}
+	if !strings.Contains(got, "…") {
+		t.Fatalf("overlong label not elided: %q", got)
+	}
+	// Distinct overlong addresses must stay distinguishable.
+	if meterLabel(long+"a") == meterLabel(long+"b") {
+		t.Fatal("hash suffix failed to distinguish elided labels")
+	}
+	// Short labels pass through untouched.
+	if meterLabel("tcp:1234") != "tcp:1234" {
+		t.Fatal("short label modified")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"openhpcxx/internal/clock"
@@ -254,13 +255,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "ok %s\n", s.rt.Process())
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.rt.MetricsSnapshot().WriteProm(w); err != nil {
-		// The header is already out; all we can do is log nothing and
-		// let the scraper see the truncated body.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.rt.MetricsSnapshot()
+	// Scrapers that understand OpenMetrics negotiate it via Accept and
+	// get histogram exemplars; everyone else gets the classic 0.0.4
+	// exposition, whose grammar has no room for them. A failed write
+	// either way means the header is already out; all we can do is let
+	// the scraper see the truncated body.
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = snap.WriteOpenMetrics(w)
 		return
 	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = snap.WriteProm(w)
 }
 
 func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {

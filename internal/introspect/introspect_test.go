@@ -161,6 +161,39 @@ func TestPlaneServesAllEndpoints(t *testing.T) {
 			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
 		}
 	}
+	// The classic exposition must never carry exemplar suffixes — the
+	// 0.0.4 grammar allows only a timestamp after the value.
+	if strings.Contains(metrics, "trace_id") {
+		t.Fatalf("0.0.4 /metrics leaked exemplars:\n%s", metrics)
+	}
+
+	// /metrics with an OpenMetrics Accept header: negotiated exposition
+	// with histogram-typed families and the # EOF trailer.
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/openmetrics-text") {
+		t.Fatalf("negotiated content-type = %q, want openmetrics", ct)
+	}
+	om := string(ob)
+	for _, want := range []string{
+		"rpc_hpcx_tcp_calls_total 5",
+		"# TYPE rpc_hpcx_tcp_latency_us histogram",
+		`le="+Inf"`,
+		"# EOF\n",
+	} {
+		if !strings.Contains(om, want) {
+			t.Fatalf("openmetrics /metrics missing %q:\n%s", want, om)
+		}
+	}
 
 	// /statusz: the structured runtime snapshot.
 	var status core.RuntimeStatus

@@ -398,6 +398,7 @@ func (k *TailKeeper) decideLocked(id TraceID, rootDur time.Duration, observe boo
 	}
 	delete(k.pending, id)
 	k.pendingSpans -= len(p.spans)
+	k.compactQueueLocked()
 	if policy != "" {
 		k.rememberLocked(id, decision{kept: true, policy: policy})
 		sort.Slice(p.spans, func(i, j int) bool { return p.spans[i].Seq < p.spans[j].Seq })
@@ -433,6 +434,27 @@ func (k *TailKeeper) evictOldestPendingLocked() {
 	}
 	// Queue exhausted but budget still over: nothing left to evict.
 	k.pendingSpans = 0
+}
+
+// compactQueueLocked rebuilds the creation-order queue without the ids
+// of traces that already left pending. Traces normally leave by
+// decision, not eviction, so decided ids would otherwise accumulate in
+// the queue forever — and the eviction path's re-slice would pin the
+// old backing array. Rebuilding once stale entries outnumber live ones
+// keeps queue memory proportional to the pending set; since a rebuild
+// only fires after >= len(pending) decisions, the cost is amortized
+// O(1) per decided trace.
+func (k *TailKeeper) compactQueueLocked() {
+	if len(k.queue) < 64 || len(k.queue) < 2*len(k.pending) {
+		return
+	}
+	fresh := make([]TraceID, 0, len(k.pending))
+	for _, id := range k.queue {
+		if _, ok := k.pending[id]; ok {
+			fresh = append(fresh, id)
+		}
+	}
+	k.queue = fresh
 }
 
 // keepSpanLocked forwards one span to the kept ring.

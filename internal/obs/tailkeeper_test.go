@@ -126,6 +126,30 @@ func TestTailKeeperOverflowEvictsOldest(t *testing.T) {
 	}
 }
 
+// Regression: the creation-order queue must not accumulate the ids of
+// decided traces. In normal operation every trace is decided at root
+// end and the pending budget never overflows, so without compaction the
+// queue grows by one id per trace forever — unbounded memory in a
+// recorder documented as hard-bounded.
+func TestTailKeeperQueueCompacts(t *testing.T) {
+	k := NewTailKeeper(TailKeeperOptions{Baseline: -1, MinSlow: time.Hour})
+	const traces = 10_000
+	for i := TraceID(1); i <= traces; i++ {
+		k.Record(mkSpan(i, SpanID(i*100), 0, time.Millisecond)) // root: decided immediately
+	}
+	k.mu.Lock()
+	qlen, plen := len(k.queue), len(k.pending)
+	k.mu.Unlock()
+	if plen != 0 {
+		t.Fatalf("pending %d, want 0", plen)
+	}
+	// Compaction triggers once stale ids dominate; anything near the
+	// trace count means decided ids are leaking.
+	if qlen >= 128 {
+		t.Fatalf("queue holds %d ids after %d decided traces", qlen, traces)
+	}
+}
+
 func TestTailKeeperStragglerFollowsDecision(t *testing.T) {
 	k := NewTailKeeper(TailKeeperOptions{Baseline: -1, MinSlow: 10 * time.Millisecond})
 	root := mkSpan(1, 10, 0, 50*time.Millisecond)

@@ -110,8 +110,8 @@ func TestObserveDurationTraced(t *testing.T) {
 	}
 }
 
-// Golden for the exemplar + meter exposition on /metrics.
-func TestWritePromExemplarGolden(t *testing.T) {
+// goldenRegistry builds the registry both exposition goldens render.
+func goldenRegistry() *Registry {
 	r := New()
 	r.Counter("rpc.calls").Add(7)
 	h := r.HistogramWith("rpc.latency_us", Labels{"proto": "tcp"})
@@ -120,6 +120,14 @@ func TestWritePromExemplarGolden(t *testing.T) {
 	m := r.MeterWith("rpc.endpoint", Labels{"proto": "tcp"})
 	m.Observe(250)
 	m.Add(1000, time.Unix(5000, 0))
+	return r
+}
+
+// Golden for the classic 0.0.4 exposition: exemplars must NOT appear —
+// the 0.0.4 grammar allows only a timestamp after the value, so an
+// exemplar suffix would fail a compliant scrape.
+func TestWritePromExemplarGolden(t *testing.T) {
+	r := goldenRegistry()
 	var sb strings.Builder
 	if err := r.SnapshotAt(time.Unix(5000, 0)).WriteProm(&sb); err != nil {
 		t.Fatal(err)
@@ -132,7 +140,6 @@ rpc_latency_us{proto="tcp",quantile="0.9"} 1023
 rpc_latency_us{proto="tcp",quantile="0.99"} 1023
 rpc_latency_us_sum{proto="tcp"} 903
 rpc_latency_us_count{proto="tcp"} 2
-rpc_latency_us_bucket{proto="tcp",le="1023"} 2 # {trace_id="000000000000feed"} 900
 # TYPE rpc_endpoint_level gauge
 rpc_endpoint_level{proto="tcp"} 250
 # TYPE rpc_endpoint_rate gauge
@@ -140,5 +147,49 @@ rpc_endpoint_rate{proto="tcp"} 100
 `
 	if sb.String() != want {
 		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+	if strings.Contains(sb.String(), "#") && strings.Contains(sb.String(), "trace_id") {
+		t.Fatal("classic exposition leaked an exemplar")
+	}
+}
+
+// Golden for the OpenMetrics exposition: histogram-typed family,
+// exemplars on bucket lines, counters suffixed _total, # EOF trailer.
+func TestWriteOpenMetricsExemplarGolden(t *testing.T) {
+	r := goldenRegistry()
+	var sb strings.Builder
+	if err := r.SnapshotAt(time.Unix(5000, 0)).WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE rpc_calls counter
+rpc_calls_total 7
+# TYPE rpc_latency_us histogram
+rpc_latency_us_bucket{proto="tcp",le="1023"} 2 # {trace_id="000000000000feed"} 900
+rpc_latency_us_bucket{proto="tcp",le="+Inf"} 2
+rpc_latency_us_sum{proto="tcp"} 903
+rpc_latency_us_count{proto="tcp"} 2
+# TYPE rpc_endpoint_level gauge
+rpc_endpoint_level{proto="tcp"} 250
+# TYPE rpc_endpoint_rate gauge
+rpc_endpoint_rate{proto="tcp"} 100
+# EOF
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// An OpenMetrics counter family already named *_total must not double
+// the suffix.
+func TestWriteOpenMetricsTotalSuffix(t *testing.T) {
+	r := New()
+	r.Counter("obs.spans_total").Add(3)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteOpenMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE obs_spans counter\nobs_spans_total 3\n# EOF\n"
+	if sb.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", sb.String(), want)
 	}
 }

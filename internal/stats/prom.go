@@ -1,7 +1,11 @@
-// Prometheus-style text exposition (text format 0.0.4, the subset any
-// scraper accepts): counters, gauges, and the log-scale histograms
-// rendered as summaries with approximate quantiles. This is the body
-// behind the introspection plane's /metrics endpoint.
+// Prometheus-style text exposition: counters, gauges, and the
+// log-scale histograms. WriteProm emits classic text format 0.0.4 (the
+// subset any scraper accepts; histograms render as summaries with
+// approximate quantiles, no exemplars — the 0.0.4 grammar has no place
+// for them). WriteOpenMetrics emits OpenMetrics 1.0, where histograms
+// render as histogram-typed families with per-bucket exemplars. The
+// introspection plane's /metrics endpoint serves whichever one the
+// scraper's Accept header selects.
 //
 // Metric keys translate as follows: dots and other non-identifier
 // characters in the name become underscores ("rpc.shm.calls" ->
@@ -67,11 +71,11 @@ func (s RegistrySnapshot) WriteProm(w io.Writer) error {
 		}
 	}
 
-	// Histograms render as summaries: quantile series plus _sum/_count,
-	// followed by OpenMetrics-style exemplar bucket lines for buckets
-	// that pinned a traced observation — `fam_bucket{le="..."} <cum>
-	// # {trace_id="<hex>"} <value>` — so a surprising quantile links to
-	// an actual retained trace.
+	// Histograms render as summaries: quantile series plus _sum/_count.
+	// The classic 0.0.4 grammar allows nothing after the value but a
+	// timestamp, so exemplars never appear here — scrapers that want
+	// them negotiate the OpenMetrics exposition (WriteOpenMetrics) or
+	// read the JSON snapshot.
 	order, fams = promFamilies(s.HistogramNames())
 	for _, fam := range order {
 		fmt.Fprintf(&b, "# TYPE %s summary\n", fam)
@@ -85,10 +89,6 @@ func (s RegistrySnapshot) WriteProm(w io.Writer) error {
 			}
 			fmt.Fprintf(&b, "%s_sum%s %d\n", sr.fam, sr.labels, h.Sum)
 			fmt.Fprintf(&b, "%s_count%s %d\n", sr.fam, sr.labels, h.Count)
-			for _, ex := range h.Exemplars {
-				fmt.Fprintf(&b, "%s_bucket%s %d # {trace_id=\"%016x\"} %d\n",
-					sr.fam, mergeLabels(sr.labels, fmt.Sprintf(`le="%d"`, ex.Upper)), ex.Cum, ex.Trace, ex.Value)
-			}
 		}
 	}
 
@@ -104,6 +104,70 @@ func (s RegistrySnapshot) WriteProm(w io.Writer) error {
 			fmt.Fprintf(&b, "%s_rate%s %g\n", sr.fam, sr.labels, s.Meters[sr.key].Rate)
 		}
 	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteOpenMetrics renders the snapshot as an OpenMetrics 1.0 text
+// exposition — the format a scraper selects with
+// `Accept: application/openmetrics-text`. It differs from the classic
+// 0.0.4 output where the formats genuinely diverge: counter samples
+// carry the mandatory `_total` suffix, the body ends with `# EOF`, and
+// histograms render as histogram-typed families whose bucket lines
+// carry exemplars (`fam_bucket{le="..."} <cum> # {trace_id="<hex>"}
+// <value>`), so a surprising bucket links to an actual retained trace.
+// Only buckets that pinned an exemplar are emitted individually — the
+// mandatory `le="+Inf"` bucket always closes the family — which is the
+// subset OpenMetrics needs to attach exemplars while staying valid.
+func (s RegistrySnapshot) WriteOpenMetrics(w io.Writer) error {
+	var b strings.Builder
+
+	order, fams := promFamilies(s.CounterNames())
+	for _, fam := range order {
+		// An OpenMetrics counter family is named without the _total
+		// suffix its samples must carry.
+		base := strings.TrimSuffix(fam, "_total")
+		fmt.Fprintf(&b, "# TYPE %s counter\n", base)
+		for _, sr := range fams[fam] {
+			fmt.Fprintf(&b, "%s_total%s %d\n", base, sr.labels, s.Counters[sr.key])
+		}
+	}
+
+	order, fams = promFamilies(s.GaugeNames())
+	for _, fam := range order {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", fam)
+		for _, sr := range fams[fam] {
+			fmt.Fprintf(&b, "%s%s %d\n", sr.fam, sr.labels, s.Gauges[sr.key])
+		}
+	}
+
+	order, fams = promFamilies(s.HistogramNames())
+	for _, fam := range order {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", fam)
+		for _, sr := range fams[fam] {
+			h := s.Histograms[sr.key]
+			for _, ex := range h.Exemplars {
+				fmt.Fprintf(&b, "%s_bucket%s %d # {trace_id=\"%016x\"} %d\n",
+					sr.fam, mergeLabels(sr.labels, fmt.Sprintf(`le="%d"`, ex.Upper)), ex.Cum, ex.Trace, ex.Value)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", sr.fam, mergeLabels(sr.labels, `le="+Inf"`), h.Count)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", sr.fam, sr.labels, h.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", sr.fam, sr.labels, h.Count)
+		}
+	}
+
+	order, fams = promFamilies(s.MeterNames())
+	for _, fam := range order {
+		fmt.Fprintf(&b, "# TYPE %s_level gauge\n", fam)
+		for _, sr := range fams[fam] {
+			fmt.Fprintf(&b, "%s_level%s %g\n", sr.fam, sr.labels, s.Meters[sr.key].Level)
+		}
+		fmt.Fprintf(&b, "# TYPE %s_rate gauge\n", fam)
+		for _, sr := range fams[fam] {
+			fmt.Fprintf(&b, "%s_rate%s %g\n", sr.fam, sr.labels, s.Meters[sr.key].Rate)
+		}
+	}
+	b.WriteString("# EOF\n")
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -22,14 +22,24 @@ import (
 // Magic identifies Open HPC++ frames ("HPCX").
 const Magic uint32 = 0x48504358
 
-// Version is the wire protocol version. Version 2 added the absolute
-// invocation deadline to the header; version 3 added the optional trace
-// and span IDs so a server can continue the caller's trace; version 4
-// added the flags word carrying the trace keep-hint bit. Frames from
-// older versions are still accepted, decoding with the missing fields
-// zero (no deadline, untraced) — except that traced v3 frames decode
-// with the keep-hint flag set, because a v3 peer predates tail-based
-// retention and must be buffered conservatively.
+// Version is the newest wire protocol version this package speaks.
+// Version 2 added the absolute invocation deadline to the header;
+// version 3 added the optional trace and span IDs so a server can
+// continue the caller's trace; version 4 added the flags word carrying
+// the trace keep-hint bit. Frames from older versions are still
+// accepted, decoding with the missing fields zero (no deadline,
+// untraced) — except that traced v3 frames decode with the keep-hint
+// flag set, because a v3 peer predates tail-based retention and must
+// be buffered conservatively.
+//
+// The encoder emits the LOWEST version that represents a message
+// exactly (see wireVersion): most frames still go out as v3, so a
+// rolling mixed-version deployment keeps connectivity. Only frames
+// whose flags a v3 decoder would mis-infer — in practice a traced
+// frame whose tail keeper cleared the keep-hint — need v4 framing, and
+// a v3 peer rejects those with ErrBadVersion; it would have buffered
+// the trace conservatively anyway, so the loss is the optimization,
+// not correctness.
 const Version uint32 = 4
 
 // minVersion is the oldest wire version the decoder accepts.
@@ -130,10 +140,29 @@ func (m *Message) Expired(now int64) bool {
 	return m.Deadline != 0 && now > m.Deadline
 }
 
+// wireVersion is the lowest wire version that represents m exactly. A
+// v3 decoder reconstructs the flags word as "keep-hint iff traced", so
+// any message whose flags match that inference round-trips through v3
+// framing losslessly; emitting v3 for those keeps pre-flags peers
+// decoding upgraded senders through a rolling deploy. Only a flags
+// word a v3 decoder would get wrong — a cleared keep-hint on a traced
+// frame, a set hint on an untraced one, or any future bit — forces v4.
+func (m *Message) wireVersion() uint32 {
+	implicit := uint32(0)
+	if m.TraceID != 0 {
+		implicit = FlagKeepHint
+	}
+	if m.Flags != implicit {
+		return Version
+	}
+	return 3
+}
+
 // MarshalXDR encodes everything after the frame length prefix.
 func (m *Message) MarshalXDR(e *xdr.Encoder) error {
+	ver := m.wireVersion()
 	e.PutUint32(Magic)
-	e.PutUint32(Version)
+	e.PutUint32(ver)
 	e.PutUint32(uint32(m.Type))
 	e.PutUint64(m.RequestID)
 	e.PutString(m.Object)
@@ -142,7 +171,9 @@ func (m *Message) MarshalXDR(e *xdr.Encoder) error {
 	e.PutInt64(m.Deadline)
 	e.PutUint64(m.TraceID)
 	e.PutUint64(m.SpanID)
-	e.PutUint32(m.Flags)
+	if ver >= 4 {
+		e.PutUint32(m.Flags)
+	}
 	e.PutUint32(uint32(len(m.Envelopes)))
 	for _, env := range m.Envelopes {
 		e.PutString(env.ID)

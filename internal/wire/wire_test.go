@@ -324,6 +324,56 @@ func TestV3FramesDecodeConservativeKeepHint(t *testing.T) {
 	}
 }
 
+// framedVersion reads the version word out of an encoded frame
+// (length prefix, magic, version).
+func framedVersion(t *testing.T, m *Message) uint32 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	return uint32(b[8])<<24 | uint32(b[9])<<16 | uint32(b[10])<<8 | uint32(b[11])
+}
+
+// The encoder emits the lowest version that represents the message
+// exactly, so mixed-version deployments keep decoding each other:
+// only a flags word a v3 decoder would mis-infer needs v4 framing.
+func TestEncoderEmitsMinimalVersion(t *testing.T) {
+	untraced := sample()
+	if v := framedVersion(t, untraced); v != 3 {
+		t.Fatalf("untraced frame emitted v%d, want v3", v)
+	}
+	hinted := sample()
+	hinted.TraceID, hinted.SpanID = 7, 8
+	hinted.SetKeepHint(true) // matches the v3 traced-implies-hinted inference
+	if v := framedVersion(t, hinted); v != 3 {
+		t.Fatalf("traced+hinted frame emitted v%d, want v3", v)
+	}
+	unhinted := sample()
+	unhinted.TraceID, unhinted.SpanID = 7, 8 // hint cleared: only v4 can say so
+	if v := framedVersion(t, unhinted); v != 4 {
+		t.Fatalf("traced+unhinted frame emitted v%d, want v4", v)
+	}
+	future := sample()
+	future.Flags = 1 << 7 // unknown bit: v3 would drop it
+	if v := framedVersion(t, future); v != 4 {
+		t.Fatalf("future-flagged frame emitted v%d, want v4", v)
+	}
+	// The v3-framed hinted message still decodes with its hint.
+	var buf bytes.Buffer
+	if err := Write(&buf, hinted); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.KeepHint() {
+		t.Fatal("v3-framed hinted message lost its keep-hint")
+	}
+}
+
 func TestKeepHintRoundTrip(t *testing.T) {
 	in := sample()
 	in.TraceID, in.SpanID = 11, 12
